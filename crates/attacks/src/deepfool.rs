@@ -1,0 +1,179 @@
+//! DeepFool (Moosavi-Dezfooli et al., CVPR 2016): minimal L2 perturbation
+//! toward the nearest decision boundary, iterated on the linearized model.
+
+use advhunter_nn::Graph;
+use advhunter_tensor::Tensor;
+
+use crate::gradient::logit_input_gradient;
+use crate::AttackGoal;
+
+/// DeepFool parameters (defaults follow the original paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeepFoolParams {
+    /// Maximum linearization iterations.
+    pub max_iter: usize,
+    /// Overshoot η applied to the accumulated perturbation (0.02 in the
+    /// original paper) so the point crosses the boundary.
+    pub overshoot: f32,
+    /// Number of highest-logit candidate classes considered per iteration
+    /// (the original paper uses 10).
+    pub candidates: usize,
+}
+
+impl Default for DeepFoolParams {
+    fn default() -> Self {
+        Self {
+            max_iter: 30,
+            overshoot: 0.02,
+            candidates: 10,
+        }
+    }
+}
+
+/// Runs DeepFool on one image.
+///
+/// Untargeted: steps toward the nearest boundary among the top candidate
+/// classes. Targeted: steps toward the boundary with the requested class
+/// only.
+pub(crate) fn perturb(
+    model: &Graph,
+    image: &Tensor,
+    true_label: usize,
+    goal: AttackGoal,
+    params: &DeepFoolParams,
+) -> Tensor {
+    let mut x = image.clone();
+    let mut total_r = Tensor::zeros(image.shape().dims());
+
+    for _ in 0..params.max_iter {
+        let (grad_cur, logits) = logit_input_gradient(model, &x, current_class(model, &x));
+        let cur = argmax(&logits);
+        match goal {
+            AttackGoal::Untargeted => {
+                if cur != true_label {
+                    break; // already fooled
+                }
+            }
+            AttackGoal::Targeted(t) => {
+                if cur == t {
+                    break; // reached the target
+                }
+            }
+        }
+
+        // Candidate classes to linearize against.
+        let candidates: Vec<usize> = match goal {
+            AttackGoal::Targeted(t) => vec![t],
+            AttackGoal::Untargeted => {
+                let mut order: Vec<usize> = (0..logits.len()).collect();
+                order.sort_by(|&a, &b| logits.data()[b].total_cmp(&logits.data()[a]));
+                order
+                    .into_iter()
+                    .filter(|&k| k != cur)
+                    .take(params.candidates.saturating_sub(1).max(1))
+                    .collect()
+            }
+        };
+
+        // Find the closest linearized boundary.
+        let mut best: Option<(f32, Tensor)> = None;
+        for k in candidates {
+            let (grad_k, _) = logit_input_gradient(model, &x, k);
+            let w = &grad_k - &grad_cur;
+            let f = logits.data()[k] - logits.data()[cur];
+            let wnorm = w.l2_norm().max(1e-12);
+            let dist = f.abs() / wnorm;
+            // Minimal step to the boundary: r = |f| / ||w||² · w.
+            let r = &w * (f.abs() / (wnorm * wnorm));
+            if best.as_ref().map_or(true, |(d, _)| dist < *d) {
+                best = Some((dist, r));
+            }
+        }
+        let Some((_, r)) = best else { break };
+
+        total_r.add_scaled(&r, 1.0 + params.overshoot);
+        x = image.clone();
+        x.add_scaled(&total_r, 1.0);
+        x.clamp_inplace(0.0, 1.0);
+    }
+    x
+}
+
+fn current_class(model: &Graph, x: &Tensor) -> usize {
+    let batch = Tensor::stack(std::slice::from_ref(x));
+    model.predict(&batch)[0]
+}
+
+fn argmax(t: &Tensor) -> usize {
+    t.data()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_toy_model;
+
+    #[test]
+    fn untargeted_deepfool_fools_with_small_l2() {
+        let (model, probes) = trained_toy_model();
+        let mut fooled = 0;
+        let mut fgsm_norm_total = 0.0;
+        let mut df_norm_total = 0.0;
+        for (label, x) in probes.iter().enumerate() {
+            let adv = perturb(&model, x, label, AttackGoal::Untargeted, &DeepFoolParams::default());
+            let batch = Tensor::stack(std::slice::from_ref(&adv));
+            if model.predict(&batch)[0] != label {
+                fooled += 1;
+                df_norm_total += (&adv - x).l2_norm();
+                let f = crate::fgsm::perturb(&model, x, label, AttackGoal::Untargeted, 0.3);
+                fgsm_norm_total += (&f - x).l2_norm();
+            }
+        }
+        assert!(fooled >= 2, "DeepFool fooled only {fooled}/3");
+        assert!(
+            df_norm_total < fgsm_norm_total,
+            "DeepFool perturbation {df_norm_total} should be smaller than FGSM {fgsm_norm_total}"
+        );
+    }
+
+    #[test]
+    fn targeted_deepfool_reaches_the_target() {
+        let (model, probes) = trained_toy_model();
+        let x = &probes[0];
+        let target = 2usize;
+        let params = DeepFoolParams {
+            max_iter: 60,
+            overshoot: 0.05,
+            candidates: 3,
+        };
+        let adv = perturb(&model, x, 0, AttackGoal::Targeted(target), &params);
+        let batch = Tensor::stack(std::slice::from_ref(&adv));
+        assert_eq!(model.predict(&batch)[0], target);
+    }
+
+    #[test]
+    fn already_misclassified_input_is_left_alone() {
+        let (model, probes) = trained_toy_model();
+        // Claim the wrong label: the input is "already fooled".
+        let x = &probes[0];
+        let batch = Tensor::stack(std::slice::from_ref(x));
+        let pred = model.predict(&batch)[0];
+        let wrong_label = (pred + 1) % 3;
+        let adv = perturb(&model, x, wrong_label, AttackGoal::Untargeted, &DeepFoolParams::default());
+        assert_eq!(&adv, x);
+    }
+
+    #[test]
+    fn outputs_stay_in_pixel_range() {
+        let (model, probes) = trained_toy_model();
+        for (label, x) in probes.iter().enumerate() {
+            let adv = perturb(&model, x, label, AttackGoal::Untargeted, &DeepFoolParams::default());
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

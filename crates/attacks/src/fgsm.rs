@@ -1,0 +1,86 @@
+//! Fast Gradient Sign Method (Goodfellow et al., ICLR 2015).
+
+use advhunter_nn::Graph;
+use advhunter_tensor::Tensor;
+
+use crate::gradient::loss_input_gradient;
+use crate::AttackGoal;
+
+/// One FGSM step.
+///
+/// Untargeted: `x' = clip(x + ε · sign(∇ₓ CE(f(x), y_true)))`.
+/// Targeted:   `x' = clip(x − ε · sign(∇ₓ CE(f(x), y_target)))`.
+pub(crate) fn perturb(
+    model: &Graph,
+    image: &Tensor,
+    true_label: usize,
+    goal: AttackGoal,
+    epsilon: f32,
+) -> Tensor {
+    let (label, sign) = match goal {
+        AttackGoal::Untargeted => (true_label, 1.0),
+        AttackGoal::Targeted(t) => (t, -1.0),
+    };
+    let (grad, _) = loss_input_gradient(model, image, label);
+    let mut adv = image.clone();
+    let step = sign * epsilon;
+    for (a, &g) in adv.data_mut().iter_mut().zip(grad.data().iter()) {
+        *a += step * g.signum() * if g == 0.0 { 0.0 } else { 1.0 };
+    }
+    adv.clamp_inplace(0.0, 1.0);
+    adv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_toy_model;
+
+    #[test]
+    fn untargeted_fgsm_respects_linf_budget() {
+        let (model, probes) = trained_toy_model();
+        for (label, x) in probes.iter().enumerate() {
+            let adv = perturb(&model, x, label, AttackGoal::Untargeted, 0.08);
+            assert!((&adv - x).linf_norm() <= 0.08 + 1e-6);
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn stronger_epsilon_fools_the_model() {
+        let (model, probes) = trained_toy_model();
+        let mut fooled = 0;
+        for (label, x) in probes.iter().enumerate() {
+            let batch = Tensor::stack(std::slice::from_ref(x));
+            assert_eq!(model.predict(&batch)[0], label, "clean prediction correct");
+            let adv = perturb(&model, x, label, AttackGoal::Untargeted, 0.4);
+            let batch = Tensor::stack(std::slice::from_ref(&adv));
+            if model.predict(&batch)[0] != label {
+                fooled += 1;
+            }
+        }
+        assert!(fooled >= 2, "strong FGSM fooled only {fooled}/3");
+    }
+
+    #[test]
+    fn targeted_fgsm_moves_toward_target() {
+        let (model, probes) = trained_toy_model();
+        let x = &probes[0];
+        let target = 1usize;
+        let logit_gap = |img: &Tensor| {
+            let batch = Tensor::stack(std::slice::from_ref(img));
+            let l = model.logits(&batch);
+            l.data()[target] - l.data()[0]
+        };
+        let before = logit_gap(x);
+        let adv = perturb(&model, x, 0, AttackGoal::Targeted(target), 0.1);
+        assert!(logit_gap(&adv) > before, "target logit gap should grow");
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity_up_to_clamp() {
+        let (model, probes) = trained_toy_model();
+        let adv = perturb(&model, &probes[0], 0, AttackGoal::Untargeted, 0.0);
+        assert_eq!(adv, probes[0]);
+    }
+}

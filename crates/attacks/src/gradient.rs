@@ -1,0 +1,86 @@
+//! Input-gradient helpers shared by the attacks.
+
+use advhunter_nn::{Graph, Mode};
+use advhunter_tensor::ops::cross_entropy_with_logits;
+use advhunter_tensor::Tensor;
+
+/// Gradient of the cross-entropy loss `CE(f(x), label)` with respect to a
+/// single CHW input image. Also returns the logits.
+///
+/// # Panics
+///
+/// Panics if `label` is out of range for the model's output.
+pub fn loss_input_gradient(model: &Graph, image: &Tensor, label: usize) -> (Tensor, Tensor) {
+    let batch = Tensor::stack(std::slice::from_ref(image));
+    let trace = model.forward(&batch, Mode::Eval);
+    let logits = trace.output().clone();
+    let (_, dlogits) = cross_entropy_with_logits(&logits, &[label]);
+    let grads = model.backward(&trace, &dlogits);
+    (grads.input.image(0), logits.reshape(&[logits.len()]))
+}
+
+/// Gradient of a single logit `f_k(x)` with respect to the input image.
+/// Also returns the logits. Used by DeepFool's boundary linearization.
+///
+/// # Panics
+///
+/// Panics if `k` is out of range for the model's output.
+pub fn logit_input_gradient(model: &Graph, image: &Tensor, k: usize) -> (Tensor, Tensor) {
+    let batch = Tensor::stack(std::slice::from_ref(image));
+    let trace = model.forward(&batch, Mode::Eval);
+    let logits = trace.output().clone();
+    let classes = logits.shape().dim(1);
+    assert!(k < classes, "logit index {k} out of range for {classes} classes");
+    let mut seed = Tensor::zeros(&[1, classes]);
+    seed.data_mut()[k] = 1.0;
+    let grads = model.backward(&trace, &seed);
+    (grads.input.image(0), logits.reshape(&[logits.len()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_toy_model;
+
+    #[test]
+    fn loss_gradient_points_uphill() {
+        let (model, probes) = trained_toy_model();
+        let x = &probes[0];
+        let (grad, logits) = loss_input_gradient(&model, x, 0);
+        assert_eq!(grad.shape().dims(), x.shape().dims());
+        assert!(grad.data().iter().any(|&v| v != 0.0));
+        assert_eq!(logits.len(), 3);
+
+        // Stepping along the gradient must increase the loss.
+        let loss_of = |img: &Tensor| {
+            let batch = Tensor::stack(std::slice::from_ref(img));
+            let t = model.forward(&batch, advhunter_nn::Mode::Eval);
+            advhunter_tensor::ops::cross_entropy_with_logits(t.output(), &[0]).0
+        };
+        let mut stepped = x.clone();
+        stepped.add_scaled(&grad, 1e-2 / grad.l2_norm().max(1e-9));
+        assert!(loss_of(&stepped) > loss_of(x));
+    }
+
+    #[test]
+    fn logit_gradient_raises_that_logit() {
+        let (model, probes) = trained_toy_model();
+        let x = &probes[1];
+        let (grad, logits_before) = logit_input_gradient(&model, x, 2);
+        let mut stepped = x.clone();
+        stepped.add_scaled(&grad, 1e-2 / grad.l2_norm().max(1e-9));
+        let batch = Tensor::stack(std::slice::from_ref(&stepped));
+        let logits_after = model.logits(&batch);
+        assert!(
+            logits_after.data()[2] > logits_before.data()[2],
+            "logit 2 should increase"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn logit_gradient_rejects_bad_class() {
+        let (model, probes) = trained_toy_model();
+        logit_input_gradient(&model, &probes[0], 99);
+    }
+}

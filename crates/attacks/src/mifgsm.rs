@@ -1,0 +1,96 @@
+//! Momentum Iterative FGSM (Dong et al., CVPR 2018 — the paper's actual
+//! citation for its "PGD" attack).
+
+use advhunter_nn::Graph;
+use advhunter_tensor::Tensor;
+
+use crate::gradient::loss_input_gradient;
+use crate::AttackGoal;
+
+/// Iterated signed steps on a momentum-accumulated gradient, projected into
+/// the ε-ball and `[0, 1]`.
+pub(crate) fn perturb(
+    model: &Graph,
+    image: &Tensor,
+    true_label: usize,
+    goal: AttackGoal,
+    epsilon: f32,
+    alpha: f32,
+    steps: usize,
+    decay: f32,
+) -> Tensor {
+    let (label, sign) = match goal {
+        AttackGoal::Untargeted => (true_label, 1.0f32),
+        AttackGoal::Targeted(t) => (t, -1.0),
+    };
+    let mut adv = image.clone();
+    let mut momentum = Tensor::zeros(image.shape().dims());
+    for _ in 0..steps {
+        let (grad, _) = loss_input_gradient(model, &adv, label);
+        // Normalize by L1 as in the original paper, then accumulate.
+        let l1: f32 = grad.data().iter().map(|g| g.abs()).sum::<f32>().max(1e-12);
+        momentum.scale_inplace(decay);
+        momentum.add_scaled(&grad, 1.0 / l1);
+        let step = sign * alpha;
+        for (a, &m) in adv.data_mut().iter_mut().zip(momentum.data().iter()) {
+            if m != 0.0 {
+                *a += step * m.signum();
+            }
+        }
+        // Project into the ε-ball ∩ [0, 1].
+        for (a, &o) in adv.data_mut().iter_mut().zip(image.data().iter()) {
+            *a = a.clamp(o - epsilon, o + epsilon).clamp(0.0, 1.0);
+        }
+    }
+    adv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_toy_model;
+
+    #[test]
+    fn respects_budget_and_pixel_range() {
+        let (model, probes) = trained_toy_model();
+        for (label, x) in probes.iter().enumerate() {
+            let adv = perturb(&model, x, label, AttackGoal::Untargeted, 0.06, 0.015, 10, 0.9);
+            assert!((&adv - x).linf_norm() <= 0.06 + 1e-6);
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn momentum_attack_raises_loss() {
+        let (model, probes) = trained_toy_model();
+        let x = &probes[0];
+        let loss_of = |img: &Tensor| {
+            let batch = Tensor::stack(std::slice::from_ref(img));
+            let t = model.forward(&batch, advhunter_nn::Mode::Eval);
+            advhunter_tensor::ops::cross_entropy_with_logits(t.output(), &[0]).0
+        };
+        let adv = perturb(&model, x, 0, AttackGoal::Untargeted, 0.1, 0.025, 10, 0.9);
+        assert!(loss_of(&adv) > loss_of(x));
+    }
+
+    #[test]
+    fn targeted_momentum_moves_toward_target() {
+        let (model, probes) = trained_toy_model();
+        let x = &probes[0];
+        let target = 2usize;
+        let gap = |img: &Tensor| {
+            let batch = Tensor::stack(std::slice::from_ref(img));
+            let l = model.logits(&batch);
+            l.data()[target] - l.data()[0]
+        };
+        let adv = perturb(&model, x, 0, AttackGoal::Targeted(target), 0.15, 0.04, 10, 0.9);
+        assert!(gap(&adv) > gap(x));
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let (model, probes) = trained_toy_model();
+        let adv = perturb(&model, &probes[1], 1, AttackGoal::Untargeted, 0.1, 0.02, 0, 0.9);
+        assert_eq!(adv, probes[1]);
+    }
+}

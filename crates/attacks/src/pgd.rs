@@ -1,0 +1,117 @@
+//! Projected Gradient Descent (the iterated FGSM of Madry et al.; the paper
+//! cites the momentum variant of Dong et al., CVPR 2018).
+
+use advhunter_nn::Graph;
+use advhunter_tensor::Tensor;
+use rand::Rng;
+
+use crate::gradient::loss_input_gradient;
+use crate::AttackGoal;
+
+/// Iterated signed-gradient steps projected back into the ε-ball around the
+/// original image (and clamped to `[0, 1]`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn perturb(
+    model: &Graph,
+    image: &Tensor,
+    true_label: usize,
+    goal: AttackGoal,
+    epsilon: f32,
+    alpha: f32,
+    steps: usize,
+    random_start: bool,
+    rng: &mut impl Rng,
+) -> Tensor {
+    let (label, sign) = match goal {
+        AttackGoal::Untargeted => (true_label, 1.0),
+        AttackGoal::Targeted(t) => (t, -1.0),
+    };
+    let mut adv = image.clone();
+    if random_start && epsilon > 0.0 {
+        for a in adv.data_mut() {
+            *a += rng.gen_range(-epsilon..epsilon);
+        }
+        project(&mut adv, image, epsilon);
+    }
+    for _ in 0..steps {
+        let (grad, _) = loss_input_gradient(model, &adv, label);
+        let step = sign * alpha;
+        for (a, &g) in adv.data_mut().iter_mut().zip(grad.data().iter()) {
+            if g != 0.0 {
+                *a += step * g.signum();
+            }
+        }
+        project(&mut adv, image, epsilon);
+    }
+    adv
+}
+
+/// Projects `adv` into the L∞ ε-ball around `origin` intersected with
+/// `[0, 1]^d`.
+fn project(adv: &mut Tensor, origin: &Tensor, epsilon: f32) {
+    for (a, &o) in adv.data_mut().iter_mut().zip(origin.data().iter()) {
+        *a = a.clamp(o - epsilon, o + epsilon).clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_toy_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pgd_respects_budget_and_range() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(0);
+        for (label, x) in probes.iter().enumerate() {
+            let adv = perturb(&model, x, label, AttackGoal::Untargeted, 0.05, 0.02, 8, true, &mut rng);
+            assert!((&adv - x).linf_norm() <= 0.05 + 1e-6);
+            assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn pgd_is_at_least_as_strong_as_fgsm_on_loss() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = &probes[0];
+        let loss_of = |img: &Tensor| {
+            let batch = Tensor::stack(std::slice::from_ref(img));
+            let t = model.forward(&batch, advhunter_nn::Mode::Eval);
+            advhunter_tensor::ops::cross_entropy_with_logits(t.output(), &[0]).0
+        };
+        let eps = 0.1;
+        let fgsm = crate::fgsm::perturb(&model, x, 0, AttackGoal::Untargeted, eps);
+        let pgd = perturb(&model, x, 0, AttackGoal::Untargeted, eps, eps / 4.0, 12, false, &mut rng);
+        assert!(
+            loss_of(&pgd) >= loss_of(&fgsm) * 0.9,
+            "PGD loss {} vs FGSM loss {}",
+            loss_of(&pgd),
+            loss_of(&fgsm)
+        );
+    }
+
+    #[test]
+    fn random_start_changes_the_result() {
+        let (model, probes) = trained_toy_model();
+        let a = perturb(
+            &model, &probes[0], 0, AttackGoal::Untargeted, 0.05, 0.02, 4, true,
+            &mut StdRng::seed_from_u64(2),
+        );
+        let b = perturb(
+            &model, &probes[0], 0, AttackGoal::Untargeted, 0.05, 0.02, 4, true,
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_steps_without_random_start_is_identity() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(4);
+        let adv = perturb(&model, &probes[0], 0, AttackGoal::Untargeted, 0.1, 0.05, 0, false, &mut rng);
+        assert_eq!(adv, probes[0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation (beyond the paper): fusing verdicts from several HPC events.
+//!
+//! The paper's rule is single-event (`l_n^u > Δ_c^n` for one chosen n).
+//! This harness compares single events against OR-fusion (flag if any
+//! event flags) and AND-fusion (flag only if all flag) over the three
+//! strong data-side events, on S2 / targeted FGSM ε = 0.5.
+
+use advhunter::experiment::{measure_examples, LabeledSample};
+use advhunter::scenario::ScenarioId;
+use advhunter::BinaryConfusion;
+use advhunter::Detector;
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fused_confusion(
+    detector: &Detector,
+    events: &[HpcEvent],
+    any: bool,
+    clean: &[LabeledSample],
+    adv: &[LabeledSample],
+) -> BinaryConfusion {
+    let mut c = BinaryConfusion::default();
+    let verdict = |s: &LabeledSample| {
+        if any {
+            detector.is_adversarial_any(s.predicted, events, &s.sample)
+        } else {
+            detector.is_adversarial_all(s.predicted, events, &s.sample)
+        }
+    };
+    for s in clean {
+        if s.predicted == s.true_class {
+            c.record(false, verdict(s));
+        }
+    }
+    for s in adv {
+        c.record(true, verdict(s));
+    }
+    c
+}
+
+fn main() {
+    let art = prepare_scenario(ScenarioId::S2);
+    let prep = prepare_detector(&art, None, Some(scaled(40, 15)), 0xAB40);
+    let mut rng = StdRng::seed_from_u64(0xAB41);
+    let target = art.id.target_class();
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &Attack::fgsm(0.5),
+        AttackGoal::Targeted(target),
+        Some(scaled(200, 40)),
+        &mut rng,
+    );
+    let adv = measure_examples(&art, &report.examples, &mut rng);
+
+    let strong = [
+        HpcEvent::CacheMisses,
+        HpcEvent::LlcLoadMisses,
+        HpcEvent::L1dLoadMisses,
+    ];
+
+    section("Ablation: event fusion (S2, targeted FGSM ε=0.5)");
+    println!(
+        "{:<40} {:>10} {:>10} {:>10} {:>10}",
+        "rule", "accuracy%", "F1", "precision", "recall"
+    );
+    for event in strong {
+        let c = fused_confusion(&prep.detector, &[event], true, &prep.clean_test, &adv);
+        println!(
+            "{:<40} {:>10.2} {:>10.4} {:>10.4} {:>10.4}",
+            format!("single: {}", event.perf_name()),
+            c.accuracy() * 100.0,
+            c.f1(),
+            c.precision(),
+            c.recall()
+        );
+    }
+    for (name, any) in [("OR over strong events", true), ("AND over strong events", false)] {
+        let c = fused_confusion(&prep.detector, &strong, any, &prep.clean_test, &adv);
+        println!(
+            "{:<40} {:>10.2} {:>10.4} {:>10.4} {:>10.4}",
+            name,
+            c.accuracy() * 100.0,
+            c.f1(),
+            c.precision(),
+            c.recall()
+        );
+    }
+    println!(
+        "\nExpectation: OR-fusion trades precision for recall; AND-fusion the\n\
+         reverse; a well-chosen single event (cache-misses) is already close\n\
+         to the F1 frontier — supporting the paper's single-event design."
+    );
+}

@@ -1,0 +1,65 @@
+//! Extension: a hard-label black-box adversary vs. the hard-label black-box
+//! defender.
+//!
+//! The paper's adversary is white-box; this harness adds the symmetric
+//! setting — a decision-based square attack that, like the defender, sees
+//! only the model's predicted labels. Its perturbations start large (easy to
+//! detect) and shrink through refinement (harder), probing where AdvHunter's
+//! count-based signal fades.
+
+use advhunter::experiment::{detection_confusion, measure_examples};
+use advhunter::scenario::ScenarioId;
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal, SquareParams};
+use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let art = prepare_scenario(ScenarioId::S2);
+    let prep = prepare_detector(&art, None, Some(scaled(40, 15)), 0xB1AC);
+    let mut rng = StdRng::seed_from_u64(0xB1AD);
+
+    section("Extension: decision-based (hard-label) square attack vs AdvHunter (S2)");
+    println!(
+        "{:<22} {:>8} {:>10} | {:>10} {:>8}",
+        "refinement", "#AEs", "success%", "accuracy%", "F1"
+    );
+    for (name, refine_iters) in [("none (raw ±ε init)", 0usize), ("200 square reversions", 200)] {
+        let attack = Attack::Square(SquareParams {
+            epsilon: 0.4,
+            init_tries: 30,
+            refine_iters,
+        });
+        let report = attack_dataset(
+            &art.model,
+            &art.split.test,
+            &attack,
+            AttackGoal::Untargeted,
+            Some(scaled(80, 25)),
+            &mut rng,
+        );
+        let adv = measure_examples(&art, &report.examples, &mut rng);
+        let c = detection_confusion(
+            &prep.detector,
+            HpcEvent::CacheMisses,
+            &prep.clean_test,
+            &adv,
+        );
+        println!(
+            "{:<22} {:>8} {:>10.1} | {:>10.2} {:>8.4}",
+            name,
+            adv.len(),
+            report.success_rate() * 100.0,
+            c.accuracy() * 100.0,
+            c.f1()
+        );
+    }
+    println!(
+        "\nReading: unlike gradient-aligned perturbations, random-sign noise\n\
+         resembles the datasets' own pixel noise, so its HPC footprint sits\n\
+         largely inside the clean distribution, and refinement shrinks it\n\
+         further — count-based single-event detection is weakest against\n\
+         attacks that never leave the data's noise envelope (EXPERIMENTS.md)."
+    );
+}

@@ -1,0 +1,86 @@
+//! Pipeline calibration: quick end-to-end sanity check of the reproduction.
+//!
+//! Trains (or loads) the S2 scenario, runs the offline phase, mounts a
+//! targeted FGSM attack, and prints per-event separability + detection
+//! quality so the simulator and noise model can be tuned against the
+//! paper's shapes (Table 2). Not part of the recorded experiments; a
+//! development tool.
+
+use advhunter::experiment::{detection_confusion, measure_examples};
+use advhunter::scenario::ScenarioId;
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_bench::{distribution_overlap, prepare_detector, prepare_scenario, section};
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let art = prepare_scenario(ScenarioId::S2);
+    eprintln!("scenario ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    let t1 = std::time::Instant::now();
+    let prep = prepare_detector(&art, Some(80), Some(60), 0xBEEF);
+    eprintln!(
+        "offline phase: {} min samples/class, {:.1}s",
+        prep.template.min_samples_per_class(),
+        t1.elapsed().as_secs_f64()
+    );
+
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let target = art.id.target_class();
+    let t2 = std::time::Instant::now();
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &Attack::fgsm(0.5),
+        AttackGoal::Targeted(target),
+        Some(150),
+        &mut rng,
+    );
+    eprintln!(
+        "targeted FGSM eps=0.5: attacked {}, success {:.1}%, targeted acc {:.1}%, {:.1}s",
+        report.attacked,
+        report.success_rate() * 100.0,
+        report.targeted_accuracy * 100.0,
+        t2.elapsed().as_secs_f64()
+    );
+
+    let t3 = std::time::Instant::now();
+    let adv = measure_examples(&art, &report.examples, &mut rng);
+    eprintln!("measured {} AEs in {:.1}s", adv.len(), t3.elapsed().as_secs_f64());
+
+    // Clean side: test images of the target class only (Table 2 protocol).
+    let clean_target: Vec<_> = prep
+        .clean_test
+        .iter()
+        .filter(|s| s.true_class == target)
+        .cloned()
+        .collect();
+
+    section("per-event separability (clean target class vs AEs)");
+    for event in HpcEvent::ALL {
+        let c: Vec<f64> = clean_target.iter().map(|s| s.sample.get(event)).collect();
+        let a: Vec<f64> = adv.iter().map(|s| s.sample.get(event)).collect();
+        let overlap = distribution_overlap(&c, &a, 20);
+        let conf = detection_confusion(&prep.detector, event, &clean_target, &adv);
+        println!(
+            "{:>22}: overlap {:.2}  acc {:>5.1}%  F1 {:.4}   (clean mean {:.0}, adv mean {:.0})",
+            event.perf_name(),
+            overlap,
+            conf.accuracy() * 100.0,
+            conf.f1(),
+            mean(&c),
+            mean(&a),
+        );
+    }
+    eprintln!("total {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

@@ -1,0 +1,35 @@
+//! Development tool: attack effectiveness sweep to calibrate data/model
+//! difficulty against the paper's attack success rates.
+
+use advhunter::scenario::ScenarioId;
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_bench::prepare_scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let art = prepare_scenario(ScenarioId::S2);
+    let target = art.id.target_class();
+    let mut rng = StdRng::seed_from_u64(1);
+    for (name, attack) in [
+        ("fgsm", Attack::fgsm(0.05)),
+        ("fgsm", Attack::fgsm(0.1)),
+        ("fgsm", Attack::fgsm(0.3)),
+        ("fgsm", Attack::fgsm(0.5)),
+        ("pgd", Attack::pgd(0.05)),
+        ("pgd", Attack::pgd(0.1)),
+        ("pgd", Attack::pgd(0.3)),
+        ("deepfool", Attack::deepfool()),
+    ] {
+        let unt = attack_dataset(&art.model, &art.split.test, &attack, AttackGoal::Untargeted, Some(60), &mut rng);
+        let tgt = attack_dataset(&art.model, &art.split.test, &attack, AttackGoal::Targeted(target), Some(60), &mut rng);
+        println!(
+            "{name:>8} eps={:.2}: untargeted adv-acc {:>5.1}% (succ {:>5.1}%) | targeted acc {:>5.1}% (succ {:>5.1}%)",
+            attack.strength(),
+            unt.adversarial_accuracy * 100.0,
+            unt.success_rate() * 100.0,
+            tgt.targeted_accuracy * 100.0,
+            tgt.success_rate() * 100.0,
+        );
+    }
+}

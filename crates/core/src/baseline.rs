@@ -1,0 +1,230 @@
+//! Baseline anomaly detectors for comparison with the paper's GMM + 3σ
+//! design (extension beyond the paper).
+//!
+//! Two simple alternatives over the same per-(category, event) scalar
+//! readings:
+//!
+//! * [`KnnDetector`] — distance to the k-th nearest validation sample,
+//!   thresholded at the three-sigma point of the validation self-distances.
+//! * [`ZScoreDetector`] — a single Gaussian per (category, event): flag when
+//!   `|x − μ| > k·σ`. This is what the GMM degenerates to with K = 1, and
+//!   quantifies what the mixture buys on multimodal classes.
+
+use advhunter_uarch::{HpcEvent, HpcSample};
+
+use crate::offline::OfflineTemplate;
+
+/// k-nearest-neighbor distance anomaly detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnDetector {
+    k: usize,
+    /// `values[class][event.index()]` — sorted validation readings.
+    values: Vec<Vec<Vec<f64>>>,
+    /// `thresholds[class][event.index()]`.
+    thresholds: Vec<Vec<f64>>,
+}
+
+impl KnnDetector {
+    /// Fits the baseline from an offline template with neighbor count `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn fit(template: &OfflineTemplate, k: usize, sigma_factor: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        let mut values = Vec::with_capacity(template.num_classes());
+        let mut thresholds = Vec::with_capacity(template.num_classes());
+        for class in 0..template.num_classes() {
+            let samples = template.class_samples(class);
+            let mut class_values = Vec::with_capacity(HpcEvent::ALL.len());
+            let mut class_thresholds = Vec::with_capacity(HpcEvent::ALL.len());
+            for event in HpcEvent::ALL {
+                let mut vals: Vec<f64> = samples.iter().map(|s| s.get(event)).collect();
+                vals.sort_by(f64::total_cmp);
+                // Leave-one-out k-NN distance of each validation point.
+                let self_dists: Vec<f64> = vals
+                    .iter()
+                    .map(|&x| knn_distance_excluding_self(&vals, x, k))
+                    .collect();
+                let mean = self_dists.iter().sum::<f64>() / self_dists.len().max(1) as f64;
+                let var = self_dists
+                    .iter()
+                    .map(|d| (d - mean) * (d - mean))
+                    .sum::<f64>()
+                    / self_dists.len().max(1) as f64;
+                class_thresholds.push(mean + sigma_factor * var.sqrt());
+                class_values.push(vals);
+            }
+            values.push(class_values);
+            thresholds.push(class_thresholds);
+        }
+        Self {
+            k,
+            values,
+            thresholds,
+        }
+    }
+
+    /// Distance of `sample` to its k-th nearest validation reading.
+    pub fn score(&self, class: usize, event: HpcEvent, sample: &HpcSample) -> Option<f64> {
+        let vals = self.values.get(class)?.get(event.index())?;
+        if vals.len() < self.k {
+            return None;
+        }
+        Some(knn_distance(vals, sample.get(event), self.k))
+    }
+
+    /// The detection rule: flag when the k-NN distance exceeds the
+    /// three-sigma threshold of the validation self-distances.
+    pub fn is_adversarial(
+        &self,
+        class: usize,
+        event: HpcEvent,
+        sample: &HpcSample,
+    ) -> Option<bool> {
+        let score = self.score(class, event, sample)?;
+        let threshold = *self.thresholds.get(class)?.get(event.index())?;
+        Some(score > threshold)
+    }
+}
+
+/// Single-Gaussian z-score detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScoreDetector {
+    /// `(mean, std)[class][event.index()]`.
+    stats: Vec<Vec<(f64, f64)>>,
+    sigma_factor: f64,
+}
+
+impl ZScoreDetector {
+    /// Fits per-(category, event) mean and standard deviation.
+    pub fn fit(template: &OfflineTemplate, sigma_factor: f64) -> Self {
+        let mut stats = Vec::with_capacity(template.num_classes());
+        for class in 0..template.num_classes() {
+            let samples = template.class_samples(class);
+            let mut class_stats = Vec::with_capacity(HpcEvent::ALL.len());
+            for event in HpcEvent::ALL {
+                let vals: Vec<f64> = samples.iter().map(|s| s.get(event)).collect();
+                let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+                let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / vals.len().max(1) as f64;
+                class_stats.push((mean, var.sqrt().max(1e-12)));
+            }
+            stats.push(class_stats);
+        }
+        Self {
+            stats,
+            sigma_factor,
+        }
+    }
+
+    /// Absolute z-score of `sample` under the class/event Gaussian.
+    pub fn score(&self, class: usize, event: HpcEvent, sample: &HpcSample) -> Option<f64> {
+        let (mean, std) = *self.stats.get(class)?.get(event.index())?;
+        Some((sample.get(event) - mean).abs() / std)
+    }
+
+    /// The detection rule: flag when `|z| > sigma_factor`.
+    pub fn is_adversarial(
+        &self,
+        class: usize,
+        event: HpcEvent,
+        sample: &HpcSample,
+    ) -> Option<bool> {
+        Some(self.score(class, event, sample)? > self.sigma_factor)
+    }
+}
+
+/// Distance from `x` to its k-th nearest value in sorted `vals`.
+fn knn_distance(vals: &[f64], x: f64, k: usize) -> f64 {
+    let mut dists: Vec<f64> = vals.iter().map(|&v| (v - x).abs()).collect();
+    dists.sort_by(f64::total_cmp);
+    dists.get(k - 1).copied().unwrap_or(f64::INFINITY)
+}
+
+/// Leave-one-out variant: ignores one exact self-match.
+fn knn_distance_excluding_self(vals: &[f64], x: f64, k: usize) -> f64 {
+    let mut dists: Vec<f64> = vals.iter().map(|&v| (v - x).abs()).collect();
+    dists.sort_by(f64::total_cmp);
+    // The first distance is the self-match (0.0); skip it.
+    dists.get(k).copied().unwrap_or(f64::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn template() -> OfflineTemplate {
+        let mut rng = StdRng::seed_from_u64(0);
+        let per_class = (0..2)
+            .map(|c| {
+                (0..50)
+                    .map(|_| {
+                        let mut s = HpcSample::default();
+                        s.set(
+                            HpcEvent::CacheMisses,
+                            1_000.0 + c as f64 * 400.0 + rng.gen_range(-25.0..25.0),
+                        );
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        OfflineTemplate::from_samples(per_class)
+    }
+
+    fn probe(v: f64) -> HpcSample {
+        let mut s = HpcSample::default();
+        s.set(HpcEvent::CacheMisses, v);
+        s
+    }
+
+    #[test]
+    fn knn_flags_outliers_and_passes_inliers() {
+        let d = KnnDetector::fit(&template(), 3, 3.0);
+        assert_eq!(
+            d.is_adversarial(0, HpcEvent::CacheMisses, &probe(1_005.0)),
+            Some(false)
+        );
+        assert_eq!(
+            d.is_adversarial(0, HpcEvent::CacheMisses, &probe(1_400.0)),
+            Some(true),
+            "class-1-typical value is anomalous for class 0"
+        );
+    }
+
+    #[test]
+    fn zscore_flags_outliers_and_passes_inliers() {
+        let d = ZScoreDetector::fit(&template(), 3.0);
+        assert_eq!(
+            d.is_adversarial(1, HpcEvent::CacheMisses, &probe(1_405.0)),
+            Some(false)
+        );
+        assert_eq!(
+            d.is_adversarial(1, HpcEvent::CacheMisses, &probe(1_000.0)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn knn_distance_is_monotone_in_k() {
+        let vals = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let d1 = knn_distance(&vals, 2.1, 1);
+        let d3 = knn_distance(&vals, 2.1, 3);
+        assert!(d1 <= d3);
+    }
+
+    #[test]
+    fn unknown_class_scores_none() {
+        let d = KnnDetector::fit(&template(), 3, 3.0);
+        assert!(d.score(9, HpcEvent::CacheMisses, &probe(0.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        KnnDetector::fit(&template(), 0, 3.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! `advhunter` — command-line front end for the detector.
+//!
+//! ```text
+//! advhunter events                      list monitorable HPC events
+//! advhunter scenarios                   list evaluation scenarios
+//! advhunter train  <S1|S2|S3|CASE>      train/cache a scenario model
+//! advhunter fit    <SCN> <out.ahd>      run the offline phase, save detector
+//! advhunter detect <SCN> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool]
+//!                  [--eps F] [--targeted] [-n N]
+//!                                       screen clean + attacked inferences
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
+use advhunter::offline::collect_template;
+use advhunter::scenario::{build_scenario, ScenarioId};
+use advhunter::{load_detector, save_detector, Detector, DetectorConfig};
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("events") => {
+            for e in HpcEvent::ALL {
+                println!("{}", e.perf_name());
+            }
+            Ok(())
+        }
+        Some("scenarios") => {
+            for id in [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::CaseStudy] {
+                println!(
+                    "{:<10} {:<18} {:<20} {} classes",
+                    id.label(),
+                    id.dataset_name(),
+                    id.model_name(),
+                    id.num_classes()
+                );
+            }
+            Ok(())
+        }
+        Some("train") => cmd_train(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        _ => {
+            eprintln!("usage: advhunter <events|scenarios|train|fit|detect> ...");
+            eprintln!("see the crate docs or README for details");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_scenario(arg: Option<&String>) -> Result<ScenarioId, String> {
+    match arg.map(|s| s.to_uppercase()).as_deref() {
+        Some("S1") => Ok(ScenarioId::S1),
+        Some("S2") => Ok(ScenarioId::S2),
+        Some("S3") => Ok(ScenarioId::S3),
+        Some("CASE") | Some("CASESTUDY") => Ok(ScenarioId::CaseStudy),
+        other => Err(format!(
+            "expected a scenario (S1|S2|S3|CASE), got {:?}",
+            other.unwrap_or("nothing")
+        )),
+    }
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let mut rng = StdRng::seed_from_u64(0xC11);
+    let art = build_scenario(id, None, &mut rng);
+    println!(
+        "{}: {} on {} — clean accuracy {:.2}% ({})",
+        id.label(),
+        id.model_name(),
+        id.dataset_name(),
+        art.clean_accuracy * 100.0,
+        if art.from_cache { "loaded from cache" } else { "trained" }
+    );
+    Ok(())
+}
+
+fn cmd_fit(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let out = args.get(1).ok_or("missing output path for the detector")?;
+    let mut rng = StdRng::seed_from_u64(0xC12);
+    let art = build_scenario(id, None, &mut rng);
+    println!("measuring clean validation inferences ...");
+    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    save_detector(&detector, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "detector saved to {out}: {} categories × {} events, M ≥ {}",
+        detector.num_classes(),
+        detector.events().len(),
+        template.min_samples_per_class()
+    );
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let det_path = args.get(1).ok_or("missing detector path (run `fit` first)")?;
+    let mut attack_name = "fgsm".to_string();
+    let mut eps = 0.5f32;
+    let mut targeted = false;
+    let mut n = 60usize;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--attack" => {
+                attack_name = args.get(i + 1).ok_or("--attack needs a value")?.clone();
+                i += 2;
+            }
+            "--eps" => {
+                eps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--eps needs a number")?;
+                i += 2;
+            }
+            "--targeted" => {
+                targeted = true;
+                i += 1;
+            }
+            "-n" => {
+                n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("-n needs a number")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let attack = match attack_name.as_str() {
+        "fgsm" => Attack::fgsm(eps),
+        "pgd" => Attack::pgd(eps),
+        "mifgsm" => Attack::mi_fgsm(eps),
+        "deepfool" => Attack::deepfool(),
+        other => return Err(format!("unknown attack {other}")),
+    };
+
+    let detector = load_detector(Path::new(det_path)).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(0xC13);
+    let art = build_scenario(id, None, &mut rng);
+    let goal = if targeted {
+        AttackGoal::Targeted(id.target_class())
+    } else {
+        AttackGoal::Untargeted
+    };
+    println!("attacking up to {n} test images with {} ...", attack.name());
+    let report = attack_dataset(&art.model, &art.split.test, &attack, goal, Some(n), &mut rng);
+    println!(
+        "attack: {} attacked, {:.1}% success",
+        report.attacked,
+        report.success_rate() * 100.0
+    );
+    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let clean = measure_dataset(&art, &art.split.test, Some(10), &mut rng);
+    println!("\n{:>24} {:>10} {:>8}", "event", "accuracy", "F1");
+    for event in HpcEvent::ALL {
+        let c = detection_confusion(&detector, event, &clean, &adv);
+        println!(
+            "{:>24} {:>9.1}% {:>8.4}",
+            event.perf_name(),
+            c.accuracy() * 100.0,
+            c.f1()
+        );
+    }
+    Ok(())
+}

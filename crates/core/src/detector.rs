@@ -1,0 +1,375 @@
+//! The online detector: per-(category, event) GMMs with three-sigma NLL
+//! thresholds (paper §5.3-§5.4).
+
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use advhunter_gmm::{fit_bic_1d, EmConfig, FitGmmError, Gmm1d};
+use advhunter_uarch::{HpcEvent, HpcSample};
+use rand::Rng;
+
+use crate::offline::OfflineTemplate;
+
+/// Detector hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Events to build models for.
+    pub events: Vec<HpcEvent>,
+    /// Candidate GMM component counts for BIC selection.
+    pub k_range: RangeInclusive<usize>,
+    /// EM fitting configuration.
+    pub em: EmConfig,
+    /// Threshold multiplier: `Δ = μ + sigma_factor · σ` over the validation
+    /// NLLs (3.0 = the paper's three-sigma rule).
+    pub sigma_factor: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            events: HpcEvent::ALL.to_vec(),
+            k_range: 1..=4,
+            em: EmConfig::default(),
+            sigma_factor: 3.0,
+        }
+    }
+}
+
+/// The fitted model for one (category, event) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventModel {
+    /// The BIC-selected mixture over validation readings.
+    pub gmm: Gmm1d,
+    /// The anomaly threshold `Δ_c^n`.
+    pub threshold: f64,
+}
+
+/// The verdict for one event on one inference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventScore {
+    /// The event scored.
+    pub event: HpcEvent,
+    /// Negative log-likelihood of the reading (`l_n^u`).
+    pub nll: f64,
+    /// The category/event threshold (`Δ_c^n`).
+    pub threshold: f64,
+}
+
+impl EventScore {
+    /// The paper's detection rule: adversarial iff `l_n^u > Δ_c^n`.
+    pub fn is_adversarial(&self) -> bool {
+        self.nll > self.threshold
+    }
+}
+
+/// Error fitting a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitDetectorError {
+    /// A category had no usable validation samples.
+    EmptyCategory {
+        /// The category index.
+        class: usize,
+    },
+    /// GMM fitting failed for a (category, event) pair.
+    Gmm {
+        /// The category index.
+        class: usize,
+        /// The event.
+        event: HpcEvent,
+        /// The underlying error.
+        source: FitGmmError,
+    },
+}
+
+impl fmt::Display for FitDetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyCategory { class } => {
+                write!(f, "no usable validation samples for category {class}")
+            }
+            Self::Gmm { class, event, source } => {
+                write!(f, "GMM fit failed for category {class}, event {event}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitDetectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Gmm { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// The AdvHunter detector: one [`EventModel`] per (output category, HPC
+/// event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detector {
+    /// `models[class][event.index()]`.
+    models: Vec<Vec<Option<EventModel>>>,
+    events: Vec<HpcEvent>,
+}
+
+impl Detector {
+    /// Fits the detector from an offline template (paper Algorithm 1 + BIC
+    /// + the three-sigma rule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitDetectorError`] if any category has no samples or a
+    /// mixture cannot be fit.
+    pub fn fit(
+        template: &OfflineTemplate,
+        config: &DetectorConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, FitDetectorError> {
+        let mut models = Vec::with_capacity(template.num_classes());
+        for class in 0..template.num_classes() {
+            let samples = template.class_samples(class);
+            if samples.is_empty() {
+                return Err(FitDetectorError::EmptyCategory { class });
+            }
+            let mut row: Vec<Option<EventModel>> = vec![None; HpcEvent::ALL.len()];
+            // Cap the candidate component count so each component sees at
+            // least ~10 samples; BIC alone overfits tiny validation sets.
+            let k_hi = (*config.k_range.end()).min((samples.len() / 10).max(1));
+            let k_range = *config.k_range.start()..=k_hi.max(*config.k_range.start());
+            for &event in &config.events {
+                let data: Vec<f64> = samples.iter().map(|s| s.get(event)).collect();
+                let fit = fit_bic_1d(&data, k_range.clone(), &config.em, rng).map_err(
+                    |source| FitDetectorError::Gmm {
+                        class,
+                        event,
+                        source,
+                    },
+                )?;
+                let gmm = fit.model;
+                // Threshold: μ + kσ over the validation NLL distribution.
+                let nlls: Vec<f64> = data.iter().map(|&x| gmm.nll(x)).collect();
+                let mean = nlls.iter().sum::<f64>() / nlls.len() as f64;
+                let var = nlls.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / nlls.len() as f64;
+                let threshold = mean + config.sigma_factor * var.sqrt();
+                row[event.index()] = Some(EventModel { gmm, threshold });
+            }
+            models.push(row);
+        }
+        Ok(Self {
+            models,
+            events: config.events.clone(),
+        })
+    }
+
+    /// Reassembles a detector from its parts (used by persistence).
+    pub(crate) fn from_parts(
+        models: Vec<Vec<Option<EventModel>>>,
+        events: Vec<HpcEvent>,
+    ) -> Self {
+        Self { models, events }
+    }
+
+    /// Number of categories modelled.
+    pub fn num_classes(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The events this detector was fit for.
+    pub fn events(&self) -> &[HpcEvent] {
+        &self.events
+    }
+
+    /// The fitted model for a (category, event) pair, if present.
+    pub fn event_model(&self, class: usize, event: HpcEvent) -> Option<&EventModel> {
+        self.models.get(class)?.get(event.index())?.as_ref()
+    }
+
+    /// Scores one reading for one event under the predicted category's
+    /// model. Returns `None` if no model exists for the pair.
+    pub fn score(
+        &self,
+        predicted_class: usize,
+        event: HpcEvent,
+        sample: &HpcSample,
+    ) -> Option<EventScore> {
+        let model = self.event_model(predicted_class, event)?;
+        Some(EventScore {
+            event,
+            nll: model.gmm.nll(sample.get(event)),
+            threshold: model.threshold,
+        })
+    }
+
+    /// The paper's detection rule for one event: `Some(true)` when the
+    /// reading's NLL exceeds the threshold.
+    pub fn is_adversarial(
+        &self,
+        predicted_class: usize,
+        event: HpcEvent,
+        sample: &HpcSample,
+    ) -> Option<bool> {
+        self.score(predicted_class, event, sample)
+            .map(|s| s.is_adversarial())
+    }
+
+    /// Scores every configured event at once.
+    pub fn score_all(&self, predicted_class: usize, sample: &HpcSample) -> Vec<EventScore> {
+        self.events
+            .iter()
+            .filter_map(|&e| self.score(predicted_class, e, sample))
+            .collect()
+    }
+
+    /// Fusion rule: adversarial if *any* of the given events flags
+    /// (increases recall at some precision cost). Part of the extension
+    /// ablations, not the paper's single-event rule.
+    pub fn is_adversarial_any(
+        &self,
+        predicted_class: usize,
+        events: &[HpcEvent],
+        sample: &HpcSample,
+    ) -> bool {
+        events
+            .iter()
+            .filter_map(|&e| self.is_adversarial(predicted_class, e, sample))
+            .any(|b| b)
+    }
+
+    /// Fusion rule: adversarial only if *all* of the given events flag.
+    pub fn is_adversarial_all(
+        &self,
+        predicted_class: usize,
+        events: &[HpcEvent],
+        sample: &HpcSample,
+    ) -> bool {
+        let scores: Vec<bool> = events
+            .iter()
+            .filter_map(|&e| self.is_adversarial(predicted_class, e, sample))
+            .collect();
+        !scores.is_empty() && scores.into_iter().all(|b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Template with cache-misses clustered near per-class centers and
+    /// instructions constant + noise.
+    fn synthetic_template(rng: &mut StdRng) -> OfflineTemplate {
+        let mut per_class = Vec::new();
+        for class in 0..2 {
+            let center = 10_000.0 + class as f64 * 5_000.0;
+            let mut samples = Vec::new();
+            for _ in 0..60 {
+                let mut s = HpcSample::default();
+                s.set(HpcEvent::CacheMisses, center + rng.gen_range(-300.0..300.0));
+                s.set(HpcEvent::Instructions, 1_000_000.0 + rng.gen_range(-5_000.0..5_000.0));
+                samples.push(s);
+            }
+            per_class.push(samples);
+        }
+        OfflineTemplate::from_samples(per_class)
+    }
+
+    #[test]
+    fn fit_builds_models_for_all_classes_and_events() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = synthetic_template(&mut rng);
+        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        assert_eq!(d.num_classes(), 2);
+        for class in 0..2 {
+            for event in HpcEvent::ALL {
+                assert!(d.event_model(class, event).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn in_distribution_readings_pass_outliers_flag() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = synthetic_template(&mut rng);
+        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+
+        let mut clean = HpcSample::default();
+        clean.set(HpcEvent::CacheMisses, 10_050.0);
+        assert_eq!(d.is_adversarial(0, HpcEvent::CacheMisses, &clean), Some(false));
+
+        let mut adv = HpcSample::default();
+        adv.set(HpcEvent::CacheMisses, 13_000.0); // far outside class 0
+        assert_eq!(d.is_adversarial(0, HpcEvent::CacheMisses, &adv), Some(true));
+        // ...but plausible for class 1.
+        let mut adv_c1 = HpcSample::default();
+        adv_c1.set(HpcEvent::CacheMisses, 15_050.0);
+        assert_eq!(d.is_adversarial(1, HpcEvent::CacheMisses, &adv_c1), Some(false));
+    }
+
+    #[test]
+    fn higher_sigma_factor_is_more_permissive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = synthetic_template(&mut rng);
+        let tight = Detector::fit(
+            &t,
+            &DetectorConfig { sigma_factor: 1.0, ..DetectorConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let loose = Detector::fit(
+            &t,
+            &DetectorConfig { sigma_factor: 5.0, ..DetectorConfig::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let mt = tight.event_model(0, HpcEvent::CacheMisses).unwrap();
+        let ml = loose.event_model(0, HpcEvent::CacheMisses).unwrap();
+        assert!(ml.threshold > mt.threshold);
+    }
+
+    #[test]
+    fn empty_category_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = OfflineTemplate::from_samples(vec![vec![HpcSample::default()], vec![]]);
+        assert_eq!(
+            Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap_err(),
+            FitDetectorError::EmptyCategory { class: 1 }
+        );
+    }
+
+    #[test]
+    fn score_all_covers_configured_events() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = synthetic_template(&mut rng);
+        let cfg = DetectorConfig {
+            events: vec![HpcEvent::CacheMisses, HpcEvent::Instructions],
+            ..DetectorConfig::default()
+        };
+        let d = Detector::fit(&t, &cfg, &mut rng).unwrap();
+        let scores = d.score_all(0, &HpcSample::default());
+        assert_eq!(scores.len(), 2);
+        assert!(d.event_model(0, HpcEvent::Branches).is_none());
+    }
+
+    #[test]
+    fn fusion_rules_compose_single_event_verdicts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = synthetic_template(&mut rng);
+        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        let mut s = HpcSample::default();
+        s.set(HpcEvent::CacheMisses, 50_000.0); // extreme outlier
+        s.set(HpcEvent::Instructions, 1_000_000.0); // normal
+        let events = [HpcEvent::CacheMisses, HpcEvent::Instructions];
+        assert!(d.is_adversarial_any(0, &events, &s));
+        assert!(!d.is_adversarial_all(0, &events, &s));
+    }
+
+    #[test]
+    fn unknown_class_scores_none() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = synthetic_template(&mut rng);
+        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        assert!(d.score(99, HpcEvent::CacheMisses, &HpcSample::default()).is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! AdvHunter: detection of adversarial examples in hard-label black-box
+//! DNNs through hardware performance counters — a full Rust reproduction of
+//! Alam & Maniatakos, DAC 2024.
+//!
+//! The detector never looks inside the model: it sees only the hard-label
+//! prediction and the HPC readings of each inference (provided here by the
+//! [`advhunter_exec`] instrumented-inference engine over the
+//! [`advhunter_uarch`] machine simulator).
+//!
+//! * **Offline phase** ([`offline`]): measure `M` clean validation images
+//!   per output category, `R` repetitions each; fit one 1-D GMM per
+//!   (category, event) with BIC-selected component count; set the
+//!   three-sigma NLL threshold.
+//! * **Online phase** ([`Detector`]): score an unknown inference's reading
+//!   under the GMM of its *predicted* category; flag it as adversarial when
+//!   the negative log-likelihood exceeds the threshold.
+//!
+//! [`scenario`] rebuilds the paper's three evaluation scenarios (dataset +
+//! model + trained weights), and [`experiment`] implements the evaluation
+//! protocols behind every table and figure.
+//!
+//! # Example
+//!
+//! A complete end-to-end run is in `examples/quickstart.rs`; the core loop
+//! looks like:
+//!
+//! ```no_run
+//! use advhunter::{offline, Detector, DetectorConfig};
+//! use advhunter::scenario::{build_scenario, ScenarioId};
+//! use advhunter_uarch::HpcEvent;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let art = build_scenario(ScenarioId::S2, None, &mut rng);
+//! let template = offline::collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
+//! let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)?;
+//! let m = art.engine.measure(&art.model, &art.split.test.images()[0], &mut rng);
+//! let flagged = detector.is_adversarial(m.predicted, HpcEvent::CacheMisses, &m.sample);
+//! # let _ = flagged;
+//! # Ok::<(), advhunter::FitDetectorError>(())
+//! ```
+
+mod detector;
+mod metrics;
+
+pub mod baseline;
+pub mod experiment;
+pub mod offline;
+pub mod persist;
+pub mod report;
+pub mod scenario;
+
+pub use detector::{Detector, DetectorConfig, EventModel, EventScore, FitDetectorError};
+pub use metrics::{mean_std, BinaryConfusion};
+pub use offline::OfflineTemplate;
+pub use persist::{load_detector, save_detector, PersistDetectorError};

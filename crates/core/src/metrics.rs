@@ -1,0 +1,160 @@
+//! Binary detection metrics: confusion counts, accuracy, and F1.
+
+/// Confusion counts for the binary task "is this input adversarial?"
+/// (positive = adversarial).
+///
+/// # Example
+///
+/// ```
+/// use advhunter::BinaryConfusion;
+///
+/// let mut c = BinaryConfusion::default();
+/// c.record(true, true);   // adversarial, flagged    -> TP
+/// c.record(false, false); // clean, not flagged      -> TN
+/// c.record(false, true);  // clean, flagged          -> FP
+/// assert_eq!(c.total(), 3);
+/// assert!((c.accuracy() - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    /// Adversarial inputs flagged as adversarial.
+    pub tp: u64,
+    /// Clean inputs flagged as adversarial.
+    pub fp: u64,
+    /// Clean inputs passed as clean.
+    pub tn: u64,
+    /// Adversarial inputs passed as clean.
+    pub fn_: u64,
+}
+
+impl BinaryConfusion {
+    /// Records one decision.
+    pub fn record(&mut self, is_adversarial: bool, flagged: bool) {
+        match (is_adversarial, flagged) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another confusion into this one.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total decisions recorded.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct decisions (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Precision = TP / (TP + FP) (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+
+    /// Recall = TP / (TP + FN) (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// F1 score — the paper's headline detection metric.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Mean and (population) standard deviation of a sample — used for the
+/// Figure 6 error bands.
+///
+/// Returns `(0.0, 0.0)` for an empty slice.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector_scores_one() {
+        let mut c = BinaryConfusion::default();
+        for _ in 0..10 {
+            c.record(true, true);
+            c.record(false, false);
+        }
+        assert_eq!(c.accuracy(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+    }
+
+    #[test]
+    fn always_negative_detector_has_zero_f1_but_half_accuracy() {
+        let mut c = BinaryConfusion::default();
+        for _ in 0..10 {
+            c.record(true, false);
+            c.record(false, false);
+        }
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        let c = BinaryConfusion { tp: 8, fp: 2, tn: 7, fn_: 3 };
+        let p = 8.0 / 10.0;
+        let r = 8.0 / 11.0;
+        assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+        assert!((c.accuracy() - 15.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BinaryConfusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
+        a.merge(&BinaryConfusion { tp: 10, fp: 20, tn: 30, fn_: 40 });
+        assert_eq!(a, BinaryConfusion { tp: 11, fp: 22, tn: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn empty_confusion_is_all_zero() {
+        let c = BinaryConfusion::default();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

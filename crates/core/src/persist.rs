@@ -1,0 +1,280 @@
+//! Detector persistence: save a fitted [`Detector`] to disk and load it
+//! back, so the (expensive) offline phase runs once per deployment.
+//!
+//! Format (`AHD1`): magic, category count, then per category and per event
+//! an optional [`EventModel`] — threshold plus the GMM's weights, means,
+//! and variances, all little-endian `f64`.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use advhunter_gmm::Gmm1d;
+use advhunter_uarch::HpcEvent;
+
+use crate::detector::{Detector, EventModel};
+
+const MAGIC: &[u8; 4] = b"AHD1";
+
+/// Error persisting or restoring a detector.
+#[derive(Debug)]
+pub enum PersistDetectorError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an `AHD1` detector file, or structurally malformed.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for PersistDetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "detector file I/O failed: {e}"),
+            Self::Malformed(what) => write!(f, "malformed detector file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistDetectorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistDetectorError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes a fitted detector to `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistDetectorError::Io`] on filesystem failures.
+pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistDetectorError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    push_u32(&mut buf, detector.num_classes() as u32);
+    push_u32(&mut buf, detector.events().len() as u32);
+    for &event in detector.events() {
+        push_u32(&mut buf, event.index() as u32);
+    }
+    for class in 0..detector.num_classes() {
+        for event in HpcEvent::ALL {
+            match detector.event_model(class, event) {
+                None => buf.push(0),
+                Some(model) => {
+                    buf.push(1);
+                    push_f64(&mut buf, model.threshold);
+                    let k = model.gmm.num_components();
+                    push_u32(&mut buf, k as u32);
+                    for &w in model.gmm.weights() {
+                        push_f64(&mut buf, w);
+                    }
+                    for &m in model.gmm.means() {
+                        push_f64(&mut buf, m);
+                    }
+                    for &v in model.gmm.variances() {
+                        push_f64(&mut buf, v);
+                    }
+                }
+            }
+        }
+    }
+    fs::File::create(path)?.write_all(&buf)?;
+    Ok(())
+}
+
+/// Loads a detector previously written by [`save_detector`].
+///
+/// # Errors
+///
+/// Returns [`PersistDetectorError`] if the file is missing, truncated, or
+/// not a detector file.
+pub fn load_detector(path: &Path) -> Result<Detector, PersistDetectorError> {
+    let mut data = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut data)?;
+    let mut cur = 0usize;
+    if take(&data, &mut cur, 4)? != MAGIC {
+        return Err(PersistDetectorError::Malformed("bad magic"));
+    }
+    let num_classes = read_u32(&data, &mut cur)? as usize;
+    let num_events = read_u32(&data, &mut cur)? as usize;
+    if num_events > HpcEvent::ALL.len() {
+        return Err(PersistDetectorError::Malformed("too many events"));
+    }
+    let mut events = Vec::with_capacity(num_events);
+    for _ in 0..num_events {
+        let idx = read_u32(&data, &mut cur)? as usize;
+        let event = *HpcEvent::ALL
+            .get(idx)
+            .ok_or(PersistDetectorError::Malformed("bad event index"))?;
+        events.push(event);
+    }
+    let mut models: Vec<Vec<Option<EventModel>>> = Vec::with_capacity(num_classes);
+    for _ in 0..num_classes {
+        let mut row: Vec<Option<EventModel>> = Vec::with_capacity(HpcEvent::ALL.len());
+        for _ in HpcEvent::ALL {
+            let tag = *take(&data, &mut cur, 1)?
+                .first()
+                .ok_or(PersistDetectorError::Malformed("missing tag"))?;
+            if tag == 0 {
+                row.push(None);
+                continue;
+            }
+            let threshold = read_f64(&data, &mut cur)?;
+            let k = read_u32(&data, &mut cur)? as usize;
+            if k == 0 || k > 64 {
+                return Err(PersistDetectorError::Malformed("bad component count"));
+            }
+            let mut weights = Vec::with_capacity(k);
+            for _ in 0..k {
+                weights.push(read_f64(&data, &mut cur)?);
+            }
+            let mut means = Vec::with_capacity(k);
+            for _ in 0..k {
+                means.push(read_f64(&data, &mut cur)?);
+            }
+            let mut variances = Vec::with_capacity(k);
+            for _ in 0..k {
+                variances.push(read_f64(&data, &mut cur)?);
+            }
+            let wsum: f64 = weights.iter().sum();
+            if !(0.999..=1.001).contains(&wsum) || variances.iter().any(|&v| v <= 0.0) {
+                return Err(PersistDetectorError::Malformed("invalid mixture parameters"));
+            }
+            row.push(Some(EventModel {
+                gmm: Gmm1d::from_parameters(weights, means, variances),
+                threshold,
+            }));
+        }
+        models.push(row);
+    }
+    Ok(Detector::from_parts(models, events))
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take<'d>(data: &'d [u8], cur: &mut usize, n: usize) -> Result<&'d [u8], PersistDetectorError> {
+    if *cur + n > data.len() {
+        return Err(PersistDetectorError::Malformed("truncated file"));
+    }
+    let s = &data[*cur..*cur + n];
+    *cur += n;
+    Ok(s)
+}
+
+fn read_u32(data: &[u8], cur: &mut usize) -> Result<u32, PersistDetectorError> {
+    Ok(u32::from_le_bytes(take(data, cur, 4)?.try_into().unwrap()))
+}
+
+fn read_f64(data: &[u8], cur: &mut usize) -> Result<f64, PersistDetectorError> {
+    Ok(f64::from_le_bytes(take(data, cur, 8)?.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineTemplate;
+    use crate::{Detector, DetectorConfig};
+    use advhunter_uarch::HpcSample;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::path::PathBuf;
+
+    fn tempfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("advhunter-persist-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn fitted() -> Detector {
+        let mut rng = StdRng::seed_from_u64(0);
+        let per_class = (0..3)
+            .map(|c| {
+                (0..40)
+                    .map(|_| {
+                        let mut s = HpcSample::default();
+                        s.set(
+                            HpcEvent::CacheMisses,
+                            1_000.0 * (c + 1) as f64 + rng.gen_range(-20.0..20.0),
+                        );
+                        s.set(HpcEvent::Branches, 5_000.0 + rng.gen_range(-10.0..10.0));
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let template = OfflineTemplate::from_samples(per_class);
+        Detector::fit(&template, &DetectorConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let d = fitted();
+        let path = tempfile("d.ahd");
+        save_detector(&d, &path).unwrap();
+        let loaded = load_detector(&path).unwrap();
+        assert_eq!(d, loaded);
+    }
+
+    #[test]
+    fn loaded_detector_scores_identically() {
+        let d = fitted();
+        let path = tempfile("score.ahd");
+        save_detector(&d, &path).unwrap();
+        let loaded = load_detector(&path).unwrap();
+        let mut probe = HpcSample::default();
+        probe.set(HpcEvent::CacheMisses, 2_345.0);
+        for class in 0..3 {
+            assert_eq!(
+                d.score(class, HpcEvent::CacheMisses, &probe),
+                loaded.score(class, HpcEvent::CacheMisses, &probe)
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let path = tempfile("garbage.ahd");
+        fs::write(&path, b"definitely not a detector").unwrap();
+        assert!(matches!(
+            load_detector(&path),
+            Err(PersistDetectorError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let d = fitted();
+        let path = tempfile("trunc.ahd");
+        save_detector(&d, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        assert!(matches!(
+            load_detector(&path),
+            Err(PersistDetectorError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_detector(Path::new("/definitely/not/here.ahd")),
+            Err(PersistDetectorError::Io(_))
+        ));
+    }
+}

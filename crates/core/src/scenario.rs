@@ -1,0 +1,323 @@
+//! The paper's evaluation scenarios: dataset + architecture + trained model
+//! (Table 1), plus the Figure 1 case-study CNN.
+
+use advhunter_data::{scenarios as data_scenarios, SplitDataset, SplitSizes};
+use advhunter_exec::TraceEngine;
+use advhunter_nn::train::{evaluate, fit, TrainConfig};
+use advhunter_nn::{io, models, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which evaluation setup to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioId {
+    /// FashionMNIST-like data on the micro EfficientNet.
+    S1,
+    /// CIFAR-10-like data on the micro ResNet.
+    S2,
+    /// GTSRB-like data on the micro DenseNet.
+    S3,
+    /// The Figure 1 case study: 4-conv/2-fc CNN on CIFAR-10-like data.
+    CaseStudy,
+}
+
+impl ScenarioId {
+    /// All three Table 1 scenarios.
+    pub const TABLE1: [ScenarioId; 3] = [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3];
+
+    /// Scenario label as used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioId::S1 => "S1",
+            ScenarioId::S2 => "S2",
+            ScenarioId::S3 => "S3",
+            ScenarioId::CaseStudy => "CaseStudy",
+        }
+    }
+
+    /// Dataset name (stand-in).
+    pub fn dataset_name(self) -> &'static str {
+        match self {
+            ScenarioId::S1 => "FashionMNIST-like",
+            ScenarioId::S2 | ScenarioId::CaseStudy => "CIFAR10-like",
+            ScenarioId::S3 => "GTSRB-like",
+        }
+    }
+
+    /// Architecture name (micro stand-in for the paper's model).
+    pub fn model_name(self) -> &'static str {
+        match self {
+            ScenarioId::S1 => "EfficientNet-micro",
+            ScenarioId::S2 => "ResNet18-micro",
+            ScenarioId::S3 => "DenseNet-micro",
+            ScenarioId::CaseStudy => "CaseStudyCNN",
+        }
+    }
+
+    /// Number of output categories.
+    pub fn num_classes(self) -> usize {
+        match self {
+            ScenarioId::S3 => 43,
+            _ => 10,
+        }
+    }
+
+    /// The target class for targeted attacks, mirroring the paper's picks:
+    /// 'shirt' (FashionMNIST index 6), 'frog' (CIFAR-10 index 6), 'speed
+    /// limit 30' (GTSRB index 1).
+    pub fn target_class(self) -> usize {
+        match self {
+            ScenarioId::S1 => 6,
+            ScenarioId::S2 | ScenarioId::CaseStudy => 6,
+            ScenarioId::S3 => 1,
+        }
+    }
+
+    /// CHW input dimensions.
+    pub fn input_dims(self) -> [usize; 3] {
+        match self {
+            ScenarioId::S1 => [1, 28, 28],
+            _ => [3, 32, 32],
+        }
+    }
+
+    /// Human-readable class names (from the real datasets the synthetic
+    /// ones stand in for).
+    pub fn class_names(self) -> Vec<String> {
+        match self {
+            ScenarioId::S1 => [
+                "t-shirt", "trouser", "pullover", "dress", "coat", "sandal", "shirt", "sneaker",
+                "bag", "ankle boot",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            ScenarioId::S2 | ScenarioId::CaseStudy => [
+                "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship",
+                "truck",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            ScenarioId::S3 => {
+                let named = [
+                    (0, "speed limit (20km/h)"),
+                    (1, "speed limit (30km/h)"),
+                    (2, "speed limit (50km/h)"),
+                    (3, "speed limit (60km/h)"),
+                    (4, "speed limit (70km/h)"),
+                    (5, "speed limit (80km/h)"),
+                    (7, "speed limit (100km/h)"),
+                    (8, "speed limit (120km/h)"),
+                    (9, "no passing"),
+                    (11, "right-of-way"),
+                    (12, "priority road"),
+                    (13, "yield"),
+                    (14, "stop"),
+                    (17, "no entry"),
+                    (18, "general caution"),
+                    (25, "road work"),
+                    (33, "turn right ahead"),
+                    (34, "turn left ahead"),
+                    (35, "ahead only"),
+                    (40, "roundabout mandatory"),
+                ];
+                (0..43)
+                    .map(|i| {
+                        named
+                            .iter()
+                            .find(|(idx, _)| *idx == i)
+                            .map(|(_, n)| n.to_string())
+                            .unwrap_or_else(|| format!("sign class {i}"))
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Default dataset split sizes (per class), balancing fidelity against
+    /// single-core runtime.
+    pub fn default_sizes(self) -> SplitSizes {
+        match self {
+            ScenarioId::S3 => SplitSizes {
+                train: 40,
+                val: 70,
+                test: 30,
+            },
+            _ => SplitSizes {
+                train: 150,
+                val: 80,
+                test: 60,
+            },
+        }
+    }
+
+    fn dataset_seed(self) -> u64 {
+        match self {
+            ScenarioId::S1 => 101,
+            ScenarioId::S2 | ScenarioId::CaseStudy => 102,
+            ScenarioId::S3 => 103,
+        }
+    }
+
+    fn model_seed(self) -> u64 {
+        match self {
+            ScenarioId::S1 => 201,
+            ScenarioId::S2 => 202,
+            ScenarioId::S3 => 203,
+            ScenarioId::CaseStudy => 204,
+        }
+    }
+
+    fn train_config(self) -> TrainConfig {
+        match self {
+            ScenarioId::S3 => TrainConfig {
+                epochs: 5,
+                batch_size: 32,
+                learning_rate: 2e-3,
+                lr_decay: 0.75,
+            },
+            _ => TrainConfig {
+                epochs: 5,
+                batch_size: 32,
+                learning_rate: 2e-3,
+                lr_decay: 0.7,
+            },
+        }
+    }
+
+    fn build_model(self, rng: &mut StdRng) -> Graph {
+        let dims = self.input_dims();
+        let classes = self.num_classes();
+        match self {
+            ScenarioId::S1 => models::efficientnet_micro(&dims, classes, rng),
+            ScenarioId::S2 => models::resnet_micro(&dims, classes, rng),
+            ScenarioId::S3 => models::densenet_micro(&dims, classes, rng),
+            ScenarioId::CaseStudy => models::case_study_cnn(&dims, classes, rng),
+        }
+    }
+
+    fn generate_data(self, sizes: &SplitSizes) -> SplitDataset {
+        let seed = self.dataset_seed();
+        match self {
+            ScenarioId::S1 => data_scenarios::fashion_mnist_like(seed, sizes),
+            ScenarioId::S2 | ScenarioId::CaseStudy => data_scenarios::cifar10_like(seed, sizes),
+            ScenarioId::S3 => data_scenarios::gtsrb_like(seed, sizes),
+        }
+    }
+}
+
+/// Everything one scenario needs: data, a trained model, and the
+/// instrumented-inference engine over it.
+#[derive(Debug, Clone)]
+pub struct ScenarioArtifacts {
+    /// Which scenario this is.
+    pub id: ScenarioId,
+    /// Train/val/test data.
+    pub split: SplitDataset,
+    /// The trained victim model.
+    pub model: Graph,
+    /// The instrumented-inference engine for the model.
+    pub engine: TraceEngine,
+    /// Clean test accuracy (the Table 1 column).
+    pub clean_accuracy: f32,
+    /// Whether the model weights came from the disk cache.
+    pub from_cache: bool,
+}
+
+/// Builds (or loads from cache) a scenario: generate data, train the model,
+/// wrap it in a trace engine, and record clean accuracy.
+///
+/// Models are cached under [`advhunter_nn::io::cache_dir`] keyed by
+/// scenario and split sizes, so repeated builds are fast.
+pub fn build_scenario(
+    id: ScenarioId,
+    sizes: Option<SplitSizes>,
+    rng: &mut impl Rng,
+) -> ScenarioArtifacts {
+    let sizes = sizes.unwrap_or_else(|| id.default_sizes());
+    let split = id.generate_data(&sizes);
+    let mut model = id.build_model(&mut StdRng::seed_from_u64(id.model_seed()));
+    // Fingerprint the training data into the cache key so regenerated
+    // datasets (e.g. after tuning the synthesizer) invalidate stale models.
+    let fingerprint: u64 = split
+        .train
+        .images()
+        .iter()
+        .step_by((split.train.len() / 16).max(1))
+        .flat_map(|img| img.data().iter())
+        .fold(0u64, |acc, &v| {
+            acc.wrapping_mul(31).wrapping_add(v.to_bits() as u64)
+        });
+    let cfg = id.train_config();
+    let key = format!(
+        "{}-{}-t{}-e{}-seed{}-d{:016x}",
+        id.label().to_lowercase(),
+        id.model_name().to_lowercase(),
+        sizes.train,
+        cfg.epochs,
+        id.model_seed(),
+        fingerprint
+    );
+    let mut train_rng = StdRng::seed_from_u64(rng.gen());
+    let train_split = split.train.clone();
+    let from_cache = io::train_or_load(&mut model, &key, |m| {
+        fit(m, train_split.images(), train_split.labels(), &cfg, &mut train_rng);
+    })
+    .expect("model cache I/O");
+    let clean_accuracy = evaluate(&model, split.test.images(), split.test.labels());
+    let engine = TraceEngine::new(&model);
+    ScenarioArtifacts {
+        id,
+        split,
+        model,
+        engine,
+        clean_accuracy,
+        from_cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_metadata_matches_the_paper() {
+        assert_eq!(ScenarioId::S1.dataset_name(), "FashionMNIST-like");
+        assert_eq!(ScenarioId::S2.model_name(), "ResNet18-micro");
+        assert_eq!(ScenarioId::S3.num_classes(), 43);
+        assert_eq!(ScenarioId::S2.class_names()[6], "frog");
+        assert_eq!(ScenarioId::S1.class_names()[6], "shirt");
+        assert_eq!(ScenarioId::S3.class_names()[1], "speed limit (30km/h)");
+        assert_eq!(ScenarioId::S2.target_class(), 6);
+    }
+
+    #[test]
+    fn class_name_counts_match_class_counts() {
+        for id in [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::CaseStudy] {
+            assert_eq!(id.class_names().len(), id.num_classes());
+        }
+    }
+
+    #[test]
+    fn build_scenario_trains_a_usable_model_on_tiny_sizes() {
+        let dir = std::env::temp_dir().join(format!("advhunter-scn-{}", std::process::id()));
+        std::env::set_var("ADVHUNTER_CACHE_DIR", &dir);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sizes = SplitSizes { train: 12, val: 4, test: 6 };
+        let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+        assert_eq!(art.split.train.len(), 120);
+        // Even a tiny training run should beat random guessing (10%).
+        assert!(
+            art.clean_accuracy > 0.15,
+            "tiny model accuracy {}",
+            art.clean_accuracy
+        );
+        // A rebuild must hit the cache.
+        let art2 = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+        assert!(art2.from_cache);
+        assert_eq!(art2.model, art.model);
+        std::env::remove_var("ADVHUNTER_CACHE_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

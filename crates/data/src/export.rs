@@ -1,0 +1,184 @@
+//! Image export: write synthetic images (and adversarial perturbations) to
+//! PGM/PPM files for visual inspection.
+//!
+//! Both formats are written in their binary variants (`P5`/`P6`), readable
+//! by practically every image viewer, with no external dependencies.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use advhunter_tensor::Tensor;
+
+/// Error writing an image file.
+#[derive(Debug)]
+pub enum ExportImageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The tensor is not a 1- or 3-channel CHW image.
+    UnsupportedShape(Vec<usize>),
+}
+
+impl fmt::Display for ExportImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "image export I/O failed: {e}"),
+            Self::UnsupportedShape(dims) => {
+                write!(f, "expected a 1- or 3-channel CHW image, got shape {dims:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ExportImageError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes a CHW image tensor (values in `[0, 1]`) as binary PGM (1 channel)
+/// or PPM (3 channels).
+///
+/// Values are clamped to `[0, 1]` and quantized to 8 bits.
+///
+/// # Errors
+///
+/// Returns [`ExportImageError`] for unsupported shapes or I/O failures.
+///
+/// # Example
+///
+/// ```no_run
+/// use advhunter_data::export::write_image;
+/// use advhunter_tensor::Tensor;
+///
+/// let img = Tensor::full(&[3, 8, 8], 0.5);
+/// write_image(&img, std::path::Path::new("/tmp/example.ppm"))?;
+/// # Ok::<(), advhunter_data::export::ExportImageError>(())
+/// ```
+pub fn write_image(image: &Tensor, path: &Path) -> Result<(), ExportImageError> {
+    if image.shape().rank() != 3 {
+        return Err(ExportImageError::UnsupportedShape(
+            image.shape().dims().to_vec(),
+        ));
+    }
+    let (c, h, w) = image.shape().as_chw();
+    if c != 1 && c != 3 {
+        return Err(ExportImageError::UnsupportedShape(
+            image.shape().dims().to_vec(),
+        ));
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut buf: Vec<u8> = Vec::with_capacity(64 + c * h * w);
+    let magic = if c == 1 { "P5" } else { "P6" };
+    buf.extend_from_slice(format!("{magic}\n{w} {h}\n255\n").as_bytes());
+    let data = image.data();
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                let v = data[(ch * h + y) * w + x].clamp(0.0, 1.0);
+                buf.push((v * 255.0).round() as u8);
+            }
+        }
+    }
+    fs::File::create(path)?.write_all(&buf)?;
+    Ok(())
+}
+
+/// Writes the (scaled, recentered) difference of two same-shape images —
+/// useful for visualizing adversarial perturbations. The difference is
+/// mapped as `0.5 + gain · (a − b)` and clamped.
+///
+/// # Errors
+///
+/// Returns [`ExportImageError`] for unsupported shapes or I/O failures.
+///
+/// # Panics
+///
+/// Panics if the two images differ in shape.
+pub fn write_difference(
+    a: &Tensor,
+    b: &Tensor,
+    gain: f32,
+    path: &Path,
+) -> Result<(), ExportImageError> {
+    let mut diff = a - b;
+    diff.scale_inplace(gain);
+    diff.map_inplace(|v| (0.5 + v).clamp(0.0, 1.0));
+    write_image(&diff, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tempfile(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("advhunter-export-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_valid_ppm_header_and_size() {
+        let img = Tensor::full(&[3, 4, 6], 0.25);
+        let path = tempfile("a.ppm");
+        write_image(&img, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n6 4\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n6 4\n255\n".len() + 3 * 4 * 6);
+        // 0.25 -> 64.
+        assert_eq!(bytes[b"P6\n6 4\n255\n".len()], 64);
+    }
+
+    #[test]
+    fn writes_valid_pgm_for_grayscale() {
+        let img = Tensor::full(&[1, 2, 2], 1.0);
+        let path = tempfile("a.pgm");
+        write_image(&img, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert!(bytes.ends_with(&[255, 255, 255, 255]));
+    }
+
+    #[test]
+    fn rejects_unsupported_channel_counts() {
+        let img = Tensor::zeros(&[2, 4, 4]);
+        assert!(matches!(
+            write_image(&img, &tempfile("bad.ppm")),
+            Err(ExportImageError::UnsupportedShape(_))
+        ));
+    }
+
+    #[test]
+    fn difference_maps_zero_to_midgray() {
+        let a = Tensor::full(&[1, 2, 2], 0.7);
+        let path = tempfile("diff.pgm");
+        write_difference(&a, &a, 5.0, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let pixel = bytes[bytes.len() - 1];
+        assert!((126..=129).contains(&pixel), "mid-gray, got {pixel}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut img = Tensor::zeros(&[1, 1, 2]);
+        img.data_mut()[0] = -3.0;
+        img.data_mut()[1] = 3.0;
+        let path = tempfile("clamp.pgm");
+        write_image(&img, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(&bytes[bytes.len() - 2..], &[0, 255]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Seeded procedural stand-ins for the paper's image datasets.
+//!
+//! The paper evaluates on FashionMNIST, CIFAR-10, and GTSRB. Those corpora
+//! are not available offline, so this crate synthesizes datasets with the
+//! same shapes and class structure:
+//!
+//! * [`scenarios::fashion_mnist_like`] — 1×28×28 grayscale, 10 classes.
+//! * [`scenarios::cifar10_like`] — 3×32×32 color, 10 classes.
+//! * [`scenarios::gtsrb_like`] — 3×32×32 color, 43 classes (traffic-sign
+//!   style: strong shape/border structure).
+//!
+//! Each class is defined by a handful of *prototype* pattern generators
+//! (oriented gratings, Gaussian blobs, shape masks) drawn from a seeded RNG;
+//! each image instantiates one prototype with jitter and noise. Multiple
+//! prototypes per class give intra-class multimodality — the property that
+//! makes per-class HPC distributions mixtures of Gaussians, which is the
+//! modelling assumption AdvHunter's GMMs rest on (paper §5.3, Figure 3).
+//!
+//! Everything is deterministic given the configuration seed.
+//!
+//! # Example
+//!
+//! ```
+//! use advhunter_data::{scenarios, SplitSizes};
+//!
+//! let split = scenarios::cifar10_like(7, &SplitSizes { train: 4, val: 2, test: 2 });
+//! assert_eq!(split.train.len(), 40); // 4 per class × 10 classes
+//! assert_eq!(split.train.dims(), &[3, 32, 32]);
+//! ```
+
+mod dataset;
+mod synth;
+
+pub mod export;
+pub mod scenarios;
+pub mod stats;
+
+pub use dataset::{Dataset, SplitDataset, SplitSizes};
+pub use synth::{ClassPrototype, SynthConfig};

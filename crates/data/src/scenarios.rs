@@ -1,0 +1,96 @@
+//! Ready-made dataset families matching the paper's three scenarios.
+
+use crate::synth::{generate, SynthConfig};
+use crate::{SplitDataset, SplitSizes};
+
+/// FashionMNIST stand-in: 1×28×28 grayscale, 10 classes (scenario S1).
+///
+/// Noise and jitter are tuned so micro CNNs land near the paper's clean
+/// accuracy (92.3 % on the real dataset), not at a trivial 100 %.
+pub fn fashion_mnist_like(seed: u64, sizes: &SplitSizes) -> SplitDataset {
+    generate(
+        &SynthConfig {
+            name: "fashionmnist-like".into(),
+            dims: [1, 28, 28],
+            num_classes: 10,
+            prototypes_per_class: 3,
+            noise: 0.22,
+            jitter: 4,
+            seed,
+            shape_strength: 0.4,
+            class_confusion: 0.08,
+        },
+        sizes,
+    )
+}
+
+/// CIFAR-10 stand-in: 3×32×32 color, 10 classes (scenario S2).
+///
+/// The hardest of the three (matching the real datasets' ordering): heavy
+/// pixel noise and jitter keep clean accuracy near the paper's 88.6 %.
+pub fn cifar10_like(seed: u64, sizes: &SplitSizes) -> SplitDataset {
+    generate(
+        &SynthConfig {
+            name: "cifar10-like".into(),
+            dims: [3, 32, 32],
+            num_classes: 10,
+            prototypes_per_class: 3,
+            noise: 0.28,
+            jitter: 5,
+            seed,
+            shape_strength: 0.0,
+            class_confusion: 0.12,
+        },
+        sizes,
+    )
+}
+
+/// GTSRB stand-in: 3×32×32 color, 43 classes with traffic-sign-style shape
+/// masks (scenario S3). Signs are high-contrast, so moderate noise keeps
+/// accuracy near the paper's 96.7 %.
+pub fn gtsrb_like(seed: u64, sizes: &SplitSizes) -> SplitDataset {
+    generate(
+        &SynthConfig {
+            name: "gtsrb-like".into(),
+            dims: [3, 32, 32],
+            num_classes: 43,
+            prototypes_per_class: 2,
+            noise: 0.15,
+            jitter: 3,
+            seed,
+            shape_strength: 0.6,
+            class_confusion: 0.05,
+        },
+        sizes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_shapes_match_the_paper() {
+        let sizes = SplitSizes { train: 1, val: 1, test: 1 };
+        let s1 = fashion_mnist_like(0, &sizes);
+        assert_eq!(s1.train.dims(), &[1, 28, 28]);
+        assert_eq!(s1.train.num_classes(), 10);
+
+        let s2 = cifar10_like(0, &sizes);
+        assert_eq!(s2.train.dims(), &[3, 32, 32]);
+        assert_eq!(s2.train.num_classes(), 10);
+
+        let s3 = gtsrb_like(0, &sizes);
+        assert_eq!(s3.train.dims(), &[3, 32, 32]);
+        assert_eq!(s3.train.num_classes(), 43);
+    }
+
+    #[test]
+    fn scenario_names_distinguish_splits() {
+        let sizes = SplitSizes { train: 1, val: 1, test: 1 };
+        let s = cifar10_like(0, &sizes);
+        assert!(s.train.name().contains("train"));
+        assert!(s.val.name().contains("val"));
+        assert!(s.test.name().contains("test"));
+    }
+}

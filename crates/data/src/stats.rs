@@ -1,0 +1,184 @@
+//! Dataset statistics: per-class pixel statistics and a class-confusability
+//! matrix — useful for sanity-checking synthesized datasets against the
+//! properties the detector relies on (distinct, multimodal classes).
+
+use advhunter_tensor::Tensor;
+
+use crate::Dataset;
+
+/// Pixel statistics of one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStats {
+    /// The class index.
+    pub class: usize,
+    /// Number of images.
+    pub count: usize,
+    /// Mean image.
+    pub mean_image: Tensor,
+    /// Mean pixel value over all images.
+    pub mean: f32,
+    /// Pixel standard deviation over all images.
+    pub std: f32,
+    /// Mean within-class distance of an image to the class mean (L2).
+    pub spread: f32,
+}
+
+/// Statistics of a whole dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    per_class: Vec<ClassStats>,
+}
+
+impl DatasetStats {
+    /// Computes statistics for every class of `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn compute(dataset: &Dataset) -> Self {
+        assert!(!dataset.is_empty(), "statistics of an empty dataset");
+        let dims = dataset.dims().to_vec();
+        let per_class = (0..dataset.num_classes())
+            .map(|class| {
+                let images = dataset.images_of_class(class);
+                let count = images.len();
+                let mut mean_image = Tensor::zeros(&dims);
+                for img in &images {
+                    mean_image.add_scaled(img, 1.0 / count.max(1) as f32);
+                }
+                let mut sum = 0.0f64;
+                let mut sum_sq = 0.0f64;
+                let mut n = 0usize;
+                let mut spread = 0.0f32;
+                for img in &images {
+                    for &v in img.data() {
+                        sum += v as f64;
+                        sum_sq += (v as f64) * (v as f64);
+                        n += 1;
+                    }
+                    spread += (*img - &mean_image).l2_norm();
+                }
+                let mean = (sum / n.max(1) as f64) as f32;
+                let var = (sum_sq / n.max(1) as f64 - (sum / n.max(1) as f64).powi(2)).max(0.0);
+                ClassStats {
+                    class,
+                    count,
+                    mean_image,
+                    mean,
+                    std: (var as f32).sqrt(),
+                    spread: spread / count.max(1) as f32,
+                }
+            })
+            .collect();
+        Self { per_class }
+    }
+
+    /// Statistics of class `c`.
+    pub fn class(&self, c: usize) -> &ClassStats {
+        &self.per_class[c]
+    }
+
+    /// Number of classes covered.
+    pub fn num_classes(&self) -> usize {
+        self.per_class.len()
+    }
+
+    /// L2 distance between two class mean images.
+    pub fn between_class_distance(&self, a: usize, b: usize) -> f32 {
+        (&self.per_class[a].mean_image - &self.per_class[b].mean_image).l2_norm()
+    }
+
+    /// Fisher-style separability of two classes: distance between means
+    /// divided by the average within-class spread. Values well above 1 mean
+    /// the classes are easy; near or below 1 they are confusable.
+    pub fn separability(&self, a: usize, b: usize) -> f32 {
+        let spread = 0.5 * (self.per_class[a].spread + self.per_class[b].spread);
+        if spread <= 0.0 {
+            return f32::INFINITY;
+        }
+        self.between_class_distance(a, b) / spread
+    }
+
+    /// The most confusable pair of distinct classes (lowest separability).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two classes are present.
+    pub fn most_confusable_pair(&self) -> (usize, usize, f32) {
+        assert!(self.num_classes() >= 2, "need at least two classes");
+        let mut best = (0, 1, f32::INFINITY);
+        for a in 0..self.num_classes() {
+            for b in a + 1..self.num_classes() {
+                let s = self.separability(a, b);
+                if s < best.2 {
+                    best = (a, b, s);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_class_dataset() -> Dataset {
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let jitter = (i % 3) as f32 * 0.01;
+            images.push(Tensor::full(&[1, 2, 2], 0.2 + jitter));
+            labels.push(0);
+            images.push(Tensor::full(&[1, 2, 2], 0.8 + jitter));
+            labels.push(1);
+        }
+        Dataset::new("stats-test", images, labels, 2)
+    }
+
+    #[test]
+    fn per_class_means_are_correct() {
+        let stats = DatasetStats::compute(&two_class_dataset());
+        assert_eq!(stats.num_classes(), 2);
+        assert!((stats.class(0).mean - 0.21).abs() < 0.01);
+        assert!((stats.class(1).mean - 0.81).abs() < 0.01);
+        assert_eq!(stats.class(0).count, 10);
+    }
+
+    #[test]
+    fn distinct_classes_are_separable() {
+        let stats = DatasetStats::compute(&two_class_dataset());
+        assert!(stats.between_class_distance(0, 1) > 1.0);
+        assert!(stats.separability(0, 1) > 5.0, "tight classes far apart");
+        assert_eq!(stats.separability(0, 1), stats.separability(1, 0));
+    }
+
+    #[test]
+    fn identical_classes_are_confusable() {
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..6 {
+            images.push(Tensor::full(&[1, 2, 2], 0.5 + (i % 3) as f32 * 0.1));
+            labels.push(i % 2);
+        }
+        let stats = DatasetStats::compute(&Dataset::new("same", images, labels, 2));
+        let (_, _, s) = stats.most_confusable_pair();
+        assert!(s < 1.0, "identical distributions must look confusable, got {s}");
+    }
+
+    #[test]
+    fn synthetic_scenarios_have_separable_classes() {
+        let split = crate::scenarios::cifar10_like(5, &crate::SplitSizes { train: 12, val: 1, test: 1 });
+        let stats = DatasetStats::compute(&split.train);
+        let (a, b, s) = stats.most_confusable_pair();
+        assert!(s > 0.1, "classes {a},{b} collapsed: separability {s}");
+        // And at least some pair should be comfortably separable.
+        let mut max_s = 0.0f32;
+        for x in 0..10 {
+            for y in x + 1..10 {
+                max_s = max_s.max(stats.separability(x, y));
+            }
+        }
+        assert!(max_s > 1.0, "no separable pair at all: {max_s}");
+    }
+}

@@ -1,0 +1,287 @@
+//! The instrumented-inference engine.
+
+use advhunter_nn::{Graph, Mode};
+use advhunter_tensor::Tensor;
+use advhunter_uarch::{CounterGroup, HpcCounts, HpcSample, MachineConfig, Sampler};
+use rand::Rng;
+
+use crate::kernels::trace_node;
+use crate::layout::MemoryLayout;
+
+/// One measured inference: the model's hard-label prediction plus the HPC
+/// reading — exactly what the paper's defender observes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The hard-label prediction (the only model output the defender sees).
+    pub predicted: usize,
+    /// Mean of `R` noisy counter readings (the paper's `Ē` values).
+    pub sample: HpcSample,
+    /// The underlying noise-free counts (not available to a real defender;
+    /// exposed for analysis and tests).
+    pub counts: HpcCounts,
+}
+
+/// Replays a model's forward pass as a memory/branch/instruction trace
+/// through the simulated machine. See the crate docs for the execution
+/// model.
+#[derive(Debug, Clone)]
+pub struct TraceEngine {
+    layout: MemoryLayout,
+    machine: MachineConfig,
+    sampler: Sampler,
+}
+
+impl TraceEngine {
+    /// Engine with the default machine and the paper's `R = 10` sampler.
+    pub fn new(graph: &Graph) -> Self {
+        Self::with_config(graph, MachineConfig::default(), Sampler::default())
+    }
+
+    /// Engine with explicit machine and measurement configuration.
+    pub fn with_config(graph: &Graph, machine: MachineConfig, sampler: Sampler) -> Self {
+        Self {
+            layout: MemoryLayout::new(graph),
+            machine,
+            sampler,
+        }
+    }
+
+    /// The address layout in use.
+    pub fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    /// The simulated machine configuration in use.
+    pub fn machine_config(&self) -> MachineConfig {
+        self.machine
+    }
+
+    /// The measurement sampler in use.
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Noise-free HPC counts of one inference on a cold machine.
+    ///
+    /// Deterministic: the same model and image always produce the same
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match the model's input shape.
+    pub fn true_counts(&self, graph: &Graph, image: &Tensor) -> HpcCounts {
+        self.run(graph, image).1
+    }
+
+    /// Measures one inference the way the defender does: run it, read the
+    /// counters `R` times with noise, average, and note the hard-label
+    /// prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match the model's input shape.
+    pub fn measure(&self, graph: &Graph, image: &Tensor, rng: &mut impl Rng) -> Measurement {
+        let (predicted, counts) = self.run(graph, image);
+        let sample = self.sampler.sample(&counts, rng);
+        Measurement {
+            predicted,
+            sample,
+            counts,
+        }
+    }
+
+    fn run(&self, graph: &Graph, image: &Tensor) -> (usize, HpcCounts) {
+        assert_eq!(
+            image.shape().dims(),
+            graph.input_dims(),
+            "image shape must match model input"
+        );
+        let batch = Tensor::stack(std::slice::from_ref(image));
+        let trace = graph.forward(&batch, Mode::Eval);
+        let predicted = argmax_row(trace.output());
+
+        let mut group = CounterGroup::new(self.machine);
+        group.enable();
+        // Per-node single-image activations drive the trace kernels.
+        let single_outputs: Vec<Tensor> = (0..graph.nodes().len())
+            .map(|i| trace.node_output(i).image_or_row(0))
+            .collect();
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let inputs: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|src| match src {
+                    advhunter_nn::Src::Input => image,
+                    advhunter_nn::Src::Node(j) => &single_outputs[*j],
+                })
+                .collect();
+            trace_node(&mut group, node, i, &self.layout, &inputs, &single_outputs[i]);
+        }
+        group.disable();
+        (predicted, group.read())
+    }
+}
+
+fn argmax_row(logits: &Tensor) -> usize {
+    let c = logits.shape().dim(1);
+    logits.data()[..c]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Extension: extract element 0 along the batch dimension for both NCHW and
+/// `[n, features]` tensors.
+trait ImageOrRow {
+    fn image_or_row(&self, n: usize) -> Tensor;
+}
+
+impl ImageOrRow for Tensor {
+    fn image_or_row(&self, n: usize) -> Tensor {
+        if self.shape().rank() == 4 {
+            self.image(n)
+        } else {
+            let features = self.shape().dim(1);
+            Tensor::from_vec(
+                self.data()[n * features..(n + 1) * features].to_vec(),
+                &[features],
+            )
+            .expect("row extraction")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advhunter_nn::GraphBuilder;
+    use advhunter_uarch::{HpcEvent, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> Graph {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = GraphBuilder::new(&[1, 8, 8]);
+        let input = b.input();
+        let c1 = b.conv2d("c1", input, 8, 3, 1, 1, &mut rng);
+        let r1 = b.relu("r1", c1);
+        let c2 = b.conv2d("c2", r1, 8, 3, 1, 1, &mut rng);
+        let r2 = b.relu("r2", c2);
+        let f = b.flatten("f", r2);
+        b.linear("fc", f, 4, &mut rng);
+        b.build()
+    }
+
+    fn image(seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        advhunter_tensor::init::uniform(&mut rng, &[1, 8, 8], 0.0, 1.0)
+    }
+
+    #[test]
+    fn true_counts_are_deterministic() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let img = image(0);
+        assert_eq!(e.true_counts(&g, &img), e.true_counts(&g, &img));
+    }
+
+    #[test]
+    fn control_flow_events_are_input_independent() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let a = e.true_counts(&g, &image(1));
+        let b = e.true_counts(&g, &image(2));
+        for ev in [HpcEvent::Instructions, HpcEvent::Branches, HpcEvent::BranchMisses] {
+            assert_eq!(a.get(ev), b.get(ev), "{ev} must not depend on the input");
+        }
+        assert_eq!(
+            a.get(HpcEvent::L1iLoadMisses),
+            b.get(HpcEvent::L1iLoadMisses),
+            "instruction-cache behavior is input-independent"
+        );
+    }
+
+    #[test]
+    fn data_flow_events_depend_on_activations() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        // Many different images: cache-miss counts must vary.
+        let misses: Vec<u64> = (0..8)
+            .map(|s| e.true_counts(&g, &image(s)).get(HpcEvent::CacheMisses))
+            .collect();
+        let distinct: std::collections::HashSet<u64> = misses.iter().copied().collect();
+        assert!(distinct.len() > 1, "cache misses identical across inputs: {misses:?}");
+    }
+
+    #[test]
+    fn a_dark_image_touches_fewer_weight_lines() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let dark = Tensor::zeros(&[1, 8, 8]);
+        let bright = Tensor::full(&[1, 8, 8], 0.9);
+        let dark_misses = e.true_counts(&g, &dark).get(HpcEvent::CacheMisses);
+        let bright_misses = e.true_counts(&g, &bright).get(HpcEvent::CacheMisses);
+        assert!(
+            dark_misses < bright_misses,
+            "all-zero input must skip weight tiles: {dark_misses} vs {bright_misses}"
+        );
+    }
+
+    #[test]
+    fn measure_returns_prediction_and_noisy_sample() {
+        let g = model();
+        let e = TraceEngine::with_config(
+            &g,
+            MachineConfig::default(),
+            Sampler { noise: NoiseModel::default(), repeats: 5 },
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = e.measure(&g, &image(3), &mut rng);
+        assert!(m.predicted < 4);
+        let truth = m.counts.get(HpcEvent::Instructions) as f64;
+        let measured = m.sample.get(HpcEvent::Instructions);
+        // Background noise adds up to ~2 * background_mean * weight counts;
+        // this toy model is tiny, so allow that absolute slack.
+        assert!(
+            (measured - truth).abs() < 0.1 * truth + 5_000.0,
+            "noisy sample too far from truth: {measured} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn prediction_matches_plain_forward() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in 0..5 {
+            let img = image(s);
+            let m = e.measure(&g, &img, &mut rng);
+            let batch = Tensor::stack(std::slice::from_ref(&img));
+            assert_eq!(m.predicted, g.predict(&batch)[0]);
+        }
+    }
+
+    #[test]
+    fn counts_scale_with_model_size() {
+        let small = model();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut b = GraphBuilder::new(&[1, 8, 8]);
+        let input = b.input();
+        let c1 = b.conv2d("c1", input, 32, 3, 1, 1, &mut rng);
+        let r1 = b.relu("r1", c1);
+        let f = b.flatten("f", r1);
+        b.linear("fc", f, 4, &mut rng);
+        let big = b.build();
+
+        let img = image(4);
+        let es = TraceEngine::new(&small);
+        let eb = TraceEngine::new(&big);
+        assert!(
+            eb.true_counts(&big, &img).get(HpcEvent::Instructions)
+                > es.true_counts(&small, &img).get(HpcEvent::Instructions) / 2,
+            "bigger model retires comparable or more instructions"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Instrumented DNN inference: replays a forward pass as a line-granular
+//! memory / branch / instruction trace through the [`advhunter_uarch`]
+//! machine simulator, yielding the HPC readings the AdvHunter defender
+//! observes.
+//!
+//! # Execution model
+//!
+//! The engine mirrors how an optimized CPU inference runtime behaves, at the
+//! granularity relevant to hardware performance counters:
+//!
+//! * **Data flow is activation-dependent.** Kernels are *tiled* and
+//!   *sparsity-aware*: activations are processed in 16-float tiles (one
+//!   64-byte cache line), and a tile whose values are all below
+//!   [`ACTIVE_TILE_THRESHOLD`] skips the weight-tile loads associated with
+//!   it. Which neurons fire therefore determines which weight lines are
+//!   fetched — the paper's "data flow dynamics" (§1, §6).
+//! * **Control flow is input-independent.** Inner loops are counted loops
+//!   whose trip counts depend only on layer dimensions; ReLU and the tile
+//!   activity checks compile to branch-free SIMD code. `instructions`,
+//!   `branches`, and `branch-misses` are thus (noise aside) identical for
+//!   clean and adversarial inputs, as the paper observes in Figure 3.
+//! * **Each inference starts on a cold machine.** A defender measures one
+//!   inference at a time on a busy system; compulsory misses dominate, so
+//!   LLC misses directly reflect the set of lines the inference touches.
+//!
+//! # Example
+//!
+//! ```
+//! use advhunter_exec::TraceEngine;
+//! use advhunter_nn::GraphBuilder;
+//! use advhunter_tensor::Tensor;
+//! use advhunter_uarch::HpcEvent;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut b = GraphBuilder::new(&[1, 8, 8]);
+//! let input = b.input();
+//! let c = b.conv2d("conv", input, 4, 3, 1, 1, &mut rng);
+//! let r = b.relu("relu", c);
+//! let f = b.flatten("flat", r);
+//! b.linear("fc", f, 3, &mut rng);
+//! let model = b.build();
+//!
+//! let engine = TraceEngine::new(&model);
+//! let counts = engine.true_counts(&model, &Tensor::full(&[1, 8, 8], 0.5));
+//! assert!(counts.get(HpcEvent::Instructions) > 0);
+//! assert!(counts.get(HpcEvent::CacheMisses) > 0);
+//! ```
+
+mod attribution;
+mod engine;
+mod kernels;
+mod layout;
+
+pub use attribution::{NodeAttribution, TraceAttribution};
+pub use engine::{Measurement, TraceEngine};
+pub use kernels::{tile_active_counts, tile_activity};
+pub use layout::{MemoryLayout, Region};
+
+/// A 16-float activation tile counts as active when any element's magnitude
+/// exceeds this threshold (ReLU produces exact zeros; SiLU's tail and
+/// squeeze-and-excitation gating produce near-zeros).
+pub const ACTIVE_TILE_THRESHOLD: f32 = 0.40;
+
+/// Floats per cache line (64 bytes of `f32`).
+pub const FLOATS_PER_LINE: usize = 16;

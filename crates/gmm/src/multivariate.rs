@@ -1,0 +1,317 @@
+//! Diagonal-covariance multivariate Gaussian mixtures.
+//!
+//! Used by the event-fusion ablation, where one mixture models the joint
+//! distribution of several HPC events instead of one mixture per event.
+
+use rand::Rng;
+
+use crate::{log_sum_exp, EmConfig, FitGmmError, LN_2PI};
+
+/// A fitted multivariate Gaussian mixture with diagonal covariances.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_gmm::{EmConfig, GmmDiag};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let data: Vec<Vec<f64>> = (0..40)
+///     .map(|i| if i % 2 == 0 { vec![0.0, 0.0] } else { vec![8.0, 8.0] })
+///     .map(|mut v| { v[0] += (0.01 * v.len() as f64); v })
+///     .collect();
+/// let gmm = GmmDiag::fit(&data, 2, &EmConfig::default(), &mut rng)?;
+/// assert!(gmm.nll(&[0.0, 0.0]) < gmm.nll(&[4.0, 4.0]));
+/// # Ok::<(), advhunter_gmm::FitGmmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmmDiag {
+    dim: usize,
+    weights: Vec<f64>,
+    /// `k × dim`, row-major.
+    means: Vec<f64>,
+    /// `k × dim`, row-major.
+    variances: Vec<f64>,
+}
+
+impl GmmDiag {
+    /// Fits a `k`-component diagonal-covariance mixture to row-major `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitGmmError`] if `k == 0`, there are fewer rows than
+    /// components, rows have inconsistent dimensions, or values are
+    /// non-finite.
+    pub fn fit(
+        data: &[Vec<f64>],
+        k: usize,
+        config: &EmConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, FitGmmError> {
+        if k == 0 {
+            return Err(FitGmmError::ZeroComponents);
+        }
+        if data.len() < k {
+            return Err(FitGmmError::NotEnoughData {
+                points: data.len(),
+                components: k,
+            });
+        }
+        let dim = data[0].len();
+        for row in data {
+            if row.len() != dim {
+                return Err(FitGmmError::DimensionMismatch {
+                    expected: dim,
+                    actual: row.len(),
+                });
+            }
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(FitGmmError::NonFiniteData);
+            }
+        }
+
+        let mut best: Option<(f64, GmmDiag)> = None;
+        for _ in 0..config.restarts.max(1) {
+            let model = Self::fit_once(data, k, dim, config, rng);
+            let ll: f64 = data.iter().map(|row| model.log_pdf(row)).sum();
+            if best.as_ref().map_or(true, |(b, _)| ll > *b) {
+                best = Some((ll, model));
+            }
+        }
+        Ok(best.expect("at least one restart ran").1)
+    }
+
+    fn fit_once(
+        data: &[Vec<f64>],
+        k: usize,
+        dim: usize,
+        config: &EmConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let n = data.len();
+        // Global per-dimension variance as the starting spread.
+        let mut gmean = vec![0.0f64; dim];
+        for row in data {
+            for (m, &x) in gmean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut gmean {
+            *m /= n as f64;
+        }
+        let mut gvar = vec![0.0f64; dim];
+        for row in data {
+            for ((v, &x), &m) in gvar.iter_mut().zip(row).zip(&gmean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        for v in &mut gvar {
+            *v = (*v / n as f64).max(config.variance_floor);
+        }
+        let floors: Vec<f64> = gvar
+            .iter()
+            .map(|&v| (config.relative_floor * v).max(config.variance_floor))
+            .collect();
+
+        let mut means = Vec::with_capacity(k * dim);
+        for _ in 0..k {
+            means.extend_from_slice(&data[rng.gen_range(0..n)]);
+        }
+        let mut variances = Vec::with_capacity(k * dim);
+        for _ in 0..k {
+            variances.extend_from_slice(&gvar);
+        }
+        let mut weights = vec![1.0 / k as f64; k];
+
+        let mut resp = vec![0.0f64; n * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..config.max_iters {
+            let mut ll = 0.0;
+            for (i, row) in data.iter().enumerate() {
+                let r = &mut resp[i * k..(i + 1) * k];
+                for c in 0..k {
+                    r[c] = weights[c].ln()
+                        + log_diag_pdf(row, &means[c * dim..(c + 1) * dim], &variances[c * dim..(c + 1) * dim]);
+                }
+                let lse = log_sum_exp(r);
+                ll += lse;
+                for v in r.iter_mut() {
+                    *v = (*v - lse).exp();
+                }
+            }
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+                if nk < 1e-12 {
+                    let pick = rng.gen_range(0..n);
+                    means[c * dim..(c + 1) * dim].copy_from_slice(&data[pick]);
+                    variances[c * dim..(c + 1) * dim].copy_from_slice(&gvar);
+                    weights[c] = 1.0 / n as f64;
+                    continue;
+                }
+                for d in 0..dim {
+                    let mu: f64 =
+                        (0..n).map(|i| resp[i * k + c] * data[i][d]).sum::<f64>() / nk;
+                    let var: f64 = (0..n)
+                        .map(|i| {
+                            let dd = data[i][d] - mu;
+                            resp[i * k + c] * dd * dd
+                        })
+                        .sum::<f64>()
+                        / nk;
+                    means[c * dim + d] = mu;
+                    variances[c * dim + d] = var.max(floors[d]);
+                }
+                weights[c] = nk / n as f64;
+            }
+            let wsum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= wsum;
+            }
+            let mean_ll = ll / n as f64;
+            if (mean_ll - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = mean_ll;
+        }
+        Self {
+            dim,
+            weights,
+            means,
+            variances,
+        }
+    }
+
+    /// Data dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Mixing coefficients (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Log-density of `x` under the mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "dimension mismatch");
+        let k = self.num_components();
+        let terms: Vec<f64> = (0..k)
+            .map(|c| {
+                self.weights[c].ln()
+                    + log_diag_pdf(
+                        x,
+                        &self.means[c * self.dim..(c + 1) * self.dim],
+                        &self.variances[c * self.dim..(c + 1) * self.dim],
+                    )
+            })
+            .collect();
+        log_sum_exp(&terms)
+    }
+
+    /// Negative log-likelihood of `x` (anomaly score).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn nll(&self, x: &[f64]) -> f64 {
+        -self.log_pdf(x)
+    }
+
+    /// BIC on `data`: a diagonal `k`-component mixture in `d` dimensions has
+    /// `k·(2d + 1) − 1` free parameters.
+    pub fn bic(&self, data: &[Vec<f64>]) -> f64 {
+        let k = self.num_components() as f64;
+        let d = self.dim as f64;
+        let p = k * (2.0 * d + 1.0) - 1.0;
+        let ll: f64 = data.iter().map(|row| self.log_pdf(row)).sum();
+        p * (data.len() as f64).ln() - 2.0 * ll
+    }
+}
+
+fn log_diag_pdf(x: &[f64], mean: &[f64], var: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((&xi, &mi), &vi) in x.iter().zip(mean).zip(var) {
+        let d = xi - mi;
+        acc += -0.5 * (LN_2PI + vi.ln() + d * d / vi);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster_data() -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut data = Vec::new();
+        for _ in 0..150 {
+            data.push(vec![
+                rng.gen_range(-0.5..0.5),
+                10.0 + rng.gen_range(-0.5..0.5),
+            ]);
+            data.push(vec![
+                20.0 + rng.gen_range(-0.5..0.5),
+                -5.0 + rng.gen_range(-0.5..0.5),
+            ]);
+        }
+        data
+    }
+
+    #[test]
+    fn fit_separates_clusters() {
+        let data = two_cluster_data();
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = GmmDiag::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        assert!(g.nll(&[0.0, 10.0]) < g.nll(&[10.0, 2.0]));
+        assert!(g.nll(&[20.0, -5.0]) < g.nll(&[10.0, 2.0]));
+    }
+
+    #[test]
+    fn weights_stay_on_simplex() {
+        let data = two_cluster_data();
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = GmmDiag::fit(&data, 3, &EmConfig::default(), &mut rng).unwrap();
+        let sum: f64 = g.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(g.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn fit_rejects_ragged_rows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = vec![vec![1.0, 2.0], vec![3.0]];
+        assert_eq!(
+            GmmDiag::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap_err(),
+            FitGmmError::DimensionMismatch { expected: 2, actual: 1 }
+        );
+    }
+
+    #[test]
+    fn bic_prefers_two_clusters() {
+        let data = two_cluster_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        let g1 = GmmDiag::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap();
+        let g2 = GmmDiag::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        assert!(g2.bic(&data) < g1.bic(&data));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn log_pdf_rejects_wrong_dim() {
+        let data = two_cluster_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = GmmDiag::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap();
+        g.log_pdf(&[1.0]);
+    }
+}

@@ -1,0 +1,210 @@
+//! BIC-based model selection over the number of mixture components.
+
+use std::ops::RangeInclusive;
+
+use rand::Rng;
+
+use crate::{EmConfig, FitGmmError, Gmm1d, GmmDiag};
+
+/// Result of BIC model selection: the winning model and the score table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BicFit<M> {
+    /// The model with the lowest BIC.
+    pub model: M,
+    /// `(k, bic)` for every candidate component count that could be fit.
+    pub scores: Vec<(usize, f64)>,
+}
+
+impl<M> BicFit<M> {
+    /// The component count that won selection.
+    pub fn chosen_k(&self) -> usize {
+        self.scores
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|&(k, _)| k)
+            .unwrap_or(0)
+    }
+}
+
+/// Fits 1-D mixtures for every `k` in `k_range` and returns the one with the
+/// lowest BIC (paper §5.3: "the model with the lowest BIC value is typically
+/// selected as the best model").
+///
+/// Candidate `k`s that exceed the data size are skipped; at least one
+/// candidate must be fittable.
+///
+/// # Errors
+///
+/// Returns [`FitGmmError`] if no candidate can be fit (empty range, empty
+/// data, or non-finite data).
+pub fn fit_bic_1d(
+    data: &[f64],
+    k_range: RangeInclusive<usize>,
+    config: &EmConfig,
+    rng: &mut impl Rng,
+) -> Result<BicFit<Gmm1d>, FitGmmError> {
+    let mut best: Option<(f64, Gmm1d)> = None;
+    let mut scores = Vec::new();
+    let mut last_err = FitGmmError::ZeroComponents;
+    for k in k_range {
+        match Gmm1d::fit(data, k, config, rng) {
+            Ok(model) => {
+                let bic = model.bic(data);
+                scores.push((k, bic));
+                if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+                    best = Some((bic, model));
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    match best {
+        Some((_, model)) => Ok(BicFit { model, scores }),
+        None => Err(last_err),
+    }
+}
+
+/// Fits 1-D mixtures for every `k` in `k_range` and selects by the Akaike
+/// Information Criterion instead of BIC: `2p − 2 ln L`. AIC penalizes
+/// parameters less than BIC and tends to pick more components — exposed for
+/// the model-selection ablation.
+///
+/// # Errors
+///
+/// Returns [`FitGmmError`] if no candidate can be fit.
+pub fn fit_aic_1d(
+    data: &[f64],
+    k_range: RangeInclusive<usize>,
+    config: &EmConfig,
+    rng: &mut impl Rng,
+) -> Result<BicFit<Gmm1d>, FitGmmError> {
+    let mut best: Option<(f64, Gmm1d)> = None;
+    let mut scores = Vec::new();
+    let mut last_err = FitGmmError::ZeroComponents;
+    for k in k_range {
+        match Gmm1d::fit(data, k, config, rng) {
+            Ok(model) => {
+                let p = 3.0 * k as f64 - 1.0;
+                let aic = 2.0 * p - 2.0 * model.log_likelihood(data);
+                scores.push((k, aic));
+                if best.as_ref().map_or(true, |(b, _)| aic < *b) {
+                    best = Some((aic, model));
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    match best {
+        Some((_, model)) => Ok(BicFit { model, scores }),
+        None => Err(last_err),
+    }
+}
+
+/// Multivariate (diagonal-covariance) analogue of [`fit_bic_1d`].
+///
+/// # Errors
+///
+/// Returns [`FitGmmError`] if no candidate can be fit.
+pub fn fit_bic_diag(
+    data: &[Vec<f64>],
+    k_range: RangeInclusive<usize>,
+    config: &EmConfig,
+    rng: &mut impl Rng,
+) -> Result<BicFit<GmmDiag>, FitGmmError> {
+    let mut best: Option<(f64, GmmDiag)> = None;
+    let mut scores = Vec::new();
+    let mut last_err = FitGmmError::ZeroComponents;
+    for k in k_range {
+        match GmmDiag::fit(data, k, config, rng) {
+            Ok(model) => {
+                let bic = model.bic(data);
+                scores.push((k, bic));
+                if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+                    best = Some((bic, model));
+                }
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    match best {
+        Some((_, model)) => Ok(BicFit { model, scores }),
+        None => Err(last_err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trimodal() -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut data = Vec::new();
+        for _ in 0..120 {
+            data.push(0.0 + rng.gen_range(-0.3..0.3));
+            data.push(10.0 + rng.gen_range(-0.3..0.3));
+            data.push(25.0 + rng.gen_range(-0.3..0.3));
+        }
+        data
+    }
+
+    #[test]
+    fn bic_selects_three_components_for_trimodal_data() {
+        let data = trimodal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let fit = fit_bic_1d(&data, 1..=5, &EmConfig::default(), &mut rng).unwrap();
+        assert_eq!(fit.chosen_k(), 3, "scores: {:?}", fit.scores);
+        assert_eq!(fit.model.num_components(), 3);
+    }
+
+    #[test]
+    fn bic_selects_one_component_for_gaussian_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<f64> = (0..300)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let fit = fit_bic_1d(&data, 1..=4, &EmConfig::default(), &mut rng).unwrap();
+        assert_eq!(fit.chosen_k(), 1, "scores: {:?}", fit.scores);
+    }
+
+    #[test]
+    fn oversized_candidates_are_skipped() {
+        let data = vec![1.0, 2.0, 3.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let fit = fit_bic_1d(&data, 1..=10, &EmConfig::default(), &mut rng).unwrap();
+        assert!(fit.scores.iter().all(|&(k, _)| k <= 3));
+    }
+
+    #[test]
+    fn empty_data_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(fit_bic_1d(&[], 1..=3, &EmConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn aic_never_picks_fewer_components_than_bic_here() {
+        let data = trimodal();
+        let mut rng = StdRng::seed_from_u64(21);
+        let bic = fit_bic_1d(&data, 1..=5, &EmConfig::default(), &mut rng).unwrap();
+        let aic = fit_aic_1d(&data, 1..=5, &EmConfig::default(), &mut rng).unwrap();
+        assert!(aic.chosen_k() >= bic.chosen_k(), "AIC {} vs BIC {}", aic.chosen_k(), bic.chosen_k());
+        assert_eq!(aic.chosen_k(), 3, "AIC also finds the three modes");
+    }
+
+    #[test]
+    fn diag_selection_works_on_clusters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut data = Vec::new();
+        for _ in 0..100 {
+            data.push(vec![rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2)]);
+            data.push(vec![5.0 + rng.gen_range(-0.2..0.2), 5.0 + rng.gen_range(-0.2..0.2)]);
+        }
+        let fit = fit_bic_diag(&data, 1..=4, &EmConfig::default(), &mut rng).unwrap();
+        assert_eq!(fit.chosen_k(), 2, "scores: {:?}", fit.scores);
+    }
+}

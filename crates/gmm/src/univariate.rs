@@ -1,0 +1,383 @@
+//! One-dimensional Gaussian mixture models.
+
+use rand::Rng;
+
+use crate::{log_sum_exp, EmConfig, FitGmmError, LN_2PI};
+
+/// A fitted one-dimensional Gaussian mixture model.
+///
+/// This is the model AdvHunter builds per (output category, HPC event): the
+/// offline phase fits it to the mean counter values of clean validation
+/// images, and the online phase scores unknown inputs by negative
+/// log-likelihood.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_gmm::{EmConfig, Gmm1d};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let data = [1.0, 1.1, 0.9, 5.0, 5.2, 4.8];
+/// let gmm = Gmm1d::fit(&data, 2, &EmConfig::default(), &mut rng)?;
+/// // A point near a mode scores much better than an outlier.
+/// assert!(gmm.nll(1.0) < gmm.nll(30.0));
+/// # Ok::<(), advhunter_gmm::FitGmmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gmm1d {
+    weights: Vec<f64>,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+impl Gmm1d {
+    /// Builds a mixture directly from parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter vectors differ in length, are empty, the
+    /// weights do not sum to ~1, or any variance is non-positive.
+    pub fn from_parameters(weights: Vec<f64>, means: Vec<f64>, variances: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "mixture needs at least one component");
+        assert_eq!(weights.len(), means.len(), "weights/means length mismatch");
+        assert_eq!(weights.len(), variances.len(), "weights/variances length mismatch");
+        let sum: f64 = weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "weights must sum to 1, got {sum}");
+        assert!(variances.iter().all(|&v| v > 0.0), "variances must be positive");
+        Self {
+            weights,
+            means,
+            variances,
+        }
+    }
+
+    /// Fits a `k`-component mixture to `data` with EM (paper Algorithm 1).
+    ///
+    /// Runs `config.restarts` k-means++-seeded restarts and keeps the fit
+    /// with the best log-likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitGmmError`] if `k == 0`, `data.len() < k`, or `data`
+    /// contains non-finite values.
+    pub fn fit(
+        data: &[f64],
+        k: usize,
+        config: &EmConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, FitGmmError> {
+        if k == 0 {
+            return Err(FitGmmError::ZeroComponents);
+        }
+        if data.len() < k {
+            return Err(FitGmmError::NotEnoughData {
+                points: data.len(),
+                components: k,
+            });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(FitGmmError::NonFiniteData);
+        }
+
+        let mut best: Option<(f64, Gmm1d)> = None;
+        for _ in 0..config.restarts.max(1) {
+            let model = Self::fit_once(data, k, config, rng);
+            let ll = model.log_likelihood(data);
+            if best.as_ref().map_or(true, |(b, _)| ll > *b) {
+                best = Some((ll, model));
+            }
+        }
+        Ok(best.expect("at least one restart ran").1)
+    }
+
+    fn fit_once(data: &[f64], k: usize, config: &EmConfig, rng: &mut impl Rng) -> Self {
+        let n = data.len();
+        let global_var = variance(data).max(config.variance_floor);
+        let floor = (config.relative_floor * global_var).max(config.variance_floor);
+
+        // k-means++-style seeding for the means.
+        let mut means = kmeanspp_seeds(data, k, rng);
+        let mut weights = vec![1.0 / k as f64; k];
+        let mut variances = vec![global_var; k];
+
+        let mut resp = vec![0.0f64; n * k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..config.max_iters {
+            // E-step: responsibilities γ_ik.
+            let mut ll = 0.0;
+            for (i, &x) in data.iter().enumerate() {
+                let row = &mut resp[i * k..(i + 1) * k];
+                for c in 0..k {
+                    row[c] = weights[c].ln() + log_normal_pdf(x, means[c], variances[c]);
+                }
+                let lse = log_sum_exp(row);
+                ll += lse;
+                for v in row.iter_mut() {
+                    *v = (*v - lse).exp();
+                }
+            }
+            // M-step.
+            for c in 0..k {
+                let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+                if nk < 1e-12 {
+                    // Dead component: re-seed it on a random data point.
+                    means[c] = data[rng.gen_range(0..n)];
+                    variances[c] = global_var;
+                    weights[c] = 1.0 / n as f64;
+                    continue;
+                }
+                let mu: f64 = (0..n).map(|i| resp[i * k + c] * data[i]).sum::<f64>() / nk;
+                let var: f64 = (0..n)
+                    .map(|i| {
+                        let d = data[i] - mu;
+                        resp[i * k + c] * d * d
+                    })
+                    .sum::<f64>()
+                    / nk;
+                means[c] = mu;
+                variances[c] = var.max(floor);
+                weights[c] = nk / n as f64;
+            }
+            let wsum: f64 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= wsum;
+            }
+
+            let mean_ll = ll / n as f64;
+            if (mean_ll - prev_ll).abs() < config.tol {
+                break;
+            }
+            prev_ll = mean_ll;
+        }
+        Self {
+            weights,
+            means,
+            variances,
+        }
+    }
+
+    /// Number of mixture components.
+    pub fn num_components(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Mixing coefficients π_k (sum to 1).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Component means μ_k.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Component variances σ²_k.
+    pub fn variances(&self) -> &[f64] {
+        &self.variances
+    }
+
+    /// Log-density of a single point under the mixture.
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let terms: Vec<f64> = (0..self.num_components())
+            .map(|c| self.weights[c].ln() + log_normal_pdf(x, self.means[c], self.variances[c]))
+            .collect();
+        log_sum_exp(&terms)
+    }
+
+    /// Negative log-likelihood of a single point — AdvHunter's anomaly score
+    /// `l_n^u` (paper §5.4).
+    pub fn nll(&self, x: f64) -> f64 {
+        -self.log_pdf(x)
+    }
+
+    /// Total log-likelihood of a dataset.
+    pub fn log_likelihood(&self, data: &[f64]) -> f64 {
+        data.iter().map(|&x| self.log_pdf(x)).sum()
+    }
+
+    /// Bayesian Information Criterion on `data`: `p·ln(n) − 2·ln L` where a
+    /// 1-D k-component mixture has `p = 3k − 1` free parameters.
+    pub fn bic(&self, data: &[f64]) -> f64 {
+        let k = self.num_components() as f64;
+        let p = 3.0 * k - 1.0;
+        p * (data.len() as f64).ln() - 2.0 * self.log_likelihood(data)
+    }
+}
+
+/// Log-density of `N(mean, var)` at `x`.
+fn log_normal_pdf(x: f64, mean: f64, var: f64) -> f64 {
+    let d = x - mean;
+    -0.5 * (LN_2PI + var.ln() + d * d / var)
+}
+
+fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / data.len() as f64
+}
+
+/// k-means++ seeding: first seed uniform, later seeds proportional to the
+/// squared distance to the nearest existing seed.
+fn kmeanspp_seeds(data: &[f64], k: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let n = data.len();
+    let mut seeds = Vec::with_capacity(k);
+    seeds.push(data[rng.gen_range(0..n)]);
+    let mut d2 = vec![0.0f64; n];
+    while seeds.len() < k {
+        let mut total = 0.0;
+        for (i, &x) in data.iter().enumerate() {
+            let nearest = seeds
+                .iter()
+                .map(|&s| (x - s) * (x - s))
+                .fold(f64::INFINITY, f64::min);
+            d2[i] = nearest;
+            total += nearest;
+        }
+        if total <= 0.0 {
+            // All points coincide with seeds; fall back to uniform picks.
+            seeds.push(data[rng.gen_range(0..n)]);
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = n - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if target < w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        seeds.push(data[chosen]);
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bimodal_data() -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.push(10.0 + gauss(&mut rng) * 0.5);
+            data.push(50.0 + gauss(&mut rng) * 1.0);
+        }
+        data
+    }
+
+    fn gauss(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    #[test]
+    fn fit_recovers_two_separated_modes() {
+        let data = bimodal_data();
+        let mut rng = StdRng::seed_from_u64(3);
+        let gmm = Gmm1d::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        let mut means = gmm.means().to_vec();
+        means.sort_by(f64::total_cmp);
+        assert!((means[0] - 10.0).abs() < 0.5, "mode 1 at {}", means[0]);
+        assert!((means[1] - 50.0).abs() < 1.5, "mode 2 at {}", means[1]);
+        for &w in gmm.weights() {
+            assert!((w - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn nll_flags_outliers() {
+        let data = bimodal_data();
+        let mut rng = StdRng::seed_from_u64(4);
+        let gmm = Gmm1d::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        assert!(gmm.nll(10.0) < gmm.nll(30.0));
+        assert!(gmm.nll(50.0) < gmm.nll(200.0));
+    }
+
+    #[test]
+    fn em_does_not_decrease_likelihood_vs_single_gaussian() {
+        // A 2-component fit on bimodal data must beat the 1-component fit.
+        let data = bimodal_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g1 = Gmm1d::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap();
+        let g2 = Gmm1d::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        assert!(g2.log_likelihood(&data) > g1.log_likelihood(&data));
+    }
+
+    #[test]
+    fn bic_prefers_two_components_for_bimodal_data() {
+        let data = bimodal_data();
+        let mut rng = StdRng::seed_from_u64(6);
+        let g1 = Gmm1d::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap();
+        let g2 = Gmm1d::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        assert!(g2.bic(&data) < g1.bic(&data));
+    }
+
+    #[test]
+    fn single_component_matches_sample_moments() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gmm1d::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap();
+        assert!((g.means()[0] - 49.5).abs() < 1e-6);
+        let var = variance(&data);
+        assert!((g.variances()[0] - var).abs() / var < 1e-4);
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(
+            Gmm1d::fit(&[1.0], 2, &EmConfig::default(), &mut rng).unwrap_err(),
+            FitGmmError::NotEnoughData { points: 1, components: 2 }
+        );
+        assert_eq!(
+            Gmm1d::fit(&[1.0], 0, &EmConfig::default(), &mut rng).unwrap_err(),
+            FitGmmError::ZeroComponents
+        );
+        assert_eq!(
+            Gmm1d::fit(&[1.0, f64::NAN], 1, &EmConfig::default(), &mut rng).unwrap_err(),
+            FitGmmError::NonFiniteData
+        );
+    }
+
+    #[test]
+    fn fit_handles_constant_data() {
+        let data = vec![5.0; 40];
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = Gmm1d::fit(&data, 2, &EmConfig::default(), &mut rng).unwrap();
+        assert!(g.nll(5.0).is_finite());
+        assert!(g.nll(6.0) > g.nll(5.0));
+    }
+
+    #[test]
+    fn from_parameters_validates() {
+        let g = Gmm1d::from_parameters(vec![0.5, 0.5], vec![0.0, 1.0], vec![1.0, 1.0]);
+        assert_eq!(g.num_components(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn from_parameters_rejects_bad_weights() {
+        Gmm1d::from_parameters(vec![0.5, 0.6], vec![0.0, 1.0], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn log_pdf_integrates_to_one_approximately() {
+        let g = Gmm1d::from_parameters(vec![0.3, 0.7], vec![-2.0, 3.0], vec![0.5, 2.0]);
+        // Riemann sum of the density over a wide interval.
+        let step = 0.01;
+        let mut integral = 0.0;
+        let mut x = -20.0;
+        while x < 20.0 {
+            integral += g.log_pdf(x).exp() * step;
+            x += step;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Weight persistence: a small explicit binary format plus a disk cache so
+//! each model trains once per machine.
+//!
+//! Format (`AHW1`): magic, tensor count, then for each tensor its element
+//! count and little-endian `f32` payload. Weights are stored in
+//! [`Graph::param_tensors`] order followed by the batch-norm running
+//! statistics, so the format is only meaningful together with the graph
+//! structure (which the model zoo rebuilds deterministically from a seed).
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use advhunter_tensor::Tensor;
+
+use crate::Graph;
+
+const MAGIC: &[u8; 4] = b"AHW1";
+
+/// Error loading or saving model weights.
+#[derive(Debug)]
+pub enum WeightsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not an `AHW1` weight file.
+    BadMagic,
+    /// Tensor count or element counts do not match the graph.
+    ShapeMismatch {
+        /// What the graph expects.
+        expected: usize,
+        /// What the file contains.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "weight file I/O failed: {e}"),
+            Self::BadMagic => write!(f, "not an AHW1 weight file"),
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "weight file mismatch: expected {expected}, found {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WeightsError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes a graph's parameters and running statistics to `path`.
+///
+/// # Errors
+///
+/// Returns [`WeightsError::Io`] on filesystem failures.
+pub fn save_weights(graph: &Graph, path: &Path) -> Result<(), WeightsError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut tensors: Vec<&Tensor> = graph.param_tensors();
+    tensors.extend(graph.running_stat_tensors());
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in &tensors {
+        buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
+        for &v in t.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(&buf)?;
+    Ok(())
+}
+
+/// Loads parameters and running statistics saved by [`save_weights`] into a
+/// graph with identical structure.
+///
+/// # Errors
+///
+/// Returns [`WeightsError`] if the file is malformed or its tensor layout
+/// does not match the graph.
+pub fn load_weights(graph: &mut Graph, path: &Path) -> Result<(), WeightsError> {
+    let mut f = fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    let mut cur = 0usize;
+
+    let magic = take(&data, &mut cur, 4)?;
+    if magic != MAGIC {
+        return Err(WeightsError::BadMagic);
+    }
+    let count = u32::from_le_bytes(take(&data, &mut cur, 4)?.try_into().unwrap()) as usize;
+
+    let expected = graph.param_tensors().len() + graph.running_stat_tensors().len();
+    if expected != count {
+        return Err(WeightsError::ShapeMismatch {
+            expected,
+            actual: count,
+        });
+    }
+
+    // Phase 1: parse every payload (with length checks deferred to phase 2).
+    let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(&data, &mut cur, 4)?.try_into().unwrap()) as usize;
+        let bytes = take(&data, &mut cur, len * 4)?;
+        payloads.push(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        );
+    }
+
+    // Phase 2: validate shapes, then copy into the graph.
+    {
+        let params = graph.param_tensors();
+        let running = graph.running_stat_tensors();
+        for (t, p) in params.iter().chain(running.iter()).zip(payloads.iter()) {
+            if t.len() != p.len() {
+                return Err(WeightsError::ShapeMismatch {
+                    expected: t.len(),
+                    actual: p.len(),
+                });
+            }
+        }
+    }
+    let n_params = graph.param_tensors().len();
+    for (t, p) in graph.param_tensors_mut().iter_mut().zip(&payloads[..n_params]) {
+        t.data_mut().copy_from_slice(p);
+    }
+    for (t, p) in graph
+        .running_stat_tensors_mut()
+        .iter_mut()
+        .zip(&payloads[n_params..])
+    {
+        t.data_mut().copy_from_slice(p);
+    }
+    Ok(())
+}
+
+fn take<'d>(data: &'d [u8], cur: &mut usize, n: usize) -> Result<&'d [u8], WeightsError> {
+    if *cur + n > data.len() {
+        return Err(WeightsError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "weight file truncated",
+        )));
+    }
+    let s = &data[*cur..*cur + n];
+    *cur += n;
+    Ok(s)
+}
+
+/// The directory used to cache trained models, honoring
+/// `ADVHUNTER_CACHE_DIR` and defaulting to `target/advhunter-cache` under
+/// the workspace.
+///
+/// The default is anchored at this crate's compile-time location rather
+/// than the process working directory, so binaries, tests, and `cargo
+/// bench` targets (which run with different working directories) all share
+/// one cache.
+pub fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("ADVHUNTER_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("advhunter-cache");
+    }
+    let workspace_target = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target");
+    if workspace_target.exists() {
+        return workspace_target.join("advhunter-cache");
+    }
+    PathBuf::from("target").join("advhunter-cache")
+}
+
+/// Loads cached weights for `key` into `graph`, or runs `train` and caches
+/// the result.
+///
+/// # Errors
+///
+/// Returns [`WeightsError`] only if writing the cache after training fails.
+/// A cache file that is unreadable or mismatches the graph is treated as
+/// stale and regenerated.
+pub fn train_or_load(
+    graph: &mut Graph,
+    key: &str,
+    train: impl FnOnce(&mut Graph),
+) -> Result<bool, WeightsError> {
+    let path = cache_dir().join(format!("{key}.ahw"));
+    if path.exists() {
+        match load_weights(graph, &path) {
+            Ok(()) => return Ok(true),
+            // Any unreadable or mismatching cache entry (stale model
+            // definition, interrupted write) is treated as absent.
+            Err(_) => {}
+        }
+    }
+    train(graph);
+    save_weights(graph, &path)?;
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(&[1, 4, 4]);
+        let input = b.input();
+        let c = b.conv2d("c", input, 2, 3, 1, 1, &mut rng);
+        let bn = b.batchnorm("bn", c);
+        let r = b.relu("r", bn);
+        let g = b.global_avgpool("g", r);
+        b.linear("fc", g, 2, &mut rng);
+        b.build()
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("advhunter-io-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let dir = tempdir("roundtrip");
+        let path = dir.join("m.ahw");
+        let mut a = model(1);
+        save_weights(&mut a, &path).unwrap();
+        let mut b = model(2); // different random weights
+        assert_ne!(a, b);
+        load_weights(&mut b, &path).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = tempdir("garbage");
+        let path = dir.join("bad.ahw");
+        fs::write(&path, b"not a weight file").unwrap();
+        let mut g = model(1);
+        assert!(matches!(load_weights(&mut g, &path), Err(WeightsError::BadMagic)));
+    }
+
+    #[test]
+    fn load_rejects_mismatched_model() {
+        let dir = tempdir("mismatch");
+        let path = dir.join("m.ahw");
+        let mut small = model(1);
+        save_weights(&mut small, &path).unwrap();
+        // A structurally different model must refuse the file.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = GraphBuilder::new(&[1, 4, 4]);
+        let input = b.input();
+        let f = b.flatten("f", input);
+        b.linear("fc", f, 5, &mut rng);
+        let mut other = b.build();
+        assert!(matches!(
+            load_weights(&mut other, &path),
+            Err(WeightsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn train_or_load_trains_once_then_hits_cache() {
+        let dir = tempdir("cache");
+        std::env::set_var("ADVHUNTER_CACHE_DIR", &dir);
+        let key = "unit-test-model";
+        let mut g1 = model(1);
+        let hit1 = train_or_load(&mut g1, key, |g| {
+            // "Training": nudge a weight so we can observe persistence.
+            g.param_tensors_mut()[0].data_mut()[0] = 42.0;
+        })
+        .unwrap();
+        assert!(!hit1, "first call trains");
+        let mut g2 = model(3);
+        let hit2 = train_or_load(&mut g2, key, |_| panic!("must not retrain")).unwrap();
+        assert!(hit2, "second call loads");
+        assert_eq!(g2.param_tensors()[0].data()[0], 42.0);
+        std::env::remove_var("ADVHUNTER_CACHE_DIR");
+    }
+
+    #[test]
+    fn running_stats_are_persisted() {
+        let dir = tempdir("running");
+        let path = dir.join("m.ahw");
+        let mut a = model(1);
+        // Push the running stats away from their init via a train pass.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = advhunter_tensor::init::normal(&mut rng, &[8, 1, 4, 4], 3.0, 1.0);
+        let t = a.forward(&x, Mode::Train);
+        a.update_running_stats(&t);
+        save_weights(&mut a, &path).unwrap();
+        let mut b = model(1);
+        load_weights(&mut b, &path).unwrap();
+        assert_eq!(a, b, "running statistics round-trip");
+    }
+
+    #[test]
+    fn truncated_file_is_an_io_error() {
+        let dir = tempdir("trunc");
+        let path = dir.join("m.ahw");
+        let mut a = model(1);
+        save_weights(&mut a, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut b = model(1);
+        assert!(matches!(load_weights(&mut b, &path), Err(WeightsError::Io(_))));
+    }
+}

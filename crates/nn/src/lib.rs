@@ -1,0 +1,49 @@
+//! From-scratch neural networks: layers, a small computation graph with
+//! manual backpropagation, optimizers, a training loop, and the micro CNN
+//! model zoo used by the AdvHunter reproduction.
+//!
+//! The paper runs PyTorch CNNs (EfficientNet, ResNet18, DenseNet201 plus a
+//! 4-conv/2-fc case-study CNN). This crate rebuilds that substrate natively:
+//!
+//! * [`Graph`] — a directed acyclic graph of [`Op`]s with forward
+//!   ([`Graph::forward`]) and backward ([`Graph::backward`]) passes. The
+//!   backward pass yields gradients with respect to *both* parameters (for
+//!   training) and the input image (for gradient-based adversarial attacks).
+//! * [`models`] — builders for the four architectures, scaled to train on a
+//!   single CPU core in about a minute each.
+//! * [`train`] — Adam/SGD optimizers and a batched training loop.
+//! * [`record`] — per-activation-layer neuron statistics (paper Figure 1).
+//! * [`io`] — a small binary weight format plus a disk cache so models train
+//!   once per machine.
+//!
+//! # Example
+//!
+//! ```
+//! use advhunter_nn::{Graph, GraphBuilder, Mode};
+//! use advhunter_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut b = GraphBuilder::new(&[1, 8, 8]);
+//! let input = b.input();
+//! let c = b.conv2d("conv", input, 4, 3, 1, 1, &mut rng);
+//! let r = b.relu("relu", c);
+//! let f = b.flatten("flatten", r);
+//! b.linear("fc", f, 3, &mut rng);
+//! let graph: Graph = b.build();
+//! let logits = graph.forward(&Tensor::zeros(&[2, 1, 8, 8]), Mode::Eval).output().clone();
+//! assert_eq!(logits.shape().dims(), &[2, 3]);
+//! ```
+
+mod graph;
+
+pub mod augment;
+pub mod io;
+pub mod models;
+pub mod record;
+pub mod train;
+
+pub use graph::{
+    Aux, BatchNorm2d, Conv2dLayer, DwConv2dLayer, ForwardTrace, Gradients, Graph, GraphBuilder,
+    LinearLayer, Mode, Node, Op, ParamGrad, Src,
+};

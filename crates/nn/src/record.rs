@@ -1,0 +1,164 @@
+//! Neuron-activation statistics (paper Figure 1).
+//!
+//! The paper motivates AdvHunter by showing that adversarial examples
+//! misclassified into a category activate a *different set of neurons* than
+//! clean images of that category. These helpers extract exactly that signal
+//! from a [`ForwardTrace`]: which neurons of each activation layer fired,
+//! and how often each fires across a batch of inputs.
+
+use crate::{ForwardTrace, Graph};
+
+/// Activation summary for one activation layer and one input batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerActivation {
+    /// Index of the activation node in the graph.
+    pub node_index: usize,
+    /// The node's name.
+    pub name: String,
+    /// Number of neurons in the layer (per image).
+    pub neurons: usize,
+    /// Per-neuron firing frequency across the batch, in `[0, 1]`.
+    pub frequency: Vec<f32>,
+    /// Mean fraction of neurons active per image.
+    pub mean_active_fraction: f32,
+}
+
+impl LayerActivation {
+    /// The normalized frequency histogram the paper plots in Figure 1:
+    /// `bins` equal-width buckets over firing frequency `[0, 1]`, normalized
+    /// to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn frequency_histogram(&self, bins: usize) -> Vec<f32> {
+        assert!(bins > 0, "at least one bin required");
+        let mut hist = vec![0.0f32; bins];
+        for &f in &self.frequency {
+            let b = ((f * bins as f32) as usize).min(bins - 1);
+            hist[b] += 1.0;
+        }
+        let total: f32 = hist.iter().sum();
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+}
+
+/// A neuron is considered "activated" when its post-activation value
+/// exceeds this threshold (ReLU outputs are exactly 0 when inactive; the
+/// tiny epsilon also works for SiLU/Sigmoid layers).
+pub const ACTIVATION_THRESHOLD: f32 = 1e-6;
+
+/// Computes per-activation-layer firing statistics over a batch trace.
+///
+/// Each activation node's output `[n, ...]` is flattened per image; a neuron
+/// counts as active when it exceeds [`ACTIVATION_THRESHOLD`].
+pub fn activation_stats(graph: &Graph, trace: &ForwardTrace) -> Vec<LayerActivation> {
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if !node.op.is_activation() {
+            continue;
+        }
+        let t = trace.node_output(i);
+        let n = t.shape().dim(0);
+        let per_image = t.len() / n.max(1);
+        let mut counts = vec![0u32; per_image];
+        for img in 0..n {
+            let row = &t.data()[img * per_image..(img + 1) * per_image];
+            for (c, &v) in counts.iter_mut().zip(row.iter()) {
+                if v > ACTIVATION_THRESHOLD {
+                    *c += 1;
+                }
+            }
+        }
+        let frequency: Vec<f32> = counts.iter().map(|&c| c as f32 / n.max(1) as f32).collect();
+        let mean_active_fraction =
+            frequency.iter().sum::<f32>() / per_image.max(1) as f32;
+        out.push(LayerActivation {
+            node_index: i,
+            name: node.name.clone(),
+            neurons: per_image,
+            frequency,
+            mean_active_fraction,
+        });
+    }
+    out
+}
+
+/// Jensen-Shannon-style overlap between two frequency histograms: 1 means
+/// identical distributions, 0 means disjoint. Used to quantify how different
+/// clean and adversarial activation patterns are per layer.
+///
+/// # Panics
+///
+/// Panics if the histograms differ in length.
+pub fn histogram_overlap(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "histograms must have equal length");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x.min(y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Mode};
+    use advhunter_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn relu_graph() -> Graph {
+        let mut b = GraphBuilder::new(&[1, 2, 2]);
+        let input = b.input();
+        b.relu("act", input);
+        b.build()
+    }
+
+    #[test]
+    fn counts_active_neurons_exactly() {
+        let g = relu_graph();
+        // Two images: first has neurons 0,1 positive; second has neuron 0.
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, -1.0, -2.0, 3.0, -1.0, -1.0, -1.0],
+            &[2, 1, 2, 2],
+        )
+        .unwrap();
+        let t = g.forward(&x, Mode::Eval);
+        let stats = activation_stats(&g, &t);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.neurons, 4);
+        assert_eq!(s.frequency, vec![1.0, 0.5, 0.0, 0.0]);
+        assert!((s.mean_active_fraction - 0.375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let g = relu_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = advhunter_tensor::init::normal(&mut rng, &[16, 1, 2, 2], 0.0, 1.0);
+        let t = g.forward(&x, Mode::Eval);
+        let stats = activation_stats(&g, &t);
+        let hist = stats[0].frequency_histogram(10);
+        assert_eq!(hist.len(), 10);
+        assert!((hist.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_is_one_for_identical_and_zero_for_disjoint() {
+        assert!((histogram_overlap(&[0.5, 0.5], &[0.5, 0.5]) - 1.0).abs() < 1e-6);
+        assert_eq!(histogram_overlap(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn different_inputs_produce_different_activation_sets() {
+        let g = relu_graph();
+        let a = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0], &[1, 1, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![-1.0, -1.0, 1.0, 1.0], &[1, 1, 2, 2]).unwrap();
+        let sa = activation_stats(&g, &g.forward(&a, Mode::Eval));
+        let sb = activation_stats(&g, &g.forward(&b, Mode::Eval));
+        assert_ne!(sa[0].frequency, sb[0].frequency);
+    }
+}

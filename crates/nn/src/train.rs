@@ -1,0 +1,362 @@
+//! Optimizers and the batched training loop.
+
+use advhunter_tensor::ops::cross_entropy_with_logits;
+use advhunter_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, Mode};
+
+/// Adam optimizer state (Kingma & Ba) over a fixed parameter list.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_nn::train::Adam;
+/// let opt = Adam::new(1e-3);
+/// assert_eq!(opt.learning_rate(), 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given learning rate and standard
+    /// moment decay rates (0.9 / 0.999).
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (e.g. for a decay schedule).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update: `params[i] -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or any pair of
+    /// tensors differs in shape from the first call.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "one gradient per parameter");
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed size");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            let pd = p.data_mut();
+            let gd = g.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            for i in 0..pd.len() {
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * gd[i];
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * gd[i] * gd[i];
+                let mhat = md[i] / b1t;
+                let vhat = vd[i] / b2t;
+                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain SGD with optional momentum, for the optimizer ablation.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length.
+    pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
+        assert_eq!(params.len(), grads.len(), "one gradient per parameter");
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+        }
+        for ((p, g), vel) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+            let pd = p.data_mut();
+            let gd = g.data();
+            let vd = vel.data_mut();
+            for i in 0..pd.len() {
+                vd[i] = self.momentum * vd[i] + gd[i];
+                pd[i] -= self.lr * vd[i];
+            }
+        }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Multiplied into the learning rate after each epoch.
+    pub lr_decay: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            batch_size: 32,
+            learning_rate: 2e-3,
+            lr_decay: 0.7,
+        }
+    }
+}
+
+/// Per-epoch progress numbers returned by [`fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+/// Trains `graph` on `(images, labels)` with Adam and cross-entropy.
+///
+/// Images are single CHW tensors; batching, shuffling, running-statistic
+/// updates, and learning-rate decay are handled internally. Returns per-epoch
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if `images` and `labels` differ in length or are empty.
+pub fn fit(
+    graph: &mut Graph,
+    images: &[Tensor],
+    labels: &[usize],
+    config: &TrainConfig,
+    rng: &mut impl Rng,
+) -> Vec<EpochStats> {
+    assert_eq!(images.len(), labels.len(), "one label per image");
+    assert!(!images.is_empty(), "training set is empty");
+    let mut opt = Adam::new(config.learning_rate);
+    let mut order: Vec<usize> = (0..images.len()).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        order.shuffle(rng);
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images[i].clone()).collect();
+            let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let x = Tensor::stack(&batch_imgs);
+            let trace = graph.forward(&x, Mode::Train);
+            let (loss, dlogits) = cross_entropy_with_logits(trace.output(), &batch_labels);
+            total_loss += loss as f64;
+            batches += 1;
+
+            // Track training accuracy from the same forward pass.
+            let logits = trace.output();
+            let c = logits.shape().dim(1);
+            for (row, &label) in batch_labels.iter().enumerate() {
+                let r = &logits.data()[row * c..(row + 1) * c];
+                let pred = r
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                if pred == label {
+                    correct += 1;
+                }
+            }
+
+            let grads = graph.backward(&trace, &dlogits);
+            graph.update_running_stats(&trace);
+            let flat: Vec<&Tensor> = grads.flat();
+            let mut params = graph.param_tensors_mut();
+            opt.step(&mut params, &flat);
+        }
+        opt.set_learning_rate(opt.learning_rate() * config.lr_decay);
+        history.push(EpochStats {
+            epoch,
+            mean_loss: (total_loss / batches.max(1) as f64) as f32,
+            accuracy: correct as f32 / images.len() as f32,
+        });
+    }
+    history
+}
+
+/// Classification accuracy of `graph` on `(images, labels)`, evaluated in
+/// mini-batches.
+///
+/// # Panics
+///
+/// Panics if `images` and `labels` differ in length.
+pub fn evaluate(graph: &Graph, images: &[Tensor], labels: &[usize]) -> f32 {
+    assert_eq!(images.len(), labels.len(), "one label per image");
+    if images.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (chunk_imgs, chunk_labels) in images.chunks(64).zip(labels.chunks(64)) {
+        let x = Tensor::stack(chunk_imgs);
+        let preds = graph.predict(&x);
+        correct += preds
+            .iter()
+            .zip(chunk_labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+    }
+    correct as f32 / images.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use advhunter_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two trivially separable classes: bright vs dark images.
+    fn toy_problem(rng: &mut StdRng, n: usize) -> (Vec<Tensor>, Vec<usize>) {
+        let mut images = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let mean = if label == 0 { -1.0 } else { 1.0 };
+            images.push(init::normal(rng, &[1, 6, 6], mean, 0.3));
+            labels.push(label);
+        }
+        (images, labels)
+    }
+
+    fn toy_model(rng: &mut StdRng) -> Graph {
+        let mut b = GraphBuilder::new(&[1, 6, 6]);
+        let input = b.input();
+        let c = b.conv2d("c", input, 4, 3, 1, 1, rng);
+        let r = b.relu("r", c);
+        let g = b.global_avgpool("g", r);
+        b.linear("fc", g, 2, rng);
+        b.build()
+    }
+
+    #[test]
+    fn fit_reaches_high_accuracy_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (images, labels) = toy_problem(&mut rng, 120);
+        let mut model = toy_model(&mut rng);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            lr_decay: 0.8,
+        };
+        let hist = fit(&mut model, &images, &labels, &cfg, &mut rng);
+        assert!(hist.last().unwrap().accuracy > 0.95, "history: {hist:?}");
+        assert!(
+            hist.last().unwrap().mean_loss < hist.first().unwrap().mean_loss,
+            "loss decreased"
+        );
+        let test_acc = evaluate(&model, &images, &labels);
+        assert!(test_acc > 0.95, "eval accuracy {test_acc}");
+    }
+
+    #[test]
+    fn adam_moves_parameters_against_gradient() {
+        let mut p = Tensor::from_slice(&[1.0, -1.0]);
+        let g = Tensor::from_slice(&[1.0, -1.0]);
+        let mut opt = Adam::new(0.1);
+        let before = p.clone();
+        opt.step(&mut [&mut p], &[&g]);
+        assert!(p.data()[0] < before.data()[0]);
+        assert!(p.data()[1] > before.data()[1]);
+    }
+
+    #[test]
+    fn adam_step_size_is_bounded_by_lr() {
+        let mut p = Tensor::from_slice(&[0.0]);
+        let g = Tensor::from_slice(&[1000.0]);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p], &[&g]);
+        // Adam normalizes by sqrt(v̂): the first step is ≈ lr regardless of
+        // gradient magnitude.
+        assert!(p.data()[0].abs() <= 0.011, "step {}", p.data()[0]);
+    }
+
+    #[test]
+    fn sgd_with_momentum_accelerates() {
+        let mut p1 = Tensor::from_slice(&[0.0]);
+        let mut p2 = Tensor::from_slice(&[0.0]);
+        let g = Tensor::from_slice(&[1.0]);
+        let mut plain = Sgd::new(0.1, 0.0);
+        let mut momentum = Sgd::new(0.1, 0.9);
+        for _ in 0..5 {
+            plain.step(&mut [&mut p1], &[&g]);
+            momentum.step(&mut [&mut p2], &[&g]);
+        }
+        assert!(p2.data()[0] < p1.data()[0], "momentum moved further: {} vs {}", p2.data()[0], p1.data()[0]);
+    }
+
+    #[test]
+    fn evaluate_empty_set_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = toy_model(&mut rng);
+        assert_eq!(evaluate(&model, &[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per image")]
+    fn fit_rejects_mismatched_lengths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (images, _) = toy_problem(&mut rng, 4);
+        let mut model = toy_model(&mut rng);
+        fit(&mut model, &images, &[0], &TrainConfig::default(), &mut rng);
+    }
+}

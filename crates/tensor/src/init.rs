@@ -1,0 +1,123 @@
+//! Weight initializers.
+//!
+//! All initializers draw from a caller-supplied RNG so that every model in
+//! the workspace is reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Kaiming/He normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// Appropriate for layers followed by ReLU-family activations.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let w = advhunter_tensor::init::kaiming_normal(&mut rng, &[16, 3, 3, 3], 27);
+/// assert_eq!(w.len(), 16 * 27);
+/// ```
+pub fn kaiming_normal(rng: &mut impl Rng, dims: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(rng, dims, 0.0, std)
+}
+
+/// Xavier/Glorot uniform initialization over `[-a, a]` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rng: &mut impl Rng, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(rng, dims, -a, a)
+}
+
+/// Normal initialization with explicit mean and standard deviation.
+pub fn normal(rng: &mut impl Rng, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for x in t.data_mut() {
+        *x = mean + std * sample_standard_normal(rng);
+    }
+    t
+}
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(rng: &mut impl Rng, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform init requires lo < hi, got [{lo}, {hi})");
+    let mut t = Tensor::zeros(dims);
+    for x in t.data_mut() {
+        *x = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Draws one standard-normal sample via the Box-Muller transform.
+///
+/// Implemented here rather than via `rand_distr` to keep the dependency set
+/// to the crates allowed for this reproduction.
+pub fn sample_standard_normal(rng: &mut impl Rng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let z = r * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = kaiming_normal(&mut rng, &[4096], 64);
+        let mean = w.mean();
+        let var = w.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let expected = 2.0 / 64.0;
+        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+        assert!(mean.abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform(&mut rng, &[1000], -0.25, 0.25);
+        assert!(w.data().iter().all(|&x| (-0.25..0.25).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = xavier_uniform(&mut rng, &[2000], 10, 20);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(w.linf_norm() <= a);
+        assert!(w.linf_norm() > 0.5 * a, "samples should come close to the bound");
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            normal(&mut a, &[32], 0.0, 1.0).data(),
+            normal(&mut b, &[32], 0.0, 1.0).data()
+        );
+    }
+
+    #[test]
+    fn standard_normal_samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(sample_standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Dense `f32` tensors with exactly the operations a small CNN stack needs.
+//!
+//! This crate is the numerical substrate for the AdvHunter reproduction: it
+//! provides row-major dense tensors ([`Tensor`]), shape bookkeeping
+//! ([`Shape`]), weight initializers ([`init`]), and the convolution /
+//! linear-algebra / pooling / activation kernels (in [`ops`]) used by the
+//! `advhunter-nn` layer implementations, including every backward pass needed
+//! for training and for gradient-based adversarial attacks.
+//!
+//! Design notes:
+//!
+//! * Tensors are always contiguous and row-major; views are not needed at
+//!   this scale and their absence keeps every kernel branch-free and simple.
+//! * Shape errors are programming errors here, so the arithmetic methods
+//!   panic with a precise message instead of returning `Result` (each method
+//!   documents its panics). Fallible construction from user data goes through
+//!   [`Tensor::from_vec`], which does return [`ShapeError`].
+//!
+//! # Example
+//!
+//! ```
+//! use advhunter_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = advhunter_tensor::ops::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! # Ok::<(), advhunter_tensor::ShapeError>(())
+//! ```
+
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod ops;
+
+pub use shape::{Shape, ShapeError};
+pub use tensor::Tensor;

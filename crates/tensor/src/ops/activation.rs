@@ -1,0 +1,319 @@
+//! Activation functions and the softmax / cross-entropy pair.
+
+use crate::Tensor;
+
+/// Rectified linear unit: `max(x, 0)` elementwise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of [`relu`]: passes gradient where the input was positive.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
+    input.zip(grad_out, |x, g| if x > 0.0 { g } else { 0.0 })
+}
+
+/// Leaky rectified linear unit: `x` if positive, `alpha * x` otherwise.
+pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
+    x.map(|v| if v > 0.0 { v } else { alpha * v })
+}
+
+/// Backward pass of [`leaky_relu`].
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn leaky_relu_backward(input: &Tensor, grad_out: &Tensor, alpha: f32) -> Tensor {
+    input.zip(grad_out, |x, g| if x > 0.0 { g } else { alpha * g })
+}
+
+/// Hyperbolic tangent elementwise.
+pub fn tanh(x: &Tensor) -> Tensor {
+    x.map(f32::tanh)
+}
+
+/// Backward pass of [`tanh`] given the *output* of the forward pass.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn tanh_backward(output: &Tensor, grad_out: &Tensor) -> Tensor {
+    output.zip(grad_out, |y, g| g * (1.0 - y * y))
+}
+
+/// Logistic sigmoid `1 / (1 + e^-x)` elementwise.
+pub fn sigmoid(x: &Tensor) -> Tensor {
+    x.map(stable_sigmoid)
+}
+
+/// Backward pass of [`sigmoid`] given the *output* of the forward pass.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn sigmoid_backward(output: &Tensor, grad_out: &Tensor) -> Tensor {
+    output.zip(grad_out, |y, g| g * y * (1.0 - y))
+}
+
+/// SiLU / swish: `x * sigmoid(x)` elementwise.
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(|v| v * stable_sigmoid(v))
+}
+
+/// Backward pass of [`silu`] given the *input* of the forward pass.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn silu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
+    input.zip(grad_out, |x, g| {
+        let s = stable_sigmoid(x);
+        g * (s + x * s * (1.0 - s))
+    })
+}
+
+/// Row-wise softmax over a `[n, c]` tensor.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let (n, c) = row_dims(x);
+    let mut out = x.clone();
+    let od = out.data_mut();
+    for row in 0..n {
+        let r = &mut od[row * c..(row + 1) * c];
+        let m = r.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in r.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in r.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax over a `[n, c]` tensor (numerically stable).
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2.
+pub fn log_softmax_rows(x: &Tensor) -> Tensor {
+    let (n, c) = row_dims(x);
+    let mut out = x.clone();
+    let od = out.data_mut();
+    for row in 0..n {
+        let r = &mut od[row * c..(row + 1) * c];
+        let m = r.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + r.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+        for v in r.iter_mut() {
+            *v -= lse;
+        }
+    }
+    out
+}
+
+/// Mean softmax cross-entropy over a batch of logits `[n, c]` with integer
+/// labels; returns `(loss, grad_logits)`.
+///
+/// The gradient is already divided by the batch size, so it can be fed
+/// straight into a backward pass.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len() != n`, or any label is out
+/// of range.
+pub fn cross_entropy_with_logits(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let (n, c) = row_dims(logits);
+    assert_eq!(labels.len(), n, "one label per batch row required");
+    let log_probs = log_softmax_rows(logits);
+    let mut grad = softmax_rows(logits);
+    let gd = grad.data_mut();
+    let scale = 1.0 / n as f32;
+    let mut loss = 0.0;
+    for (row, &label) in labels.iter().enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        loss -= log_probs.data()[row * c + label];
+        gd[row * c + label] -= 1.0;
+    }
+    for g in gd.iter_mut() {
+        *g *= scale;
+    }
+    (loss * scale, grad)
+}
+
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn row_dims(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "expected [rows, cols], got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let g = Tensor::from_slice(&[5.0, 5.0, 5.0]);
+        assert_eq!(relu_backward(&x, &g).data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let x = Tensor::from_slice(&[-2.0, 0.0, 3.0]);
+        assert_eq!(leaky_relu(&x, 0.1).data(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_backward_matches_finite_differences() {
+        let alpha = 0.2;
+        for &x0 in &[-1.5f32, -0.1, 0.1, 2.0] {
+            let x = Tensor::from_slice(&[x0]);
+            let g = Tensor::from_slice(&[1.0]);
+            let ana = leaky_relu_backward(&x, &g, alpha).data()[0];
+            let eps = 1e-3;
+            let f = |v: f32| if v > 0.0 { v } else { alpha * v };
+            let num = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
+            assert!((ana - num).abs() < 1e-3, "at {x0}: {ana} vs {num}");
+        }
+    }
+
+    #[test]
+    fn tanh_is_bounded_and_odd() {
+        let x = Tensor::from_slice(&[-100.0, -1.0, 0.0, 1.0, 100.0]);
+        let y = tanh(&x);
+        assert!(y.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+        assert!((y.data()[1] + y.data()[3]).abs() < 1e-6, "odd function");
+        assert_eq!(y.data()[2], 0.0);
+    }
+
+    #[test]
+    fn tanh_backward_matches_finite_differences() {
+        for &x0 in &[-2.0f32, -0.3, 0.0, 0.7] {
+            let x = Tensor::from_slice(&[x0]);
+            let y = tanh(&x);
+            let g = Tensor::from_slice(&[1.0]);
+            let ana = tanh_backward(&y, &g).data()[0];
+            let eps = 1e-3;
+            let num = ((x0 + eps).tanh() - (x0 - eps).tanh()) / (2.0 * eps);
+            assert!((ana - num).abs() < 1e-3, "at {x0}: {ana} vs {num}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric_and_bounded() {
+        let x = Tensor::from_slice(&[-100.0, 0.0, 100.0]);
+        let y = sigmoid(&x);
+        assert!(y.data()[0] >= 0.0 && y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-7);
+        assert!(y.data()[2] <= 1.0 && y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let x = Tensor::from_slice(&[1.5]);
+        let expect = 1.5 / (1.0 + (-1.5f32).exp());
+        assert!((silu(&x).data()[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn silu_backward_matches_finite_differences() {
+        let xs = [-3.0f32, -0.5, 0.0, 0.7, 4.0];
+        for &x0 in &xs {
+            let x = Tensor::from_slice(&[x0]);
+            let g = Tensor::from_slice(&[1.0]);
+            let analytic = silu_backward(&x, &g).data()[0];
+            let eps = 1e-3;
+            let f = |v: f32| v * stable_sigmoid(v);
+            let numeric = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
+            assert!((analytic - numeric).abs() < 1e-3, "at {x0}: {analytic} vs {numeric}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let y = softmax_rows(&x);
+        for row in 0..2 {
+            let s: f32 = y.data()[row * 3..(row + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Softmax is shift-invariant: both rows differ by a constant.
+        for i in 0..3 {
+            assert!((y.data()[i] - y.data()[3 + i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let y = softmax_rows(&x);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+        assert!((y.data()[0] + y.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.5, -0.25, 2.0], &[1, 3]).unwrap();
+        let a = log_softmax_rows(&x);
+        let b = softmax_rows(&x).map(f32::ln);
+        for (u, v) in a.data().iter().zip(b.data().iter()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let (loss, _) = cross_entropy_with_logits(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_softmax_minus_onehot() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[1, 3]).unwrap();
+        let (_, grad) = cross_entropy_with_logits(&logits, &[1]);
+        let p = softmax_rows(&logits);
+        assert!((grad.data()[0] - p.data()[0]).abs() < 1e-6);
+        assert!((grad.data()[1] - (p.data()[1] - 1.0)).abs() < 1e-6);
+        assert!((grad.data()[2] - p.data()[2]).abs() < 1e-6);
+        // Gradient rows always sum to ~0.
+        assert!(grad.data().iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_averages_over_batch() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let (loss, grad) = cross_entropy_with_logits(&logits, &[0, 1]);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-6);
+        assert!((grad.data()[0] - (0.5 - 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 2]);
+        cross_entropy_with_logits(&logits, &[2]);
+    }
+}

@@ -1,0 +1,539 @@
+//! 2-D convolution kernels (standard and depthwise) via im2col + GEMM.
+
+use crate::{Shape, Tensor};
+
+use super::linear::{matmul, matmul_at, matmul_bt};
+
+/// Geometry of a 2-D convolution.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_tensor::ops::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 16, 3, 1, 1);
+/// assert_eq!(spec.out_hw(32, 32), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "padded input {ph}x{pw} smaller than kernel {}",
+            self.kernel
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Number of weight elements: `out_c * in_c * k * k`.
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Multiply-accumulate count for an `h × w` input (dense execution).
+    pub fn mac_count(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        (self.out_channels * self.in_channels * self.kernel * self.kernel * oh * ow) as u64
+    }
+}
+
+/// Lowers one CHW image into the im2col matrix `[C*k*k, oh*ow]`.
+fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
+    let k = spec.kernel;
+    let (oh, ow) = spec.out_hw(h, w);
+    let rows = c * k * k;
+    let cols = oh * ow;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let od = out.data_mut();
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let orow = &mut od[row * cols..(row + 1) * cols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let ibase = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        orow[oy * ow + ox] = img[ibase + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatters an im2col-shaped gradient back onto the input image (col2im).
+fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Vec<f32> {
+    let k = spec.kernel;
+    let (oh, ow) = spec.out_hw(h, w);
+    let ncols = oh * ow;
+    let mut img = vec![0.0f32; c * h * w];
+    let cd = cols.data();
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                let crow = &cd[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let ibase = (ch * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[ibase + ix as usize] += crow[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// Standard 2-D convolution over an NCHW batch.
+///
+/// `weight` is `[out_c, in_c * k * k]` (each row is one flattened filter),
+/// `bias` is `[out_c]`. Returns `[n, out_c, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec`.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = input.shape().as_nchw();
+    check_weights(weight, bias, spec, c);
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+    let in_stride = c * h * w;
+    let out_stride = spec.out_channels * oh * ow;
+    let plane = oh * ow;
+    for img in 0..n {
+        let cols = im2col(
+            &input.data()[img * in_stride..(img + 1) * in_stride],
+            c,
+            h,
+            w,
+            spec,
+        );
+        let y = matmul(weight, &cols); // [out_c, oh*ow]
+        let od = out.data_mut();
+        let dst = &mut od[img * out_stride..(img + 1) * out_stride];
+        for oc in 0..spec.out_channels {
+            let b = bias.data()[oc];
+            for (d, &s) in dst[oc * plane..(oc + 1) * plane]
+                .iter_mut()
+                .zip(&y.data()[oc * plane..(oc + 1) * plane])
+            {
+                *d = s + b;
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// Returns `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec`.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let (gn, goc, oh, ow) = grad_out.shape().as_nchw();
+    assert_eq!(gn, n, "grad_out batch mismatch");
+    assert_eq!(goc, spec.out_channels, "grad_out channel mismatch");
+    assert_eq!((oh, ow), spec.out_hw(h, w), "grad_out spatial mismatch");
+
+    let plane = oh * ow;
+    let in_stride = c * h * w;
+    let out_stride = spec.out_channels * plane;
+
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight = Tensor::zeros(&[spec.out_channels, spec.in_channels * spec.kernel * spec.kernel]);
+    let mut grad_bias = Tensor::zeros(&[spec.out_channels]);
+
+    for img in 0..n {
+        let cols = im2col(
+            &input.data()[img * in_stride..(img + 1) * in_stride],
+            c,
+            h,
+            w,
+            spec,
+        );
+        let gslice = &grad_out.data()[img * out_stride..(img + 1) * out_stride];
+        let gy = Tensor::from_vec(gslice.to_vec(), &[spec.out_channels, plane])
+            .expect("grad slice shape");
+        // dW += dY · colsᵀ
+        let gw = matmul_bt(&gy, &cols);
+        grad_weight.add_scaled(&gw, 1.0);
+        // db += row sums of dY
+        for oc in 0..spec.out_channels {
+            grad_bias.data_mut()[oc] += gy.data()[oc * plane..(oc + 1) * plane].iter().sum::<f32>();
+        }
+        // dcols = Wᵀ · dY, then scatter back with col2im.
+        let dcols = matmul_at(weight, &gy);
+        let gimg = col2im(&dcols, c, h, w, spec);
+        grad_input.data_mut()[img * in_stride..(img + 1) * in_stride]
+            .iter_mut()
+            .zip(gimg.iter())
+            .for_each(|(d, &s)| *d += s);
+    }
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// Depthwise 2-D convolution: each channel is convolved with its own `k × k`
+/// filter. `weight` is `[c, k * k]`, `bias` is `[c]`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec` (whose `in_channels` and
+/// `out_channels` must both equal the channel count).
+pub fn dwconv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = input.shape().as_nchw();
+    assert_eq!(spec.in_channels, c, "depthwise spec channel mismatch");
+    assert_eq!(spec.out_channels, c, "depthwise conv keeps channel count");
+    assert_eq!(weight.shape().dims(), &[c, spec.kernel * spec.kernel]);
+    assert_eq!(bias.len(), c);
+    let (oh, ow) = spec.out_hw(h, w);
+    let k = spec.kernel;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let id = input.data();
+    let wd = weight.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let wrow = &wd[ch * k * k..(ch + 1) * k * k];
+            let b = bias.data()[ch];
+            let ibase = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += wrow[ky * k + kx] * id[ibase + iy as usize * w + ix as usize];
+                        }
+                    }
+                    od[obase + oy * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`dwconv2d`]; returns `(grad_input, grad_weight, grad_bias)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec`.
+pub fn dwconv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let (gn, gc, oh, ow) = grad_out.shape().as_nchw();
+    assert_eq!((gn, gc), (n, c), "depthwise grad_out batch/channel mismatch");
+    assert_eq!((oh, ow), spec.out_hw(h, w), "depthwise grad_out spatial mismatch");
+    let k = spec.kernel;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight = Tensor::zeros(&[c, k * k]);
+    let id = input.data();
+    let wd = weight.data();
+    let gd = grad_out.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let wrow = &wd[ch * k * k..(ch + 1) * k * k];
+            let ibase = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[obase + oy * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let ii = ibase + iy as usize * w + ix as usize;
+                            grad_weight.data_mut()[ch * k * k + ky * k + kx] += g * id[ii];
+                            grad_input.data_mut()[ii] += g * wrow[ky * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Bias gradient is the per-channel sum of grad_out.
+    let mut grad_bias = Tensor::zeros(&[c]);
+    for img in 0..n {
+        for ch in 0..c {
+            let obase = (img * c + ch) * oh * ow;
+            grad_bias.data_mut()[ch] += gd[obase..obase + oh * ow].iter().sum::<f32>();
+        }
+    }
+    (grad_input, grad_weight, grad_bias)
+}
+
+fn check_weights(weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec, in_c: usize) {
+    assert_eq!(spec.in_channels, in_c, "input channels do not match spec");
+    let expect = Shape::new(&[
+        spec.out_channels,
+        spec.in_channels * spec.kernel * spec.kernel,
+    ]);
+    assert_eq!(
+        weight.shape(),
+        &expect,
+        "conv weight shape {} does not match spec {expect}",
+        weight.shape()
+    );
+    assert_eq!(
+        bias.len(),
+        spec.out_channels,
+        "conv bias length {} does not match {} output channels",
+        bias.len(),
+        spec.out_channels
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_hw_matches_formula() {
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        assert_eq!(spec.out_hw(8, 8), (8, 8));
+        let spec = Conv2dSpec::new(1, 1, 3, 2, 1);
+        assert_eq!(spec.out_hw(8, 8), (4, 4));
+        let spec = Conv2dSpec::new(1, 1, 2, 2, 0);
+        assert_eq!(spec.out_hw(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn conv_identity_kernel_reproduces_input() {
+        // 3x3 kernel with a single 1 in the center, padding 1 => identity.
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        let mut w = Tensor::zeros(&[1, 9]);
+        w.data_mut()[4] = 1.0;
+        let b = Tensor::zeros(&[1]);
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_sums_box_filter() {
+        // All-ones 2x2 kernel stride 2 on an all-ones image => every output 4.
+        let spec = Conv2dSpec::new(1, 1, 2, 2, 0);
+        let w = Tensor::ones(&[1, 4]);
+        let b = Tensor::zeros(&[1]);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert!(y.data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv_bias_offsets_every_output() {
+        let spec = Conv2dSpec::new(1, 2, 1, 1, 0);
+        let w = Tensor::from_vec(vec![1.0, -1.0], &[2, 1]).unwrap();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(&y.data()[0..4], &[11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(&y.data()[4..8], &[19.0, 18.0, 17.0, 16.0]);
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let x = crate::init::normal(&mut rng, &[1, 2, 5, 5], 0.0, 1.0);
+        let w = crate::init::normal(&mut rng, &[3, 18], 0.0, 0.5);
+        let b = crate::init::normal(&mut rng, &[3], 0.0, 0.5);
+        let g = crate::init::normal(&mut rng, &[1, 3, 5, 5], 0.0, 1.0);
+
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(x, w, b, &spec)
+                .data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(&y, &gg)| y * gg)
+                .sum()
+        };
+
+        let (gx, gw, gb) = conv2d_backward(&x, &w, &g, &spec);
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 0.05, "gx[{i}] {num} vs {}", gx.data()[i]);
+        }
+        for i in (0..w.len()).step_by(5) {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 0.05, "gw[{i}] {num} vs {}", gw.data()[i]);
+        }
+        for i in 0..b.len() {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((num - gb.data()[i]).abs() < 0.05, "gb[{i}] {num} vs {}", gb.data()[i]);
+        }
+    }
+
+    #[test]
+    fn dwconv_applies_per_channel_filters() {
+        let spec = Conv2dSpec::new(2, 2, 1, 1, 0);
+        let w = Tensor::from_vec(vec![2.0, 3.0], &[2, 1]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[1, 2, 1, 2]).unwrap();
+        let y = dwconv2d(&x, &w, &b, &spec);
+        assert_eq!(y.data(), &[2.0, 4.0, 31.0, 61.0]);
+    }
+
+    #[test]
+    fn dwconv_backward_matches_finite_differences() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(13);
+        let spec = Conv2dSpec::new(3, 3, 3, 1, 1);
+        let x = crate::init::normal(&mut rng, &[2, 3, 4, 4], 0.0, 1.0);
+        let w = crate::init::normal(&mut rng, &[3, 9], 0.0, 0.5);
+        let b = crate::init::normal(&mut rng, &[3], 0.0, 0.5);
+        let g = crate::init::normal(&mut rng, &[2, 3, 4, 4], 0.0, 1.0);
+
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            dwconv2d(x, w, b, &spec)
+                .data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(&y, &gg)| y * gg)
+                .sum()
+        };
+
+        let (gx, gw, gb) = dwconv2d_backward(&x, &w, &g, &spec);
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 0.05);
+        }
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 0.05);
+        }
+        for i in 0..b.len() {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((num - gb.data()[i]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn mac_count_matches_dense_formula() {
+        let spec = Conv2dSpec::new(3, 16, 3, 1, 1);
+        assert_eq!(spec.mac_count(32, 32), (16 * 3 * 9 * 32 * 32) as u64);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dense matrix products and the fully-connected layer kernel.
+
+use crate::Tensor;
+
+/// Matrix product `a[m,k] · b[k,n] -> [m,n]`.
+///
+/// Uses the cache-friendly i-k-j loop order so the inner loop streams over
+/// contiguous rows of `b` and the output.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "matmul lhs");
+    let (kb, n) = mat_dims(b, "matmul rhs");
+    assert_eq!(k, kb, "matmul inner dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut od[i * n..(i + 1) * n];
+        for (kk, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    out
+}
+
+/// Matrix product with the left operand transposed: `aᵀ[k,m]ᵀ · b[k,n] -> [m,n]`.
+///
+/// `a` is given as `[k, m]`; the product computed is `transpose(a) · b`.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or their leading dimensions differ.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "matmul_at lhs");
+    let (kb, n) = mat_dims(b, "matmul_at rhs");
+    assert_eq!(k, kb, "matmul_at leading dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for kk in 0..k {
+        let arow = &ad[kk * m..(kk + 1) * m];
+        let brow = &bd[kk * n..(kk + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    out
+}
+
+/// Matrix product with the right operand transposed: `a[m,k] · bᵀ[n,k]ᵀ -> [m,n]`.
+///
+/// `b` is given as `[n, k]`; the product computed is `a · transpose(b)`.
+///
+/// # Panics
+///
+/// Panics if the operands are not rank-2 or their trailing dimensions differ.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "matmul_bt lhs");
+    let (n, kb) = mat_dims(b, "matmul_bt rhs");
+    assert_eq!(k, kb, "matmul_bt trailing dimensions differ: {k} vs {kb}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            od[i * n + j] = dot(arow, brow);
+        }
+    }
+    out
+}
+
+/// Fully-connected layer: `x[n, in] · wᵀ[out, in]ᵀ + bias -> [n, out]`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn linear(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    let (out_f, in_f) = mat_dims(weight, "linear weight");
+    assert_eq!(
+        bias.len(),
+        out_f,
+        "linear bias length {} does not match {out_f} outputs",
+        bias.len()
+    );
+    let (n, xin) = mat_dims(x, "linear input");
+    assert_eq!(xin, in_f, "linear input features {xin} vs weight {in_f}");
+    let mut out = matmul_bt(x, weight);
+    let od = out.data_mut();
+    let bd = bias.data();
+    for row in 0..n {
+        for (o, &b) in od[row * out_f..(row + 1) * out_f].iter_mut().zip(bd) {
+            *o += b;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`linear`].
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` given the stored input and
+/// the gradient of the loss with respect to the output.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn linear_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let (out_f, _in_f) = mat_dims(weight, "linear weight");
+    let (n, gout) = mat_dims(grad_out, "linear grad_out");
+    assert_eq!(gout, out_f, "grad_out features {gout} vs weight {out_f}");
+    // dX = dY · W ; dW = dYᵀ · X ; db = column-sum of dY
+    let grad_input = matmul(grad_out, weight);
+    let grad_weight = matmul_at(grad_out, x);
+    let mut grad_bias = Tensor::zeros(&[out_f]);
+    let gb = grad_bias.data_mut();
+    let gd = grad_out.data();
+    for row in 0..n {
+        for (b, &g) in gb.iter_mut().zip(&gd[row * out_f..(row + 1) * out_f]) {
+            *b += g;
+        }
+    }
+    (grad_input, grad_weight, grad_bias)
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+fn mat_dims(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank-2, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).expect("test tensor")
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_plain_matmul() {
+        let a = t(&[1.0, -2.0, 0.5, 3.0, 4.0, -1.0], &[2, 3]);
+        let b = t(&[2.0, 1.0, 0.0, -1.0, 1.5, 2.5], &[3, 2]);
+        let c = matmul(&a, &b);
+
+        // aᵀ stored as [3,2] -> matmul_at should reproduce c.
+        let a_t = t(&[1.0, 3.0, -2.0, 4.0, 0.5, -1.0], &[3, 2]);
+        assert_eq!(matmul_at(&a_t, &b).data(), c.data());
+
+        // bᵀ stored as [2,3] -> matmul_bt should reproduce c.
+        let b_t = t(&[2.0, 0.0, 1.5, 1.0, -1.0, 2.5], &[2, 3]);
+        assert_eq!(matmul_bt(&a, &b_t).data(), c.data());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(matmul(&a, &Tensor::eye(2)).data(), a.data());
+        assert_eq!(matmul(&Tensor::eye(2), &a).data(), a.data());
+    }
+
+    #[test]
+    fn linear_adds_bias_per_output() {
+        let x = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let w = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[0.1, 0.2, 0.3], &[3]);
+        let y = linear(&x, &w, &b);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        let expect = [1.1, 3.2, 5.3, 2.1, 4.2, 6.3];
+        for (a, e) in y.data().iter().zip(expect.iter()) {
+            assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_differences() {
+        let x = t(&[0.5, -1.0, 2.0, 0.25, 1.5, -0.75], &[2, 3]);
+        let w = t(&[0.1, -0.2, 0.3, 0.4, 0.5, -0.6], &[2, 3]);
+        let b = t(&[0.05, -0.05], &[2]);
+        let grad_out = t(&[1.0, -1.0, 0.5, 2.0], &[2, 2]);
+
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            let y = linear(x, w, b);
+            y.data()
+                .iter()
+                .zip(grad_out.data().iter())
+                .map(|(&y, &g)| y * g)
+                .sum()
+        };
+
+        let (gx, gw, gb) = linear_backward(&x, &w, &grad_out);
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-2, "gx[{i}] {num} vs {}", gx.data()[i]);
+        }
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}] {num} vs {}", gw.data()[i]);
+        }
+        for i in 0..b.len() {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((num - gb.data()[i]).abs() < 1e-2, "gb[{i}] {num} vs {}", gb.data()[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_mismatched_inner_dims() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 2]));
+    }
+}

@@ -1,0 +1,25 @@
+//! Numerical kernels: matrix multiplication, 2-D convolution, pooling, and
+//! activation functions, each with the backward pass needed for training and
+//! for gradient-based adversarial attacks.
+//!
+//! Kernels operate on [`Tensor`](crate::Tensor)s in NCHW layout (batch,
+//! channels, height, width) and are written as straightforward loops that the
+//! compiler auto-vectorizes; at the micro-CNN scale of this reproduction that
+//! is fast enough for full training runs on one core.
+
+mod activation;
+mod conv;
+mod linear;
+mod pool;
+
+pub use activation::{
+    cross_entropy_with_logits, leaky_relu, leaky_relu_backward, log_softmax_rows, relu,
+    relu_backward, sigmoid, sigmoid_backward, silu, silu_backward, softmax_rows, tanh,
+    tanh_backward,
+};
+pub use conv::{conv2d, conv2d_backward, dwconv2d, dwconv2d_backward, Conv2dSpec};
+pub use linear::{linear, linear_backward, matmul, matmul_at, matmul_bt};
+pub use pool::{
+    avgpool2d, avgpool2d_backward, global_avgpool, global_avgpool_backward, maxpool2d,
+    maxpool2d_backward, MaxPoolIndices,
+};

@@ -1,0 +1,281 @@
+//! Pooling kernels: max pooling, average pooling, and global average pooling.
+
+use crate::Tensor;
+
+/// Flat argmax indices recorded by [`maxpool2d`], consumed by
+/// [`maxpool2d_backward`] to route gradients to the winning inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxPoolIndices {
+    indices: Vec<usize>,
+    input_dims: [usize; 4],
+}
+
+impl MaxPoolIndices {
+    /// The recorded winner index (into the flat input buffer) per output.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+}
+
+/// Max pooling with square window `k` and stride `s` over an NCHW batch.
+///
+/// Returns the pooled tensor and the winner indices needed for backward.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4, or `k`/`s` is zero, or the input is
+/// smaller than the window.
+pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoolIndices) {
+    assert!(k > 0 && s > 0, "pool window and stride must be positive");
+    let (n, c, h, w) = input.shape().as_nchw();
+    assert!(h >= k && w >= k, "input {h}x{w} smaller than pool window {k}");
+    let oh = (h - k) / s + 1;
+    let ow = (w - k) / s + 1;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut indices = vec![0usize; n * c * oh * ow];
+    let id = input.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let ibase = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..k {
+                        let iy = oy * s + ky;
+                        for kx in 0..k {
+                            let ix = ox * s + kx;
+                            let idx = ibase + iy * w + ix;
+                            if id[idx] > best {
+                                best = id[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    od[obase + oy * ow + ox] = best;
+                    indices[obase + oy * ow + ox] = best_idx;
+                }
+            }
+        }
+    }
+    (
+        out,
+        MaxPoolIndices {
+            indices,
+            input_dims: [n, c, h, w],
+        },
+    )
+}
+
+/// Backward pass of [`maxpool2d`]: gradients flow only to each window winner.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not match the pooling output that produced
+/// `indices`.
+pub fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        indices.indices.len(),
+        "grad_out does not match recorded pooling output"
+    );
+    let [n, c, h, w] = indices.input_dims;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_input.data_mut();
+    for (&idx, &g) in indices.indices.iter().zip(grad_out.data().iter()) {
+        gi[idx] += g;
+    }
+    grad_input
+}
+
+/// Average pooling with square window `k` and stride `s` over an NCHW batch.
+///
+/// # Panics
+///
+/// Panics on rank or size violations (see [`maxpool2d`]).
+pub fn avgpool2d(input: &Tensor, k: usize, s: usize) -> Tensor {
+    assert!(k > 0 && s > 0, "pool window and stride must be positive");
+    let (n, c, h, w) = input.shape().as_nchw();
+    assert!(h >= k && w >= k, "input {h}x{w} smaller than pool window {k}");
+    let oh = (h - k) / s + 1;
+    let ow = (w - k) / s + 1;
+    let norm = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let id = input.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let ibase = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..k {
+                        let iy = oy * s + ky;
+                        for kx in 0..k {
+                            acc += id[ibase + iy * w + ox * s + kx];
+                        }
+                    }
+                    od[obase + oy * ow + ox] = acc * norm;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of [`avgpool2d`]: spreads each gradient uniformly over its
+/// window.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is inconsistent with the given input geometry.
+pub fn avgpool2d_backward(
+    grad_out: &Tensor,
+    input_dims: (usize, usize, usize, usize),
+    k: usize,
+    s: usize,
+) -> Tensor {
+    let (n, c, h, w) = input_dims;
+    let (gn, gc, oh, ow) = grad_out.shape().as_nchw();
+    assert_eq!((gn, gc), (n, c), "grad_out batch/channel mismatch");
+    assert_eq!(((h - k) / s + 1, (w - k) / s + 1), (oh, ow), "grad_out spatial mismatch");
+    let norm = 1.0 / (k * k) as f32;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let gd = grad_out.data();
+    let gi = grad_input.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let ibase = (img * c + ch) * h * w;
+            let obase = (img * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[obase + oy * ow + ox] * norm;
+                    for ky in 0..k {
+                        let iy = oy * s + ky;
+                        for kx in 0..k {
+                            gi[ibase + iy * w + ox * s + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_input
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let plane = h * w;
+    let norm = 1.0 / plane as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    let id = input.data();
+    let od = out.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * plane;
+            od[img * c + ch] = id[base..base + plane].iter().sum::<f32>() * norm;
+        }
+    }
+    out
+}
+
+/// Backward pass of [`global_avgpool`].
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `[n, c]` for the given input geometry.
+pub fn global_avgpool_backward(
+    grad_out: &Tensor,
+    input_dims: (usize, usize, usize, usize),
+) -> Tensor {
+    let (n, c, h, w) = input_dims;
+    assert_eq!(grad_out.shape().dims(), &[n, c], "grad_out must be [n, c]");
+    let plane = h * w;
+    let norm = 1.0 / plane as f32;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let gd = grad_out.data();
+    let gi = grad_input.data_mut();
+    for img in 0..n {
+        for ch in 0..c {
+            let g = gd[img * c + ch] * norm;
+            let base = (img * c + ch) * plane;
+            for v in &mut gi[base..base + plane] {
+                *v = g;
+            }
+        }
+    }
+    grad_input
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, 1.0, 2.0, 7.0, 1.0, 0.0, 0.0, 2.0, 3.0, 1.0, 6.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, idx) = maxpool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 6.0]);
+        assert_eq!(idx.indices(), &[4, 2, 8, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_winners() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let (_, idx) = maxpool2d(&x, 2, 2);
+        let g = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let gx = maxpool2d_backward(&g, &idx);
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = avgpool2d(&x, 2, 2);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let g = Tensor::from_vec(vec![8.0], &[1, 1, 1, 1]).unwrap();
+        let gx = avgpool2d_backward(&g, (1, 1, 2, 2), 2, 2);
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avgpool_reduces_planes() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+            .unwrap();
+        let y = global_avgpool(&x);
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn global_avgpool_backward_is_uniform() {
+        let g = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let gx = global_avgpool_backward(&g, (1, 2, 2, 2));
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_shapes_with_stride() {
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let (y, _) = maxpool2d(&x, 2, 2);
+        assert_eq!(y.shape().dims(), &[2, 3, 4, 4]);
+        let y = avgpool2d(&x, 2, 2);
+        assert_eq!(y.shape().dims(), &[2, 3, 4, 4]);
+    }
+}

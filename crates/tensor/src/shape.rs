@@ -1,0 +1,204 @@
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
+///
+/// A `Shape` is a thin wrapper over a `Vec<usize>` that caches the element
+/// count and offers the indexing arithmetic used by the kernels in
+/// [`ops`](crate::ops).
+///
+/// # Example
+///
+/// ```
+/// use advhunter_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+    len: usize,
+}
+
+/// Error returned when raw data cannot be interpreted under a shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: usize,
+    actual: usize,
+    dims: Vec<usize>,
+}
+
+impl ShapeError {
+    pub(crate) fn new(dims: &[usize], actual: usize) -> Self {
+        Self {
+            expected: dims.iter().product(),
+            actual,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Number of elements the shape requires.
+    pub fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Number of elements that were provided.
+    pub fn actual(&self) -> usize {
+        self.actual
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape {:?} requires {} elements but {} were provided",
+            self.dims, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl Shape {
+    /// Creates a shape from dimension sizes, outermost first.
+    ///
+    /// A zero-rank shape describes a scalar with one element.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            len: dims.iter().product(),
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the shape holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Interprets the shape as `(channels, height, width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 3.
+    pub fn as_chw(&self) -> (usize, usize, usize) {
+        assert_eq!(self.rank(), 3, "expected CHW shape, got {self:?}");
+        (self.dims[0], self.dims[1], self.dims[2])
+    }
+
+    /// Interprets the shape as `(batch, channels, height, width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rank is not 4.
+    pub fn as_nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected NCHW shape, got {self:?}");
+        (self.dims[0], self.dims[1], self.dims[2], self.dims[3])
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self {
+            len: dims.iter().product(),
+            dims,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product_of_dims() {
+        assert_eq!(Shape::new(&[2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(&[]).len(), 1);
+        assert_eq!(Shape::new(&[5, 0]).len(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn chw_and_nchw_accessors() {
+        assert_eq!(Shape::new(&[3, 32, 32]).as_chw(), (3, 32, 32));
+        assert_eq!(Shape::new(&[8, 3, 32, 32]).as_nchw(), (8, 3, 32, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected CHW shape")]
+    fn chw_accessor_rejects_wrong_rank() {
+        Shape::new(&[3, 32]).as_chw();
+    }
+
+    #[test]
+    fn shape_error_reports_counts() {
+        let err = ShapeError::new(&[2, 3], 5);
+        assert_eq!(err.expected(), 6);
+        assert_eq!(err.actual(), 5);
+        assert!(err.to_string().contains("6 elements"));
+    }
+}

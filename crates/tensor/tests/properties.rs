@@ -1,0 +1,122 @@
+//! Property-based tests for tensor algebra invariants.
+
+use advhunter_tensor::ops::{
+    cross_entropy_with_logits, log_softmax_rows, matmul, matmul_at, matmul_bt, relu, softmax_rows,
+};
+use advhunter_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_linear_in_lhs(
+        a in small_vec(6), b in small_vec(6), c in small_vec(6), s in -3.0f32..3.0
+    ) {
+        let ta = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 3]).unwrap();
+        let tc = Tensor::from_vec(c, &[3, 2]).unwrap();
+        // (a + s*b) · c == a·c + s*(b·c)
+        let mut lhs_in = ta.clone();
+        lhs_in.add_scaled(&tb, s);
+        let lhs = matmul(&lhs_in, &tc);
+        let mut rhs = matmul(&ta, &tc);
+        rhs.add_scaled(&matmul(&tb, &tc), s);
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transposed_matmuls_are_consistent(a in small_vec(8), b in small_vec(12)) {
+        // a: [2,4], b: [4,3]
+        let ta = Tensor::from_vec(a, &[2, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[4, 3]).unwrap();
+        let c = matmul(&ta, &tb);
+
+        // Build explicit transposes and verify matmul_at / matmul_bt agree.
+        let mut at = Tensor::zeros(&[4, 2]);
+        for i in 0..2 {
+            for j in 0..4 {
+                at.set(&[j, i], ta.at(&[i, j]));
+            }
+        }
+        let mut bt = Tensor::zeros(&[3, 4]);
+        for i in 0..4 {
+            for j in 0..3 {
+                bt.set(&[j, i], tb.at(&[i, j]));
+            }
+        }
+        let via_at = matmul_at(&at, &tb);
+        let via_bt = matmul_bt(&ta, &bt);
+        for ((x, y), z) in c.data().iter().zip(via_at.data()).zip(via_bt.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+            prop_assert!((x - z).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_vectors(v in small_vec(12)) {
+        let t = Tensor::from_vec(v, &[3, 4]).unwrap();
+        let y = softmax_rows(&t);
+        for row in 0..3 {
+            let r = &y.data()[row * 4..(row + 1) * 4];
+            let sum: f32 = r.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(r.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_shift_invariant(v in small_vec(5), shift in -50.0f32..50.0) {
+        let t = Tensor::from_vec(v.clone(), &[1, 5]).unwrap();
+        let shifted = Tensor::from_vec(v.iter().map(|x| x + shift).collect(), &[1, 5]).unwrap();
+        let a = log_softmax_rows(&t);
+        let b = log_softmax_rows(&shifted);
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(v in small_vec(8), label in 0usize..4) {
+        let t = Tensor::from_vec(v, &[2, 4]).unwrap();
+        let (loss, grad) = cross_entropy_with_logits(&t, &[label, (label + 1) % 4]);
+        prop_assert!(loss >= -1e-6);
+        // Each row of the gradient sums to zero (softmax minus one-hot).
+        for row in 0..2 {
+            let s: f32 = grad.data()[row * 4..(row + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_monotone(v in small_vec(16)) {
+        let t = Tensor::from_vec(v, &[16]).unwrap();
+        let once = relu(&t);
+        let twice = relu(&once);
+        prop_assert_eq!(once.data(), twice.data());
+        prop_assert!(once.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn stack_then_image_round_trips(v in small_vec(8), w in small_vec(8)) {
+        let a = Tensor::from_vec(v, &[2, 2, 2]).unwrap();
+        let b = Tensor::from_vec(w, &[2, 2, 2]).unwrap();
+        let batch = Tensor::stack(&[a.clone(), b.clone()]);
+        prop_assert_eq!(batch.image(0), a);
+        prop_assert_eq!(batch.image(1), b);
+    }
+
+    #[test]
+    fn l2_norm_satisfies_triangle_inequality(v in small_vec(8), w in small_vec(8)) {
+        let a = Tensor::from_vec(v, &[8]).unwrap();
+        let b = Tensor::from_vec(w, &[8]).unwrap();
+        let sum = &a + &b;
+        prop_assert!(sum.l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-4);
+    }
+}

@@ -1,0 +1,407 @@
+//! A set-associative, write-back, write-allocate cache with LRU replacement.
+
+use crate::LINE_BYTES;
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data or instruction read.
+    Read,
+    /// Data write (write-allocate: misses fill the line first).
+    Write,
+}
+
+/// Victim-selection policy of a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way (the default; what the paper-era
+    /// Intel parts approximate).
+    #[default]
+    Lru,
+    /// Evict the oldest-inserted way regardless of use (FIFO), as some
+    /// embedded and older parts do.
+    Fifo,
+}
+
+/// Geometry of one cache level.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_uarch::CacheConfig;
+///
+/// let l1 = CacheConfig::new(32 * 1024, 8);
+/// assert_eq!(l1.num_sets(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    ways: usize,
+    policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Creates a configuration for a cache of `size_bytes` with `ways`
+    /// associativity, LRU replacement, and the global 64-byte line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the resulting set count is a positive power of two.
+    pub fn new(size_bytes: u64, ways: usize) -> Self {
+        Self::with_policy(size_bytes, ways, ReplacementPolicy::Lru)
+    }
+
+    /// Like [`new`](Self::new) with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the resulting set count is a positive power of two.
+    pub fn with_policy(size_bytes: u64, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(ways > 0, "associativity must be positive");
+        assert!(
+            size_bytes % (LINE_BYTES * ways as u64) == 0,
+            "size must be a multiple of ways * line size"
+        );
+        let sets = size_bytes / (LINE_BYTES * ways as u64);
+        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two, got {sets}");
+        Self { size_bytes, ways, policy }
+    }
+
+    /// The replacement policy.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (LINE_BYTES * self.ways as u64)
+    }
+}
+
+/// What an access displaced, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// Nothing was displaced (hit, or fill into an empty way).
+    None,
+    /// A clean line was silently dropped.
+    Clean,
+    /// A dirty line must be written back; its base address is given.
+    Dirty(u64),
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub read_accesses: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write accesses.
+    pub write_accesses: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// All accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_accesses + self.write_accesses
+    }
+
+    /// All misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Miss ratio in `[0, 1]`, or 0 if there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    inserted_at: u64,
+}
+
+/// One level of set-associative cache.
+///
+/// Addresses are byte addresses; the cache operates on 64-byte lines.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_uarch::{AccessKind, Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2));
+/// assert!(!c.access(0x40, AccessKind::Read).0); // cold miss
+/// assert!(c.access(0x40, AccessKind::Read).0);  // now a hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let total = (config.num_sets() as usize) * config.ways();
+        Self {
+            config,
+            lines: vec![Line::default(); total],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Invalidates every line and clears statistics.
+    pub fn reset(&mut self) {
+        self.lines.fill(Line::default());
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+
+    /// Performs one access; returns `(hit, eviction)`.
+    ///
+    /// A miss allocates the line (write-allocate for writes) and may evict
+    /// the LRU line of the set; if that line was dirty its base address is
+    /// reported so the caller can write it back to the next level.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> (bool, Eviction) {
+        self.clock += 1;
+        let line_addr = addr / LINE_BYTES;
+        let sets = self.config.num_sets();
+        let set = (line_addr % sets) as usize;
+        let tag = line_addr / sets;
+        let ways = self.config.ways();
+        let base = set * ways;
+
+        match kind {
+            AccessKind::Read => self.stats.read_accesses += 1,
+            AccessKind::Write => self.stats.write_accesses += 1,
+        }
+
+        // Hit path.
+        for w in 0..ways {
+            let line = &mut self.lines[base + w];
+            if line.valid && line.tag == tag {
+                line.last_use = self.clock;
+                if kind == AccessKind::Write {
+                    line.dirty = true;
+                }
+                return (true, Eviction::None);
+            }
+        }
+
+        // Miss: count, then fill (write-allocate).
+        match kind {
+            AccessKind::Read => self.stats.read_misses += 1,
+            AccessKind::Write => self.stats.write_misses += 1,
+        }
+
+        // Victim: first invalid way, else LRU.
+        let mut victim = 0;
+        let mut found_invalid = false;
+        for w in 0..ways {
+            if !self.lines[base + w].valid {
+                victim = w;
+                found_invalid = true;
+                break;
+            }
+        }
+        if !found_invalid {
+            let mut oldest = u64::MAX;
+            for w in 0..ways {
+                let age = match self.config.policy {
+                    ReplacementPolicy::Lru => self.lines[base + w].last_use,
+                    ReplacementPolicy::Fifo => self.lines[base + w].inserted_at,
+                };
+                if age < oldest {
+                    oldest = age;
+                    victim = w;
+                }
+            }
+        }
+
+        let evicted = {
+            let line = &self.lines[base + victim];
+            if !line.valid {
+                Eviction::None
+            } else if line.dirty {
+                self.stats.writebacks += 1;
+                let victim_line_addr = line.tag * sets + set as u64;
+                Eviction::Dirty(victim_line_addr * LINE_BYTES)
+            } else {
+                Eviction::Clean
+            }
+        };
+
+        self.lines[base + victim] = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            last_use: self.clock,
+            inserted_at: self.clock,
+        };
+        (false, evicted)
+    }
+
+    /// Number of currently valid lines (useful for occupancy assertions).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64B = 256B.
+        Cache::new(CacheConfig::new(256, 2))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let cfg = CacheConfig::new(32 * 1024, 8);
+        assert_eq!(cfg.num_sets(), 64);
+        assert_eq!(cfg.ways(), 8);
+        assert_eq!(cfg.size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn config_rejects_non_power_of_two_sets() {
+        CacheConfig::new(3 * 64 * 2, 2); // 3 sets
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, AccessKind::Read), (false, Eviction::None));
+        assert_eq!(c.access(0, AccessKind::Read), (true, Eviction::None));
+        assert_eq!(c.access(63, AccessKind::Read), (true, Eviction::None), "same line");
+        assert_eq!(c.access(64, AccessKind::Read), (false, Eviction::None), "next line");
+        assert_eq!(c.stats().read_accesses, 4);
+        assert_eq!(c.stats().read_misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny(); // 2 sets; lines 0, 2, 4 map to set 0 (line_addr % 2 == 0)
+        c.access(0 * 64, AccessKind::Read); // set0 way0
+        c.access(2 * 64, AccessKind::Read); // set0 way1
+        c.access(0 * 64, AccessKind::Read); // touch line0 -> line2 is LRU
+        let (hit, ev) = c.access(4 * 64, AccessKind::Read); // evicts line2
+        assert!(!hit);
+        assert_eq!(ev, Eviction::Clean);
+        assert_eq!(c.access(0 * 64, AccessKind::Read).0, true, "line0 survived");
+        assert_eq!(c.access(2 * 64, AccessKind::Read).0, false, "line2 evicted");
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion_even_if_recently_used() {
+        // 2 sets x 2 ways; lines 0, 2, 4 map to set 0.
+        let mut c = Cache::new(CacheConfig::with_policy(256, 2, ReplacementPolicy::Fifo));
+        c.access(0, AccessKind::Read); // insert line 0
+        c.access(2 * 64, AccessKind::Read); // insert line 2
+        c.access(0, AccessKind::Read); // touch line 0 (FIFO ignores this)
+        c.access(4 * 64, AccessKind::Read); // must evict line 0 (oldest insert)
+        assert!(!c.access(0, AccessKind::Read).0, "line 0 was evicted under FIFO");
+        // Under LRU the same sequence would keep line 0 (see
+        // lru_evicts_least_recently_used above).
+    }
+
+    #[test]
+    fn policies_differ_only_in_victim_choice() {
+        let mut lru = Cache::new(CacheConfig::new(256, 2));
+        let mut fifo = Cache::new(CacheConfig::with_policy(256, 2, ReplacementPolicy::Fifo));
+        // A streaming pattern with no reuse: identical stats either way.
+        for i in 0..64u64 {
+            lru.access(i * 64, AccessKind::Read);
+            fifo.access(i * 64, AccessKind::Read);
+        }
+        assert_eq!(lru.stats(), fifo.stats());
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write); // dirty line 0 in set 0
+        c.access(2 * 64, AccessKind::Read); // fills way 1
+        let (_, ev) = c.access(4 * 64, AccessKind::Read); // evicts dirty line 0
+        assert_eq!(ev, Eviction::Dirty(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_allocate_fills_on_write_miss() {
+        let mut c = tiny();
+        assert_eq!(c.access(128, AccessKind::Write).0, false);
+        assert_eq!(c.stats().write_misses, 1);
+        assert_eq!(c.access(128, AccessKind::Read).0, true, "write allocated the line");
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = tiny();
+        c.access(0, AccessKind::Write);
+        c.reset();
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(c.stats(), &CacheStats::default());
+        assert_eq!(c.access(0, AccessKind::Read).0, false);
+    }
+
+    #[test]
+    fn miss_rate_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        for i in 0..100u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        let mr = c.stats().miss_rate();
+        assert!((0.0..=1.0).contains(&mr));
+        assert_eq!(mr, 1.0, "streaming over 100 distinct lines in a 4-line cache");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = tiny();
+        for i in 0..32u64 {
+            c.access(i * 64, AccessKind::Read);
+        }
+        assert_eq!(c.valid_lines(), 4, "2 sets x 2 ways");
+    }
+}

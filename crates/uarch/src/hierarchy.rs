@@ -1,0 +1,332 @@
+//! The three-cache memory hierarchy and its perf-event bookkeeping.
+
+use crate::cache::{AccessKind, Cache, CacheConfig, Eviction};
+use crate::events::{HpcCounts, HpcEvent};
+use crate::prefetch::{NextLinePrefetcher, PrefetchConfig};
+
+/// Sizing of the simulated machine.
+///
+/// The default models a scaled-down desktop part: 32 KiB / 8-way L1 caches
+/// and a 512 KiB / 8-way unified LLC. The LLC is deliberately smaller than a
+/// real i7-9700's 12 MiB because the micro-CNNs' weights are correspondingly
+/// smaller than real EfficientNet/ResNet/DenseNet weights — what matters for
+/// reproducing the paper is the *ratio* of model working set to LLC
+/// capacity, which makes LLC miss counts sensitive to exactly which weight
+/// lines an input's activation pattern touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified last-level cache geometry.
+    pub llc: CacheConfig,
+    /// log2 of the branch predictor table size.
+    pub predictor_log2_entries: u32,
+    /// Hardware prefetcher configuration (disabled by default; its
+    /// statistical effect is part of the calibrated noise model).
+    pub prefetch: PrefetchConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            l1i: CacheConfig::new(32 * 1024, 8),
+            l1d: CacheConfig::new(32 * 1024, 8),
+            llc: CacheConfig::new(512 * 1024, 8),
+            predictor_log2_entries: 12,
+            prefetch: PrefetchConfig::default(),
+        }
+    }
+}
+
+/// Per-level statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1d load accesses / misses.
+    pub l1d_loads: u64,
+    /// L1d load misses.
+    pub l1d_load_misses: u64,
+    /// L1d store accesses.
+    pub l1d_stores: u64,
+    /// L1d store misses.
+    pub l1d_store_misses: u64,
+    /// L1i fetch accesses.
+    pub l1i_fetches: u64,
+    /// L1i fetch misses.
+    pub l1i_fetch_misses: u64,
+    /// LLC load accesses (L1 read misses + instruction misses).
+    pub llc_loads: u64,
+    /// LLC load misses.
+    pub llc_load_misses: u64,
+    /// LLC store accesses (write-allocating store misses + L1 writebacks).
+    pub llc_stores: u64,
+    /// LLC store misses.
+    pub llc_store_misses: u64,
+}
+
+impl HierarchyStats {
+    /// Total LLC references (`perf` `cache-references`).
+    pub fn llc_references(&self) -> u64 {
+        self.llc_loads + self.llc_stores
+    }
+
+    /// Total LLC misses (`perf` `cache-misses`).
+    pub fn llc_misses(&self) -> u64 {
+        self.llc_load_misses + self.llc_store_misses
+    }
+}
+
+/// L1i + L1d backed by a unified LLC, with write-back/write-allocate
+/// semantics and the event accounting `perf` exposes on Intel parts.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_uarch::{MachineConfig, MemoryHierarchy};
+///
+/// let mut mem = MemoryHierarchy::new(MachineConfig::default());
+/// mem.load(0x0);
+/// mem.load(0x0);
+/// assert_eq!(mem.stats().l1d_loads, 2);
+/// assert_eq!(mem.stats().l1d_load_misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    llc: Cache,
+    prefetcher: NextLinePrefetcher,
+    stats: HierarchyStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates cold caches.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            llc: Cache::new(config.llc),
+            prefetcher: NextLinePrefetcher::new(config.prefetch),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Invalidates all caches and clears statistics.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.llc.reset();
+        self.prefetcher.reset();
+        self.stats = HierarchyStats::default();
+    }
+
+    /// Data load at byte address `addr`.
+    pub fn load(&mut self, addr: u64) {
+        self.stats.l1d_loads += 1;
+        let (hit, ev) = self.l1d.access(addr, AccessKind::Read);
+        if !hit {
+            self.stats.l1d_load_misses += 1;
+            self.llc_load(addr);
+        }
+        self.handle_l1_eviction(ev);
+        // Stream prefetches fill the LLC and count as references, like the
+        // hardware streamers on real parts.
+        for pf_addr in self.prefetcher.observe(addr) {
+            self.llc_load(pf_addr);
+        }
+    }
+
+    /// Data store at byte address `addr` (write-allocate in L1d).
+    pub fn store(&mut self, addr: u64) {
+        self.stats.l1d_stores += 1;
+        let (hit, ev) = self.l1d.access(addr, AccessKind::Write);
+        if !hit {
+            self.stats.l1d_store_misses += 1;
+            // The allocating fill reaches the LLC as a store-class access
+            // (read-for-ownership), which is what LLC-store events count.
+            self.llc_store(addr);
+        }
+        self.handle_l1_eviction(ev);
+    }
+
+    /// Instruction fetch at byte address `addr`.
+    pub fn fetch(&mut self, addr: u64) {
+        self.stats.l1i_fetches += 1;
+        let (hit, ev) = self.l1i.access(addr, AccessKind::Read);
+        if !hit {
+            self.stats.l1i_fetch_misses += 1;
+            self.llc_load(addr);
+        }
+        // Instruction lines are never dirty; clean evictions are silent.
+        debug_assert!(!matches!(ev, Eviction::Dirty(_)));
+    }
+
+    fn llc_load(&mut self, addr: u64) {
+        self.stats.llc_loads += 1;
+        let (hit, ev) = self.llc.access(addr, AccessKind::Read);
+        if !hit {
+            self.stats.llc_load_misses += 1;
+        }
+        // LLC dirty evictions go to DRAM; nothing further to model.
+        let _ = ev;
+    }
+
+    fn llc_store(&mut self, addr: u64) {
+        self.stats.llc_stores += 1;
+        let (hit, ev) = self.llc.access(addr, AccessKind::Write);
+        if !hit {
+            self.stats.llc_store_misses += 1;
+        }
+        let _ = ev;
+    }
+
+    fn handle_l1_eviction(&mut self, ev: Eviction) {
+        if let Eviction::Dirty(victim_addr) = ev {
+            // Write-back of a dirty L1 line is an LLC store.
+            self.llc_store(victim_addr);
+        }
+    }
+
+    /// Copies the cache-side event values into an [`HpcCounts`].
+    pub fn fill_counts(&self, counts: &mut HpcCounts) {
+        counts.set(HpcEvent::CacheReferences, self.stats.llc_references());
+        counts.set(HpcEvent::CacheMisses, self.stats.llc_misses());
+        counts.set(HpcEvent::L1dLoadMisses, self.stats.l1d_load_misses);
+        counts.set(HpcEvent::L1iLoadMisses, self.stats.l1i_fetch_misses);
+        counts.set(HpcEvent::LlcLoadMisses, self.stats.llc_load_misses);
+        counts.set(HpcEvent::LlcStoreMisses, self.stats.llc_store_misses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_machine() -> MemoryHierarchy {
+        MemoryHierarchy::new(MachineConfig {
+            l1i: CacheConfig::new(1024, 2),
+            l1d: CacheConfig::new(1024, 2),
+            llc: CacheConfig::new(4096, 4),
+            predictor_log2_entries: 8,
+            prefetch: PrefetchConfig::default(),
+        })
+    }
+
+    #[test]
+    fn load_miss_propagates_to_llc() {
+        let mut m = small_machine();
+        m.load(0);
+        assert_eq!(m.stats().l1d_load_misses, 1);
+        assert_eq!(m.stats().llc_loads, 1);
+        assert_eq!(m.stats().llc_load_misses, 1);
+        m.load(0);
+        assert_eq!(m.stats().l1d_loads, 2);
+        assert_eq!(m.stats().llc_loads, 1, "L1 hit does not reach LLC");
+    }
+
+    #[test]
+    fn l1_miss_llc_hit_is_not_an_llc_miss() {
+        let mut m = small_machine();
+        // Touch enough lines to evict line 0 from tiny L1d (8 lines) but not
+        // from the LLC (64 lines).
+        m.load(0);
+        for i in 1..32u64 {
+            m.load(i * 64);
+        }
+        let before = m.stats().llc_load_misses;
+        m.load(0);
+        assert_eq!(m.stats().llc_load_misses, before, "LLC still holds line 0");
+        assert!(m.stats().l1d_load_misses >= 2);
+    }
+
+    #[test]
+    fn store_miss_counts_as_llc_store() {
+        let mut m = small_machine();
+        m.store(128);
+        assert_eq!(m.stats().l1d_store_misses, 1);
+        assert_eq!(m.stats().llc_stores, 1);
+        assert_eq!(m.stats().llc_store_misses, 1);
+    }
+
+    #[test]
+    fn dirty_writeback_reaches_llc_as_store() {
+        let mut m = small_machine();
+        // Dirty line 0 (set 0), then force its eviction from L1d by loading
+        // two more lines of the same set (2-way, 8 sets => stride 8 lines).
+        m.store(0);
+        m.load(8 * 64);
+        let stores_before = m.stats().llc_stores;
+        m.load(16 * 64);
+        assert_eq!(m.stats().llc_stores, stores_before + 1, "write-back of line 0");
+    }
+
+    #[test]
+    fn instruction_fetches_use_l1i() {
+        let mut m = small_machine();
+        m.fetch(0x7000);
+        m.fetch(0x7000);
+        assert_eq!(m.stats().l1i_fetches, 2);
+        assert_eq!(m.stats().l1i_fetch_misses, 1);
+        assert_eq!(m.stats().l1d_loads, 0);
+    }
+
+    #[test]
+    fn counts_projection_is_consistent() {
+        let mut m = small_machine();
+        for i in 0..100u64 {
+            m.load(i * 64);
+            if i % 3 == 0 {
+                m.store(i * 64 + 32 * 1024);
+            }
+            m.fetch(0x100000 + (i % 4) * 64);
+        }
+        let mut counts = HpcCounts::default();
+        m.fill_counts(&mut counts);
+        assert_eq!(
+            counts.get(HpcEvent::CacheReferences),
+            m.stats().llc_references()
+        );
+        assert_eq!(counts.get(HpcEvent::CacheMisses), m.stats().llc_misses());
+        assert!(counts.get(HpcEvent::CacheMisses) <= counts.get(HpcEvent::CacheReferences));
+        assert_eq!(
+            counts.get(HpcEvent::CacheMisses),
+            counts.get(HpcEvent::LlcLoadMisses) + counts.get(HpcEvent::LlcStoreMisses)
+        );
+    }
+
+    #[test]
+    fn prefetcher_inflates_references_on_streams() {
+        let cfg_off = MachineConfig::default();
+        let mut cfg_on = MachineConfig::default();
+        cfg_on.prefetch = PrefetchConfig::aggressive();
+        let mut off = MemoryHierarchy::new(cfg_off);
+        let mut on = MemoryHierarchy::new(cfg_on);
+        for i in 0..256u64 {
+            off.load(i * 64);
+            on.load(i * 64);
+        }
+        assert!(
+            on.stats().llc_references() > off.stats().llc_references(),
+            "streaming loads must trigger prefetch traffic: {} vs {}",
+            on.stats().llc_references(),
+            off.stats().llc_references()
+        );
+        assert_eq!(off.stats().l1d_loads, on.stats().l1d_loads, "demand loads unchanged");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = small_machine();
+        m.load(0);
+        m.store(64);
+        m.fetch(128);
+        m.reset();
+        assert_eq!(m.stats(), &HierarchyStats::default());
+    }
+}

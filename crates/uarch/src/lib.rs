@@ -1,0 +1,53 @@
+//! A microarchitecture simulator standing in for the Intel i7-9700 the paper
+//! measured with `perf`.
+//!
+//! The AdvHunter paper reads hardware performance counters (HPCs) during DNN
+//! inference. This crate provides the simulated hardware those counters
+//! observe:
+//!
+//! * [`Cache`] — a set-associative, write-back, write-allocate cache with
+//!   LRU replacement.
+//! * [`MemoryHierarchy`] — L1 instruction + L1 data caches backed by a
+//!   unified last-level cache, with the event bookkeeping `perf` exposes
+//!   (`cache-references`/`cache-misses` map to LLC accesses/misses, exactly
+//!   as Intel's architectural events do).
+//! * [`BranchPredictor`] — a bimodal two-bit predictor for the loop and
+//!   conditional branches of the inference kernels.
+//! * [`CounterGroup`] — a `perf_event_open`-flavoured façade: program a set
+//!   of [`HpcEvent`]s, run work, read back an [`HpcCounts`] snapshot.
+//! * [`NoiseModel`] — measurement noise from background processes, with the
+//!   paper's `R`-repeat averaging (§5.2).
+//!
+//! # Example
+//!
+//! ```
+//! use advhunter_uarch::{CounterGroup, HpcEvent, MachineConfig};
+//!
+//! let mut group = CounterGroup::new(MachineConfig::default());
+//! group.enable();
+//! group.load(0x1000);          // cold miss walks to DRAM
+//! group.load(0x1000);          // hit in L1d
+//! group.disable();
+//! let counts = group.read();
+//! assert_eq!(counts.get(HpcEvent::CacheReferences), 1);
+//! assert_eq!(counts.get(HpcEvent::CacheMisses), 1);
+//! ```
+
+mod branch;
+mod cache;
+mod counters;
+mod events;
+mod hierarchy;
+mod noise;
+mod prefetch;
+
+pub use branch::{BranchOutcome, BranchPredictor};
+pub use cache::{AccessKind, Cache, CacheConfig, CacheStats, Eviction, ReplacementPolicy};
+pub use counters::CounterGroup;
+pub use events::{HpcCounts, HpcEvent, HpcSample};
+pub use hierarchy::{HierarchyStats, MachineConfig, MemoryHierarchy};
+pub use noise::{NoiseModel, Sampler};
+pub use prefetch::{NextLinePrefetcher, PrefetchConfig};
+
+/// Cache line size used throughout the simulator, in bytes.
+pub const LINE_BYTES: u64 = 64;

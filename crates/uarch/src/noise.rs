@@ -1,0 +1,231 @@
+//! Measurement noise from background processes, and `R`-repeat sampling.
+//!
+//! On real hardware, HPC readings of the same program vary run to run:
+//! interrupts, other processes, and counter multiplexing perturb every
+//! event. The paper mitigates this by repeating each measurement `R = 10`
+//! times and averaging (§5.2). Here the true counts come from a
+//! deterministic simulation, so the run-to-run variation is modelled
+//! explicitly: each reading gets multiplicative jitter (proportional to the
+//! count, modelling time-share dilation) plus additive background activity.
+
+use rand::Rng;
+
+use crate::events::{HpcCounts, HpcEvent, HpcSample};
+
+/// Stochastic model of HPC measurement noise.
+///
+/// # Example
+///
+/// ```
+/// use advhunter_uarch::{HpcCounts, HpcEvent, NoiseModel};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut truth = HpcCounts::default();
+/// truth.set(HpcEvent::CacheMisses, 10_000);
+/// let noisy = NoiseModel::default().measure(&truth, &mut rng);
+/// let v = noisy.get(HpcEvent::CacheMisses);
+/// assert!(v > 8_000.0 && v < 12_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Global multiplier on the per-event relative sigmas
+    /// ([`event_sigma`](Self::event_sigma)); 1.0 = calibrated defaults,
+    /// 0.0 = no multiplicative jitter.
+    pub sigma_scale: f64,
+    /// Mean additive background count, per event, scaled by
+    /// [`background_weights`](Self::background_weights).
+    pub background_mean: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self {
+            sigma_scale: 1.0,
+            background_mean: 50.0,
+        }
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model, useful for tests.
+    pub fn noiseless() -> Self {
+        Self {
+            sigma_scale: 0.0,
+            background_mean: 0.0,
+        }
+    }
+
+    /// Per-event relative standard deviation of run-to-run jitter,
+    /// calibrated to how the events behave on real hardware: events fed by
+    /// speculative and prefetch traffic (`cache-references`,
+    /// `L1-dcache-load-misses`, `LLC-store-misses`) fluctuate far more than
+    /// retirement-side counts, and demand-miss counts (`cache-misses`,
+    /// `LLC-load-misses`) sit in between.
+    pub fn event_sigma(event: HpcEvent) -> f64 {
+        match event {
+            HpcEvent::Instructions => 0.008,
+            HpcEvent::Branches => 0.010,
+            HpcEvent::BranchMisses => 0.060,
+            HpcEvent::CacheReferences => 0.100,
+            HpcEvent::CacheMisses => 0.012,
+            HpcEvent::L1dLoadMisses => 0.070,
+            HpcEvent::L1iLoadMisses => 0.040,
+            HpcEvent::LlcLoadMisses => 0.018,
+            HpcEvent::LlcStoreMisses => 0.050,
+        }
+    }
+
+    /// Relative weight of background activity per event: busy events like
+    /// `instructions` absorb far more background counts than rare events
+    /// like `LLC-store-misses`.
+    pub fn background_weights(event: HpcEvent) -> f64 {
+        match event {
+            HpcEvent::Instructions => 40.0,
+            HpcEvent::Branches => 8.0,
+            HpcEvent::BranchMisses => 0.5,
+            HpcEvent::CacheReferences => 2.0,
+            HpcEvent::CacheMisses => 0.4,
+            HpcEvent::L1dLoadMisses => 1.5,
+            HpcEvent::L1iLoadMisses => 0.6,
+            HpcEvent::LlcLoadMisses => 0.3,
+            HpcEvent::LlcStoreMisses => 0.2,
+        }
+    }
+
+    /// Draws one noisy reading of `truth` — the paper's `e_n^{(r)}`.
+    pub fn measure(&self, truth: &HpcCounts, rng: &mut impl Rng) -> HpcSample {
+        let mut sample = HpcSample::default();
+        for event in HpcEvent::ALL {
+            let t = truth.get(event) as f64;
+            let sigma = self.sigma_scale * Self::event_sigma(event);
+            let jitter = 1.0 + sigma * standard_normal(rng);
+            let background =
+                self.background_mean * Self::background_weights(event) * rng.gen_range(0.0..2.0);
+            sample.set(event, (t * jitter + background).max(0.0));
+        }
+        sample
+    }
+
+    /// Repeats [`measure`](Self::measure) `repeats` times and averages —
+    /// the paper's `Ē_n` with `R = repeats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats == 0`.
+    pub fn measure_mean(&self, truth: &HpcCounts, repeats: usize, rng: &mut impl Rng) -> HpcSample {
+        assert!(repeats > 0, "at least one repetition required");
+        let samples: Vec<HpcSample> = (0..repeats).map(|_| self.measure(truth, rng)).collect();
+        HpcSample::mean_of(&samples)
+    }
+}
+
+/// Convenience wrapper binding a [`NoiseModel`] to a repetition count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sampler {
+    /// The noise model applied to each repetition.
+    pub noise: NoiseModel,
+    /// The paper's `R`.
+    pub repeats: usize,
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Self {
+            noise: NoiseModel::default(),
+            repeats: 10,
+        }
+    }
+}
+
+impl Sampler {
+    /// Mean of `repeats` noisy readings of `truth`.
+    pub fn sample(&self, truth: &HpcCounts, rng: &mut impl Rng) -> HpcSample {
+        self.noise.measure_mean(truth, self.repeats, rng)
+    }
+}
+
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> HpcCounts {
+        let mut t = HpcCounts::default();
+        t.set(HpcEvent::Instructions, 1_000_000);
+        t.set(HpcEvent::CacheMisses, 20_000);
+        t
+    }
+
+    #[test]
+    fn noiseless_model_reproduces_truth() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = NoiseModel::noiseless().measure(&truth(), &mut rng);
+        assert_eq!(s.get(HpcEvent::Instructions), 1_000_000.0);
+        assert_eq!(s.get(HpcEvent::CacheMisses), 20_000.0);
+        assert_eq!(s.get(HpcEvent::Branches), 0.0);
+    }
+
+    #[test]
+    fn readings_are_nonnegative_and_near_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = NoiseModel::default();
+        for _ in 0..200 {
+            let s = model.measure(&truth(), &mut rng);
+            for e in HpcEvent::ALL {
+                assert!(s.get(e) >= 0.0);
+            }
+            let cm = s.get(HpcEvent::CacheMisses);
+            assert!((cm - 20_000.0).abs() < 3_000.0, "cache misses {cm}");
+        }
+    }
+
+    #[test]
+    fn averaging_reduces_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = NoiseModel::default();
+        let spread = |vals: &[f64]| {
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let single: Vec<f64> = (0..300)
+            .map(|_| model.measure(&truth(), &mut rng).get(HpcEvent::CacheMisses))
+            .collect();
+        let averaged: Vec<f64> = (0..300)
+            .map(|_| model.measure_mean(&truth(), 10, &mut rng).get(HpcEvent::CacheMisses))
+            .collect();
+        assert!(
+            spread(&averaged) < 0.6 * spread(&single),
+            "R=10 averaging should shrink the spread: {} vs {}",
+            spread(&averaged),
+            spread(&single)
+        );
+    }
+
+    #[test]
+    fn sampler_defaults_to_paper_r() {
+        assert_eq!(Sampler::default().repeats, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repeats_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        NoiseModel::default().measure_mean(&truth(), 0, &mut rng);
+    }
+
+    #[test]
+    fn same_seed_same_measurement() {
+        let model = NoiseModel::default();
+        let a = model.measure(&truth(), &mut StdRng::seed_from_u64(7));
+        let b = model.measure(&truth(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the whole AdvHunter pipeline in one file.
+//!
+//! Trains (or loads) a small CNN victim, runs the offline phase on clean
+//! validation images, crafts one adversarial example, and asks the detector
+//! about both a clean and the adversarial inference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use advhunter::offline::collect_template;
+use advhunter::scenario::{build_scenario, ScenarioId};
+use advhunter::{Detector, DetectorConfig};
+use advhunter_attacks::{Attack, AttackGoal};
+use advhunter_data::SplitSizes;
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 1. The victim: a CNN the defender can only query for hard labels.
+    //    (Small split sizes keep the first run under a minute; the trained
+    //    model is cached under target/advhunter-cache.)
+    let sizes = SplitSizes { train: 60, val: 40, test: 20 };
+    let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+    println!(
+        "victim: {} on {} — clean accuracy {:.1}%",
+        art.id.model_name(),
+        art.id.dataset_name(),
+        art.clean_accuracy * 100.0
+    );
+
+    // 2. Offline phase: measure HPCs for clean validation images and fit
+    //    one GMM per (category, event) with a three-sigma threshold.
+    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)?;
+    println!(
+        "offline phase done: {} categories, {} events, M ≥ {} images/category",
+        detector.num_classes(),
+        detector.events().len(),
+        template.min_samples_per_class()
+    );
+
+    // 3. Online phase, clean input: measure an inference and score it.
+    let (clean_image, label) = art.split.test.item(0);
+    let m = art.engine.measure(&art.model, clean_image, &mut rng);
+    let clean_flagged = detector
+        .is_adversarial(m.predicted, HpcEvent::CacheMisses, &m.sample)
+        .unwrap_or(false);
+    println!(
+        "clean image (class {label}): predicted {}, cache-misses {:.0}, flagged: {clean_flagged}",
+        m.predicted,
+        m.sample.get(HpcEvent::CacheMisses)
+    );
+
+    // 4. Online phase, adversarial input: craft an FGSM example and score
+    //    its inference the same way.
+    let attack = Attack::fgsm(0.3);
+    let adv_image = attack.perturb(&art.model, clean_image, label, AttackGoal::Untargeted, &mut rng);
+    let m = art.engine.measure(&art.model, &adv_image, &mut rng);
+    let scores = detector.score_all(m.predicted, &m.sample);
+    println!(
+        "adversarial image: predicted {} (was {label}), per-event verdicts:",
+        m.predicted
+    );
+    for s in scores {
+        println!(
+            "  {:>22}: NLL {:>8.2} vs threshold {:>8.2} -> {}",
+            s.event.perf_name(),
+            s.nll,
+            s.threshold,
+            if s.is_adversarial() { "ADVERSARIAL" } else { "clean" }
+        );
+    }
+    Ok(())
+}

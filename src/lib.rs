@@ -1,0 +1,24 @@
+//! Umbrella crate for the AdvHunter reproduction workspace.
+//!
+//! This crate exists to host the runnable [examples] and the cross-crate
+//! integration tests; the functionality lives in the member crates, which it
+//! re-exports for convenience:
+//!
+//! * [`advhunter`] — the detector (offline GMM templates + online scoring).
+//! * [`advhunter_tensor`] / [`advhunter_nn`] — the from-scratch CNN stack.
+//! * [`advhunter_data`] — procedural stand-ins for the paper's datasets.
+//! * [`advhunter_attacks`] — FGSM / PGD / DeepFool.
+//! * [`advhunter_uarch`] / [`advhunter_exec`] — the simulated hardware and
+//!   the instrumented inference that produces HPC readings.
+//! * [`advhunter_gmm`] — EM-fitted Gaussian mixtures with BIC selection.
+//!
+//! [examples]: https://github.com/example/advhunter-repro/tree/main/examples
+
+pub use advhunter;
+pub use advhunter_attacks;
+pub use advhunter_data;
+pub use advhunter_exec;
+pub use advhunter_gmm;
+pub use advhunter_nn;
+pub use advhunter_tensor;
+pub use advhunter_uarch;

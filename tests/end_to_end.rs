@@ -1,0 +1,110 @@
+//! Cross-crate integration: the full AdvHunter pipeline on a small
+//! configuration — train a victim, run the offline phase, attack, and
+//! verify the paper's headline invariant: the cache side channel detects
+//! adversarial examples while control-flow events do not.
+
+use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
+use advhunter::offline::collect_template;
+use advhunter::scenario::{build_scenario, ScenarioId};
+use advhunter::{Detector, DetectorConfig};
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_data::SplitSizes;
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_sizes() -> SplitSizes {
+    SplitSizes {
+        train: 40,
+        val: 30,
+        test: 15,
+    }
+}
+
+#[test]
+fn cache_misses_detect_what_branches_cannot() {
+    let mut rng = StdRng::seed_from_u64(0xE2E);
+    let art = build_scenario(ScenarioId::CaseStudy, Some(small_sizes()), &mut rng);
+    assert!(
+        art.clean_accuracy > 0.5,
+        "victim must be usable, got {:.1}%",
+        art.clean_accuracy * 100.0
+    );
+
+    // Offline phase.
+    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)
+        .expect("detector fits on the validation template");
+
+    // A strong targeted attack (the paper's Table 2 setting).
+    let target = art.id.target_class();
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &Attack::fgsm(0.5),
+        AttackGoal::Targeted(target),
+        Some(60),
+        &mut rng,
+    );
+    assert!(
+        report.examples.len() >= 10,
+        "attack produced too few AEs: {}",
+        report.examples.len()
+    );
+
+    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let clean = measure_dataset(&art, &art.split.test, None, &mut rng);
+    let clean_target: Vec<_> = clean
+        .into_iter()
+        .filter(|s| s.true_class == target)
+        .collect();
+
+    let cache = detection_confusion(&detector, HpcEvent::CacheMisses, &clean_target, &adv);
+    let branches = detection_confusion(&detector, HpcEvent::Branches, &clean_target, &adv);
+    let instructions =
+        detection_confusion(&detector, HpcEvent::Instructions, &clean_target, &adv);
+
+    assert!(
+        cache.f1() > 0.6,
+        "cache-misses should detect AEs, F1 = {:.3}",
+        cache.f1()
+    );
+    assert!(
+        branches.f1() < 0.4 && instructions.f1() < 0.4,
+        "control-flow events must not carry the signal: branches {:.3}, instructions {:.3}",
+        branches.f1(),
+        instructions.f1()
+    );
+    assert!(
+        cache.f1() > branches.f1() + 0.3,
+        "cache-misses must clearly dominate branches"
+    );
+}
+
+#[test]
+fn detector_keeps_false_positives_low_on_clean_traffic() {
+    let mut rng = StdRng::seed_from_u64(0xE2F);
+    let art = build_scenario(ScenarioId::CaseStudy, Some(small_sizes()), &mut rng);
+    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
+    let detector =
+        Detector::fit(&template, &DetectorConfig::default(), &mut rng).expect("detector fit");
+
+    let clean = measure_dataset(&art, &art.split.test, None, &mut rng);
+    let mut flagged = 0usize;
+    let mut scored = 0usize;
+    for s in &clean {
+        if s.predicted != s.true_class {
+            continue;
+        }
+        if let Some(true) = detector.is_adversarial(s.predicted, HpcEvent::CacheMisses, &s.sample)
+        {
+            flagged += 1;
+        }
+        scored += 1;
+    }
+    let fpr = flagged as f64 / scored.max(1) as f64;
+    assert!(
+        fpr < 0.25,
+        "three-sigma thresholds should rarely flag clean inferences, FPR = {fpr:.2}"
+    );
+}

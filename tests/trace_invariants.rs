@@ -1,0 +1,106 @@
+//! Cross-crate integration: properties of the instrumented-inference traces
+//! on real model architectures.
+
+use advhunter_exec::{TraceEngine, ACTIVE_TILE_THRESHOLD};
+use advhunter_nn::models;
+use advhunter_tensor::{init, Tensor};
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn image(seed: u64, dims: &[usize]) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    init::uniform(&mut rng, dims, 0.0, 1.0)
+}
+
+#[test]
+fn every_architecture_traces_consistently() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let zoo: Vec<(advhunter_nn::Graph, Vec<usize>)> = vec![
+        (models::case_study_cnn(&[3, 32, 32], 10, &mut rng), vec![3, 32, 32]),
+        (models::resnet_micro(&[3, 32, 32], 10, &mut rng), vec![3, 32, 32]),
+        (models::efficientnet_micro(&[1, 28, 28], 10, &mut rng), vec![1, 28, 28]),
+        (models::densenet_micro(&[3, 32, 32], 43, &mut rng), vec![3, 32, 32]),
+    ];
+    for (model, dims) in &zoo {
+        let engine = TraceEngine::new(model);
+        let a = engine.true_counts(model, &image(1, dims));
+        let b = engine.true_counts(model, &image(2, dims));
+
+        // Control flow is input-independent.
+        for ev in [
+            HpcEvent::Instructions,
+            HpcEvent::Branches,
+            HpcEvent::BranchMisses,
+            HpcEvent::L1iLoadMisses,
+        ] {
+            assert_eq!(a.get(ev), b.get(ev), "{ev} varied across inputs");
+        }
+        // Data flow is input-dependent (two random images virtually never
+        // touch the same number of weight lines).
+        assert_ne!(
+            a.get(HpcEvent::CacheMisses),
+            b.get(HpcEvent::CacheMisses),
+            "cache misses should reflect activations"
+        );
+        // perf identities.
+        for counts in [&a, &b] {
+            assert!(counts.get(HpcEvent::CacheMisses) <= counts.get(HpcEvent::CacheReferences));
+            assert_eq!(
+                counts.get(HpcEvent::CacheMisses),
+                counts.get(HpcEvent::LlcLoadMisses) + counts.get(HpcEvent::LlcStoreMisses)
+            );
+            assert!(counts.get(HpcEvent::BranchMisses) <= counts.get(HpcEvent::Branches));
+            assert!(counts.get(HpcEvent::Branches) <= counts.get(HpcEvent::Instructions));
+        }
+    }
+}
+
+#[test]
+fn sparser_activations_touch_fewer_lines() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = models::case_study_cnn(&[3, 32, 32], 10, &mut rng);
+    let engine = TraceEngine::new(&model);
+    // A black image keeps most activations below the tile threshold.
+    let dark = Tensor::full(&[3, 32, 32], ACTIVE_TILE_THRESHOLD / 10.0);
+    let bright = image(4, &[3, 32, 32]);
+    let dark_misses = engine.true_counts(&model, &dark).get(HpcEvent::CacheMisses);
+    let bright_misses = engine.true_counts(&model, &bright).get(HpcEvent::CacheMisses);
+    assert!(
+        dark_misses < bright_misses,
+        "dark {dark_misses} !< bright {bright_misses}"
+    );
+}
+
+#[test]
+fn trace_prediction_agrees_with_forward_pass() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = models::resnet_micro(&[3, 32, 32], 10, &mut rng);
+    let engine = TraceEngine::new(&model);
+    let mut noise_rng = StdRng::seed_from_u64(6);
+    for s in 0..8 {
+        let img = image(100 + s, &[3, 32, 32]);
+        let m = engine.measure(&model, &img, &mut noise_rng);
+        let batch = Tensor::stack(std::slice::from_ref(&img));
+        assert_eq!(m.predicted, model.predict(&batch)[0]);
+    }
+}
+
+#[test]
+fn arena_reuse_keeps_activation_footprint_bounded() {
+    let mut rng = StdRng::seed_from_u64(7);
+    // DenseNet has the longest chain of live buffers (concatenations).
+    let model = models::densenet_micro(&[3, 32, 32], 43, &mut rng);
+    let engine = TraceEngine::new(&model);
+    let act_bytes = engine.layout().total_activation_bytes();
+    // Sum of all per-node buffers without reuse would be far larger.
+    let naive: u64 = model
+        .single_image_shapes()
+        .iter()
+        .map(|s| s.iter().product::<usize>() as u64 * 4)
+        .sum();
+    assert!(
+        act_bytes < naive,
+        "arena ({act_bytes} B) should beat naive allocation ({naive} B)"
+    );
+}
