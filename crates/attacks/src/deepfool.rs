@@ -85,7 +85,7 @@ pub(crate) fn perturb(
             let dist = f.abs() / wnorm;
             // Minimal step to the boundary: r = |f| / ||w||² · w.
             let r = &w * (f.abs() / (wnorm * wnorm));
-            if best.as_ref().map_or(true, |(d, _)| dist < *d) {
+            if best.as_ref().is_none_or(|(d, _)| dist < *d) {
                 best = Some((dist, r));
             }
         }
@@ -125,7 +125,13 @@ mod tests {
         let mut fgsm_norm_total = 0.0;
         let mut df_norm_total = 0.0;
         for (label, x) in probes.iter().enumerate() {
-            let adv = perturb(&model, x, label, AttackGoal::Untargeted, &DeepFoolParams::default());
+            let adv = perturb(
+                &model,
+                x,
+                label,
+                AttackGoal::Untargeted,
+                &DeepFoolParams::default(),
+            );
             let batch = Tensor::stack(std::slice::from_ref(&adv));
             if model.predict(&batch)[0] != label {
                 fooled += 1;
@@ -164,7 +170,13 @@ mod tests {
         let batch = Tensor::stack(std::slice::from_ref(x));
         let pred = model.predict(&batch)[0];
         let wrong_label = (pred + 1) % 3;
-        let adv = perturb(&model, x, wrong_label, AttackGoal::Untargeted, &DeepFoolParams::default());
+        let adv = perturb(
+            &model,
+            x,
+            wrong_label,
+            AttackGoal::Untargeted,
+            &DeepFoolParams::default(),
+        );
         assert_eq!(&adv, x);
     }
 
@@ -172,7 +184,13 @@ mod tests {
     fn outputs_stay_in_pixel_range() {
         let (model, probes) = trained_toy_model();
         for (label, x) in probes.iter().enumerate() {
-            let adv = perturb(&model, x, label, AttackGoal::Untargeted, &DeepFoolParams::default());
+            let adv = perturb(
+                &model,
+                x,
+                label,
+                AttackGoal::Untargeted,
+                &DeepFoolParams::default(),
+            );
             assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }

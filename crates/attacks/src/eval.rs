@@ -267,13 +267,20 @@ mod tests {
             None,
             &mut rng,
         );
-        assert!(report.attacked > 10, "most clean images classified correctly");
+        assert!(
+            report.attacked > 10,
+            "most clean images classified correctly"
+        );
         assert!(
             report.adversarial_accuracy < 0.5,
             "strong attack should tank accuracy, got {}",
             report.adversarial_accuracy
         );
-        assert_eq!(report.examples.len() + (report.adversarial_accuracy * report.attacked as f32).round() as usize, report.attacked);
+        assert_eq!(
+            report.examples.len()
+                + (report.adversarial_accuracy * report.attacked as f32).round() as usize,
+            report.attacked
+        );
     }
 
     #[test]
@@ -289,11 +296,14 @@ mod tests {
             None,
             &mut rng,
         );
-        assert!(report
-            .outcomes
-            .iter()
-            .filter(|o| matches!(o, AttackOutcome::SkippedIsTarget))
-            .count() > 0);
+        assert!(
+            report
+                .outcomes
+                .iter()
+                .filter(|o| matches!(o, AttackOutcome::SkippedIsTarget))
+                .count()
+                > 0
+        );
         for ex in &report.examples {
             assert_eq!(ex.predicted, 1);
             assert_ne!(ex.original_label, 1);
@@ -322,9 +332,22 @@ mod tests {
         let mut rng_a = StdRng::seed_from_u64(20);
         let mut rng_b = StdRng::seed_from_u64(20);
         let ds = toy_dataset(&mut StdRng::seed_from_u64(21));
-        let direct = attack_dataset(&model, &ds, &Attack::fgsm(0.3), AttackGoal::Untargeted, None, &mut rng_a);
+        let direct = attack_dataset(
+            &model,
+            &ds,
+            &Attack::fgsm(0.3),
+            AttackGoal::Untargeted,
+            None,
+            &mut rng_a,
+        );
         let transfer = transfer_attack_dataset(
-            &model, &model, &ds, &Attack::fgsm(0.3), AttackGoal::Untargeted, None, &mut rng_b,
+            &model,
+            &model,
+            &ds,
+            &Attack::fgsm(0.3),
+            AttackGoal::Untargeted,
+            None,
+            &mut rng_b,
         );
         assert_eq!(direct.examples.len(), transfer.examples.len());
         assert_eq!(direct.adversarial_accuracy, transfer.adversarial_accuracy);
@@ -340,7 +363,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(30);
         let ds = toy_dataset(&mut StdRng::seed_from_u64(31));
         let report = transfer_attack_dataset(
-            &surrogate, &victim, &ds, &Attack::fgsm(0.4), AttackGoal::Untargeted, None, &mut rng,
+            &surrogate,
+            &victim,
+            &ds,
+            &Attack::fgsm(0.4),
+            AttackGoal::Untargeted,
+            None,
+            &mut rng,
         );
         assert!(report.attacked > 0);
         // Sanity only: success rate is a valid ratio.
@@ -356,8 +385,22 @@ mod tests {
         let (model, _) = trained_toy_model();
         let mut rng = StdRng::seed_from_u64(13);
         let ds = toy_dataset(&mut rng);
-        let weak = attack_dataset(&model, &ds, &Attack::fgsm(0.01), AttackGoal::Untargeted, None, &mut rng);
-        let strong = attack_dataset(&model, &ds, &Attack::fgsm(0.5), AttackGoal::Untargeted, None, &mut rng);
+        let weak = attack_dataset(
+            &model,
+            &ds,
+            &Attack::fgsm(0.01),
+            AttackGoal::Untargeted,
+            None,
+            &mut rng,
+        );
+        let strong = attack_dataset(
+            &model,
+            &ds,
+            &Attack::fgsm(0.5),
+            AttackGoal::Untargeted,
+            None,
+            &mut rng,
+        );
         assert!(weak.success_rate() <= strong.success_rate());
     }
 }

@@ -30,7 +30,10 @@ pub fn logit_input_gradient(model: &Graph, image: &Tensor, k: usize) -> (Tensor,
     let trace = model.forward(&batch, Mode::Eval);
     let logits = trace.output().clone();
     let classes = logits.shape().dim(1);
-    assert!(k < classes, "logit index {k} out of range for {classes} classes");
+    assert!(
+        k < classes,
+        "logit index {k} out of range for {classes} classes"
+    );
     let mut seed = Tensor::zeros(&[1, classes]);
     seed.data_mut()[k] = 1.0;
     let grads = model.backward(&trace, &seed);

@@ -38,11 +38,11 @@ mod pgd;
 mod square;
 
 pub use deepfool::DeepFoolParams;
-pub use square::SquareParams;
 pub use eval::{
     attack_dataset, transfer_attack_dataset, AdversarialExample, AttackOutcome, AttackReport,
 };
-pub use gradient::{loss_input_gradient, logit_input_gradient};
+pub use gradient::{logit_input_gradient, loss_input_gradient};
+pub use square::SquareParams;
 
 use advhunter_nn::Graph;
 use advhunter_tensor::Tensor;
@@ -204,9 +204,7 @@ impl Attack {
                 rng,
             ),
             Attack::DeepFool(params) => deepfool::perturb(model, image, true_label, goal, params),
-            Attack::Square(params) => {
-                square::perturb(model, image, true_label, goal, params, rng)
-            }
+            Attack::Square(params) => square::perturb(model, image, true_label, goal, params, rng),
             Attack::MiFgsm {
                 epsilon,
                 alpha,
@@ -221,8 +219,8 @@ impl Attack {
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use advhunter_nn::{Graph, GraphBuilder};
     use advhunter_nn::train::{fit, TrainConfig};
+    use advhunter_nn::{Graph, GraphBuilder};
     use advhunter_tensor::{init, Tensor};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -9,6 +9,7 @@ use crate::AttackGoal;
 
 /// Iterated signed steps on a momentum-accumulated gradient, projected into
 /// the ε-ball and `[0, 1]`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn perturb(
     model: &Graph,
     image: &Tensor,
@@ -54,7 +55,16 @@ mod tests {
     fn respects_budget_and_pixel_range() {
         let (model, probes) = trained_toy_model();
         for (label, x) in probes.iter().enumerate() {
-            let adv = perturb(&model, x, label, AttackGoal::Untargeted, 0.06, 0.015, 10, 0.9);
+            let adv = perturb(
+                &model,
+                x,
+                label,
+                AttackGoal::Untargeted,
+                0.06,
+                0.015,
+                10,
+                0.9,
+            );
             assert!((&adv - x).linf_norm() <= 0.06 + 1e-6);
             assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
@@ -83,14 +93,32 @@ mod tests {
             let l = model.logits(&batch);
             l.data()[target] - l.data()[0]
         };
-        let adv = perturb(&model, x, 0, AttackGoal::Targeted(target), 0.15, 0.04, 10, 0.9);
+        let adv = perturb(
+            &model,
+            x,
+            0,
+            AttackGoal::Targeted(target),
+            0.15,
+            0.04,
+            10,
+            0.9,
+        );
         assert!(gap(&adv) > gap(x));
     }
 
     #[test]
     fn zero_steps_is_identity() {
         let (model, probes) = trained_toy_model();
-        let adv = perturb(&model, &probes[1], 1, AttackGoal::Untargeted, 0.1, 0.02, 0, 0.9);
+        let adv = perturb(
+            &model,
+            &probes[1],
+            1,
+            AttackGoal::Untargeted,
+            0.1,
+            0.02,
+            0,
+            0.9,
+        );
         assert_eq!(adv, probes[1]);
     }
 }

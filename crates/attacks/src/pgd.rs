@@ -66,7 +66,17 @@ mod tests {
         let (model, probes) = trained_toy_model();
         let mut rng = StdRng::seed_from_u64(0);
         for (label, x) in probes.iter().enumerate() {
-            let adv = perturb(&model, x, label, AttackGoal::Untargeted, 0.05, 0.02, 8, true, &mut rng);
+            let adv = perturb(
+                &model,
+                x,
+                label,
+                AttackGoal::Untargeted,
+                0.05,
+                0.02,
+                8,
+                true,
+                &mut rng,
+            );
             assert!((&adv - x).linf_norm() <= 0.05 + 1e-6);
             assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
@@ -84,7 +94,17 @@ mod tests {
         };
         let eps = 0.1;
         let fgsm = crate::fgsm::perturb(&model, x, 0, AttackGoal::Untargeted, eps);
-        let pgd = perturb(&model, x, 0, AttackGoal::Untargeted, eps, eps / 4.0, 12, false, &mut rng);
+        let pgd = perturb(
+            &model,
+            x,
+            0,
+            AttackGoal::Untargeted,
+            eps,
+            eps / 4.0,
+            12,
+            false,
+            &mut rng,
+        );
         assert!(
             loss_of(&pgd) >= loss_of(&fgsm) * 0.9,
             "PGD loss {} vs FGSM loss {}",
@@ -97,11 +117,25 @@ mod tests {
     fn random_start_changes_the_result() {
         let (model, probes) = trained_toy_model();
         let a = perturb(
-            &model, &probes[0], 0, AttackGoal::Untargeted, 0.05, 0.02, 4, true,
+            &model,
+            &probes[0],
+            0,
+            AttackGoal::Untargeted,
+            0.05,
+            0.02,
+            4,
+            true,
             &mut StdRng::seed_from_u64(2),
         );
         let b = perturb(
-            &model, &probes[0], 0, AttackGoal::Untargeted, 0.05, 0.02, 4, true,
+            &model,
+            &probes[0],
+            0,
+            AttackGoal::Untargeted,
+            0.05,
+            0.02,
+            4,
+            true,
             &mut StdRng::seed_from_u64(3),
         );
         assert_ne!(a, b);
@@ -111,7 +145,17 @@ mod tests {
     fn zero_steps_without_random_start_is_identity() {
         let (model, probes) = trained_toy_model();
         let mut rng = StdRng::seed_from_u64(4);
-        let adv = perturb(&model, &probes[0], 0, AttackGoal::Untargeted, 0.1, 0.05, 0, false, &mut rng);
+        let adv = perturb(
+            &model,
+            &probes[0],
+            0,
+            AttackGoal::Untargeted,
+            0.1,
+            0.05,
+            0,
+            false,
+            &mut rng,
+        );
         assert_eq!(adv, probes[0]);
     }
 }

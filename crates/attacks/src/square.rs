@@ -60,7 +60,11 @@ pub(crate) fn perturb(
     for _ in 0..params.init_tries {
         let mut candidate = image.clone();
         for v in candidate.data_mut() {
-            *v += if rng.gen_bool(0.5) { params.epsilon } else { -params.epsilon };
+            *v += if rng.gen_bool(0.5) {
+                params.epsilon
+            } else {
+                -params.epsilon
+            };
         }
         candidate.clamp_inplace(0.0, 1.0);
         if satisfied(predict(model, &candidate)) {
@@ -143,8 +147,22 @@ mod tests {
             ..coarse
         };
         // Same init RNG so both start from the same adversarial point.
-        let a = perturb(&model, x, 0, AttackGoal::Untargeted, &coarse, &mut StdRng::seed_from_u64(3));
-        let b = perturb(&model, x, 0, AttackGoal::Untargeted, &fine, &mut StdRng::seed_from_u64(3));
+        let a = perturb(
+            &model,
+            x,
+            0,
+            AttackGoal::Untargeted,
+            &coarse,
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = perturb(
+            &model,
+            x,
+            0,
+            AttackGoal::Untargeted,
+            &fine,
+            &mut StdRng::seed_from_u64(3),
+        );
         if &a != x && &b != x {
             assert!(
                 (&b - x).l2_norm() <= (&a - x).l2_norm() + 1e-6,
@@ -180,7 +198,14 @@ mod tests {
             epsilon: 0.25,
             ..SquareParams::default()
         };
-        let adv = perturb(&model, &probes[1], 1, AttackGoal::Untargeted, &params, &mut rng);
+        let adv = perturb(
+            &model,
+            &probes[1],
+            1,
+            AttackGoal::Untargeted,
+            &params,
+            &mut rng,
+        );
         assert!((&adv - &probes[1]).linf_norm() <= 0.25 + 1e-6);
         assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }

@@ -78,7 +78,10 @@ fn main() {
             c.recall()
         );
     }
-    for (name, any) in [("OR over strong events", true), ("AND over strong events", false)] {
+    for (name, any) in [
+        ("OR over strong events", true),
+        ("AND over strong events", false),
+    ] {
         let c = fused_confusion(&prep.detector, &strong, any, &prep.clean_test, &adv);
         println!(
             "{:<40} {:>10.2} {:>10.4} {:>10.4} {:>10.4}",

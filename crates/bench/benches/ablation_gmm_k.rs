@@ -52,7 +52,12 @@ fn main() {
     for (name, cfg) in configs {
         let detector = Detector::fit(&prep.template, &cfg, &mut rng).expect("detector fit");
         let c = detection_confusion(&detector, HpcEvent::CacheMisses, &prep.clean_test, &adv);
-        println!("{:<12} {:>10.2} {:>10.4}", name, c.accuracy() * 100.0, c.f1());
+        println!(
+            "{:<12} {:>10.2} {:>10.4}",
+            name,
+            c.accuracy() * 100.0,
+            c.f1()
+        );
     }
     println!(
         "\nExpectation: BIC matches or beats any fixed K, because per-class\n\

@@ -47,17 +47,15 @@ fn main() {
         let template = collect_template(&engine, &art.model, &art.split.val, None, &mut r);
         let detector =
             Detector::fit(&template, &DetectorConfig::default(), &mut r).expect("detector fit");
-        let measure = |img: &advhunter_tensor::Tensor,
-                       label: usize,
-                       r: &mut StdRng|
-         -> LabeledSample {
-            let m = engine.measure(&art.model, img, r);
-            LabeledSample {
-                true_class: label,
-                predicted: m.predicted,
-                sample: m.sample,
-            }
-        };
+        let measure =
+            |img: &advhunter_tensor::Tensor, label: usize, r: &mut StdRng| -> LabeledSample {
+                let m = engine.measure(&art.model, img, r);
+                LabeledSample {
+                    true_class: label,
+                    predicted: m.predicted,
+                    sample: m.sample,
+                }
+            };
         let clean: Vec<LabeledSample> = (0..art.split.test.len())
             .take(scaled(300, 80))
             .map(|i| {

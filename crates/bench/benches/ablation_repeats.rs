@@ -72,7 +72,12 @@ fn main() {
             })
             .collect();
         let c = detection_confusion(&detector, HpcEvent::CacheMisses, &clean, &adv);
-        println!("{:<4} {:>10.2} {:>10.4}", repeats, c.accuracy() * 100.0, c.f1());
+        println!(
+            "{:<4} {:>10.2} {:>10.4}",
+            repeats,
+            c.accuracy() * 100.0,
+            c.f1()
+        );
     }
     println!(
         "\nExpectation: F1 improves with R and saturates near the paper's\n\

@@ -25,7 +25,10 @@ fn main() {
         "{:<22} {:>8} {:>10} | {:>10} {:>8}",
         "refinement", "#AEs", "success%", "accuracy%", "F1"
     );
-    for (name, refine_iters) in [("none (raw ±ε init)", 0usize), ("200 square reversions", 200)] {
+    for (name, refine_iters) in [
+        ("none (raw ±ε init)", 0usize),
+        ("200 square reversions", 200),
+    ] {
         let attack = Attack::Square(SquareParams {
             epsilon: 0.4,
             init_tries: 30,

@@ -66,6 +66,9 @@ fn main() {
             event.perf_name(),
             distribution_overlap(&c, &a, 16)
         );
-        print!("{}", render_two_histograms("clean", &c, "adversarial", &a, 12));
+        print!(
+            "{}",
+            render_two_histograms("clean", &c, "adversarial", &a, 12)
+        );
     }
 }

@@ -61,12 +61,8 @@ fn main() {
                 let Ok(detector) = Detector::fit(&sub, &cfg, &mut trial_rng) else {
                     continue;
                 };
-                let c = detection_confusion(
-                    &detector,
-                    HpcEvent::CacheMisses,
-                    &prep.clean_test,
-                    &adv,
-                );
+                let c =
+                    detection_confusion(&detector, HpcEvent::CacheMisses, &prep.clean_test, &adv);
                 f1s.push(c.f1());
             }
             let (mean, std) = mean_std(&f1s);

@@ -53,7 +53,13 @@ fn bench_conv2d(c: &mut Criterion) {
 fn bench_gmm_fit(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let data: Vec<f64> = (0..200)
-        .map(|i| if i % 2 == 0 { rng.gen_range(-1.0..1.0) } else { 10.0 + rng.gen_range(-1.0..1.0) })
+        .map(|i| {
+            if i % 2 == 0 {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                10.0 + rng.gen_range(-1.0..1.0)
+            }
+        })
         .collect();
     c.bench_function("gmm1d_fit_k2_200pts", |b| {
         b.iter(|| {

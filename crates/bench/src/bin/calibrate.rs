@@ -48,7 +48,11 @@ fn main() {
 
     let t3 = std::time::Instant::now();
     let adv = measure_examples(&art, &report.examples, &mut rng);
-    eprintln!("measured {} AEs in {:.1}s", adv.len(), t3.elapsed().as_secs_f64());
+    eprintln!(
+        "measured {} AEs in {:.1}s",
+        adv.len(),
+        t3.elapsed().as_secs_f64()
+    );
 
     // Clean side: test images of the target class only (Table 2 protocol).
     let clean_target: Vec<_> = prep

@@ -21,8 +21,22 @@ fn main() {
         ("pgd", Attack::pgd(0.3)),
         ("deepfool", Attack::deepfool()),
     ] {
-        let unt = attack_dataset(&art.model, &art.split.test, &attack, AttackGoal::Untargeted, Some(60), &mut rng);
-        let tgt = attack_dataset(&art.model, &art.split.test, &attack, AttackGoal::Targeted(target), Some(60), &mut rng);
+        let unt = attack_dataset(
+            &art.model,
+            &art.split.test,
+            &attack,
+            AttackGoal::Untargeted,
+            Some(60),
+            &mut rng,
+        );
+        let tgt = attack_dataset(
+            &art.model,
+            &art.split.test,
+            &attack,
+            AttackGoal::Targeted(target),
+            Some(60),
+            &mut rng,
+        );
         println!(
             "{name:>8} eps={:.2}: untargeted adv-acc {:>5.1}% (succ {:>5.1}%) | targeted acc {:>5.1}% (succ {:>5.1}%)",
             attack.strength(),

@@ -11,33 +11,39 @@ use rand::SeedableRng;
 
 fn main() {
     for id in ScenarioId::TABLE1 {
-    let art = prepare_scenario(id);
-    let prep = prepare_detector(&art, None, Some(30), 0xDB64);
-    let mut rng = StdRng::seed_from_u64(0xDB65);
-    let target = art.id.target_class();
-    for (attack, goal, n) in [
-        (Attack::fgsm(0.5), AttackGoal::Targeted(target), 100),
-        (Attack::mi_fgsm(0.5), AttackGoal::Targeted(target), 60),
-        (Attack::mi_fgsm(0.35), AttackGoal::Targeted(target), 60),
-        (Attack::mi_fgsm(0.2), AttackGoal::Targeted(target), 60),
-        (Attack::mi_fgsm(0.2), AttackGoal::Untargeted, 60),
-        (Attack::mi_fgsm(0.1), AttackGoal::Untargeted, 60),
-    ] {
-        let run = run_attack_detection(
-            &art, &prep.detector, &attack, goal,
-            &[HpcEvent::CacheMisses], Some(n), &prep.clean_test, &mut rng,
-        );
-        println!(
-            "{} {:>8} {:?} eps={:.2}: adv-acc {:>5.1}% tgt {:>5.1}% #AE {:>3}  F1 {:.3}",
-            id.label(),
-            run.attack_name,
-            matches!(goal, AttackGoal::Targeted(_)),
-            run.strength,
-            run.adversarial_accuracy * 100.0,
-            run.targeted_accuracy * 100.0,
-            run.num_adversarial,
-            run.per_event[0].f1()
-        );
-    }
+        let art = prepare_scenario(id);
+        let prep = prepare_detector(&art, None, Some(30), 0xDB64);
+        let mut rng = StdRng::seed_from_u64(0xDB65);
+        let target = art.id.target_class();
+        for (attack, goal, n) in [
+            (Attack::fgsm(0.5), AttackGoal::Targeted(target), 100),
+            (Attack::mi_fgsm(0.5), AttackGoal::Targeted(target), 60),
+            (Attack::mi_fgsm(0.35), AttackGoal::Targeted(target), 60),
+            (Attack::mi_fgsm(0.2), AttackGoal::Targeted(target), 60),
+            (Attack::mi_fgsm(0.2), AttackGoal::Untargeted, 60),
+            (Attack::mi_fgsm(0.1), AttackGoal::Untargeted, 60),
+        ] {
+            let run = run_attack_detection(
+                &art,
+                &prep.detector,
+                &attack,
+                goal,
+                &[HpcEvent::CacheMisses],
+                Some(n),
+                &prep.clean_test,
+                &mut rng,
+            );
+            println!(
+                "{} {:>8} {:?} eps={:.2}: adv-acc {:>5.1}% tgt {:>5.1}% #AE {:>3}  F1 {:.3}",
+                id.label(),
+                run.attack_name,
+                matches!(goal, AttackGoal::Targeted(_)),
+                run.strength,
+                run.adversarial_accuracy * 100.0,
+                run.targeted_accuracy * 100.0,
+                run.num_adversarial,
+                run.per_event[0].f1()
+            );
+        }
     }
 }

@@ -73,7 +73,13 @@ pub fn prepare_detector(
     seed: u64,
 ) -> PreparedDetector {
     let mut rng = StdRng::seed_from_u64(seed);
-    let template = collect_template(&art.engine, &art.model, &art.split.val, val_per_class, &mut rng);
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        val_per_class,
+        &mut rng,
+    );
     let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)
         .expect("detector fit on validation template");
     let clean_test = measure_dataset(art, &art.split.test, test_per_class, &mut rng);
@@ -117,7 +123,13 @@ pub fn render_two_histograms(
     };
     let ha = hist(a);
     let hb = hist(b);
-    let max = ha.iter().chain(hb.iter()).copied().max().unwrap_or(1).max(1);
+    let max = ha
+        .iter()
+        .chain(hb.iter())
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let mut out = String::new();
     out.push_str(&format!(
         "  range [{lo:.0}, {hi:.0}]  {label_a}: '#' ({} pts)  {label_b}: 'o' ({} pts)\n",
@@ -141,7 +153,11 @@ pub fn distribution_overlap(a: &[f64], b: &[f64], bins: usize) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let lo = a.iter().chain(b.iter()).copied().fold(f64::INFINITY, f64::min);
+    let lo = a
+        .iter()
+        .chain(b.iter())
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     let hi = a
         .iter()
         .chain(b.iter())

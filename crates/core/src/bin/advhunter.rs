@@ -32,7 +32,12 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("scenarios") => {
-            for id in [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::CaseStudy] {
+            for id in [
+                ScenarioId::S1,
+                ScenarioId::S2,
+                ScenarioId::S3,
+                ScenarioId::CaseStudy,
+            ] {
                 println!(
                     "{:<10} {:<18} {:<20} {} classes",
                     id.label(),
@@ -84,7 +89,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         id.model_name(),
         id.dataset_name(),
         art.clean_accuracy * 100.0,
-        if art.from_cache { "loaded from cache" } else { "trained" }
+        if art.from_cache {
+            "loaded from cache"
+        } else {
+            "trained"
+        }
     );
     Ok(())
 }
@@ -110,7 +119,9 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
     let id = parse_scenario(args.first())?;
-    let det_path = args.get(1).ok_or("missing detector path (run `fit` first)")?;
+    let det_path = args
+        .get(1)
+        .ok_or("missing detector path (run `fit` first)")?;
     let mut attack_name = "fgsm".to_string();
     let mut eps = 0.5f32;
     let mut targeted = false;
@@ -160,7 +171,14 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
         AttackGoal::Untargeted
     };
     println!("attacking up to {n} test images with {} ...", attack.name());
-    let report = attack_dataset(&art.model, &art.split.test, &attack, goal, Some(n), &mut rng);
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &attack,
+        goal,
+        Some(n),
+        &mut rng,
+    );
     println!(
         "attack: {} attacked, {:.1}% success",
         report.attacked,

@@ -5,8 +5,10 @@ use std::fmt;
 use std::ops::RangeInclusive;
 
 use advhunter_gmm::{fit_bic_1d, EmConfig, FitGmmError, Gmm1d};
+use advhunter_runtime::{derive_seed, parallel_map, parallel_tasks, Parallelism};
 use advhunter_uarch::{HpcEvent, HpcSample};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::offline::OfflineTemplate;
 
@@ -87,8 +89,15 @@ impl fmt::Display for FitDetectorError {
             Self::EmptyCategory { class } => {
                 write!(f, "no usable validation samples for category {class}")
             }
-            Self::Gmm { class, event, source } => {
-                write!(f, "GMM fit failed for category {class}, event {event}: {source}")
+            Self::Gmm {
+                class,
+                event,
+                source,
+            } => {
+                write!(
+                    f,
+                    "GMM fit failed for category {class}, event {event}: {source}"
+                )
             }
         }
     }
@@ -132,27 +141,16 @@ impl Detector {
                 return Err(FitDetectorError::EmptyCategory { class });
             }
             let mut row: Vec<Option<EventModel>> = vec![None; HpcEvent::ALL.len()];
-            // Cap the candidate component count so each component sees at
-            // least ~10 samples; BIC alone overfits tiny validation sets.
-            let k_hi = (*config.k_range.end()).min((samples.len() / 10).max(1));
-            let k_range = *config.k_range.start()..=k_hi.max(*config.k_range.start());
+            let k_range = clamped_k_range(config, samples.len());
             for &event in &config.events {
-                let data: Vec<f64> = samples.iter().map(|s| s.get(event)).collect();
-                let fit = fit_bic_1d(&data, k_range.clone(), &config.em, rng).map_err(
+                let model = fit_event_model(samples, event, k_range.clone(), config, rng).map_err(
                     |source| FitDetectorError::Gmm {
                         class,
                         event,
                         source,
                     },
                 )?;
-                let gmm = fit.model;
-                // Threshold: μ + kσ over the validation NLL distribution.
-                let nlls: Vec<f64> = data.iter().map(|&x| gmm.nll(x)).collect();
-                let mean = nlls.iter().sum::<f64>() / nlls.len() as f64;
-                let var = nlls.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                    / nlls.len() as f64;
-                let threshold = mean + config.sigma_factor * var.sqrt();
-                row[event.index()] = Some(EventModel { gmm, threshold });
+                row[event.index()] = Some(model);
             }
             models.push(row);
         }
@@ -162,11 +160,62 @@ impl Detector {
         })
     }
 
+    /// Parallel [`fit`](Self::fit): fans the independent (category, event)
+    /// GMM fits out over the runtime's worker pool.
+    ///
+    /// The job for pair number `j` (row-major over categories ×
+    /// `config.events`) draws its EM restarts from the stream seeded by
+    /// `derive_seed(seed, j)`, so the fitted bank is bit-for-bit identical
+    /// for every thread count, including [`Parallelism::sequential`].
+    /// (The entropy scheme differs from the single-RNG [`fit`](Self::fit),
+    /// whose exact output this does not reproduce; both are fully
+    /// seed-deterministic.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitDetectorError`] if any category has no samples or a
+    /// mixture cannot be fit; with several failures, the error of the
+    /// first failing pair in job order is returned.
+    pub fn fit_par(
+        template: &OfflineTemplate,
+        config: &DetectorConfig,
+        seed: u64,
+        parallelism: &Parallelism,
+    ) -> Result<Self, FitDetectorError> {
+        let num_classes = template.num_classes();
+        for class in 0..num_classes {
+            if template.class_samples(class).is_empty() {
+                return Err(FitDetectorError::EmptyCategory { class });
+            }
+        }
+        let num_events = config.events.len();
+        let fits = parallel_tasks(parallelism, num_classes * num_events, |job| {
+            let (class, slot) = (job / num_events.max(1), job % num_events.max(1));
+            let samples = template.class_samples(class);
+            let event = config.events[slot];
+            let k_range = clamped_k_range(config, samples.len());
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, job as u64));
+            fit_event_model(samples, event, k_range, config, &mut rng).map_err(|source| {
+                FitDetectorError::Gmm {
+                    class,
+                    event,
+                    source,
+                }
+            })
+        });
+        let mut models = vec![vec![None; HpcEvent::ALL.len()]; num_classes];
+        for (job, fit) in fits.into_iter().enumerate() {
+            let (class, slot) = (job / num_events, job % num_events);
+            models[class][config.events[slot].index()] = Some(fit?);
+        }
+        Ok(Self {
+            models,
+            events: config.events.clone(),
+        })
+    }
+
     /// Reassembles a detector from its parts (used by persistence).
-    pub(crate) fn from_parts(
-        models: Vec<Vec<Option<EventModel>>>,
-        events: Vec<HpcEvent>,
-    ) -> Self {
+    pub(crate) fn from_parts(models: Vec<Vec<Option<EventModel>>>, events: Vec<HpcEvent>) -> Self {
         Self { models, events }
     }
 
@@ -236,6 +285,34 @@ impl Detector {
             .any(|b| b)
     }
 
+    /// Batched online scoring: `out[i]` is
+    /// [`score`](Self::score)`(queries[i].0, event, &queries[i].1)`,
+    /// computed over the runtime's worker pool. Scoring is pure (no RNG),
+    /// so the result is identical for every thread count.
+    pub fn score_batch(
+        &self,
+        queries: &[(usize, HpcSample)],
+        event: HpcEvent,
+        parallelism: &Parallelism,
+    ) -> Vec<Option<EventScore>> {
+        parallel_map(parallelism, queries, |_, (class, sample)| {
+            self.score(*class, event, sample)
+        })
+    }
+
+    /// Batched detection rule: `out[i]` is
+    /// [`is_adversarial`](Self::is_adversarial) applied to `queries[i]`.
+    pub fn detect_batch(
+        &self,
+        queries: &[(usize, HpcSample)],
+        event: HpcEvent,
+        parallelism: &Parallelism,
+    ) -> Vec<Option<bool>> {
+        parallel_map(parallelism, queries, |_, (class, sample)| {
+            self.is_adversarial(*class, event, sample)
+        })
+    }
+
     /// Fusion rule: adversarial only if *all* of the given events flag.
     pub fn is_adversarial_all(
         &self,
@@ -249,6 +326,35 @@ impl Detector {
             .collect();
         !scores.is_empty() && scores.into_iter().all(|b| b)
     }
+}
+
+/// Candidate component counts for one category: the configured range with
+/// its top clamped so each component sees at least ~10 samples; BIC alone
+/// overfits tiny validation sets.
+fn clamped_k_range(config: &DetectorConfig, num_samples: usize) -> RangeInclusive<usize> {
+    let k_hi = (*config.k_range.end()).min((num_samples / 10).max(1));
+    *config.k_range.start()..=k_hi.max(*config.k_range.start())
+}
+
+/// Fits the BIC-selected mixture and three-sigma threshold for one
+/// (category, event) pair — the unit of work shared by the sequential and
+/// parallel fit paths.
+fn fit_event_model(
+    samples: &[HpcSample],
+    event: HpcEvent,
+    k_range: RangeInclusive<usize>,
+    config: &DetectorConfig,
+    rng: &mut impl Rng,
+) -> Result<EventModel, FitGmmError> {
+    let data: Vec<f64> = samples.iter().map(|s| s.get(event)).collect();
+    let fit = fit_bic_1d(&data, k_range, &config.em, rng)?;
+    let gmm = fit.model;
+    // Threshold: μ + kσ over the validation NLL distribution.
+    let nlls: Vec<f64> = data.iter().map(|&x| gmm.nll(x)).collect();
+    let mean = nlls.iter().sum::<f64>() / nlls.len() as f64;
+    let var = nlls.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / nlls.len() as f64;
+    let threshold = mean + config.sigma_factor * var.sqrt();
+    Ok(EventModel { gmm, threshold })
 }
 
 #[cfg(test)]
@@ -267,7 +373,10 @@ mod tests {
             for _ in 0..60 {
                 let mut s = HpcSample::default();
                 s.set(HpcEvent::CacheMisses, center + rng.gen_range(-300.0..300.0));
-                s.set(HpcEvent::Instructions, 1_000_000.0 + rng.gen_range(-5_000.0..5_000.0));
+                s.set(
+                    HpcEvent::Instructions,
+                    1_000_000.0 + rng.gen_range(-5_000.0..5_000.0),
+                );
                 samples.push(s);
             }
             per_class.push(samples);
@@ -296,7 +405,10 @@ mod tests {
 
         let mut clean = HpcSample::default();
         clean.set(HpcEvent::CacheMisses, 10_050.0);
-        assert_eq!(d.is_adversarial(0, HpcEvent::CacheMisses, &clean), Some(false));
+        assert_eq!(
+            d.is_adversarial(0, HpcEvent::CacheMisses, &clean),
+            Some(false)
+        );
 
         let mut adv = HpcSample::default();
         adv.set(HpcEvent::CacheMisses, 13_000.0); // far outside class 0
@@ -304,7 +416,10 @@ mod tests {
         // ...but plausible for class 1.
         let mut adv_c1 = HpcSample::default();
         adv_c1.set(HpcEvent::CacheMisses, 15_050.0);
-        assert_eq!(d.is_adversarial(1, HpcEvent::CacheMisses, &adv_c1), Some(false));
+        assert_eq!(
+            d.is_adversarial(1, HpcEvent::CacheMisses, &adv_c1),
+            Some(false)
+        );
     }
 
     #[test]
@@ -313,13 +428,19 @@ mod tests {
         let t = synthetic_template(&mut rng);
         let tight = Detector::fit(
             &t,
-            &DetectorConfig { sigma_factor: 1.0, ..DetectorConfig::default() },
+            &DetectorConfig {
+                sigma_factor: 1.0,
+                ..DetectorConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
         let loose = Detector::fit(
             &t,
-            &DetectorConfig { sigma_factor: 5.0, ..DetectorConfig::default() },
+            &DetectorConfig {
+                sigma_factor: 5.0,
+                ..DetectorConfig::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -366,10 +487,93 @@ mod tests {
     }
 
     #[test]
+    fn fit_par_is_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = synthetic_template(&mut rng);
+        let cfg = DetectorConfig::default();
+        let seq = Detector::fit_par(&t, &cfg, 99, &Parallelism::sequential()).unwrap();
+        for threads in [2, 4] {
+            let par = Detector::fit_par(&t, &cfg, 99, &Parallelism::new(threads)).unwrap();
+            assert_eq!(seq, par, "thread count {threads} changed the fit");
+        }
+        // A different seed gives a different bank (EM restarts differ)...
+        let other = Detector::fit_par(&t, &cfg, 100, &Parallelism::new(2)).unwrap();
+        assert_eq!(other.num_classes(), seq.num_classes());
+        // ...but both flag the same gross outlier.
+        let mut s = HpcSample::default();
+        s.set(HpcEvent::CacheMisses, 50_000.0);
+        assert_eq!(
+            seq.is_adversarial(0, HpcEvent::CacheMisses, &s),
+            other.is_adversarial(0, HpcEvent::CacheMisses, &s)
+        );
+    }
+
+    #[test]
+    fn fit_par_reports_empty_category_like_fit() {
+        let t = OfflineTemplate::from_samples(vec![vec![HpcSample::default()], vec![]]);
+        assert_eq!(
+            Detector::fit_par(&t, &DetectorConfig::default(), 0, &Parallelism::new(4)).unwrap_err(),
+            FitDetectorError::EmptyCategory { class: 1 }
+        );
+    }
+
+    #[test]
+    fn score_batch_agrees_with_single_scores() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = synthetic_template(&mut rng);
+        let d = Detector::fit_par(&t, &DetectorConfig::default(), 1, &Parallelism::new(2)).unwrap();
+        let queries: Vec<(usize, HpcSample)> = (0..40)
+            .map(|i| {
+                let mut s = HpcSample::default();
+                s.set(HpcEvent::CacheMisses, 9_000.0 + 200.0 * i as f64);
+                (i % 3, s) // class 2 does not exist: scores None
+            })
+            .collect();
+        for threads in [1, 2, 4] {
+            let batch = d.score_batch(&queries, HpcEvent::CacheMisses, &Parallelism::new(threads));
+            let flags = d.detect_batch(&queries, HpcEvent::CacheMisses, &Parallelism::new(threads));
+            assert_eq!(batch.len(), queries.len());
+            for (i, (class, sample)) in queries.iter().enumerate() {
+                assert_eq!(batch[i], d.score(*class, HpcEvent::CacheMisses, sample));
+                assert_eq!(
+                    flags[i],
+                    d.is_adversarial(*class, HpcEvent::CacheMisses, sample)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_batch_edge_cases_empty_and_single_class() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Single-class template.
+        let t = OfflineTemplate::from_samples(vec![(0..40)
+            .map(|_| {
+                let mut s = HpcSample::default();
+                s.set(
+                    HpcEvent::CacheMisses,
+                    5_000.0 + rng.gen_range(-100.0..100.0),
+                );
+                s
+            })
+            .collect()]);
+        let d = Detector::fit_par(&t, &DetectorConfig::default(), 2, &Parallelism::new(2)).unwrap();
+        assert!(d
+            .score_batch(&[], HpcEvent::CacheMisses, &Parallelism::new(4))
+            .is_empty());
+        let queries = vec![(0, HpcSample::default()), (1, HpcSample::default())];
+        let scores = d.score_batch(&queries, HpcEvent::CacheMisses, &Parallelism::new(4));
+        assert!(scores[0].is_some(), "class 0 is modelled");
+        assert!(scores[1].is_none(), "class 1 does not exist");
+    }
+
+    #[test]
     fn unknown_class_scores_none() {
         let mut rng = StdRng::seed_from_u64(6);
         let t = synthetic_template(&mut rng);
         let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
-        assert!(d.score(99, HpcEvent::CacheMisses, &HpcSample::default()).is_none());
+        assert!(d
+            .score(99, HpcEvent::CacheMisses, &HpcSample::default())
+            .is_none());
     }
 }

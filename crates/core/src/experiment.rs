@@ -6,6 +6,7 @@
 
 use advhunter_attacks::{attack_dataset, AdversarialExample, Attack, AttackGoal, AttackReport};
 use advhunter_data::Dataset;
+use advhunter_runtime::Parallelism;
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::Rng;
 
@@ -71,30 +72,106 @@ pub fn measure_examples(
         .collect()
 }
 
+/// Parallel [`measure_dataset`]: the cap is applied by label in dataset
+/// order exactly as in the sequential path (it never depends on
+/// predictions), then the kept images are measured as one batch over the
+/// runtime's worker pool. Item `i` of the kept set draws noise from the
+/// stream seeded by `derive_seed(seed, i)`, so results are identical for
+/// every thread count.
+pub fn measure_dataset_par(
+    art: &ScenarioArtifacts,
+    dataset: &Dataset,
+    limit_per_class: Option<usize>,
+    seed: u64,
+    parallelism: &Parallelism,
+) -> Vec<LabeledSample> {
+    let cap = limit_per_class.unwrap_or(usize::MAX);
+    let mut taken = vec![0usize; dataset.num_classes()];
+    let mut kept: Vec<usize> = Vec::new();
+    for i in 0..dataset.len() {
+        let label = dataset.labels()[i];
+        if taken[label] >= cap {
+            continue;
+        }
+        taken[label] += 1;
+        kept.push(i);
+    }
+    let images: Vec<_> = kept.iter().map(|&i| dataset.images()[i].clone()).collect();
+    let measurements = art
+        .engine
+        .measure_batch(&art.model, &images, seed, parallelism);
+    kept.iter()
+        .zip(measurements)
+        .map(|(&i, m)| LabeledSample {
+            true_class: dataset.labels()[i],
+            predicted: m.predicted,
+            sample: m.sample,
+        })
+        .collect()
+}
+
+/// Parallel [`measure_examples`]: one batch over the runtime's worker
+/// pool, with per-item noise streams derived from `(seed, index)`.
+pub fn measure_examples_par(
+    art: &ScenarioArtifacts,
+    examples: &[AdversarialExample],
+    seed: u64,
+    parallelism: &Parallelism,
+) -> Vec<LabeledSample> {
+    let images: Vec<_> = examples.iter().map(|ex| ex.image.clone()).collect();
+    let measurements = art
+        .engine
+        .measure_batch(&art.model, &images, seed, parallelism);
+    examples
+        .iter()
+        .zip(measurements)
+        .map(|(ex, m)| LabeledSample {
+            true_class: ex.original_label,
+            predicted: m.predicted,
+            sample: m.sample,
+        })
+        .collect()
+}
+
 /// Scores the detector on one event over a clean set and an adversarial
 /// set. Clean inputs are only scored when the model classified them
 /// correctly (mirroring the paper's protocol: the clean side of each
 /// comparison is images the DNN handles normally); adversarial inputs are
 /// scored under their (wrong) predicted class.
+///
+/// Scoring goes through [`Detector::detect_batch`] under the process-wide
+/// [`Parallelism`] default; scoring is pure, so the confusion counts do
+/// not depend on the thread count.
 pub fn detection_confusion(
     detector: &Detector,
     event: HpcEvent,
     clean: &[LabeledSample],
     adversarial: &[LabeledSample],
 ) -> BinaryConfusion {
+    let parallelism = Parallelism::default();
     let mut confusion = BinaryConfusion::default();
-    for s in clean {
-        if s.predicted != s.true_class {
-            continue;
-        }
-        if let Some(flagged) = detector.is_adversarial(s.predicted, event, &s.sample) {
-            confusion.record(false, flagged);
-        }
+    let clean_queries: Vec<(usize, HpcSample)> = clean
+        .iter()
+        .filter(|s| s.predicted == s.true_class)
+        .map(|s| (s.predicted, s.sample))
+        .collect();
+    for flagged in detector
+        .detect_batch(&clean_queries, event, &parallelism)
+        .into_iter()
+        .flatten()
+    {
+        confusion.record(false, flagged);
     }
-    for s in adversarial {
-        if let Some(flagged) = detector.is_adversarial(s.predicted, event, &s.sample) {
-            confusion.record(true, flagged);
-        }
+    let adv_queries: Vec<(usize, HpcSample)> = adversarial
+        .iter()
+        .map(|s| (s.predicted, s.sample))
+        .collect();
+    for flagged in detector
+        .detect_batch(&adv_queries, event, &parallelism)
+        .into_iter()
+        .flatten()
+    {
+        confusion.record(true, flagged);
     }
     confusion
 }
@@ -263,9 +340,21 @@ mod tests {
     #[test]
     fn by_true_class_filters() {
         let samples = vec![
-            LabeledSample { true_class: 0, predicted: 0, sample: HpcSample::default() },
-            LabeledSample { true_class: 1, predicted: 0, sample: HpcSample::default() },
-            LabeledSample { true_class: 0, predicted: 1, sample: HpcSample::default() },
+            LabeledSample {
+                true_class: 0,
+                predicted: 0,
+                sample: HpcSample::default(),
+            },
+            LabeledSample {
+                true_class: 1,
+                predicted: 0,
+                sample: HpcSample::default(),
+            },
+            LabeledSample {
+                true_class: 0,
+                predicted: 1,
+                sample: HpcSample::default(),
+            },
         ];
         assert_eq!(by_true_class(&samples, 0).len(), 2);
         assert_eq!(by_true_class(&samples, 1).len(), 1);

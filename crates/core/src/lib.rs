@@ -50,7 +50,8 @@ pub mod persist;
 pub mod report;
 pub mod scenario;
 
+pub use advhunter_runtime::{derive_seed, Parallelism};
 pub use detector::{Detector, DetectorConfig, EventModel, EventScore, FitDetectorError};
 pub use metrics::{mean_std, BinaryConfusion};
-pub use offline::OfflineTemplate;
+pub use offline::{collect_template_par, OfflineTemplate};
 pub use persist::{load_detector, save_detector, PersistDetectorError};

@@ -129,7 +129,12 @@ mod tests {
 
     #[test]
     fn f1_matches_hand_computation() {
-        let c = BinaryConfusion { tp: 8, fp: 2, tn: 7, fn_: 3 };
+        let c = BinaryConfusion {
+            tp: 8,
+            fp: 2,
+            tn: 7,
+            fn_: 3,
+        };
         let p = 8.0 / 10.0;
         let r = 8.0 / 11.0;
         assert!((c.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
@@ -138,9 +143,27 @@ mod tests {
 
     #[test]
     fn merge_adds_counts() {
-        let mut a = BinaryConfusion { tp: 1, fp: 2, tn: 3, fn_: 4 };
-        a.merge(&BinaryConfusion { tp: 10, fp: 20, tn: 30, fn_: 40 });
-        assert_eq!(a, BinaryConfusion { tp: 11, fp: 22, tn: 33, fn_: 44 });
+        let mut a = BinaryConfusion {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        a.merge(&BinaryConfusion {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        });
+        assert_eq!(
+            a,
+            BinaryConfusion {
+                tp: 11,
+                fp: 22,
+                tn: 33,
+                fn_: 44
+            }
+        );
     }
 
     #[test]

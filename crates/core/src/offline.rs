@@ -3,6 +3,7 @@
 use advhunter_data::Dataset;
 use advhunter_exec::TraceEngine;
 use advhunter_nn::Graph;
+use advhunter_runtime::Parallelism;
 use advhunter_uarch::HpcSample;
 use rand::Rng;
 
@@ -86,6 +87,42 @@ pub fn collect_template(
     OfflineTemplate::from_samples(per_class)
 }
 
+/// Parallel [`collect_template`]: measures the whole validation set over
+/// the runtime's worker pool, then replays the sequential selection rule
+/// (cap check in dataset order, keep only correctly predicted images).
+///
+/// Image `i` draws its measurement noise from the stream seeded by
+/// `derive_seed(seed, i)`, so the returned template is bit-for-bit
+/// identical for every thread count, including
+/// [`Parallelism::sequential`]. Note the entropy scheme differs from the
+/// single-RNG [`collect_template`], whose results this does not reproduce;
+/// within each scheme results are fully seed-deterministic.
+///
+/// Unlike the sequential path — which can skip measuring images of
+/// already-full categories — every image is measured (the selection rule
+/// depends on predictions, which are only known after measuring), trading
+/// some redundant work when `per_class_cap` is tight for scheduling
+/// freedom.
+pub fn collect_template_par(
+    engine: &TraceEngine,
+    model: &Graph,
+    validation: &Dataset,
+    per_class_cap: Option<usize>,
+    seed: u64,
+    parallelism: &Parallelism,
+) -> OfflineTemplate {
+    let cap = per_class_cap.unwrap_or(usize::MAX);
+    let measurements = engine.measure_batch(model, validation.images(), seed, parallelism);
+    let mut per_class: Vec<Vec<HpcSample>> = vec![Vec::new(); validation.num_classes()];
+    for (m, &label) in measurements.iter().zip(validation.labels()) {
+        if per_class[label].len() >= cap || m.predicted != label {
+            continue;
+        }
+        per_class[label].push(m.sample);
+    }
+    OfflineTemplate::from_samples(per_class)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,7 +172,10 @@ mod tests {
         // every retained sample must have been predicted as its class.
         let total: usize = (0..2).map(|c| t.class_samples(c).len()).sum();
         assert!(total <= ds.len());
-        assert_eq!(t.min_samples_per_class(), (0..2).map(|c| t.class_samples(c).len()).min().unwrap());
+        assert_eq!(
+            t.min_samples_per_class(),
+            (0..2).map(|c| t.class_samples(c).len()).min().unwrap()
+        );
 
         // Cross-check one class against direct predictions.
         let mut expect0 = 0;
@@ -147,6 +187,38 @@ mod tests {
             }
         }
         assert_eq!(t.class_samples(0).len(), expect0);
+    }
+
+    #[test]
+    fn parallel_template_is_thread_count_invariant() {
+        let (model, engine, ds) = setup();
+        let seq =
+            collect_template_par(&engine, &model, &ds, Some(5), 3, &Parallelism::sequential());
+        for threads in [2, 4] {
+            let par =
+                collect_template_par(&engine, &model, &ds, Some(5), 3, &Parallelism::new(threads));
+            assert_eq!(seq, par, "thread count {threads} changed the template");
+        }
+    }
+
+    #[test]
+    fn parallel_template_applies_the_same_selection_rule() {
+        let (model, engine, ds) = setup();
+        let t = collect_template_par(&engine, &model, &ds, None, 4, &Parallelism::new(2));
+        // Every retained sample was predicted as its own class; cross-check
+        // against direct predictions as in the sequential test.
+        let mut expect0 = 0;
+        for i in 0..ds.len() {
+            let (img, label) = ds.item(i);
+            let batch = Tensor::stack(std::slice::from_ref(img));
+            if label == 0 && model.predict(&batch)[0] == 0 {
+                expect0 += 1;
+            }
+        }
+        assert_eq!(t.class_samples(0).len(), expect0);
+        let capped = collect_template_par(&engine, &model, &ds, Some(2), 4, &Parallelism::new(2));
+        assert!(capped.class_samples(0).len() <= 2);
+        assert!(capped.class_samples(1).len() <= 2);
     }
 
     #[test]

@@ -148,7 +148,9 @@ pub fn load_detector(path: &Path) -> Result<Detector, PersistDetectorError> {
             }
             let wsum: f64 = weights.iter().sum();
             if !(0.999..=1.001).contains(&wsum) || variances.iter().any(|&v| v <= 0.0) {
-                return Err(PersistDetectorError::Malformed("invalid mixture parameters"));
+                return Err(PersistDetectorError::Malformed(
+                    "invalid mixture parameters",
+                ));
             }
             row.push(Some(EventModel {
                 gmm: Gmm1d::from_parameters(weights, means, variances),
@@ -229,6 +231,52 @@ mod tests {
         save_detector(&d, &path).unwrap();
         let loaded = load_detector(&path).unwrap();
         assert_eq!(d, loaded);
+    }
+
+    #[test]
+    fn parallel_fit_detector_round_trips_through_ahd1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let per_class: Vec<Vec<HpcSample>> = (0..3)
+            .map(|c| {
+                (0..40)
+                    .map(|_| {
+                        let mut s = HpcSample::default();
+                        s.set(
+                            HpcEvent::CacheMisses,
+                            1_000.0 * (c + 1) as f64 + rng.gen_range(-20.0..20.0),
+                        );
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let template = OfflineTemplate::from_samples(per_class);
+        let d = Detector::fit_par(
+            &template,
+            &DetectorConfig::default(),
+            17,
+            &advhunter_runtime::Parallelism::new(4),
+        )
+        .unwrap();
+        let path = tempfile("par.ahd");
+        save_detector(&d, &path).unwrap();
+        let loaded = load_detector(&path).unwrap();
+        assert_eq!(d, loaded);
+        let mut probe = HpcSample::default();
+        probe.set(HpcEvent::CacheMisses, 1_950.0);
+        let queries: Vec<(usize, HpcSample)> = (0..3).map(|c| (c, probe)).collect();
+        assert_eq!(
+            d.score_batch(
+                &queries,
+                HpcEvent::CacheMisses,
+                &advhunter_runtime::Parallelism::new(2)
+            ),
+            loaded.score_batch(
+                &queries,
+                HpcEvent::CacheMisses,
+                &advhunter_runtime::Parallelism::sequential()
+            )
+        );
     }
 
     #[test]

@@ -86,14 +86,30 @@ impl ScenarioId {
     pub fn class_names(self) -> Vec<String> {
         match self {
             ScenarioId::S1 => [
-                "t-shirt", "trouser", "pullover", "dress", "coat", "sandal", "shirt", "sneaker",
-                "bag", "ankle boot",
+                "t-shirt",
+                "trouser",
+                "pullover",
+                "dress",
+                "coat",
+                "sandal",
+                "shirt",
+                "sneaker",
+                "bag",
+                "ankle boot",
             ]
             .iter()
             .map(|s| s.to_string())
             .collect(),
             ScenarioId::S2 | ScenarioId::CaseStudy => [
-                "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship",
+                "airplane",
+                "automobile",
+                "bird",
+                "cat",
+                "deer",
+                "dog",
+                "frog",
+                "horse",
+                "ship",
                 "truck",
             ]
             .iter()
@@ -262,7 +278,13 @@ pub fn build_scenario(
     let mut train_rng = StdRng::seed_from_u64(rng.gen());
     let train_split = split.train.clone();
     let from_cache = io::train_or_load(&mut model, &key, |m| {
-        fit(m, train_split.images(), train_split.labels(), &cfg, &mut train_rng);
+        fit(
+            m,
+            train_split.images(),
+            train_split.labels(),
+            &cfg,
+            &mut train_rng,
+        );
     })
     .expect("model cache I/O");
     let clean_accuracy = evaluate(&model, split.test.images(), split.test.labels());
@@ -294,7 +316,12 @@ mod tests {
 
     #[test]
     fn class_name_counts_match_class_counts() {
-        for id in [ScenarioId::S1, ScenarioId::S2, ScenarioId::S3, ScenarioId::CaseStudy] {
+        for id in [
+            ScenarioId::S1,
+            ScenarioId::S2,
+            ScenarioId::S3,
+            ScenarioId::CaseStudy,
+        ] {
             assert_eq!(id.class_names().len(), id.num_classes());
         }
     }
@@ -304,7 +331,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("advhunter-scn-{}", std::process::id()));
         std::env::set_var("ADVHUNTER_CACHE_DIR", &dir);
         let mut rng = StdRng::seed_from_u64(0);
-        let sizes = SplitSizes { train: 12, val: 4, test: 6 };
+        let sizes = SplitSizes {
+            train: 12,
+            val: 4,
+            test: 6,
+        };
         let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
         assert_eq!(art.split.train.len(), 120);
         // Even a tiny training run should beat random guessing (10%).

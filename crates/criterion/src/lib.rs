@@ -1,0 +1,149 @@
+//! A self-contained, dependency-free drop-in for the subset of the
+//! `criterion` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! crate cannot be fetched; this workspace member shadows it. It keeps the
+//! `criterion_group!`/`criterion_main!`/`bench_function` surface but
+//! replaces the statistical machinery with a simple calibrated timing
+//! loop: warm up, pick an iteration count that fills a fixed measurement
+//! window, and report the mean time per iteration.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_MEASURE_MS` — measurement window per benchmark in
+//!   milliseconds (default 300).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to every registered bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measure: self.measure,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{id:<48} {:>14}/iter  ({} iterations)",
+            format_ns(bencher.mean_ns),
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Times a closure inside [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    measure: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping its return value alive via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: time single runs until we can estimate a
+        // batch size that fills the measurement window.
+        let calibrate_start = Instant::now();
+        let mut calibration_runs = 0u64;
+        while calibrate_start.elapsed() < self.measure / 10 || calibration_runs < 3 {
+            black_box(f());
+            calibration_runs += 1;
+            if calibration_runs >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calibrate_start.elapsed().as_secs_f64() / calibration_runs as f64;
+        let target = (self.measure.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_secs_f64() * 1e9 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Registers benchmark functions under a group name, as upstream
+/// `criterion_group!` does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Criterion benchmark group."]
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        std::env::remove_var("CRITERION_MEASURE_MS");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with('s'));
+    }
+}

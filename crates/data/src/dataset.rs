@@ -38,7 +38,10 @@ impl Dataset {
     /// range, or images disagree on shape.
     pub fn new(name: &str, images: Vec<Tensor>, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(images.len(), labels.len(), "one label per image");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
         if let Some(first) = images.first() {
             assert!(
                 images.iter().all(|i| i.shape() == first.shape()),

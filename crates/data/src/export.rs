@@ -25,7 +25,10 @@ impl fmt::Display for ExportImageError {
         match self {
             Self::Io(e) => write!(f, "image export I/O failed: {e}"),
             Self::UnsupportedShape(dims) => {
-                write!(f, "expected a 1- or 3-channel CHW image, got shape {dims:?}")
+                write!(
+                    f,
+                    "expected a 1- or 3-channel CHW image, got shape {dims:?}"
+                )
             }
         }
     }

@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn scenario_shapes_match_the_paper() {
-        let sizes = SplitSizes { train: 1, val: 1, test: 1 };
+        let sizes = SplitSizes {
+            train: 1,
+            val: 1,
+            test: 1,
+        };
         let s1 = fashion_mnist_like(0, &sizes);
         assert_eq!(s1.train.dims(), &[1, 28, 28]);
         assert_eq!(s1.train.num_classes(), 10);
@@ -87,7 +91,11 @@ mod tests {
 
     #[test]
     fn scenario_names_distinguish_splits() {
-        let sizes = SplitSizes { train: 1, val: 1, test: 1 };
+        let sizes = SplitSizes {
+            train: 1,
+            val: 1,
+            test: 1,
+        };
         let s = cifar10_like(0, &sizes);
         assert!(s.train.name().contains("train"));
         assert!(s.val.name().contains("val"));

@@ -163,22 +163,51 @@ mod tests {
         }
         let stats = DatasetStats::compute(&Dataset::new("same", images, labels, 2));
         let (_, _, s) = stats.most_confusable_pair();
-        assert!(s < 1.0, "identical distributions must look confusable, got {s}");
+        assert!(
+            s < 1.0,
+            "identical distributions must look confusable, got {s}"
+        );
     }
 
     #[test]
     fn synthetic_scenarios_have_separable_classes() {
-        let split = crate::scenarios::cifar10_like(5, &crate::SplitSizes { train: 12, val: 1, test: 1 });
-        let stats = DatasetStats::compute(&split.train);
-        let (a, b, s) = stats.most_confusable_pair();
-        assert!(s > 0.1, "classes {a},{b} collapsed: separability {s}");
-        // And at least some pair should be comfortably separable.
-        let mut max_s = 0.0f32;
-        for x in 0..10 {
-            for y in x + 1..10 {
-                max_s = max_s.max(stats.separability(x, y));
+        // 32 images per class so the separability statistic is not
+        // dominated by small-sample noise in the per-class means. The
+        // thresholds are per family: the CIFAR-10 stand-in is deliberately
+        // the hardest (heavy pixel noise and jitter keep model accuracy
+        // near the paper's 88 %), so its best pixel-space separability
+        // sits below 1 while the cleaner families clear it.
+        let sizes = crate::SplitSizes {
+            train: 32,
+            val: 1,
+            test: 1,
+        };
+        for (name, split, min_best) in [
+            (
+                "fashion",
+                crate::scenarios::fashion_mnist_like(5, &sizes),
+                1.0,
+            ),
+            ("cifar", crate::scenarios::cifar10_like(5, &sizes), 0.5),
+            ("gtsrb", crate::scenarios::gtsrb_like(5, &sizes), 1.0),
+        ] {
+            let stats = DatasetStats::compute(&split.train);
+            let n = split.train.num_classes();
+            let (a, b, min_s) = stats.most_confusable_pair();
+            assert!(
+                min_s > 0.1,
+                "{name}: classes {a},{b} collapsed: separability {min_s}"
+            );
+            let mut max_s = 0.0f32;
+            for x in 0..n {
+                for y in x + 1..n {
+                    max_s = max_s.max(stats.separability(x, y));
+                }
             }
+            assert!(
+                max_s > min_best,
+                "{name}: no separable pair at all: {max_s}"
+            );
         }
-        assert!(max_s > 1.0, "no separable pair at all: {max_s}");
     }
 }

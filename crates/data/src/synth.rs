@@ -84,9 +84,15 @@ impl ClassPrototype {
             .collect();
         let shape = if cfg.shape_strength > 0.0 {
             match class % 3 {
-                0 => ShapeMask::Disk { r: rng.gen_range(0.28..0.38) },
-                1 => ShapeMask::Triangle { r: rng.gen_range(0.3..0.42) },
-                _ => ShapeMask::Square { r: rng.gen_range(0.25..0.36) },
+                0 => ShapeMask::Disk {
+                    r: rng.gen_range(0.28..0.38),
+                },
+                1 => ShapeMask::Triangle {
+                    r: rng.gen_range(0.3..0.42),
+                },
+                _ => ShapeMask::Square {
+                    r: rng.gen_range(0.25..0.36),
+                },
             }
         } else {
             ShapeMask::None
@@ -205,10 +211,10 @@ pub(crate) fn generate(cfg: &SynthConfig, sizes: &SplitSizes) -> SplitDataset {
                 let mut img = proto.render(cfg, dx, dy, scale, &mut rng);
                 if cfg.class_confusion > 0.0 && rng.gen::<f32>() < cfg.class_confusion {
                     // Hard example: blend with a neighboring class.
-                    let other_class = (class + 1 + rng.gen_range(0..cfg.num_classes - 1))
-                        % cfg.num_classes;
-                    let other = &prototypes[other_class]
-                        [rng.gen_range(0..cfg.prototypes_per_class)];
+                    let other_class =
+                        (class + 1 + rng.gen_range(0..cfg.num_classes - 1)) % cfg.num_classes;
+                    let other =
+                        &prototypes[other_class][rng.gen_range(0..cfg.prototypes_per_class)];
                     let blend = other.render(cfg, dx, dy, scale, &mut rng);
                     img.scale_inplace(0.72);
                     img.add_scaled(&blend, 0.28);
@@ -217,7 +223,12 @@ pub(crate) fn generate(cfg: &SynthConfig, sizes: &SplitSizes) -> SplitDataset {
                 labels.push(class);
             }
         }
-        Dataset::new(&format!("{}-{tag}", cfg.name), images, labels, cfg.num_classes)
+        Dataset::new(
+            &format!("{}-{tag}", cfg.name),
+            images,
+            labels,
+            cfg.num_classes,
+        )
     };
 
     SplitDataset {
@@ -253,7 +264,14 @@ mod tests {
 
     #[test]
     fn images_are_in_unit_range() {
-        let split = generate(&cfg(), &SplitSizes { train: 3, val: 2, test: 2 });
+        let split = generate(
+            &cfg(),
+            &SplitSizes {
+                train: 3,
+                val: 2,
+                test: 2,
+            },
+        );
         for img in split.train.images() {
             assert!(img.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
@@ -261,7 +279,14 @@ mod tests {
 
     #[test]
     fn split_sizes_are_respected() {
-        let split = generate(&cfg(), &SplitSizes { train: 5, val: 3, test: 2 });
+        let split = generate(
+            &cfg(),
+            &SplitSizes {
+                train: 5,
+                val: 3,
+                test: 2,
+            },
+        );
         assert_eq!(split.train.len(), 20);
         assert_eq!(split.val.len(), 12);
         assert_eq!(split.test.len(), 8);
@@ -270,8 +295,22 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = generate(&cfg(), &SplitSizes { train: 2, val: 1, test: 1 });
-        let b = generate(&cfg(), &SplitSizes { train: 2, val: 1, test: 1 });
+        let a = generate(
+            &cfg(),
+            &SplitSizes {
+                train: 2,
+                val: 1,
+                test: 1,
+            },
+        );
+        let b = generate(
+            &cfg(),
+            &SplitSizes {
+                train: 2,
+                val: 1,
+                test: 1,
+            },
+        );
         assert_eq!(a.train, b.train);
         assert_eq!(a.val, b.val);
     }
@@ -280,8 +319,22 @@ mod tests {
     fn different_seeds_differ() {
         let mut c2 = cfg();
         c2.seed = 12;
-        let a = generate(&cfg(), &SplitSizes { train: 2, val: 1, test: 1 });
-        let b = generate(&c2, &SplitSizes { train: 2, val: 1, test: 1 });
+        let a = generate(
+            &cfg(),
+            &SplitSizes {
+                train: 2,
+                val: 1,
+                test: 1,
+            },
+        );
+        let b = generate(
+            &c2,
+            &SplitSizes {
+                train: 2,
+                val: 1,
+                test: 1,
+            },
+        );
         assert_ne!(a.train, b.train);
     }
 
@@ -289,7 +342,14 @@ mod tests {
     fn classes_are_statistically_distinct() {
         // Mean image of one class should be far from the mean image of
         // another relative to the within-class spread.
-        let split = generate(&cfg(), &SplitSizes { train: 20, val: 1, test: 1 });
+        let split = generate(
+            &cfg(),
+            &SplitSizes {
+                train: 20,
+                val: 1,
+                test: 1,
+            },
+        );
         let mean_of = |c: usize| {
             let imgs = split.train.images_of_class(c);
             let mut acc = Tensor::zeros(split.train.dims());

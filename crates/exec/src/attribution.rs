@@ -96,7 +96,14 @@ impl TraceEngine {
                 })
                 .collect();
             group.enable();
-            trace_node(&mut group, node, i, self.layout(), &inputs, &single_outputs[i]);
+            trace_node(
+                &mut group,
+                node,
+                i,
+                self.layout(),
+                &inputs,
+                &single_outputs[i],
+            );
             group.disable();
             nodes.push(NodeAttribution {
                 node_index: i,

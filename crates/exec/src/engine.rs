@@ -1,6 +1,7 @@
 //! The instrumented-inference engine.
 
 use advhunter_nn::{Graph, Mode};
+use advhunter_runtime::{parallel_map, Parallelism};
 use advhunter_tensor::Tensor;
 use advhunter_uarch::{CounterGroup, HpcCounts, HpcSample, MachineConfig, Sampler};
 use rand::Rng;
@@ -90,6 +91,51 @@ impl TraceEngine {
         }
     }
 
+    /// Measures one inference using the private noise stream of item
+    /// `index` under batch seed `seed` — the single-item unit of
+    /// [`measure_batch`](Self::measure_batch). Pure in `(image, seed,
+    /// index)`.
+    pub fn measure_indexed(
+        &self,
+        graph: &Graph,
+        image: &Tensor,
+        seed: u64,
+        index: u64,
+    ) -> Measurement {
+        let (predicted, counts) = self.run(graph, image);
+        let sample = self.sampler.sample_indexed(&counts, seed, index);
+        Measurement {
+            predicted,
+            sample,
+            counts,
+        }
+    }
+
+    /// Measures a whole batch, fanning the per-image trace simulations out
+    /// over the runtime's worker pool. Every worker replays its images
+    /// through a private cold [`CounterGroup`] (cache hierarchy + branch
+    /// predictor), and item `i` draws measurement noise from the stream
+    /// seeded by `derive_seed(seed, i)` — so the result is bit-for-bit
+    /// identical for every thread count, including
+    /// [`Parallelism::sequential`], and `out[i]` equals
+    /// [`measure_indexed`](Self::measure_indexed)`(graph, &images[i],
+    /// seed, i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any image does not match the model's input shape.
+    pub fn measure_batch(
+        &self,
+        graph: &Graph,
+        images: &[Tensor],
+        seed: u64,
+        parallelism: &Parallelism,
+    ) -> Vec<Measurement> {
+        parallel_map(parallelism, images, |i, image| {
+            self.measure_indexed(graph, image, seed, i as u64)
+        })
+    }
+
     fn run(&self, graph: &Graph, image: &Tensor) -> (usize, HpcCounts) {
         assert_eq!(
             image.shape().dims(),
@@ -115,7 +161,14 @@ impl TraceEngine {
                     advhunter_nn::Src::Node(j) => &single_outputs[*j],
                 })
                 .collect();
-            trace_node(&mut group, node, i, &self.layout, &inputs, &single_outputs[i]);
+            trace_node(
+                &mut group,
+                node,
+                i,
+                &self.layout,
+                &inputs,
+                &single_outputs[i],
+            );
         }
         group.disable();
         (predicted, group.read())
@@ -193,7 +246,11 @@ mod tests {
         let e = TraceEngine::new(&g);
         let a = e.true_counts(&g, &image(1));
         let b = e.true_counts(&g, &image(2));
-        for ev in [HpcEvent::Instructions, HpcEvent::Branches, HpcEvent::BranchMisses] {
+        for ev in [
+            HpcEvent::Instructions,
+            HpcEvent::Branches,
+            HpcEvent::BranchMisses,
+        ] {
             assert_eq!(a.get(ev), b.get(ev), "{ev} must not depend on the input");
         }
         assert_eq!(
@@ -212,7 +269,10 @@ mod tests {
             .map(|s| e.true_counts(&g, &image(s)).get(HpcEvent::CacheMisses))
             .collect();
         let distinct: std::collections::HashSet<u64> = misses.iter().copied().collect();
-        assert!(distinct.len() > 1, "cache misses identical across inputs: {misses:?}");
+        assert!(
+            distinct.len() > 1,
+            "cache misses identical across inputs: {misses:?}"
+        );
     }
 
     #[test]
@@ -235,7 +295,10 @@ mod tests {
         let e = TraceEngine::with_config(
             &g,
             MachineConfig::default(),
-            Sampler { noise: NoiseModel::default(), repeats: 5 },
+            Sampler {
+                noise: NoiseModel::default(),
+                repeats: 5,
+            },
         );
         let mut rng = StdRng::seed_from_u64(7);
         let m = e.measure(&g, &image(3), &mut rng);
@@ -261,6 +324,40 @@ mod tests {
             let batch = Tensor::stack(std::slice::from_ref(&img));
             assert_eq!(m.predicted, g.predict(&batch)[0]);
         }
+    }
+
+    #[test]
+    fn measure_batch_is_thread_count_invariant() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let images: Vec<Tensor> = (0..6).map(image).collect();
+        let seq = e.measure_batch(&g, &images, 42, &Parallelism::sequential());
+        for threads in [2, 4] {
+            let par = e.measure_batch(&g, &images, 42, &Parallelism::new(threads));
+            assert_eq!(seq, par, "thread count {threads} changed measurements");
+        }
+    }
+
+    #[test]
+    fn measure_batch_items_match_measure_indexed() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let images: Vec<Tensor> = (0..4).map(image).collect();
+        let batch = e.measure_batch(&g, &images, 7, &Parallelism::new(2));
+        for (i, m) in batch.iter().enumerate() {
+            assert_eq!(*m, e.measure_indexed(&g, &images[i], 7, i as u64));
+        }
+    }
+
+    #[test]
+    fn per_item_noise_streams_are_independent_of_neighbours() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let a: Vec<Tensor> = vec![image(1), image(2)];
+        let b: Vec<Tensor> = vec![image(1), image(3)];
+        let ma = e.measure_batch(&g, &a, 11, &Parallelism::sequential());
+        let mb = e.measure_batch(&g, &b, 11, &Parallelism::sequential());
+        assert_eq!(ma[0], mb[0], "item 0 must not depend on its neighbours");
     }
 
     #[test]

@@ -211,7 +211,11 @@ pub fn tile_activity(t: &Tensor) -> Vec<bool> {
 pub fn tile_active_counts(t: &Tensor) -> Vec<u8> {
     t.data()
         .chunks(FLOATS_PER_LINE)
-        .map(|tile| tile.iter().filter(|v| v.abs() > ACTIVE_TILE_THRESHOLD).count() as u8)
+        .map(|tile| {
+            tile.iter()
+                .filter(|v| v.abs() > ACTIVE_TILE_THRESHOLD)
+                .count() as u8
+        })
         .collect()
 }
 

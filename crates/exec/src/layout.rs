@@ -24,7 +24,11 @@ impl Region {
     ///
     /// Panics if `i` is out of range.
     pub fn line_addr(&self, i: u64) -> u64 {
-        assert!(i < self.lines(), "line {i} out of range ({} lines)", self.lines());
+        assert!(
+            i < self.lines(),
+            "line {i} out of range ({} lines)",
+            self.lines()
+        );
         self.base + i * LINE_BYTES
     }
 
@@ -34,7 +38,10 @@ impl Region {
     ///
     /// Panics if the range exceeds the region.
     pub fn slice_lines(&self, start_line: u64, end_line: u64) -> Region {
-        assert!(start_line <= end_line && end_line <= self.lines(), "bad slice");
+        assert!(
+            start_line <= end_line && end_line <= self.lines(),
+            "bad slice"
+        );
         Region {
             base: self.base + start_line * LINE_BYTES,
             bytes: (end_line - start_line) * LINE_BYTES,
@@ -103,7 +110,10 @@ impl MemoryLayout {
             let mut regions = Vec::with_capacity(sizes.len());
             for sz in sizes {
                 let bytes = align_up(sz.max(1));
-                regions.push(Region { base: cursor, bytes });
+                regions.push(Region {
+                    base: cursor,
+                    bytes,
+                });
                 cursor += bytes;
             }
             node_weights.push(regions);
@@ -333,7 +343,10 @@ mod tests {
 
     #[test]
     fn region_slicing() {
-        let r = Region { base: 0x1000, bytes: 640 };
+        let r = Region {
+            base: 0x1000,
+            bytes: 640,
+        };
         assert_eq!(r.lines(), 10);
         assert_eq!(r.line_addr(3), 0x1000 + 192);
         let s = r.slice_lines(2, 5);

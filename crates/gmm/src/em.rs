@@ -94,8 +94,13 @@ mod tests {
 
     #[test]
     fn errors_render_helpful_messages() {
-        let e = FitGmmError::NotEnoughData { points: 2, components: 5 };
+        let e = FitGmmError::NotEnoughData {
+            points: 2,
+            components: 5,
+        };
         assert!(e.to_string().contains("5 components"));
-        assert!(FitGmmError::ZeroComponents.to_string().contains("at least one"));
+        assert!(FitGmmError::ZeroComponents
+            .to_string()
+            .contains("at least one"));
     }
 }

@@ -15,10 +15,14 @@ use crate::{log_sum_exp, EmConfig, FitGmmError, LN_2PI};
 /// use advhunter_gmm::{EmConfig, GmmDiag};
 /// use rand::SeedableRng;
 ///
+/// use rand::Rng;
+///
 /// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let data: Vec<Vec<f64>> = (0..40)
-///     .map(|i| if i % 2 == 0 { vec![0.0, 0.0] } else { vec![8.0, 8.0] })
-///     .map(|mut v| { v[0] += (0.01 * v.len() as f64); v })
+///     .map(|i| {
+///         let c = if i % 2 == 0 { 0.0 } else { 8.0 };
+///         vec![c + rng.gen_range(-0.5..0.5), c + rng.gen_range(-0.5..0.5)]
+///     })
 ///     .collect();
 /// let gmm = GmmDiag::fit(&data, 2, &EmConfig::default(), &mut rng)?;
 /// assert!(gmm.nll(&[0.0, 0.0]) < gmm.nll(&[4.0, 4.0]));
@@ -74,7 +78,7 @@ impl GmmDiag {
         for _ in 0..config.restarts.max(1) {
             let model = Self::fit_once(data, k, dim, config, rng);
             let ll: f64 = data.iter().map(|row| model.log_pdf(row)).sum();
-            if best.as_ref().map_or(true, |(b, _)| ll > *b) {
+            if best.as_ref().is_none_or(|(b, _)| ll > *b) {
                 best = Some((ll, model));
             }
         }
@@ -131,7 +135,11 @@ impl GmmDiag {
                 let r = &mut resp[i * k..(i + 1) * k];
                 for c in 0..k {
                     r[c] = weights[c].ln()
-                        + log_diag_pdf(row, &means[c * dim..(c + 1) * dim], &variances[c * dim..(c + 1) * dim]);
+                        + log_diag_pdf(
+                            row,
+                            &means[c * dim..(c + 1) * dim],
+                            &variances[c * dim..(c + 1) * dim],
+                        );
                 }
                 let lse = log_sum_exp(r);
                 ll += lse;
@@ -149,8 +157,7 @@ impl GmmDiag {
                     continue;
                 }
                 for d in 0..dim {
-                    let mu: f64 =
-                        (0..n).map(|i| resp[i * k + c] * data[i][d]).sum::<f64>() / nk;
+                    let mu: f64 = (0..n).map(|i| resp[i * k + c] * data[i][d]).sum::<f64>() / nk;
                     let var: f64 = (0..n)
                         .map(|i| {
                             let dd = data[i][d] - mu;
@@ -293,7 +300,10 @@ mod tests {
         let data = vec![vec![1.0, 2.0], vec![3.0]];
         assert_eq!(
             GmmDiag::fit(&data, 1, &EmConfig::default(), &mut rng).unwrap_err(),
-            FitGmmError::DimensionMismatch { expected: 2, actual: 1 }
+            FitGmmError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            }
         );
     }
 

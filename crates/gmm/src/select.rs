@@ -51,7 +51,7 @@ pub fn fit_bic_1d(
             Ok(model) => {
                 let bic = model.bic(data);
                 scores.push((k, bic));
-                if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+                if best.as_ref().is_none_or(|(b, _)| bic < *b) {
                     best = Some((bic, model));
                 }
             }
@@ -87,7 +87,7 @@ pub fn fit_aic_1d(
                 let p = 3.0 * k as f64 - 1.0;
                 let aic = 2.0 * p - 2.0 * model.log_likelihood(data);
                 scores.push((k, aic));
-                if best.as_ref().map_or(true, |(b, _)| aic < *b) {
+                if best.as_ref().is_none_or(|(b, _)| aic < *b) {
                     best = Some((aic, model));
                 }
             }
@@ -119,7 +119,7 @@ pub fn fit_bic_diag(
             Ok(model) => {
                 let bic = model.bic(data);
                 scores.push((k, bic));
-                if best.as_ref().map_or(true, |(b, _)| bic < *b) {
+                if best.as_ref().is_none_or(|(b, _)| bic < *b) {
                     best = Some((bic, model));
                 }
             }
@@ -192,7 +192,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let bic = fit_bic_1d(&data, 1..=5, &EmConfig::default(), &mut rng).unwrap();
         let aic = fit_aic_1d(&data, 1..=5, &EmConfig::default(), &mut rng).unwrap();
-        assert!(aic.chosen_k() >= bic.chosen_k(), "AIC {} vs BIC {}", aic.chosen_k(), bic.chosen_k());
+        assert!(
+            aic.chosen_k() >= bic.chosen_k(),
+            "AIC {} vs BIC {}",
+            aic.chosen_k(),
+            bic.chosen_k()
+        );
         assert_eq!(aic.chosen_k(), 3, "AIC also finds the three modes");
     }
 
@@ -202,7 +207,10 @@ mod tests {
         let mut data = Vec::new();
         for _ in 0..100 {
             data.push(vec![rng.gen_range(-0.2..0.2), rng.gen_range(-0.2..0.2)]);
-            data.push(vec![5.0 + rng.gen_range(-0.2..0.2), 5.0 + rng.gen_range(-0.2..0.2)]);
+            data.push(vec![
+                5.0 + rng.gen_range(-0.2..0.2),
+                5.0 + rng.gen_range(-0.2..0.2),
+            ]);
         }
         let fit = fit_bic_diag(&data, 1..=4, &EmConfig::default(), &mut rng).unwrap();
         assert_eq!(fit.chosen_k(), 2, "scores: {:?}", fit.scores);

@@ -41,10 +41,17 @@ impl Gmm1d {
     pub fn from_parameters(weights: Vec<f64>, means: Vec<f64>, variances: Vec<f64>) -> Self {
         assert!(!weights.is_empty(), "mixture needs at least one component");
         assert_eq!(weights.len(), means.len(), "weights/means length mismatch");
-        assert_eq!(weights.len(), variances.len(), "weights/variances length mismatch");
+        assert_eq!(
+            weights.len(),
+            variances.len(),
+            "weights/variances length mismatch"
+        );
         let sum: f64 = weights.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "weights must sum to 1, got {sum}");
-        assert!(variances.iter().all(|&v| v > 0.0), "variances must be positive");
+        assert!(
+            variances.iter().all(|&v| v > 0.0),
+            "variances must be positive"
+        );
         Self {
             weights,
             means,
@@ -84,7 +91,7 @@ impl Gmm1d {
         for _ in 0..config.restarts.max(1) {
             let model = Self::fit_once(data, k, config, rng);
             let ll = model.log_likelihood(data);
-            if best.as_ref().map_or(true, |(b, _)| ll > *b) {
+            if best.as_ref().is_none_or(|(b, _)| ll > *b) {
                 best = Some((ll, model));
             }
         }
@@ -334,7 +341,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         assert_eq!(
             Gmm1d::fit(&[1.0], 2, &EmConfig::default(), &mut rng).unwrap_err(),
-            FitGmmError::NotEnoughData { points: 1, components: 2 }
+            FitGmmError::NotEnoughData {
+                points: 1,
+                components: 2
+            }
         );
         assert_eq!(
             Gmm1d::fit(&[1.0], 0, &EmConfig::default(), &mut rng).unwrap_err(),

@@ -123,7 +123,11 @@ mod tests {
     #[test]
     fn output_stays_in_unit_range() {
         let img = gradient_image();
-        let aug = Augment { max_shift: 1, hflip: true, noise_std: 0.5 };
+        let aug = Augment {
+            max_shift: 1,
+            hflip: true,
+            noise_std: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let out = aug.apply(&img, &mut rng);
@@ -134,7 +138,11 @@ mod tests {
     #[test]
     fn flip_reverses_rows() {
         let img = gradient_image();
-        let aug = Augment { max_shift: 0, hflip: true, noise_std: 0.0 };
+        let aug = Augment {
+            max_shift: 0,
+            hflip: true,
+            noise_std: 0.0,
+        };
         // Find a seed whose first draw flips.
         let mut flipped = None;
         for seed in 0..20 {
@@ -157,7 +165,11 @@ mod tests {
     fn shift_moves_content_with_edge_padding() {
         let mut img = Tensor::zeros(&[1, 3, 3]);
         img.set(&[0, 1, 1], 1.0);
-        let aug = Augment { max_shift: 2, hflip: false, noise_std: 0.0 };
+        let aug = Augment {
+            max_shift: 2,
+            hflip: false,
+            noise_std: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..30 {
             let out = aug.apply(&img, &mut rng);

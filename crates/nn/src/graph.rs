@@ -3,8 +3,8 @@
 use advhunter_tensor::ops::{
     avgpool2d, avgpool2d_backward, conv2d, conv2d_backward, dwconv2d, dwconv2d_backward,
     global_avgpool, global_avgpool_backward, leaky_relu, leaky_relu_backward, linear,
-    linear_backward, maxpool2d, maxpool2d_backward, relu, relu_backward, sigmoid,
-    sigmoid_backward, silu, silu_backward, tanh, tanh_backward, Conv2dSpec, MaxPoolIndices,
+    linear_backward, maxpool2d, maxpool2d_backward, relu, relu_backward, sigmoid, sigmoid_backward,
+    silu, silu_backward, tanh, tanh_backward, Conv2dSpec, MaxPoolIndices,
 };
 use advhunter_tensor::{init, Tensor};
 use rand::Rng;
@@ -375,7 +375,7 @@ impl Graph {
                 trace.mode,
             );
             params[i] = pgrad;
-            for (src, g) in node.inputs.iter().zip(input_grads.into_iter()) {
+            for (src, g) in node.inputs.iter().zip(input_grads) {
                 match src {
                     Src::Input => accumulate(&mut input_grad, g),
                     Src::Node(j) => accumulate(&mut node_grads[*j], g),
@@ -623,15 +623,33 @@ fn backward_op(
     match op {
         Op::Conv2d(l) => {
             let (gx, gw, gb) = conv2d_backward(ins[0], &l.weight, gout, &l.spec);
-            (vec![gx], Some(ParamGrad { weight: gw, bias: gb }))
+            (
+                vec![gx],
+                Some(ParamGrad {
+                    weight: gw,
+                    bias: gb,
+                }),
+            )
         }
         Op::DwConv2d(l) => {
             let (gx, gw, gb) = dwconv2d_backward(ins[0], &l.weight, gout, &l.spec);
-            (vec![gx], Some(ParamGrad { weight: gw, bias: gb }))
+            (
+                vec![gx],
+                Some(ParamGrad {
+                    weight: gw,
+                    bias: gb,
+                }),
+            )
         }
         Op::Linear(l) => {
             let (gx, gw, gb) = linear_backward(ins[0], &l.weight, gout);
-            (vec![gx], Some(ParamGrad { weight: gw, bias: gb }))
+            (
+                vec![gx],
+                Some(ParamGrad {
+                    weight: gw,
+                    bias: gb,
+                }),
+            )
         }
         Op::BatchNorm2d(bn) => batchnorm_backward(bn, ins[0], aux, gout, mode),
         Op::ReLU => (vec![relu_backward(ins[0], gout)], None),
@@ -767,7 +785,13 @@ fn batchnorm_backward(
                 ggamma.data_mut()[ch] = sg;
                 gbeta.data_mut()[ch] = sb;
             }
-            (vec![gx], Some(ParamGrad { weight: ggamma, bias: gbeta }))
+            (
+                vec![gx],
+                Some(ParamGrad {
+                    weight: ggamma,
+                    bias: gbeta,
+                }),
+            )
         }
         Mode::Train => {
             let Aux::BatchNorm { var, xhat, .. } = aux else {
@@ -780,8 +804,8 @@ fn batchnorm_backward(
             let mut ggamma = Tensor::zeros(&[c]);
             let mut gbeta = Tensor::zeros(&[c]);
             let gxd = gx.data_mut();
-            for ch in 0..c {
-                let inv = 1.0 / (var[ch] + bn.eps).sqrt();
+            for (ch, &var_ch) in var.iter().enumerate().take(c) {
+                let inv = 1.0 / (var_ch + bn.eps).sqrt();
                 let gamma = bn.gamma.data()[ch];
                 // Sums over the batch and spatial dims.
                 let mut sum_g = 0.0f32;
@@ -799,12 +823,17 @@ fn batchnorm_backward(
                 for img in 0..n {
                     let base = (img * c + ch) * plane;
                     for i in 0..plane {
-                        gxd[base + i] =
-                            k1 * (count * gd[base + i] - sum_g - xh[base + i] * sum_gx);
+                        gxd[base + i] = k1 * (count * gd[base + i] - sum_g - xh[base + i] * sum_gx);
                     }
                 }
             }
-            (vec![gx], Some(ParamGrad { weight: ggamma, bias: gbeta }))
+            (
+                vec![gx],
+                Some(ParamGrad {
+                    weight: ggamma,
+                    bias: gbeta,
+                }),
+            )
         }
     }
 }
@@ -812,7 +841,11 @@ fn batchnorm_backward(
 fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, ca, h, w) = a.shape().as_nchw();
     let (nb, cb, hb, wb) = b.shape().as_nchw();
-    assert_eq!((n, h, w), (nb, hb, wb), "concat requires matching batch/spatial dims");
+    assert_eq!(
+        (n, h, w),
+        (nb, hb, wb),
+        "concat requires matching batch/spatial dims"
+    );
     let plane = h * w;
     let mut out = Tensor::zeros(&[n, ca + cb, h, w]);
     let od = out.data_mut();
@@ -833,10 +866,8 @@ fn concat_channels_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, T
     let gd = gout.data();
     for img in 0..n {
         let src = &gd[img * (ca + cb) * plane..(img + 1) * (ca + cb) * plane];
-        ga.data_mut()[img * ca * plane..(img + 1) * ca * plane]
-            .copy_from_slice(&src[..ca * plane]);
-        gb.data_mut()[img * cb * plane..(img + 1) * cb * plane]
-            .copy_from_slice(&src[ca * plane..]);
+        ga.data_mut()[img * ca * plane..(img + 1) * ca * plane].copy_from_slice(&src[..ca * plane]);
+        gb.data_mut()[img * cb * plane..(img + 1) * cb * plane].copy_from_slice(&src[ca * plane..]);
     }
     (ga, gb)
 }
@@ -920,7 +951,10 @@ impl GraphBuilder {
         assert_eq!(op.arity(), inputs.len(), "op {name} arity mismatch");
         for src in inputs {
             if let Src::Node(i) = src {
-                assert!(*i < self.nodes.len(), "node {name} references future node {i}");
+                assert!(
+                    *i < self.nodes.len(),
+                    "node {name} references future node {i}"
+                );
             }
         }
         self.nodes.push(Node {
@@ -976,10 +1010,21 @@ impl GraphBuilder {
     }
 
     /// Fully-connected layer with Xavier-uniform weights.
-    pub fn linear(&mut self, name: &str, input: Src, out_features: usize, rng: &mut impl Rng) -> Src {
+    pub fn linear(
+        &mut self,
+        name: &str,
+        input: Src,
+        out_features: usize,
+        rng: &mut impl Rng,
+    ) -> Src {
         let in_features = self.features_of(input);
         let layer = LinearLayer {
-            weight: init::xavier_uniform(rng, &[out_features, in_features], in_features, out_features),
+            weight: init::xavier_uniform(
+                rng,
+                &[out_features, in_features],
+                in_features,
+                out_features,
+            ),
             bias: Tensor::zeros(&[out_features]),
         };
         self.push(name, Op::Linear(layer), &[input])
@@ -1106,7 +1151,11 @@ pub(crate) fn op_output_shape(op: &Op, ins: &[Vec<usize>]) -> Vec<usize> {
             vec![l.spec.out_channels, oh, ow]
         }
         Op::Linear(l) => vec![l.weight.shape().dim(0)],
-        Op::BatchNorm2d(_) | Op::ReLU | Op::LeakyReLU { .. } | Op::SiLU | Op::Sigmoid
+        Op::BatchNorm2d(_)
+        | Op::ReLU
+        | Op::LeakyReLU { .. }
+        | Op::SiLU
+        | Op::Sigmoid
         | Op::Tanh => ins[0].clone(),
         Op::MaxPool2d { k, s } | Op::AvgPool2d { k, s } => {
             vec![ins[0][0], (ins[0][1] - k) / s + 1, (ins[0][2] - k) / s + 1]
@@ -1310,7 +1359,12 @@ mod tests {
         assert!(mean.abs() < 1e-5);
         let var: f32 = y.data().iter().map(|v| v * v).sum::<f32>() / 4.0;
         assert!((var - 1.0).abs() < 1e-3);
-        let Aux::BatchNorm { mean: m, var: v, .. } = aux else { panic!() };
+        let Aux::BatchNorm {
+            mean: m, var: v, ..
+        } = aux
+        else {
+            panic!()
+        };
         assert!((m[0] - 2.5).abs() < 1e-6);
         assert!((v[0] - 1.25).abs() < 1e-6);
     }
@@ -1325,8 +1379,13 @@ mod tests {
         let x = init::normal(&mut rng, &[8, 1, 2, 2], 5.0, 1.0);
         let trace = g.forward(&x, Mode::Train);
         g.update_running_stats(&trace);
-        let Op::BatchNorm2d(bn) = &g.nodes()[0].op else { panic!() };
-        assert!(bn.running_mean.data()[0] > 0.3, "running mean moved toward 5.0");
+        let Op::BatchNorm2d(bn) = &g.nodes()[0].op else {
+            panic!()
+        };
+        assert!(
+            bn.running_mean.data()[0] > 0.3,
+            "running mean moved toward 5.0"
+        );
     }
 
     #[test]

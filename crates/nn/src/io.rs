@@ -40,7 +40,10 @@ impl fmt::Display for WeightsError {
             Self::Io(e) => write!(f, "weight file I/O failed: {e}"),
             Self::BadMagic => write!(f, "not an AHW1 weight file"),
             Self::ShapeMismatch { expected, actual } => {
-                write!(f, "weight file mismatch: expected {expected}, found {actual}")
+                write!(
+                    f,
+                    "weight file mismatch: expected {expected}, found {actual}"
+                )
             }
         }
     }
@@ -140,7 +143,11 @@ pub fn load_weights(graph: &mut Graph, path: &Path) -> Result<(), WeightsError> 
         }
     }
     let n_params = graph.param_tensors().len();
-    for (t, p) in graph.param_tensors_mut().iter_mut().zip(&payloads[..n_params]) {
+    for (t, p) in graph
+        .param_tensors_mut()
+        .iter_mut()
+        .zip(&payloads[..n_params])
+    {
         t.data_mut().copy_from_slice(p);
     }
     for (t, p) in graph
@@ -204,13 +211,10 @@ pub fn train_or_load(
     train: impl FnOnce(&mut Graph),
 ) -> Result<bool, WeightsError> {
     let path = cache_dir().join(format!("{key}.ahw"));
-    if path.exists() {
-        match load_weights(graph, &path) {
-            Ok(()) => return Ok(true),
-            // Any unreadable or mismatching cache entry (stale model
-            // definition, interrupted write) is treated as absent.
-            Err(_) => {}
-        }
+    // Any unreadable or mismatching cache entry (stale model definition,
+    // interrupted write) is treated as absent.
+    if path.exists() && load_weights(graph, &path).is_ok() {
+        return Ok(true);
     }
     train(graph);
     save_weights(graph, &path)?;
@@ -261,7 +265,10 @@ mod tests {
         let path = dir.join("bad.ahw");
         fs::write(&path, b"not a weight file").unwrap();
         let mut g = model(1);
-        assert!(matches!(load_weights(&mut g, &path), Err(WeightsError::BadMagic)));
+        assert!(matches!(
+            load_weights(&mut g, &path),
+            Err(WeightsError::BadMagic)
+        ));
     }
 
     #[test]
@@ -327,6 +334,9 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         let mut b = model(1);
-        assert!(matches!(load_weights(&mut b, &path), Err(WeightsError::Io(_))));
+        assert!(matches!(
+            load_weights(&mut b, &path),
+            Err(WeightsError::Io(_))
+        ));
     }
 }

@@ -75,7 +75,15 @@ fn basic_block(
     let bn2 = b.batchnorm(&format!("{name}.bn2"), c2);
     // Projection shortcut when shape changes, identity otherwise.
     let shortcut = if stride != 1 {
-        let sc = b.conv2d(&format!("{name}.down.conv"), input, out_c, 1, stride, 0, rng);
+        let sc = b.conv2d(
+            &format!("{name}.down.conv"),
+            input,
+            out_c,
+            1,
+            stride,
+            0,
+            rng,
+        );
         b.batchnorm(&format!("{name}.down.bn"), sc)
     } else {
         input
@@ -122,7 +130,15 @@ fn mbconv(
     rng: &mut impl Rng,
 ) -> Src {
     // 1x1 expansion.
-    let e = b.conv2d(&format!("{name}.expand.conv"), input, expand_c, 1, 1, 0, rng);
+    let e = b.conv2d(
+        &format!("{name}.expand.conv"),
+        input,
+        expand_c,
+        1,
+        1,
+        0,
+        rng,
+    );
     let ebn = b.batchnorm(&format!("{name}.expand.bn"), e);
     let ea = b.silu(&format!("{name}.expand.act"), ebn);
     // Depthwise conv.
@@ -131,7 +147,12 @@ fn mbconv(
     let dwa = b.silu(&format!("{name}.dw.act"), dwbn);
     // Squeeze-and-excitation.
     let se_gap = b.global_avgpool(&format!("{name}.se.gap"), dwa);
-    let se_fc1 = b.linear(&format!("{name}.se.fc1"), se_gap, (expand_c / 4).max(4), rng);
+    let se_fc1 = b.linear(
+        &format!("{name}.se.fc1"),
+        se_gap,
+        (expand_c / 4).max(4),
+        rng,
+    );
     let se_a = b.silu(&format!("{name}.se.act"), se_fc1);
     let se_fc2 = b.linear(&format!("{name}.se.fc2"), se_a, expand_c, rng);
     let se_gate = b.sigmoid(&format!("{name}.se.gate"), se_fc2);
@@ -190,7 +211,15 @@ fn transition(b: &mut GraphBuilder, name: &str, input: Src, rng: &mut impl Rng) 
     let c = {
         // Halve the channel count with a 1x1 conv, DenseNet-style.
         let channels = channels_after(b, act);
-        b.conv2d(&format!("{name}.conv"), act, (channels / 2).max(4), 1, 1, 0, rng)
+        b.conv2d(
+            &format!("{name}.conv"),
+            act,
+            (channels / 2).max(4),
+            1,
+            1,
+            0,
+            rng,
+        )
     };
     b.avgpool(&format!("{name}.pool"), c, 2, 2)
 }
@@ -250,8 +279,14 @@ mod tests {
         let g = efficientnet_micro(&[1, 28, 28], 10, &mut rng);
         check_model(&g, &[1, 28, 28], 10);
         // Depthwise convolutions and SE scaling present.
-        assert!(g.nodes().iter().any(|n| matches!(n.op, crate::Op::DwConv2d(_))));
-        assert!(g.nodes().iter().any(|n| matches!(n.op, crate::Op::ScaleChannels)));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, crate::Op::DwConv2d(_))));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, crate::Op::ScaleChannels)));
     }
 
     #[test]
@@ -259,7 +294,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = densenet_micro(&[3, 32, 32], 43, &mut rng);
         check_model(&g, &[3, 32, 32], 43);
-        assert!(g.nodes().iter().any(|n| matches!(n.op, crate::Op::ConcatChannels)));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, crate::Op::ConcatChannels)));
     }
 
     #[test]
@@ -268,11 +306,22 @@ mod tests {
         for (g, lo, hi) in [
             (case_study_cnn(&[3, 32, 32], 10, &mut rng), 50_000, 600_000),
             (resnet_micro(&[3, 32, 32], 10, &mut rng), 200_000, 2_500_000),
-            (efficientnet_micro(&[1, 28, 28], 10, &mut rng), 100_000, 2_500_000),
-            (densenet_micro(&[3, 32, 32], 43, &mut rng), 100_000, 2_500_000),
+            (
+                efficientnet_micro(&[1, 28, 28], 10, &mut rng),
+                100_000,
+                2_500_000,
+            ),
+            (
+                densenet_micro(&[3, 32, 32], 43, &mut rng),
+                100_000,
+                2_500_000,
+            ),
         ] {
             let p = g.num_parameters();
-            assert!(p >= lo && p <= hi, "parameter count {p} outside [{lo}, {hi}]");
+            assert!(
+                p >= lo && p <= hi,
+                "parameter count {p} outside [{lo}, {hi}]"
+            );
         }
     }
 

@@ -76,8 +76,7 @@ pub fn activation_stats(graph: &Graph, trace: &ForwardTrace) -> Vec<LayerActivat
             }
         }
         let frequency: Vec<f32> = counts.iter().map(|&c| c as f32 / n.max(1) as f32).collect();
-        let mean_active_fraction =
-            frequency.iter().sum::<f32>() / per_image.max(1) as f32;
+        let mean_active_fraction = frequency.iter().sum::<f32>() / per_image.max(1) as f32;
         out.push(LayerActivation {
             node_index: i,
             name: node.name.clone(),

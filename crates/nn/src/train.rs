@@ -61,8 +61,14 @@ impl Adam {
     pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
         assert_eq!(params.len(), grads.len(), "one gradient per parameter");
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "parameter list changed size");
         self.t += 1;
@@ -115,9 +121,16 @@ impl Sgd {
     pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[&Tensor]) {
         assert_eq!(params.len(), grads.len(), "one gradient per parameter");
         if self.velocity.is_empty() {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.shape().dims())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().dims()))
+                .collect();
         }
-        for ((p, g), vel) in params.iter_mut().zip(grads.iter()).zip(self.velocity.iter_mut()) {
+        for ((p, g), vel) in params
+            .iter_mut()
+            .zip(grads.iter())
+            .zip(self.velocity.iter_mut())
+        {
             let pd = p.data_mut();
             let gd = g.data();
             let vd = vel.data_mut();
@@ -341,7 +354,12 @@ mod tests {
             plain.step(&mut [&mut p1], &[&g]);
             momentum.step(&mut [&mut p2], &[&g]);
         }
-        assert!(p2.data()[0] < p1.data()[0], "momentum moved further: {} vs {}", p2.data()[0], p1.data()[0]);
+        assert!(
+            p2.data()[0] < p1.data()[0],
+            "momentum moved further: {} vs {}",
+            p2.data()[0],
+            p1.data()[0]
+        );
     }
 
     #[test]

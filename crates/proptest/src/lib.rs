@@ -1,0 +1,219 @@
+//! A self-contained, dependency-free drop-in for the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! crate cannot be fetched; this workspace member shadows it. It keeps the
+//! source-level API of the tests (`proptest!`, range/collection
+//! strategies, `prop_assert*`) but simplifies the machinery:
+//!
+//! * cases are generated from a generator seeded by hashing the test's
+//!   name, so every run of a test explores the same inputs (fully
+//!   reproducible, no persistence files);
+//! * failures panic immediately with the offending inputs printed via the
+//!   assertion message — there is no shrinking.
+//!
+//! Only the strategy forms the repo uses exist: numeric ranges,
+//! [`collection::vec`], and [`any`] over primitives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+pub mod collection;
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Per-test configuration (only the `cases` knob is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated input tuples to run the body against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A recipe for generating values of `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// Types with a canonical whole-domain strategy, usable via [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical whole-domain strategy for primitives (see [`Arbitrary`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty => |$rng:ident| $draw:expr),* $(,)?) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, $rng: &mut StdRng) -> $t {
+                $draw
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary! {
+    bool => |rng| rng.gen_bool(0.5),
+    u8 => |rng| rng.gen::<u64>() as u8,
+    u16 => |rng| rng.gen::<u64>() as u16,
+    u32 => |rng| rng.gen::<u32>(),
+    u64 => |rng| rng.gen::<u64>(),
+    usize => |rng| rng.gen::<usize>(),
+    f32 => |rng| rng.gen::<f32>(),
+    f64 => |rng| rng.gen::<f64>(),
+}
+
+/// The whole-domain strategy for `A` — `any::<bool>()` etc.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Deterministic per-test seed: FNV-1a over the test's name.
+#[doc(hidden)]
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[doc(hidden)]
+pub fn rng_for_test(name: &str) -> StdRng {
+    StdRng::seed_from_u64(seed_for_test(name))
+}
+
+/// Property-test entry point: same surface syntax as upstream `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Boolean property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality property assertion (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => { assert_eq!($lhs, $rhs) };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => { assert_eq!($lhs, $rhs, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = rng_for_test("range_strategies_stay_in_bounds");
+        for _ in 0..200 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-1.0f32..1.0).generate(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn test_seeds_are_name_dependent_and_stable() {
+        assert_eq!(seed_for_test("a"), seed_for_test("a"));
+        assert_ne!(seed_for_test("a"), seed_for_test("b"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            if flag {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}

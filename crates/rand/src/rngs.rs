@@ -1,0 +1,73 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++ with its
+/// state expanded from the seed by SplitMix64 (the initialization the
+/// xoshiro authors recommend).
+///
+/// Statistically strong, fast, and — the property everything in this repo
+/// depends on — a pure function of the `u64` seed. It intentionally does
+/// not match the byte stream of upstream `rand`'s ChaCha12 `StdRng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// One SplitMix64 step: advances `state` and returns the mixed output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_reproducible_and_well_spread() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = StdRng::seed_from_u64(0);
+        let second: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+        let distinct: std::collections::HashSet<u64> = first.iter().copied().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn zero_seed_is_not_a_fixed_point() {
+        // SplitMix64 expansion keeps the all-zero seed healthy.
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

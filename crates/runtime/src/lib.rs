@@ -1,0 +1,232 @@
+//! Deterministic data-parallel runtime for the AdvHunter pipeline.
+//!
+//! Every heavy stage of the pipeline — per-image instrumented traces,
+//! per-(class, event) GMM fitting, batch NLL scoring — is embarrassingly
+//! parallel, but the repo's reproducibility contract is *seeded
+//! determinism everywhere*. This crate provides the two pieces that square
+//! those requirements:
+//!
+//! * [`derive_seed`] — a SplitMix64-style pure function from a caller seed
+//!   and an item index to an independent per-item seed. Because each
+//!   item's randomness is a function of `(seed, index)` only, results
+//!   never depend on which worker ran the item or in what order.
+//! * [`parallel_map`] / [`parallel_tasks`] — an order-preserving map over
+//!   a scoped `std::thread` worker pool (no dependencies, no unsafe).
+//!   Workers pull item indices from a shared atomic counter and results
+//!   are reassembled in item order, so the output is bit-for-bit
+//!   identical for any thread count, including the exact sequential path
+//!   at one thread.
+//!
+//! Thread count comes from [`Parallelism`]: defaults to the machine's
+//! available cores, overridable with the `ADVHUNTER_THREADS` environment
+//! variable, with `1` giving the plain sequential loop.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads a parallel stage may use.
+///
+/// ```
+/// use advhunter_runtime::Parallelism;
+///
+/// let seq = Parallelism::sequential();
+/// assert_eq!(seq.threads(), 1);
+/// let four = Parallelism::new(4);
+/// assert_eq!(four.threads(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers; `0` is promoted to `1`.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: NonZeroUsize::new(threads).unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The exact sequential path: one worker, no thread spawns.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// One worker per available core (ignoring `ADVHUNTER_THREADS`).
+    pub fn available_cores() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The environment-driven default: `ADVHUNTER_THREADS` if set to a
+    /// positive integer, otherwise one worker per available core.
+    pub fn from_env() -> Self {
+        match std::env::var("ADVHUNTER_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Self::new(n),
+                _ => Self::available_cores(),
+            },
+            Err(_) => Self::available_cores(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the seed of item `index`'s private random stream from the
+/// caller's `seed`.
+///
+/// SplitMix64 output function over the state `seed + (index + 1)·γ`: for a
+/// fixed `seed` the map is injective in `index` (the additive step is a
+/// bijection of `u64` and the finalizer is a bijection), so distinct items
+/// always receive distinct seeds, and the result is a pure function of
+/// `(seed, index)` — the property that makes parallel batch results
+/// independent of scheduling.
+///
+/// ```
+/// use advhunter_runtime::derive_seed;
+///
+/// assert_eq!(derive_seed(7, 0), derive_seed(7, 0));
+/// assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+/// ```
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `f(index)` for every `index in 0..n` and returns the results in
+/// index order, fanning out over the configured worker pool.
+///
+/// `f` must be a pure function of `index` (plus captured shared state) for
+/// the determinism guarantee to mean anything; under that contract the
+/// output is identical for every thread count. A panic in any worker is
+/// propagated to the caller with its original payload.
+pub fn parallel_tasks<R, F>(parallelism: &Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = parallelism.threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Order-preserving parallel map over a slice: `out[i] = f(i, &items[i])`.
+///
+/// See [`parallel_tasks`] for the determinism contract.
+pub fn parallel_map<T, R, F>(parallelism: &Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_tasks(parallelism, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let square = |_i: usize, x: &u64| x * x + derive_seed(5, *x);
+        let seq = parallel_map(&Parallelism::sequential(), &items, square);
+        for threads in [2, 3, 4, 8] {
+            let par = parallel_map(&Parallelism::new(threads), &items, square);
+            assert_eq!(seq, par, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn results_are_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&Parallelism::new(4), &items, |i, _| i);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work_at_any_thread_count() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(&Parallelism::new(8), &empty, |_, x| *x).is_empty());
+        let one = [41u8];
+        assert_eq!(
+            parallel_map(&Parallelism::new(8), &one, |_, x| x + 1),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items = [0u8; 16];
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(&Parallelism::new(4), &items, |i, _| {
+                assert!(i != 7, "boom at 7");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn parallelism_clamps_and_reads_env() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert_eq!(Parallelism::sequential().threads(), 1);
+        assert!(Parallelism::available_cores().threads() >= 1);
+        std::env::set_var("ADVHUNTER_THREADS", "3");
+        assert_eq!(Parallelism::from_env().threads(), 3);
+        std::env::set_var("ADVHUNTER_THREADS", "not-a-number");
+        assert!(Parallelism::from_env().threads() >= 1);
+        std::env::remove_var("ADVHUNTER_THREADS");
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_across_indices() {
+        let seen: std::collections::HashSet<u64> =
+            (0..10_000).map(|i| derive_seed(123, i)).collect();
+        assert_eq!(seen.len(), 10_000);
+    }
+}

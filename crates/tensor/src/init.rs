@@ -81,9 +81,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let w = kaiming_normal(&mut rng, &[4096], 64);
         let mean = w.mean();
-        let var = w.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let var = w
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         let expected = 2.0 / 64.0;
-        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < 0.2 * expected,
+            "var {var} vs {expected}"
+        );
         assert!(mean.abs() < 0.01);
     }
 
@@ -100,7 +108,10 @@ mod tests {
         let w = xavier_uniform(&mut rng, &[2000], 10, 20);
         let a = (6.0f32 / 30.0).sqrt();
         assert!(w.linf_norm() <= a);
-        assert!(w.linf_norm() > 0.5 * a, "samples should come close to the bound");
+        assert!(
+            w.linf_norm() > 0.5 * a,
+            "samples should come close to the bound"
+        );
     }
 
     #[test]

@@ -158,7 +158,12 @@ fn stable_sigmoid(x: f32) -> f32 {
 }
 
 fn row_dims(t: &Tensor) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "expected [rows, cols], got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "expected [rows, cols], got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 
@@ -247,7 +252,10 @@ mod tests {
             let eps = 1e-3;
             let f = |v: f32| v * stable_sigmoid(v);
             let numeric = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
-            assert!((analytic - numeric).abs() < 1e-3, "at {x0}: {analytic} vs {numeric}");
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "at {x0}: {analytic} vs {numeric}"
+            );
         }
     }
 

@@ -212,7 +212,10 @@ pub fn conv2d_backward(
     let out_stride = spec.out_channels * plane;
 
     let mut grad_input = Tensor::zeros(&[n, c, h, w]);
-    let mut grad_weight = Tensor::zeros(&[spec.out_channels, spec.in_channels * spec.kernel * spec.kernel]);
+    let mut grad_weight = Tensor::zeros(&[
+        spec.out_channels,
+        spec.in_channels * spec.kernel * spec.kernel,
+    ]);
     let mut grad_bias = Tensor::zeros(&[spec.out_channels]);
 
     for img in 0..n {
@@ -306,8 +309,16 @@ pub fn dwconv2d_backward(
 ) -> (Tensor, Tensor, Tensor) {
     let (n, c, h, w) = input.shape().as_nchw();
     let (gn, gc, oh, ow) = grad_out.shape().as_nchw();
-    assert_eq!((gn, gc), (n, c), "depthwise grad_out batch/channel mismatch");
-    assert_eq!((oh, ow), spec.out_hw(h, w), "depthwise grad_out spatial mismatch");
+    assert_eq!(
+        (gn, gc),
+        (n, c),
+        "depthwise grad_out batch/channel mismatch"
+    );
+    assert_eq!(
+        (oh, ow),
+        spec.out_hw(h, w),
+        "depthwise grad_out spatial mismatch"
+    );
     let k = spec.kernel;
     let mut grad_input = Tensor::zeros(&[n, c, h, w]);
     let mut grad_weight = Tensor::zeros(&[c, k * k]);
@@ -453,7 +464,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 0.05, "gx[{i}] {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 0.05,
+                "gx[{i}] {num} vs {}",
+                gx.data()[i]
+            );
         }
         for i in (0..w.len()).step_by(5) {
             let mut wp = w.clone();
@@ -461,7 +476,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
-            assert!((num - gw.data()[i]).abs() < 0.05, "gw[{i}] {num} vs {}", gw.data()[i]);
+            assert!(
+                (num - gw.data()[i]).abs() < 0.05,
+                "gw[{i}] {num} vs {}",
+                gw.data()[i]
+            );
         }
         for i in 0..b.len() {
             let mut bp = b.clone();
@@ -469,7 +488,11 @@ mod tests {
             let mut bm = b.clone();
             bm.data_mut()[i] -= eps;
             let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
-            assert!((num - gb.data()[i]).abs() < 0.05, "gb[{i}] {num} vs {}", gb.data()[i]);
+            assert!(
+                (num - gb.data()[i]).abs() < 0.05,
+                "gb[{i}] {num} vs {}",
+                gb.data()[i]
+            );
         }
     }
 

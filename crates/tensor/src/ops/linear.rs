@@ -124,11 +124,7 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics on rank or dimension mismatches.
-pub fn linear_backward(
-    x: &Tensor,
-    weight: &Tensor,
-    grad_out: &Tensor,
-) -> (Tensor, Tensor, Tensor) {
+pub fn linear_backward(x: &Tensor, weight: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor, Tensor) {
     let (out_f, _in_f) = mat_dims(weight, "linear weight");
     let (n, gout) = mat_dims(grad_out, "linear grad_out");
     assert_eq!(gout, out_f, "grad_out features {gout} vs weight {out_f}");
@@ -165,7 +161,12 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 }
 
 fn mat_dims(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(t.shape().rank(), 2, "{what} must be rank-2, got {}", t.shape());
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{what} must be rank-2, got {}",
+        t.shape()
+    );
     (t.shape().dim(0), t.shape().dim(1))
 }
 
@@ -245,7 +246,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let num = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 1e-2, "gx[{i}] {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 1e-2,
+                "gx[{i}] {num} vs {}",
+                gx.data()[i]
+            );
         }
         for i in 0..w.len() {
             let mut wp = w.clone();
@@ -253,7 +258,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let num = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
-            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}] {num} vs {}", gw.data()[i]);
+            assert!(
+                (num - gw.data()[i]).abs() < 1e-2,
+                "gw[{i}] {num} vs {}",
+                gw.data()[i]
+            );
         }
         for i in 0..b.len() {
             let mut bp = b.clone();
@@ -261,7 +270,11 @@ mod tests {
             let mut bm = b.clone();
             bm.data_mut()[i] -= eps;
             let num = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
-            assert!((num - gb.data()[i]).abs() < 1e-2, "gb[{i}] {num} vs {}", gb.data()[i]);
+            assert!(
+                (num - gb.data()[i]).abs() < 1e-2,
+                "gb[{i}] {num} vs {}",
+                gb.data()[i]
+            );
         }
     }
 

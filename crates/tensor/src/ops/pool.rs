@@ -28,7 +28,10 @@ impl MaxPoolIndices {
 pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoolIndices) {
     assert!(k > 0 && s > 0, "pool window and stride must be positive");
     let (n, c, h, w) = input.shape().as_nchw();
-    assert!(h >= k && w >= k, "input {h}x{w} smaller than pool window {k}");
+    assert!(
+        h >= k && w >= k,
+        "input {h}x{w} smaller than pool window {k}"
+    );
     let oh = (h - k) / s + 1;
     let ow = (w - k) / s + 1;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
@@ -98,7 +101,10 @@ pub fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Tensor
 pub fn avgpool2d(input: &Tensor, k: usize, s: usize) -> Tensor {
     assert!(k > 0 && s > 0, "pool window and stride must be positive");
     let (n, c, h, w) = input.shape().as_nchw();
-    assert!(h >= k && w >= k, "input {h}x{w} smaller than pool window {k}");
+    assert!(
+        h >= k && w >= k,
+        "input {h}x{w} smaller than pool window {k}"
+    );
     let oh = (h - k) / s + 1;
     let ow = (w - k) / s + 1;
     let norm = 1.0 / (k * k) as f32;
@@ -141,7 +147,11 @@ pub fn avgpool2d_backward(
     let (n, c, h, w) = input_dims;
     let (gn, gc, oh, ow) = grad_out.shape().as_nchw();
     assert_eq!((gn, gc), (n, c), "grad_out batch/channel mismatch");
-    assert_eq!(((h - k) / s + 1, (w - k) / s + 1), (oh, ow), "grad_out spatial mismatch");
+    assert_eq!(
+        ((h - k) / s + 1, (w - k) / s + 1),
+        (oh, ow),
+        "grad_out spatial mismatch"
+    );
     let norm = 1.0 / (k * k) as f32;
     let mut grad_input = Tensor::zeros(&[n, c, h, w]);
     let gd = grad_out.data();
@@ -222,7 +232,9 @@ mod tests {
     #[test]
     fn maxpool_picks_window_maxima() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 5.0, 3.0, 4.0, 0.0, 1.0, 2.0, 7.0, 1.0, 0.0, 0.0, 2.0, 3.0, 1.0, 6.0],
+            vec![
+                1.0, 2.0, 5.0, 3.0, 4.0, 0.0, 1.0, 2.0, 7.0, 1.0, 0.0, 0.0, 2.0, 3.0, 1.0, 6.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -256,8 +268,11 @@ mod tests {
 
     #[test]
     fn global_avgpool_reduces_planes() {
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
-            .unwrap();
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
         let y = global_avgpool(&x);
         assert_eq!(y.shape().dims(), &[1, 2]);
         assert_eq!(y.data(), &[2.5, 25.0]);

@@ -159,7 +159,11 @@ mod tests {
             bp.predict(0x88, taken);
             taken = !taken;
         }
-        assert!(bp.misses() >= 40, "bimodal cannot learn alternation: {}", bp.misses());
+        assert!(
+            bp.misses() >= 40,
+            "bimodal cannot learn alternation: {}",
+            bp.misses()
+        );
     }
 
     #[test]

@@ -59,12 +59,19 @@ impl CacheConfig {
     pub fn with_policy(size_bytes: u64, ways: usize, policy: ReplacementPolicy) -> Self {
         assert!(ways > 0, "associativity must be positive");
         assert!(
-            size_bytes % (LINE_BYTES * ways as u64) == 0,
+            size_bytes.is_multiple_of(LINE_BYTES * ways as u64),
             "size must be a multiple of ways * line size"
         );
         let sets = size_bytes / (LINE_BYTES * ways as u64);
-        assert!(sets > 0 && sets.is_power_of_two(), "set count must be a power of two, got {sets}");
-        Self { size_bytes, ways, policy }
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
+        Self {
+            size_bytes,
+            ways,
+            policy,
+        }
     }
 
     /// The replacement policy.
@@ -312,8 +319,16 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.access(0, AccessKind::Read), (false, Eviction::None));
         assert_eq!(c.access(0, AccessKind::Read), (true, Eviction::None));
-        assert_eq!(c.access(63, AccessKind::Read), (true, Eviction::None), "same line");
-        assert_eq!(c.access(64, AccessKind::Read), (false, Eviction::None), "next line");
+        assert_eq!(
+            c.access(63, AccessKind::Read),
+            (true, Eviction::None),
+            "same line"
+        );
+        assert_eq!(
+            c.access(64, AccessKind::Read),
+            (false, Eviction::None),
+            "next line"
+        );
         assert_eq!(c.stats().read_accesses, 4);
         assert_eq!(c.stats().read_misses, 2);
     }
@@ -339,7 +354,10 @@ mod tests {
         c.access(2 * 64, AccessKind::Read); // insert line 2
         c.access(0, AccessKind::Read); // touch line 0 (FIFO ignores this)
         c.access(4 * 64, AccessKind::Read); // must evict line 0 (oldest insert)
-        assert!(!c.access(0, AccessKind::Read).0, "line 0 was evicted under FIFO");
+        assert!(
+            !c.access(0, AccessKind::Read).0,
+            "line 0 was evicted under FIFO"
+        );
         // Under LRU the same sequence would keep line 0 (see
         // lru_evicts_least_recently_used above).
     }
@@ -371,7 +389,11 @@ mod tests {
         let mut c = tiny();
         assert_eq!(c.access(128, AccessKind::Write).0, false);
         assert_eq!(c.stats().write_misses, 1);
-        assert_eq!(c.access(128, AccessKind::Read).0, true, "write allocated the line");
+        assert_eq!(
+            c.access(128, AccessKind::Read).0,
+            true,
+            "write allocated the line"
+        );
     }
 
     #[test]
@@ -393,7 +415,10 @@ mod tests {
         }
         let mr = c.stats().miss_rate();
         assert!((0.0..=1.0).contains(&mr));
-        assert_eq!(mr, 1.0, "streaming over 100 distinct lines in a 4-line cache");
+        assert_eq!(
+            mr, 1.0,
+            "streaming over 100 distinct lines in a 4-line cache"
+        );
     }
 
     #[test]

@@ -164,7 +164,11 @@ mod tests {
         let c = g.read();
         assert_eq!(c.get(HpcEvent::Branches), 128);
         assert!(c.get(HpcEvent::BranchMisses) <= 2);
-        assert_eq!(c.get(HpcEvent::Instructions), 128, "branches retire as instructions");
+        assert_eq!(
+            c.get(HpcEvent::Instructions),
+            128,
+            "branches retire as instructions"
+        );
     }
 
     #[test]

@@ -263,7 +263,11 @@ mod tests {
         m.load(8 * 64);
         let stores_before = m.stats().llc_stores;
         m.load(16 * 64);
-        assert_eq!(m.stats().llc_stores, stores_before + 1, "write-back of line 0");
+        assert_eq!(
+            m.stats().llc_stores,
+            stores_before + 1,
+            "write-back of line 0"
+        );
     }
 
     #[test]
@@ -317,7 +321,11 @@ mod tests {
             on.stats().llc_references(),
             off.stats().llc_references()
         );
-        assert_eq!(off.stats().l1d_loads, on.stats().l1d_loads, "demand loads unchanged");
+        assert_eq!(
+            off.stats().l1d_loads,
+            on.stats().l1d_loads,
+            "demand loads unchanged"
+        );
     }
 
     #[test]

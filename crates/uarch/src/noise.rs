@@ -143,6 +143,20 @@ impl Sampler {
     pub fn sample(&self, truth: &HpcCounts, rng: &mut impl Rng) -> HpcSample {
         self.noise.measure_mean(truth, self.repeats, rng)
     }
+
+    /// Like [`sample`](Self::sample), but drawing from the private noise
+    /// stream of item `index` under batch seed `seed`.
+    ///
+    /// This is the entropy contract of the parallel batch APIs: the stream
+    /// is a pure function of `(seed, index)` (see
+    /// [`advhunter_runtime::derive_seed`]), so a batch measurement is
+    /// independent of worker scheduling and thread count.
+    pub fn sample_indexed(&self, truth: &HpcCounts, seed: u64, index: u64) -> HpcSample {
+        use rand::SeedableRng;
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(advhunter_runtime::derive_seed(seed, index));
+        self.sample(truth, &mut rng)
+    }
 }
 
 fn standard_normal(rng: &mut impl Rng) -> f64 {
@@ -199,7 +213,11 @@ mod tests {
             .map(|_| model.measure(&truth(), &mut rng).get(HpcEvent::CacheMisses))
             .collect();
         let averaged: Vec<f64> = (0..300)
-            .map(|_| model.measure_mean(&truth(), 10, &mut rng).get(HpcEvent::CacheMisses))
+            .map(|_| {
+                model
+                    .measure_mean(&truth(), 10, &mut rng)
+                    .get(HpcEvent::CacheMisses)
+            })
             .collect();
         assert!(
             spread(&averaged) < 0.6 * spread(&single),

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|s| s.true_class == target)
         .collect();
 
-    println!("\nper-event detection quality (clean '{}' vs AEs):", names[target]);
+    println!(
+        "\nper-event detection quality (clean '{}' vs AEs):",
+        names[target]
+    );
     println!("{:>24} {:>10} {:>8}", "event", "accuracy", "F1");
     for event in HpcEvent::ALL {
         let c = detection_confusion(&detector, event, &clean_target, &adv);

@@ -14,8 +14,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let event_name = std::env::args().nth(1).unwrap_or_else(|| "cache-misses".to_string());
-    let Some(event) = HpcEvent::ALL.iter().find(|e| e.perf_name() == event_name).copied()
+    let event_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cache-misses".to_string());
+    let Some(event) = HpcEvent::ALL
+        .iter()
+        .find(|e| e.perf_name() == event_name)
+        .copied()
     else {
         eprintln!("unknown event '{event_name}'; available:");
         for e in HpcEvent::ALL {
@@ -44,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let adv_vals: Vec<f64> = adv.iter().map(|s| s.sample.get(event)).collect();
 
-    println!("distribution of '{}' (S2, targeted FGSM ε=0.5):", event.perf_name());
+    println!(
+        "distribution of '{}' (S2, targeted FGSM ε=0.5):",
+        event.perf_name()
+    );
     print_histogram("clean", &clean_target, "adversarial", &adv_vals);
     Ok(())
 }
@@ -64,8 +72,18 @@ fn print_histogram(la: &str, a: &[f64], lb: &str, b: &[f64]) {
     };
     let ha = hist(a);
     let hb = hist(b);
-    let max = ha.iter().chain(hb.iter()).copied().max().unwrap_or(1).max(1);
-    println!("  {la}: '#' ({} samples)   {lb}: 'o' ({} samples)", a.len(), b.len());
+    let max = ha
+        .iter()
+        .chain(hb.iter())
+        .copied()
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    println!(
+        "  {la}: '#' ({} samples)   {lb}: 'o' ({} samples)",
+        a.len(),
+        b.len()
+    );
     for i in 0..bins {
         println!(
             "  {:>10.0} |{}",

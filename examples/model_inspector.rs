@@ -17,10 +17,22 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let zoo: Vec<(&str, advhunter_nn::Graph)> = vec![
-        ("CaseStudyCNN (3x32x32)", models::case_study_cnn(&[3, 32, 32], 10, &mut rng)),
-        ("ResNet18-micro (3x32x32)", models::resnet_micro(&[3, 32, 32], 10, &mut rng)),
-        ("EfficientNet-micro (1x28x28)", models::efficientnet_micro(&[1, 28, 28], 10, &mut rng)),
-        ("DenseNet-micro (3x32x32, 43 cls)", models::densenet_micro(&[3, 32, 32], 43, &mut rng)),
+        (
+            "CaseStudyCNN (3x32x32)",
+            models::case_study_cnn(&[3, 32, 32], 10, &mut rng),
+        ),
+        (
+            "ResNet18-micro (3x32x32)",
+            models::resnet_micro(&[3, 32, 32], 10, &mut rng),
+        ),
+        (
+            "EfficientNet-micro (1x28x28)",
+            models::efficientnet_micro(&[1, 28, 28], 10, &mut rng),
+        ),
+        (
+            "DenseNet-micro (3x32x32, 43 cls)",
+            models::densenet_micro(&[3, 32, 32], 43, &mut rng),
+        ),
     ];
     for (name, model) in &zoo {
         println!("=== {name} ===");
@@ -34,7 +46,11 @@ fn main() {
     }
 
     println!("=== dataset separability (train split, 12 images/class) ===");
-    let sizes = SplitSizes { train: 12, val: 1, test: 1 };
+    let sizes = SplitSizes {
+        train: 12,
+        val: 1,
+        test: 1,
+    };
     for id in ScenarioId::TABLE1 {
         let split = match id {
             ScenarioId::S1 => advhunter_data::scenarios::fashion_mnist_like(101, &sizes),

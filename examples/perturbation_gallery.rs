@@ -16,13 +16,20 @@ use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(21);
-    let sizes = SplitSizes { train: 60, val: 40, test: 20 };
+    let sizes = SplitSizes {
+        train: 60,
+        val: 40,
+        test: 20,
+    };
     let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
     let out = PathBuf::from("target").join("gallery");
 
     let (image, label) = art.split.test.item(3);
     write_image(image, &out.join("clean.ppm"))?;
-    println!("clean image (class {label}) -> {}", out.join("clean.ppm").display());
+    println!(
+        "clean image (class {label}) -> {}",
+        out.join("clean.ppm").display()
+    );
 
     for attack in [
         Attack::fgsm(0.1),

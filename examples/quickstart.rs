@@ -8,9 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use advhunter::offline::collect_template;
+use advhunter::offline::collect_template_par;
 use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, Parallelism};
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_data::SplitSizes;
 use advhunter_uarch::HpcEvent;
@@ -19,11 +19,22 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
+    // Worker count for the parallel stages: available cores, or the
+    // ADVHUNTER_THREADS override. Results are identical at any setting.
+    let parallelism = Parallelism::default();
+    println!(
+        "parallel runtime: {} worker thread(s)",
+        parallelism.threads()
+    );
 
     // 1. The victim: a CNN the defender can only query for hard labels.
     //    (Small split sizes keep the first run under a minute; the trained
     //    model is cached under target/advhunter-cache.)
-    let sizes = SplitSizes { train: 60, val: 40, test: 20 };
+    let sizes = SplitSizes {
+        train: 60,
+        val: 40,
+        test: 20,
+    };
     let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
     println!(
         "victim: {} on {} — clean accuracy {:.1}%",
@@ -33,9 +44,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Offline phase: measure HPCs for clean validation images and fit
-    //    one GMM per (category, event) with a three-sigma threshold.
-    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)?;
+    //    one GMM per (category, event) with a three-sigma threshold. Both
+    //    stages fan out over the worker pool; seeds make them bit-for-bit
+    //    reproducible at any thread count.
+    let template = collect_template_par(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        42,
+        &parallelism,
+    );
+    let detector = Detector::fit_par(&template, &DetectorConfig::default(), 43, &parallelism)?;
     println!(
         "offline phase done: {} categories, {} events, M ≥ {} images/category",
         detector.num_classes(),
@@ -43,22 +63,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         template.min_samples_per_class()
     );
 
-    // 3. Online phase, clean input: measure an inference and score it.
+    // 3. Online phase, clean inputs: measure a small batch of inferences
+    //    and score them together through the batched online API.
+    let batch_len = art.split.test.len().min(4);
+    let clean_images = &art.split.test.images()[..batch_len];
+    let measurements = art
+        .engine
+        .measure_batch(&art.model, clean_images, 44, &parallelism);
+    let queries: Vec<(usize, _)> = measurements
+        .iter()
+        .map(|m| (m.predicted, m.sample))
+        .collect();
+    let verdicts = detector.detect_batch(&queries, HpcEvent::CacheMisses, &parallelism);
+    for (i, (m, verdict)) in measurements.iter().zip(&verdicts).enumerate() {
+        let label = art.split.test.labels()[i];
+        println!(
+            "clean image {i} (class {label}): predicted {}, cache-misses {:.0}, flagged: {}",
+            m.predicted,
+            m.sample.get(HpcEvent::CacheMisses),
+            verdict.unwrap_or(false)
+        );
+    }
     let (clean_image, label) = art.split.test.item(0);
-    let m = art.engine.measure(&art.model, clean_image, &mut rng);
-    let clean_flagged = detector
-        .is_adversarial(m.predicted, HpcEvent::CacheMisses, &m.sample)
-        .unwrap_or(false);
-    println!(
-        "clean image (class {label}): predicted {}, cache-misses {:.0}, flagged: {clean_flagged}",
-        m.predicted,
-        m.sample.get(HpcEvent::CacheMisses)
-    );
 
     // 4. Online phase, adversarial input: craft an FGSM example and score
     //    its inference the same way.
     let attack = Attack::fgsm(0.3);
-    let adv_image = attack.perturb(&art.model, clean_image, label, AttackGoal::Untargeted, &mut rng);
+    let adv_image = attack.perturb(
+        &art.model,
+        clean_image,
+        label,
+        AttackGoal::Untargeted,
+        &mut rng,
+    );
     let m = art.engine.measure(&art.model, &adv_image, &mut rng);
     let scores = detector.score_all(m.predicted, &m.sample);
     println!(
@@ -71,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.event.perf_name(),
             s.nll,
             s.threshold,
-            if s.is_adversarial() { "ADVERSARIAL" } else { "clean" }
+            if s.is_adversarial() {
+                "ADVERSARIAL"
+            } else {
+                "clean"
+            }
         );
     }
     Ok(())

@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "[{shown:>2}] true '{}' -> predicted '{}' | {} | monitor: {}",
             names[label],
             names[m.predicted],
-            if is_adversarial { "ADVERSARIAL" } else { "clean     " },
+            if is_adversarial {
+                "ADVERSARIAL"
+            } else {
+                "clean     "
+            },
             if flagged { "FLAG" } else { "pass" },
         );
     }

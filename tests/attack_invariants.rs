@@ -111,7 +111,8 @@ fn deepfool_finds_smaller_perturbations_than_fgsm() {
         Some(10),
         &mut rng,
     );
-    let mean_l2 = |examples: &[advhunter_attacks::AdversarialExample], base: &advhunter_data::Dataset| {
+    let mean_l2 = |examples: &[advhunter_attacks::AdversarialExample],
+                   base: &advhunter_data::Dataset| {
         let mut total = 0.0f32;
         let mut n = 0;
         for ex in examples {

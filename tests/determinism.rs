@@ -1,13 +1,17 @@
 //! Cross-crate integration: everything in the pipeline is reproducible
 //! from seeds — datasets, models, traces, measurements, and detectors.
 
-use advhunter::offline::collect_template;
-use advhunter::{Detector, DetectorConfig};
+use advhunter::offline::{collect_template, collect_template_par};
+use advhunter::{Detector, DetectorConfig, Parallelism};
 use advhunter_data::{scenarios, SplitSizes};
 use advhunter_exec::TraceEngine;
 use advhunter_nn::{models, Graph};
+use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// The thread counts every parallel stage must agree across.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn tiny_sizes() -> SplitSizes {
     SplitSizes {
@@ -59,6 +63,126 @@ fn measurements_are_rng_deterministic() {
     let c = engine.measure(&model, img, &mut StdRng::seed_from_u64(6));
     assert_eq!(a.counts, c.counts, "truth is measurement-noise independent");
     assert_ne!(a.sample, c.sample, "noise differs across seeds");
+}
+
+#[test]
+fn measure_batch_is_identical_across_thread_counts() {
+    let split = scenarios::cifar10_like(9, &tiny_sizes());
+    let model = tiny_model(1);
+    let engine = TraceEngine::new(&model);
+    let images = split.test.images();
+    let sequential = engine.measure_batch(&model, images, 77, &Parallelism::sequential());
+    for threads in THREAD_COUNTS {
+        let parallel = engine.measure_batch(&model, images, 77, &Parallelism::new(threads));
+        assert_eq!(
+            sequential, parallel,
+            "measure_batch diverged at {threads} threads"
+        );
+    }
+    // Bit-for-bit means the HpcSamples too, not just predictions.
+    let again = engine.measure_batch(&model, images, 77, &Parallelism::new(4));
+    for (a, b) in sequential.iter().zip(&again) {
+        assert_eq!(a.sample, b.sample);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.predicted, b.predicted);
+    }
+}
+
+#[test]
+fn collect_template_par_is_identical_across_thread_counts() {
+    let split = scenarios::cifar10_like(9, &tiny_sizes());
+    let model = tiny_model(1);
+    let engine = TraceEngine::new(&model);
+    let sequential = collect_template_par(
+        &engine,
+        &model,
+        &split.val,
+        None,
+        5,
+        &Parallelism::sequential(),
+    );
+    for threads in THREAD_COUNTS {
+        let parallel = collect_template_par(
+            &engine,
+            &model,
+            &split.val,
+            None,
+            5,
+            &Parallelism::new(threads),
+        );
+        assert_eq!(
+            sequential, parallel,
+            "collect_template_par diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn gmm_bank_fit_is_identical_across_thread_counts() {
+    // A well-populated synthetic template so every (class, event) fits.
+    let mut rng = StdRng::seed_from_u64(4);
+    let per_class: Vec<Vec<HpcSample>> = (0..3)
+        .map(|c| {
+            (0..50)
+                .map(|_| {
+                    let mut s = HpcSample::default();
+                    for (slot, event) in HpcEvent::ALL.into_iter().enumerate() {
+                        s.set(
+                            event,
+                            1_000.0 * (c + 1) as f64
+                                + 100.0 * slot as f64
+                                + rng.gen_range(-25.0..25.0),
+                        );
+                    }
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    let template = advhunter::OfflineTemplate::from_samples(per_class);
+    let config = DetectorConfig::default();
+    let sequential = Detector::fit_par(&template, &config, 13, &Parallelism::sequential()).unwrap();
+    for threads in THREAD_COUNTS {
+        let parallel =
+            Detector::fit_par(&template, &config, 13, &Parallelism::new(threads)).unwrap();
+        // Detector equality covers every GMM parameter and threshold.
+        assert_eq!(
+            sequential, parallel,
+            "fit_par diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn end_to_end_parallel_pipeline_is_identical_across_thread_counts() {
+    let split = scenarios::cifar10_like(9, &tiny_sizes());
+    let model = tiny_model(1);
+    let engine = TraceEngine::new(&model);
+    let run = |threads: usize| {
+        let parallelism = Parallelism::new(threads);
+        let template = collect_template_par(&engine, &model, &split.val, None, 21, &parallelism);
+        let detector = Detector::fit_par(&template, &DetectorConfig::default(), 22, &parallelism);
+        let measurements = engine.measure_batch(&model, split.test.images(), 23, &parallelism);
+        let queries: Vec<(usize, HpcSample)> = measurements
+            .iter()
+            .map(|m| (m.predicted, m.sample))
+            .collect();
+        let scores = detector.as_ref().ok().map(|d| {
+            d.score_batch(&queries, HpcEvent::CacheMisses, &parallelism)
+                .into_iter()
+                .map(|s| s.map(|sc| (sc.nll, sc.threshold)))
+                .collect::<Vec<_>>()
+        });
+        (template, detector.err(), measurements, scores)
+    };
+    let baseline = run(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            baseline,
+            run(threads),
+            "pipeline diverged at {threads} threads"
+        );
+    }
 }
 
 #[test]

@@ -17,10 +17,22 @@ fn image(seed: u64, dims: &[usize]) -> Tensor {
 fn every_architecture_traces_consistently() {
     let mut rng = StdRng::seed_from_u64(0);
     let zoo: Vec<(advhunter_nn::Graph, Vec<usize>)> = vec![
-        (models::case_study_cnn(&[3, 32, 32], 10, &mut rng), vec![3, 32, 32]),
-        (models::resnet_micro(&[3, 32, 32], 10, &mut rng), vec![3, 32, 32]),
-        (models::efficientnet_micro(&[1, 28, 28], 10, &mut rng), vec![1, 28, 28]),
-        (models::densenet_micro(&[3, 32, 32], 43, &mut rng), vec![3, 32, 32]),
+        (
+            models::case_study_cnn(&[3, 32, 32], 10, &mut rng),
+            vec![3, 32, 32],
+        ),
+        (
+            models::resnet_micro(&[3, 32, 32], 10, &mut rng),
+            vec![3, 32, 32],
+        ),
+        (
+            models::efficientnet_micro(&[1, 28, 28], 10, &mut rng),
+            vec![1, 28, 28],
+        ),
+        (
+            models::densenet_micro(&[3, 32, 32], 43, &mut rng),
+            vec![3, 32, 32],
+        ),
     ];
     for (model, dims) in &zoo {
         let engine = TraceEngine::new(model);
@@ -65,7 +77,9 @@ fn sparser_activations_touch_fewer_lines() {
     let dark = Tensor::full(&[3, 32, 32], ACTIVE_TILE_THRESHOLD / 10.0);
     let bright = image(4, &[3, 32, 32]);
     let dark_misses = engine.true_counts(&model, &dark).get(HpcEvent::CacheMisses);
-    let bright_misses = engine.true_counts(&model, &bright).get(HpcEvent::CacheMisses);
+    let bright_misses = engine
+        .true_counts(&model, &bright)
+        .get(HpcEvent::CacheMisses);
     assert!(
         dark_misses < bright_misses,
         "dark {dark_misses} !< bright {bright_misses}"
