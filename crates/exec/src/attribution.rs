@@ -13,8 +13,7 @@ use advhunter_nn::{Graph, Mode};
 use advhunter_tensor::Tensor;
 use advhunter_uarch::{CounterGroup, HpcCounts, HpcEvent};
 
-use crate::engine::TraceEngine;
-use crate::kernels::trace_node;
+use crate::engine::{execute_node, TraceEngine};
 
 /// Counter deltas attributed to one node.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,31 +77,19 @@ impl TraceEngine {
             graph.input_dims(),
             "image shape must match model input"
         );
-        let batch = Tensor::stack(std::slice::from_ref(image));
-        let trace = graph.forward(&batch, Mode::Eval);
-        let single_outputs: Vec<Tensor> = (0..graph.nodes().len())
-            .map(|i| single_output(trace.node_output(i)))
-            .collect();
+        let mut scratch = self.scratch(graph);
+        graph.forward_with(image, Mode::Eval, &mut scratch.ws);
 
         let mut group = CounterGroup::new(self.machine_config());
         let mut nodes = Vec::with_capacity(graph.nodes().len());
         for (i, node) in graph.nodes().iter().enumerate() {
-            let inputs: Vec<&Tensor> = node
-                .inputs
-                .iter()
-                .map(|src| match src {
-                    advhunter_nn::Src::Input => image,
-                    advhunter_nn::Src::Node(j) => &single_outputs[*j],
-                })
-                .collect();
             group.enable();
-            trace_node(
+            execute_node(
                 &mut group,
-                node,
-                i,
-                self.layout(),
-                &inputs,
-                &single_outputs[i],
+                &self.plan.nodes[i],
+                image,
+                &scratch.ws,
+                &mut scratch.tiles,
             );
             group.disable();
             nodes.push(NodeAttribution {
@@ -112,15 +99,6 @@ impl TraceEngine {
             });
         }
         TraceAttribution { nodes }
-    }
-}
-
-fn single_output(t: &Tensor) -> Tensor {
-    if t.shape().rank() == 4 {
-        t.image(0)
-    } else {
-        let features = t.shape().dim(1);
-        Tensor::from_vec(t.data()[..features].to_vec(), &[features]).expect("row extraction")
     }
 }
 

@@ -1,13 +1,17 @@
 //! The instrumented-inference engine.
 
-use advhunter_nn::{Graph, Mode};
-use advhunter_runtime::{parallel_map, Parallelism};
+use std::sync::Mutex;
+
+use advhunter_nn::{Graph, Mode, Workspace};
+use advhunter_runtime::{parallel_map_with, Parallelism};
 use advhunter_tensor::Tensor;
 use advhunter_uarch::{CounterGroup, HpcCounts, HpcSample, MachineConfig, Sampler};
 use rand::Rng;
 
-use crate::kernels::trace_node;
+use crate::kernels::tile_active_counts_into;
 use crate::layout::MemoryLayout;
+use crate::plan::{InputSlot, NodePlan, TracePlan};
+use crate::FLOATS_PER_LINE;
 
 /// One measured inference: the model's hard-label prediction plus the HPC
 /// reading — exactly what the paper's defender observes.
@@ -22,14 +26,46 @@ pub struct Measurement {
     pub counts: HpcCounts,
 }
 
+/// Reusable per-measurement buffers: the forward-pass workspace plus the
+/// tile-activity scratch. One `TraceScratch` serves any number of
+/// sequential measurements; give each worker thread its own.
+#[derive(Debug, Clone)]
+pub struct TraceScratch {
+    pub(crate) ws: Workspace,
+    pub(crate) tiles: Vec<u8>,
+    /// The simulated machine, reset to cold before every measurement so its
+    /// reuse is invisible in the counts.
+    pub(crate) group: CounterGroup,
+}
+
 /// Replays a model's forward pass as a memory/branch/instruction trace
 /// through the simulated machine. See the crate docs for the execution
 /// model.
-#[derive(Debug, Clone)]
+///
+/// Construction precomputes a static per-node trace plan (code and stream
+/// ranges, per-tile weight-slice geometry, loop trip counts); each
+/// measurement only runs the model forward into a reusable workspace and
+/// counts active tiles — no allocation on the hot path.
+#[derive(Debug)]
 pub struct TraceEngine {
     layout: MemoryLayout,
     machine: MachineConfig,
     sampler: Sampler,
+    pub(crate) plan: TracePlan,
+    /// Scratch buffers recycled across `measure`/`true_counts` calls.
+    pool: Mutex<Vec<TraceScratch>>,
+}
+
+impl Clone for TraceEngine {
+    fn clone(&self) -> Self {
+        Self {
+            layout: self.layout.clone(),
+            machine: self.machine,
+            sampler: self.sampler,
+            plan: self.plan.clone(),
+            pool: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl TraceEngine {
@@ -40,10 +76,14 @@ impl TraceEngine {
 
     /// Engine with explicit machine and measurement configuration.
     pub fn with_config(graph: &Graph, machine: MachineConfig, sampler: Sampler) -> Self {
+        let layout = MemoryLayout::new(graph);
+        let plan = TracePlan::new(graph, &layout);
         Self {
-            layout: MemoryLayout::new(graph),
+            layout,
             machine,
             sampler,
+            plan,
+            pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -62,6 +102,29 @@ impl TraceEngine {
         &self.sampler
     }
 
+    /// Allocates a fresh scratch for `graph` (which must be the graph this
+    /// engine was built for). The `*_with` measurement methods reuse it
+    /// across calls; the plain methods draw from an internal pool instead.
+    pub fn scratch(&self, graph: &Graph) -> TraceScratch {
+        TraceScratch {
+            ws: graph.workspace(1),
+            tiles: Vec::new(),
+            group: CounterGroup::new(self.machine),
+        }
+    }
+
+    fn pooled_scratch(&self, graph: &Graph) -> TraceScratch {
+        let recycled = self.pool.lock().expect("scratch pool poisoned").pop();
+        recycled.unwrap_or_else(|| self.scratch(graph))
+    }
+
+    fn recycle(&self, scratch: TraceScratch) {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+
     /// Noise-free HPC counts of one inference on a cold machine.
     ///
     /// Deterministic: the same model and image always produce the same
@@ -71,7 +134,10 @@ impl TraceEngine {
     ///
     /// Panics if `image` does not match the model's input shape.
     pub fn true_counts(&self, graph: &Graph, image: &Tensor) -> HpcCounts {
-        self.run(graph, image).1
+        let mut scratch = self.pooled_scratch(graph);
+        let (_, counts) = self.run_with(graph, image, &mut scratch);
+        self.recycle(scratch);
+        counts
     }
 
     /// Measures one inference the way the defender does: run it, read the
@@ -82,7 +148,22 @@ impl TraceEngine {
     ///
     /// Panics if `image` does not match the model's input shape.
     pub fn measure(&self, graph: &Graph, image: &Tensor, rng: &mut impl Rng) -> Measurement {
-        let (predicted, counts) = self.run(graph, image);
+        let mut scratch = self.pooled_scratch(graph);
+        let m = self.measure_with(graph, image, rng, &mut scratch);
+        self.recycle(scratch);
+        m
+    }
+
+    /// [`measure`](Self::measure) with caller-owned scratch buffers —
+    /// the allocation-free form for measurement loops.
+    pub fn measure_with(
+        &self,
+        graph: &Graph,
+        image: &Tensor,
+        rng: &mut impl Rng,
+        scratch: &mut TraceScratch,
+    ) -> Measurement {
+        let (predicted, counts) = self.run_with(graph, image, scratch);
         let sample = self.sampler.sample(&counts, rng);
         Measurement {
             predicted,
@@ -102,7 +183,23 @@ impl TraceEngine {
         seed: u64,
         index: u64,
     ) -> Measurement {
-        let (predicted, counts) = self.run(graph, image);
+        let mut scratch = self.pooled_scratch(graph);
+        let m = self.measure_indexed_with(graph, image, seed, index, &mut scratch);
+        self.recycle(scratch);
+        m
+    }
+
+    /// [`measure_indexed`](Self::measure_indexed) with caller-owned scratch
+    /// buffers.
+    pub fn measure_indexed_with(
+        &self,
+        graph: &Graph,
+        image: &Tensor,
+        seed: u64,
+        index: u64,
+        scratch: &mut TraceScratch,
+    ) -> Measurement {
+        let (predicted, counts) = self.run_with(graph, image, scratch);
         let sample = self.sampler.sample_indexed(&counts, seed, index);
         Measurement {
             predicted,
@@ -114,10 +211,10 @@ impl TraceEngine {
     /// Measures a whole batch, fanning the per-image trace simulations out
     /// over the runtime's worker pool. Every worker replays its images
     /// through a private cold [`CounterGroup`] (cache hierarchy + branch
-    /// predictor), and item `i` draws measurement noise from the stream
-    /// seeded by `derive_seed(seed, i)` — so the result is bit-for-bit
-    /// identical for every thread count, including
-    /// [`Parallelism::sequential`], and `out[i]` equals
+    /// predictor) using its own reusable scratch, and item `i` draws
+    /// measurement noise from the stream seeded by `derive_seed(seed, i)` —
+    /// so the result is bit-for-bit identical for every thread count,
+    /// including [`Parallelism::sequential`], and `out[i]` equals
     /// [`measure_indexed`](Self::measure_indexed)`(graph, &images[i],
     /// seed, i)`.
     ///
@@ -131,47 +228,111 @@ impl TraceEngine {
         seed: u64,
         parallelism: &Parallelism,
     ) -> Vec<Measurement> {
-        parallel_map(parallelism, images, |i, image| {
-            self.measure_indexed(graph, image, seed, i as u64)
-        })
+        parallel_map_with(
+            parallelism,
+            images,
+            || self.scratch(graph),
+            |scratch, i, image| self.measure_indexed_with(graph, image, seed, i as u64, scratch),
+        )
     }
 
-    fn run(&self, graph: &Graph, image: &Tensor) -> (usize, HpcCounts) {
+    fn run_with(
+        &self,
+        graph: &Graph,
+        image: &Tensor,
+        scratch: &mut TraceScratch,
+    ) -> (usize, HpcCounts) {
         assert_eq!(
             image.shape().dims(),
             graph.input_dims(),
             "image shape must match model input"
         );
-        let batch = Tensor::stack(std::slice::from_ref(image));
-        let trace = graph.forward(&batch, Mode::Eval);
-        let predicted = argmax_row(trace.output());
+        let TraceScratch { ws, tiles, group } = scratch;
+        // A CHW image is a batch of one — same flat data, no copy needed.
+        graph.forward_with(image, Mode::Eval, ws);
+        let predicted = argmax_row(ws.output());
 
-        let mut group = CounterGroup::new(self.machine);
+        // Reused machine, but reset to cold: identical to a fresh one.
+        group.reset_machine();
         group.enable();
-        // Per-node single-image activations drive the trace kernels.
-        let single_outputs: Vec<Tensor> = (0..graph.nodes().len())
-            .map(|i| trace.node_output(i).image_or_row(0))
-            .collect();
-        for (i, node) in graph.nodes().iter().enumerate() {
-            let inputs: Vec<&Tensor> = node
-                .inputs
-                .iter()
-                .map(|src| match src {
-                    advhunter_nn::Src::Input => image,
-                    advhunter_nn::Src::Node(j) => &single_outputs[*j],
-                })
-                .collect();
-            trace_node(
-                &mut group,
-                node,
-                i,
-                &self.layout,
-                &inputs,
-                &single_outputs[i],
-            );
+        for node_plan in &self.plan.nodes {
+            execute_node(group, node_plan, image, ws, tiles);
         }
         group.disable();
         (predicted, group.read())
+    }
+}
+
+/// Emits the trace of one node: its static plan plus the data-dependent
+/// tile-activity counts of its input activations.
+pub(crate) fn execute_node(
+    group: &mut CounterGroup,
+    plan: &NodePlan,
+    image: &Tensor,
+    ws: &Workspace,
+    tiles_buf: &mut Vec<u8>,
+) {
+    match plan {
+        NodePlan::Matrix {
+            code,
+            input,
+            tiles,
+            in_lines,
+            w_lines,
+            bias,
+            out,
+            macs,
+        } => {
+            group.fetch_range(code.base, code.lines());
+            let data = match input {
+                InputSlot::Image => image.data(),
+                InputSlot::Node(j) => ws.node_output(*j).data(),
+            };
+            tile_active_counts_into(data, tiles_buf);
+            debug_assert_eq!(
+                tiles_buf.len(),
+                tiles.len(),
+                "tile plan out of sync with activation size"
+            );
+            for (tile, &active) in tiles.iter().zip(tiles_buf.iter()) {
+                group.load(tile.x_addr);
+                if active > 0 {
+                    // Fetch only the weight rows of the tile's active
+                    // neurons.
+                    let take = (tile.slice * active as u64).div_ceil(FLOATS_PER_LINE as u64);
+                    group.stream_read(tile.w_addr, take.min(tile.slice));
+                }
+            }
+            group.stream_read(bias.base, bias.lines());
+            group.stream_write(out.base, out.lines());
+
+            // Dimension-only control flow: outer loop over input lines,
+            // inner loop over weight slice, write-out loop.
+            group.loop_branches(code.base, *in_lines);
+            group.loop_branches(code.base + 8, (*w_lines).max(1));
+            group.loop_branches(code.base + 16, out.lines());
+            group.retire_instructions(macs / 4 + out.lines() * 4);
+        }
+        NodePlan::Elementwise {
+            code,
+            pre_load,
+            input,
+            out,
+            instructions,
+        } => {
+            if let Some(r) = pre_load {
+                group.stream_read(r.base, r.lines());
+            }
+            group.fetch_range(code.base, code.lines());
+            group.stream_read(input.base, input.lines());
+            group.stream_write(out.base, out.lines());
+            group.loop_branches(code.base, input.lines().max(1));
+            group.retire_instructions(*instructions);
+        }
+        NodePlan::Flatten => {
+            // A view: no data movement, negligible instructions.
+            group.retire_instructions(4);
+        }
     }
 }
 
@@ -183,27 +344,6 @@ fn argmax_row(logits: &Tensor) -> usize {
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0)
-}
-
-/// Extension: extract element 0 along the batch dimension for both NCHW and
-/// `[n, features]` tensors.
-trait ImageOrRow {
-    fn image_or_row(&self, n: usize) -> Tensor;
-}
-
-impl ImageOrRow for Tensor {
-    fn image_or_row(&self, n: usize) -> Tensor {
-        if self.shape().rank() == 4 {
-            self.image(n)
-        } else {
-            let features = self.shape().dim(1);
-            Tensor::from_vec(
-                self.data()[n * features..(n + 1) * features].to_vec(),
-                &[features],
-            )
-            .expect("row extraction")
-        }
-    }
 }
 
 #[cfg(test)]
@@ -324,6 +464,32 @@ mod tests {
             let batch = Tensor::stack(std::slice::from_ref(&img));
             assert_eq!(m.predicted, g.predict(&batch)[0]);
         }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let mut reused = e.scratch(&g);
+        for s in 0..6 {
+            let img = image(s);
+            let mut fresh = e.scratch(&g);
+            let a = e.measure_indexed_with(&g, &img, 99, s, &mut reused);
+            let b = e.measure_indexed_with(&g, &img, 99, s, &mut fresh);
+            assert_eq!(a, b, "scratch reuse changed measurement {s}");
+            assert_eq!(a, e.measure_indexed(&g, &img, 99, s));
+        }
+    }
+
+    #[test]
+    fn cloned_engine_measures_identically() {
+        let g = model();
+        let e = TraceEngine::new(&g);
+        let img = image(2);
+        // Warm the pool, then clone (clones start with an empty pool).
+        let _ = e.true_counts(&g, &img);
+        let e2 = e.clone();
+        assert_eq!(e.true_counts(&g, &img), e2.true_counts(&g, &img));
     }
 
     #[test]

@@ -1,201 +1,14 @@
-//! Per-op trace kernels: how each layer's execution appears to the memory
-//! system and branch predictor.
+//! Activation-tile activity analysis: the only data-dependent input to the
+//! trace kernels.
+//!
+//! The per-op trace emission itself is dimension-static and lives in
+//! [`plan`](crate::plan); at measure time the engine pairs each node's
+//! precomputed [`TracePlan`](crate::plan::TracePlan) with the tile-activity
+//! counts computed here from the actual activations.
 
-use advhunter_nn::{Node, Op};
 use advhunter_tensor::Tensor;
-use advhunter_uarch::CounterGroup;
 
-use crate::layout::{MemoryLayout, Region};
 use crate::{ACTIVE_TILE_THRESHOLD, FLOATS_PER_LINE};
-
-/// Emits the trace of one node given its single-image input/output
-/// activations.
-pub(crate) fn trace_node(
-    group: &mut CounterGroup,
-    node: &Node,
-    node_idx: usize,
-    layout: &MemoryLayout,
-    inputs: &[&Tensor],
-    output: &Tensor,
-) {
-    let code = layout.node_code[node_idx];
-    let out_region = layout.node_outputs[node_idx];
-    match &node.op {
-        Op::Conv2d(l) => {
-            let x = inputs[0];
-            let (_, h, w) = x.shape().as_chw();
-            let macs = l.spec.mac_count(h, w);
-            matrix_kernel(
-                group,
-                code,
-                x,
-                layout.input_region(&node.inputs, 0),
-                layout.node_weights[node_idx][0],
-                Some(layout.node_weights[node_idx][1]),
-                out_region,
-                macs,
-            );
-        }
-        Op::DwConv2d(l) => {
-            let x = inputs[0];
-            let (c, h, w) = x.shape().as_chw();
-            let (oh, ow) = l.spec.out_hw(h, w);
-            let macs = (c * l.spec.kernel * l.spec.kernel * oh * ow) as u64;
-            matrix_kernel(
-                group,
-                code,
-                x,
-                layout.input_region(&node.inputs, 0),
-                layout.node_weights[node_idx][0],
-                Some(layout.node_weights[node_idx][1]),
-                out_region,
-                macs,
-            );
-        }
-        Op::Linear(l) => {
-            let x = inputs[0];
-            let macs = l.weight.len() as u64;
-            matrix_kernel(
-                group,
-                code,
-                x,
-                layout.input_region(&node.inputs, 0),
-                layout.node_weights[node_idx][0],
-                Some(layout.node_weights[node_idx][1]),
-                out_region,
-                macs,
-            );
-        }
-        Op::BatchNorm2d(_) => {
-            // Folded scale/shift: stream input -> output, touching the
-            // per-channel parameter block once.
-            stream_loads(group, layout.node_weights[node_idx][0]);
-            elementwise_kernel(
-                group,
-                code,
-                layout.input_region(&node.inputs, 0),
-                out_region,
-                inputs[0].len() as u64 * 2,
-            );
-        }
-        Op::ReLU | Op::LeakyReLU { .. } | Op::SiLU | Op::Sigmoid | Op::Tanh => {
-            elementwise_kernel(
-                group,
-                code,
-                layout.input_region(&node.inputs, 0),
-                out_region,
-                inputs[0].len() as u64 * 2,
-            );
-        }
-        Op::MaxPool2d { .. } | Op::AvgPool2d { .. } | Op::GlobalAvgPool => {
-            elementwise_kernel(
-                group,
-                code,
-                layout.input_region(&node.inputs, 0),
-                out_region,
-                inputs[0].len() as u64,
-            );
-        }
-        Op::Flatten => {
-            // A view: no data movement, negligible instructions.
-            group.retire_instructions(4);
-        }
-        Op::Add | Op::ConcatChannels | Op::ScaleChannels => {
-            stream_loads(group, layout.input_region(&node.inputs, 1));
-            elementwise_kernel(
-                group,
-                code,
-                layout.input_region(&node.inputs, 0),
-                out_region,
-                (inputs[0].len() + inputs[1].len()) as u64,
-            );
-        }
-    }
-    let _ = output;
-}
-
-/// The tiled, sparsity-aware GEMM/conv kernel model.
-///
-/// For every input-activation line: load it (the kernel must inspect the
-/// tile to decide what to skip), then stream a share of the tile's
-/// associated weight-line slice proportional to how many of the tile's 16
-/// elements are active — an element-gathering kernel skips the weight rows
-/// of inactive neurons. Output lines are written densely. Instruction and
-/// branch counts depend only on the dimensions.
-#[allow(clippy::too_many_arguments)]
-fn matrix_kernel(
-    group: &mut CounterGroup,
-    code: Region,
-    x: &Tensor,
-    x_region: Region,
-    w_region: Region,
-    bias_region: Option<Region>,
-    out_region: Region,
-    macs: u64,
-) {
-    fetch_code(group, code);
-    let activity = tile_active_counts(x);
-    let in_lines = activity.len() as u64;
-    let w_lines = w_region.lines();
-    for (i, &active_elems) in activity.iter().enumerate() {
-        let i = i as u64;
-        group.load(x_region.line_addr(i.min(x_region.lines() - 1)));
-        if active_elems > 0 {
-            let start = i * w_lines / in_lines;
-            let end = (i + 1) * w_lines / in_lines;
-            let slice = end - start;
-            // Fetch only the weight rows of the tile's active neurons.
-            let take = (slice * active_elems as u64).div_ceil(FLOATS_PER_LINE as u64);
-            for wl in start..start + take.min(slice) {
-                group.load(w_region.line_addr(wl));
-            }
-        }
-    }
-    if let Some(b) = bias_region {
-        stream_loads(group, b);
-    }
-    stream_stores(group, out_region);
-
-    // Dimension-only control flow: outer loop over input lines, inner loop
-    // over weight slice, write-out loop.
-    group.loop_branches(code.base, in_lines);
-    group.loop_branches(code.base + 8, w_lines.max(1));
-    group.loop_branches(code.base + 16, out_region.lines());
-    group.retire_instructions(macs / 4 + out_region.lines() * 4);
-}
-
-/// Dense streaming op: read every input line, write every output line.
-fn elementwise_kernel(
-    group: &mut CounterGroup,
-    code: Region,
-    in_region: Region,
-    out_region: Region,
-    instructions: u64,
-) {
-    fetch_code(group, code);
-    stream_loads(group, in_region);
-    stream_stores(group, out_region);
-    group.loop_branches(code.base, in_region.lines().max(1));
-    group.retire_instructions(instructions);
-}
-
-fn fetch_code(group: &mut CounterGroup, code: Region) {
-    for i in 0..code.lines() {
-        group.fetch(code.line_addr(i));
-    }
-}
-
-fn stream_loads(group: &mut CounterGroup, region: Region) {
-    for i in 0..region.lines() {
-        group.load(region.line_addr(i));
-    }
-}
-
-fn stream_stores(group: &mut CounterGroup, region: Region) {
-    for i in 0..region.lines() {
-        group.store(region.line_addr(i));
-    }
-}
 
 /// Activity of each 16-float tile of a tensor's flat buffer: `true` when
 /// any element's magnitude exceeds [`ACTIVE_TILE_THRESHOLD`].
@@ -209,14 +22,21 @@ pub fn tile_activity(t: &Tensor) -> Vec<bool> {
 /// Number of active elements in each 16-float tile (the quantity the
 /// sparsity-aware kernels use to size their weight-tile fetches).
 pub fn tile_active_counts(t: &Tensor) -> Vec<u8> {
-    t.data()
-        .chunks(FLOATS_PER_LINE)
-        .map(|tile| {
-            tile.iter()
-                .filter(|v| v.abs() > ACTIVE_TILE_THRESHOLD)
-                .count() as u8
-        })
-        .collect()
+    let mut out = Vec::new();
+    tile_active_counts_into(t.data(), &mut out);
+    out
+}
+
+/// [`tile_active_counts`] into a reusable buffer — the allocation-free form
+/// the measurement hot path uses. `out` is cleared first; its capacity is
+/// retained across calls.
+pub fn tile_active_counts_into(data: &[f32], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend(data.chunks(FLOATS_PER_LINE).map(|tile| {
+        tile.iter()
+            .filter(|v| v.abs() > ACTIVE_TILE_THRESHOLD)
+            .count() as u8
+    }));
 }
 
 #[cfg(test)]
@@ -244,5 +64,28 @@ mod tests {
         v[19] = 5.0;
         let t = Tensor::from_vec(v, &[20]).unwrap();
         assert_eq!(tile_activity(&t), vec![false, true]);
+    }
+
+    #[test]
+    fn active_counts_match_activity_flags() {
+        let mut v = vec![0.0f32; 40];
+        v[0] = 1.0;
+        v[1] = -2.0;
+        v[17] = ACTIVE_TILE_THRESHOLD; // exactly at threshold: inactive
+        v[33] = 0.5;
+        let t = Tensor::from_vec(v, &[40]).unwrap();
+        let counts = tile_active_counts(&t);
+        assert_eq!(counts, vec![2, 0, 1]);
+        let flags: Vec<bool> = counts.iter().map(|&c| c > 0).collect();
+        assert_eq!(flags, tile_activity(&t));
+    }
+
+    #[test]
+    fn into_variant_clears_previous_contents() {
+        let mut buf = vec![9u8; 5];
+        tile_active_counts_into(&[1.0; 16], &mut buf);
+        assert_eq!(buf, vec![16]);
+        tile_active_counts_into(&[], &mut buf);
+        assert!(buf.is_empty());
     }
 }

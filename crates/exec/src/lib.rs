@@ -51,10 +51,11 @@ mod attribution;
 mod engine;
 mod kernels;
 mod layout;
+mod plan;
 
 pub use attribution::{NodeAttribution, TraceAttribution};
-pub use engine::{Measurement, TraceEngine};
-pub use kernels::{tile_active_counts, tile_activity};
+pub use engine::{Measurement, TraceEngine, TraceScratch};
+pub use kernels::{tile_active_counts, tile_active_counts_into, tile_activity};
 pub use layout::{MemoryLayout, Region};
 
 /// A 16-float activation tile counts as active when any element's magnitude

@@ -1,0 +1,231 @@
+//! Precomputed per-node trace plans.
+//!
+//! Everything about a node's trace that depends only on the model — code
+//! regions, weight/bias/output stream ranges, per-tile weight-slice
+//! geometry, loop trip counts, instruction budgets — is computed once at
+//! [`TraceEngine`](crate::TraceEngine) construction. At measure time the
+//! only remaining data-dependent work is counting the active elements of
+//! each input-activation tile, which selects how many lines of each
+//! precomputed weight slice are streamed.
+
+use advhunter_nn::{Graph, Op, Src};
+use advhunter_uarch::LINE_BYTES;
+
+use crate::layout::{MemoryLayout, Region};
+
+/// Where a matrix node's trace reads its input activations from at
+/// measure time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum InputSlot {
+    /// The image being measured.
+    Image,
+    /// The workspace output of node `j`.
+    Node(usize),
+}
+
+/// One input-activation tile of a matrix kernel: the address of the
+/// activation line the kernel inspects and the weight-line slice it streams
+/// when the tile is active.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TilePlan {
+    /// Address of the tile's activation line.
+    pub x_addr: u64,
+    /// First address of the tile's weight-line slice.
+    pub w_addr: u64,
+    /// Length of the slice in lines; the active-element count decides how
+    /// many of them are streamed.
+    pub slice: u64,
+}
+
+/// The static trace of one node.
+#[derive(Debug, Clone)]
+pub(crate) enum NodePlan {
+    /// Tiled sparsity-aware GEMM/conv kernel (`Conv2d`, `DwConv2d`,
+    /// `Linear`).
+    Matrix {
+        /// Kernel code region.
+        code: Region,
+        /// Where the input activations live at measure time.
+        input: InputSlot,
+        /// Per-tile activation/weight geometry.
+        tiles: Vec<TilePlan>,
+        /// Trip count of the outer loop (== number of tiles).
+        in_lines: u64,
+        /// Trip count of the inner loop.
+        w_lines: u64,
+        /// Bias stream.
+        bias: Region,
+        /// Output stream.
+        out: Region,
+        /// Multiply-accumulate budget (dimension-only).
+        macs: u64,
+    },
+    /// Dense streaming op, with an optional leading parameter/second-input
+    /// stream (folded batch-norm parameters, or the second operand of
+    /// `Add`/`Concat`/`ScaleChannels`).
+    Elementwise {
+        /// Kernel code region.
+        code: Region,
+        /// Streamed before the main input (parameter block or second
+        /// operand), if any.
+        pre_load: Option<Region>,
+        /// Main input stream.
+        input: Region,
+        /// Output stream.
+        out: Region,
+        /// Instruction budget (dimension-only).
+        instructions: u64,
+    },
+    /// A view — no data movement.
+    Flatten,
+}
+
+/// The full static trace plan of a model, in node order.
+#[derive(Debug, Clone)]
+pub(crate) struct TracePlan {
+    pub nodes: Vec<NodePlan>,
+}
+
+impl TracePlan {
+    /// Precomputes the plan for `graph` under `layout`.
+    pub fn new(graph: &Graph, layout: &MemoryLayout) -> Self {
+        let shapes = graph.single_image_shapes();
+        let len_of = |src: &Src| -> usize {
+            match src {
+                Src::Input => graph.input_dims().iter().product(),
+                Src::Node(j) => shapes[*j].iter().product(),
+            }
+        };
+        let shape_of = |src: &Src| -> &[usize] {
+            match src {
+                Src::Input => graph.input_dims(),
+                Src::Node(j) => &shapes[*j],
+            }
+        };
+
+        let mut nodes = Vec::with_capacity(graph.nodes().len());
+        for (i, node) in graph.nodes().iter().enumerate() {
+            let code = layout.node_code[i];
+            let out = layout.node_outputs[i];
+            let plan = match &node.op {
+                Op::Conv2d(l) => {
+                    let s = shape_of(&node.inputs[0]);
+                    matrix_plan(
+                        code,
+                        &node.inputs[0],
+                        layout.input_region(&node.inputs, 0),
+                        layout.node_weights[i][0],
+                        layout.node_weights[i][1],
+                        out,
+                        l.spec.mac_count(s[1], s[2]),
+                    )
+                }
+                Op::DwConv2d(l) => {
+                    let s = shape_of(&node.inputs[0]);
+                    let (oh, ow) = l.spec.out_hw(s[1], s[2]);
+                    let macs = (s[0] * l.spec.kernel * l.spec.kernel * oh * ow) as u64;
+                    matrix_plan(
+                        code,
+                        &node.inputs[0],
+                        layout.input_region(&node.inputs, 0),
+                        layout.node_weights[i][0],
+                        layout.node_weights[i][1],
+                        out,
+                        macs,
+                    )
+                }
+                Op::Linear(l) => matrix_plan(
+                    code,
+                    &node.inputs[0],
+                    layout.input_region(&node.inputs, 0),
+                    layout.node_weights[i][0],
+                    layout.node_weights[i][1],
+                    out,
+                    l.weight.len() as u64,
+                ),
+                Op::BatchNorm2d(_) => NodePlan::Elementwise {
+                    code,
+                    pre_load: Some(layout.node_weights[i][0]),
+                    input: layout.input_region(&node.inputs, 0),
+                    out,
+                    instructions: len_of(&node.inputs[0]) as u64 * 2,
+                },
+                Op::ReLU | Op::LeakyReLU { .. } | Op::SiLU | Op::Sigmoid | Op::Tanh => {
+                    NodePlan::Elementwise {
+                        code,
+                        pre_load: None,
+                        input: layout.input_region(&node.inputs, 0),
+                        out,
+                        instructions: len_of(&node.inputs[0]) as u64 * 2,
+                    }
+                }
+                Op::MaxPool2d { .. } | Op::AvgPool2d { .. } | Op::GlobalAvgPool => {
+                    NodePlan::Elementwise {
+                        code,
+                        pre_load: None,
+                        input: layout.input_region(&node.inputs, 0),
+                        out,
+                        instructions: len_of(&node.inputs[0]) as u64,
+                    }
+                }
+                Op::Flatten => NodePlan::Flatten,
+                Op::Add | Op::ConcatChannels | Op::ScaleChannels => NodePlan::Elementwise {
+                    code,
+                    pre_load: Some(layout.input_region(&node.inputs, 1)),
+                    input: layout.input_region(&node.inputs, 0),
+                    out,
+                    instructions: (len_of(&node.inputs[0]) + len_of(&node.inputs[1])) as u64,
+                },
+            };
+            nodes.push(plan);
+        }
+        Self { nodes }
+    }
+}
+
+/// Builds the per-tile geometry of a matrix node: tile `i` of `in_lines`
+/// inspects one activation line and owns the weight-line slice
+/// `[i*w/in, (i+1)*w/in)`.
+fn matrix_plan(
+    code: Region,
+    src: &Src,
+    x_region: Region,
+    w_region: Region,
+    bias: Region,
+    out: Region,
+    macs: u64,
+) -> NodePlan {
+    // One tile per activation line: a line-aligned region of `len` floats
+    // spans exactly `ceil(len / FLOATS_PER_LINE)` lines, which is also the
+    // tile count `tile_active_counts` produces for the tensor.
+    let in_lines = x_region.lines();
+    let w_lines = w_region.lines();
+    let mut tiles = Vec::with_capacity(in_lines as usize);
+    for i in 0..in_lines {
+        // `in_lines > 0` inside the loop, so the clamp cannot underflow
+        // (the pre-plan code subtracted unconditionally and would have
+        // underflowed on an empty region).
+        let x_line = i.min(in_lines - 1);
+        let start = i * w_lines / in_lines;
+        let end = (i + 1) * w_lines / in_lines;
+        tiles.push(TilePlan {
+            x_addr: x_region.base + x_line * LINE_BYTES,
+            w_addr: w_region.base + start * LINE_BYTES,
+            slice: end - start,
+        });
+    }
+    let input = match src {
+        Src::Input => InputSlot::Image,
+        Src::Node(j) => InputSlot::Node(*j),
+    };
+    NodePlan::Matrix {
+        code,
+        input,
+        tiles,
+        in_lines,
+        w_lines,
+        bias,
+        out,
+        macs,
+    }
+}

@@ -1,10 +1,9 @@
 //! The computation graph: ops, forward traces, and backpropagation.
 
 use advhunter_tensor::ops::{
-    avgpool2d, avgpool2d_backward, conv2d, conv2d_backward, dwconv2d, dwconv2d_backward,
-    global_avgpool, global_avgpool_backward, leaky_relu, leaky_relu_backward, linear,
-    linear_backward, maxpool2d, maxpool2d_backward, relu, relu_backward, sigmoid, sigmoid_backward,
-    silu, silu_backward, tanh, tanh_backward, Conv2dSpec, MaxPoolIndices,
+    avgpool2d_backward, conv2d_backward, dwconv2d_backward, global_avgpool_backward,
+    leaky_relu_backward, linear_backward, maxpool2d_backward, relu_backward, sigmoid_backward,
+    silu_backward, tanh_backward, Conv2dSpec, MaxPoolIndices,
 };
 use advhunter_tensor::{init, Tensor};
 use rand::Rng;
@@ -280,32 +279,32 @@ impl Graph {
         &self.input_dims
     }
 
-    /// Runs the graph on an NCHW batch, retaining every intermediate output.
+    /// Runs the graph on an NCHW batch (or a single CHW image, treated as a
+    /// batch of one), retaining every intermediate output.
+    ///
+    /// This is a convenience wrapper that builds a fresh [`Workspace`] sized
+    /// for `x` and runs [`Graph::forward_with`]; hot paths that call the
+    /// graph repeatedly should hold onto a workspace instead.
+    ///
+    /// [`Workspace`]: crate::Workspace
     ///
     /// # Panics
     ///
     /// Panics if shapes are inconsistent (programming error in the model
     /// definition).
     pub fn forward(&self, x: &Tensor, mode: Mode) -> ForwardTrace {
-        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
-        let mut aux: Vec<Aux> = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            let ins: Vec<&Tensor> = node
-                .inputs
-                .iter()
-                .map(|src| match src {
-                    Src::Input => x,
-                    Src::Node(i) => &outputs[*i],
-                })
-                .collect();
-            let (out, a) = forward_op(&node.op, &ins, mode);
-            outputs.push(out);
-            aux.push(a);
-        }
+        let dims = x.shape().dims();
+        let (batch, chw): (usize, &[usize]) = match dims.len() {
+            3 => (1, dims),
+            4 => (dims[0], &dims[1..]),
+            _ => panic!("graph input must be NCHW or CHW, got {:?}", x.shape()),
+        };
+        let mut ws = self.workspace_for(batch, chw);
+        self.forward_with(x, mode, &mut ws);
         ForwardTrace {
             input: x.clone(),
-            outputs,
-            aux,
+            outputs: ws.outputs,
+            aux: ws.aux,
             mode,
         }
     }
@@ -480,13 +479,18 @@ impl Graph {
     /// Used by the instrumented-execution engine to size activation buffers
     /// without running a forward pass.
     pub fn single_image_shapes(&self) -> Vec<Vec<usize>> {
+        self.shapes_for(&self.input_dims)
+    }
+
+    /// Per-node output shapes (batchless) for an arbitrary CHW input shape.
+    pub(crate) fn shapes_for(&self, input_chw: &[usize]) -> Vec<Vec<usize>> {
         let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(self.nodes.len());
         for node in &self.nodes {
             let ins: Vec<Vec<usize>> = node
                 .inputs
                 .iter()
                 .map(|src| match src {
-                    Src::Input => self.input_dims.clone(),
+                    Src::Input => input_chw.to_vec(),
                     Src::Node(i) => shapes[*i].clone(),
                 })
                 .collect();
@@ -585,33 +589,6 @@ fn accumulate(slot: &mut Option<Tensor>, g: Tensor) {
     }
 }
 
-fn forward_op(op: &Op, ins: &[&Tensor], mode: Mode) -> (Tensor, Aux) {
-    match op {
-        Op::Conv2d(l) => (conv2d(ins[0], &l.weight, &l.bias, &l.spec), Aux::None),
-        Op::DwConv2d(l) => (dwconv2d(ins[0], &l.weight, &l.bias, &l.spec), Aux::None),
-        Op::Linear(l) => (linear(ins[0], &l.weight, &l.bias), Aux::None),
-        Op::BatchNorm2d(bn) => batchnorm_forward(bn, ins[0], mode),
-        Op::ReLU => (relu(ins[0]), Aux::None),
-        Op::LeakyReLU { alpha } => (leaky_relu(ins[0], *alpha), Aux::None),
-        Op::SiLU => (silu(ins[0]), Aux::None),
-        Op::Sigmoid => (sigmoid(ins[0]), Aux::None),
-        Op::Tanh => (tanh(ins[0]), Aux::None),
-        Op::MaxPool2d { k, s } => {
-            let (y, idx) = maxpool2d(ins[0], *k, *s);
-            (y, Aux::MaxPool(idx))
-        }
-        Op::AvgPool2d { k, s } => (avgpool2d(ins[0], *k, *s), Aux::None),
-        Op::GlobalAvgPool => (global_avgpool(ins[0]), Aux::None),
-        Op::Flatten => {
-            let (n, c, h, w) = ins[0].shape().as_nchw();
-            (ins[0].reshape(&[n, c * h * w]), Aux::None)
-        }
-        Op::Add => (ins[0] + ins[1], Aux::None),
-        Op::ConcatChannels => (concat_channels(ins[0], ins[1]), Aux::None),
-        Op::ScaleChannels => (scale_channels(ins[0], ins[1]), Aux::None),
-    }
-}
-
 fn backward_op(
     op: &Op,
     ins: &[&Tensor],
@@ -684,11 +661,34 @@ fn backward_op(
     }
 }
 
+/// Allocating batch-norm forward; kept as the reference the unit tests
+/// exercise directly. Production paths go through
+/// [`batchnorm_forward_into`].
+#[cfg(test)]
 fn batchnorm_forward(bn: &BatchNorm2d, x: &Tensor, mode: Mode) -> (Tensor, Aux) {
+    let (n, c, h, w) = x.shape().as_nchw();
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let aux = batchnorm_forward_into(bn, x, mode, &mut out);
+    (out, aux)
+}
+
+/// [`BatchNorm2d`] forward into a caller-provided buffer; every output
+/// element is assigned. Returns the [`Aux`] state backward needs (batch
+/// statistics in train mode, nothing in eval mode).
+pub(crate) fn batchnorm_forward_into(
+    bn: &BatchNorm2d,
+    x: &Tensor,
+    mode: Mode,
+    out: &mut Tensor,
+) -> Aux {
     let (n, c, h, w) = x.shape().as_nchw();
     let plane = h * w;
     let count = (n * plane) as f32;
-    let mut out = Tensor::zeros(&[n, c, h, w]);
+    assert_eq!(
+        out.len(),
+        n * c * plane,
+        "batch-norm output buffer size mismatch"
+    );
     match mode {
         Mode::Eval => {
             let xd = x.data();
@@ -704,7 +704,7 @@ fn batchnorm_forward(bn: &BatchNorm2d, x: &Tensor, mode: Mode) -> (Tensor, Aux) 
                     }
                 }
             }
-            (out, Aux::None)
+            Aux::None
         }
         Mode::Train => {
             let xd = x.data();
@@ -745,7 +745,7 @@ fn batchnorm_forward(bn: &BatchNorm2d, x: &Tensor, mode: Mode) -> (Tensor, Aux) 
                     }
                 }
             }
-            (out, Aux::BatchNorm { mean, var, xhat })
+            Aux::BatchNorm { mean, var, xhat }
         }
     }
 }
@@ -838,7 +838,9 @@ fn batchnorm_backward(
     }
 }
 
-fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
+/// Channel concatenation into a caller-provided `[n, ca + cb, h, w]`
+/// buffer; every output element is assigned.
+pub(crate) fn concat_channels_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (n, ca, h, w) = a.shape().as_nchw();
     let (nb, cb, hb, wb) = b.shape().as_nchw();
     assert_eq!(
@@ -847,14 +849,17 @@ fn concat_channels(a: &Tensor, b: &Tensor) -> Tensor {
         "concat requires matching batch/spatial dims"
     );
     let plane = h * w;
-    let mut out = Tensor::zeros(&[n, ca + cb, h, w]);
+    assert_eq!(
+        out.len(),
+        n * (ca + cb) * plane,
+        "concat output buffer size mismatch"
+    );
     let od = out.data_mut();
     for img in 0..n {
         let dst = &mut od[img * (ca + cb) * plane..(img + 1) * (ca + cb) * plane];
         dst[..ca * plane].copy_from_slice(&a.data()[img * ca * plane..(img + 1) * ca * plane]);
         dst[ca * plane..].copy_from_slice(&b.data()[img * cb * plane..(img + 1) * cb * plane]);
     }
-    out
 }
 
 fn concat_channels_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, Tensor) {
@@ -872,11 +877,17 @@ fn concat_channels_backward(a: &Tensor, b: &Tensor, gout: &Tensor) -> (Tensor, T
     (ga, gb)
 }
 
-fn scale_channels(x: &Tensor, s: &Tensor) -> Tensor {
+/// Per-channel scaling into a caller-provided `[n, c, h, w]` buffer; every
+/// output element is assigned.
+pub(crate) fn scale_channels_into(x: &Tensor, s: &Tensor, out: &mut Tensor) {
     let (n, c, h, w) = x.shape().as_nchw();
     assert_eq!(s.shape().dims(), &[n, c], "scale tensor must be [n, c]");
     let plane = h * w;
-    let mut out = Tensor::zeros(&[n, c, h, w]);
+    assert_eq!(
+        out.len(),
+        n * c * plane,
+        "scale-channels output buffer size mismatch"
+    );
     let od = out.data_mut();
     let xd = x.data();
     let sd = s.data();
@@ -889,7 +900,6 @@ fn scale_channels(x: &Tensor, s: &Tensor) -> Tensor {
             }
         }
     }
-    out
 }
 
 fn scale_channels_backward(x: &Tensor, s: &Tensor, gout: &Tensor) -> (Tensor, Tensor) {

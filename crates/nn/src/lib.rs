@@ -36,6 +36,7 @@
 //! ```
 
 mod graph;
+mod workspace;
 
 pub mod augment;
 pub mod io;
@@ -47,3 +48,4 @@ pub use graph::{
     Aux, BatchNorm2d, Conv2dLayer, DwConv2dLayer, ForwardTrace, Gradients, Graph, GraphBuilder,
     LinearLayer, Mode, Node, Op, ParamGrad, Src,
 };
+pub use workspace::Workspace;

@@ -120,9 +120,31 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let threads = parallelism.threads().min(n.max(1));
+    parallel_tasks_with(parallelism, n, || (), |(), i| f(i))
+}
+
+/// [`parallel_tasks`] with per-worker scratch state: every worker calls
+/// `init()` once and then runs `f(&mut state, index)` for each item it
+/// pulls.
+///
+/// This is the hook for reusable workspaces (e.g. preallocated activation
+/// buffers): the state amortizes across a worker's items without being
+/// shared between threads. The determinism contract still requires each
+/// *result* to be a pure function of `index` — the state may cache buffers
+/// but must not leak information from one item into the next item's output.
+pub fn parallel_tasks_with<S, R, I, F>(parallelism: &Parallelism, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = parallelism.threads().min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -131,13 +153,14 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, f(&mut state, i)));
                     }
                     local
                 })
@@ -164,6 +187,25 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     parallel_tasks(parallelism, items.len(), |i| f(i, &items[i]))
+}
+
+/// [`parallel_map`] with per-worker scratch state (see
+/// [`parallel_tasks_with`]): `out[i] = f(&mut state, i, &items[i])`.
+pub fn parallel_map_with<S, T, R, I, F>(
+    parallelism: &Parallelism,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    parallel_tasks_with(parallelism, items.len(), init, |state, i| {
+        f(state, i, &items[i])
+    })
 }
 
 #[cfg(test)]
@@ -221,6 +263,54 @@ mod tests {
         std::env::set_var("ADVHUNTER_THREADS", "not-a-number");
         assert!(Parallelism::from_env().threads() >= 1);
         std::env::remove_var("ADVHUNTER_THREADS");
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = parallel_tasks_with(
+            &Parallelism::new(3),
+            64,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::with_capacity(8)
+            },
+            |scratch, i| {
+                scratch.push(i);
+                i * 2
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::Relaxed) <= 3, "one init per worker");
+    }
+
+    #[test]
+    fn stateful_map_matches_stateless_at_any_thread_count() {
+        let items: Vec<u64> = (0..123).collect();
+        let seq = parallel_map(&Parallelism::sequential(), &items, |i, x| {
+            derive_seed(*x, i as u64)
+        });
+        for threads in [1, 2, 5] {
+            let par = parallel_map_with(
+                &Parallelism::new(threads),
+                &items,
+                || (),
+                |(), i, x| derive_seed(*x, i as u64),
+            );
+            assert_eq!(seq, par, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn empty_input_skips_state_init() {
+        let out = parallel_tasks_with(
+            &Parallelism::new(4),
+            0,
+            || panic!("init must not run for empty input"),
+            |_: &mut (), i| i,
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

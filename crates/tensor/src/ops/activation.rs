@@ -7,6 +7,15 @@ pub fn relu(x: &Tensor) -> Tensor {
     x.map(|v| v.max(0.0))
 }
 
+/// [`relu`] into a caller-provided same-length tensor.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn relu_into(x: &Tensor, out: &mut Tensor) {
+    map_into(x, out, |v| v.max(0.0));
+}
+
 /// Backward pass of [`relu`]: passes gradient where the input was positive.
 ///
 /// # Panics
@@ -19,6 +28,15 @@ pub fn relu_backward(input: &Tensor, grad_out: &Tensor) -> Tensor {
 /// Leaky rectified linear unit: `x` if positive, `alpha * x` otherwise.
 pub fn leaky_relu(x: &Tensor, alpha: f32) -> Tensor {
     x.map(|v| if v > 0.0 { v } else { alpha * v })
+}
+
+/// [`leaky_relu`] into a caller-provided same-length tensor.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn leaky_relu_into(x: &Tensor, alpha: f32, out: &mut Tensor) {
+    map_into(x, out, |v| if v > 0.0 { v } else { alpha * v });
 }
 
 /// Backward pass of [`leaky_relu`].
@@ -35,6 +53,15 @@ pub fn tanh(x: &Tensor) -> Tensor {
     x.map(f32::tanh)
 }
 
+/// [`tanh`] into a caller-provided same-length tensor.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn tanh_into(x: &Tensor, out: &mut Tensor) {
+    map_into(x, out, f32::tanh);
+}
+
 /// Backward pass of [`tanh`] given the *output* of the forward pass.
 ///
 /// # Panics
@@ -49,6 +76,15 @@ pub fn sigmoid(x: &Tensor) -> Tensor {
     x.map(stable_sigmoid)
 }
 
+/// [`sigmoid`] into a caller-provided same-length tensor.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sigmoid_into(x: &Tensor, out: &mut Tensor) {
+    map_into(x, out, stable_sigmoid);
+}
+
 /// Backward pass of [`sigmoid`] given the *output* of the forward pass.
 ///
 /// # Panics
@@ -61,6 +97,15 @@ pub fn sigmoid_backward(output: &Tensor, grad_out: &Tensor) -> Tensor {
 /// SiLU / swish: `x * sigmoid(x)` elementwise.
 pub fn silu(x: &Tensor) -> Tensor {
     x.map(|v| v * stable_sigmoid(v))
+}
+
+/// [`silu`] into a caller-provided same-length tensor.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn silu_into(x: &Tensor, out: &mut Tensor) {
+    map_into(x, out, |v| v * stable_sigmoid(v));
 }
 
 /// Backward pass of [`silu`] given the *input* of the forward pass.
@@ -146,6 +191,21 @@ pub fn cross_entropy_with_logits(logits: &Tensor, labels: &[usize]) -> (f32, Ten
         *g *= scale;
     }
     (loss * scale, grad)
+}
+
+/// Writes `f` applied to every element of `x` into `out`, which may hold
+/// any shape of the same total length (activations are shape-agnostic).
+fn map_into(x: &Tensor, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+    assert_eq!(
+        x.len(),
+        out.len(),
+        "activation output length {} does not match input {}",
+        out.len(),
+        x.len()
+    );
+    for (o, &v) in out.data_mut().iter_mut().zip(x.data()) {
+        *o = f(v);
+    }
 }
 
 fn stable_sigmoid(x: f32) -> f32 {

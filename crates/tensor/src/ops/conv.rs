@@ -2,7 +2,7 @@
 
 use crate::{Shape, Tensor};
 
-use super::linear::{matmul, matmul_at, matmul_bt};
+use super::linear::{matmul_at, matmul_bt, matmul_into};
 
 /// Geometry of a 2-D convolution.
 ///
@@ -87,33 +87,61 @@ impl Conv2dSpec {
 fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tensor {
     let k = spec.kernel;
     let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[c * k * k, oh * ow]);
+    im2col_into(img, c, h, w, spec, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided `[C*k*k, oh*ow]` tensor.
+///
+/// The buffer is zeroed first so padding positions read 0 regardless of
+/// what a previous lowering left behind.
+fn im2col_into(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut Tensor) {
+    let k = spec.kernel;
+    let s = spec.stride;
+    let pad = spec.padding;
+    let (oh, ow) = spec.out_hw(h, w);
     let rows = c * k * k;
     let cols = oh * ow;
-    let mut out = Tensor::zeros(&[rows, cols]);
+    debug_assert_eq!(out.shape().dims(), &[rows, cols]);
+    out.fill_zero();
     let od = out.data_mut();
     for ch in 0..c {
         for ky in 0..k {
             for kx in 0..k {
                 let row = (ch * k + ky) * k + kx;
                 let orow = &mut od[row * cols..(row + 1) * cols];
+                // In-bounds ox range for this kx, hoisted out of the inner
+                // loop: ix = ox*s + kx - pad must land in [0, w).
+                let ox_lo = pad.saturating_sub(kx).div_ceil(s);
+                let ox_hi = if w + pad > kx {
+                    ((w + pad - kx - 1) / s + 1).min(ow)
+                } else {
+                    0
+                };
+                if ox_lo >= ox_hi {
+                    continue;
+                }
                 for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    let iy = (oy * s + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
                     let ibase = (ch * h + iy as usize) * w;
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                    let ix0 = ox_lo * s + kx - pad;
+                    let dst = &mut orow[oy * ow + ox_lo..oy * ow + ox_hi];
+                    if s == 1 {
+                        dst.copy_from_slice(&img[ibase + ix0..ibase + ix0 + (ox_hi - ox_lo)]);
+                    } else {
+                        let src = &img[ibase + ix0..];
+                        for (i, d) in dst.iter_mut().enumerate() {
+                            *d = src[i * s];
                         }
-                        orow[oy * ow + ox] = img[ibase + ix as usize];
                     }
                 }
             }
         }
     }
-    out
 }
 
 /// Scatters an im2col-shaped gradient back onto the input image (col2im).
@@ -158,34 +186,93 @@ fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Vec
 /// Panics if shapes are inconsistent with `spec`.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let (n, c, h, w) = input.shape().as_nchw();
-    check_weights(weight, bias, spec, c);
     let (oh, ow) = spec.out_hw(h, w);
     let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+    let mut scratch = Conv2dScratch::new(c, h, w, spec);
+    conv2d_into(input, weight, bias, spec, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable intermediate buffers for [`conv2d_into`]: the im2col lowering
+/// and the pre-bias GEMM product, both sized for one image of a fixed
+/// input geometry.
+#[derive(Debug, Clone)]
+pub struct Conv2dScratch {
+    /// `[C*k*k, oh*ow]` im2col matrix.
+    cols: Tensor,
+    /// `[out_c, oh*ow]` GEMM product before the bias is applied.
+    gemm: Tensor,
+}
+
+impl Conv2dScratch {
+    /// Allocates scratch for convolving one `c × h × w` image under `spec`.
+    pub fn new(c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Self {
+        let k = spec.kernel;
+        let (oh, ow) = spec.out_hw(h, w);
+        Self {
+            cols: Tensor::zeros(&[c * k * k, oh * ow]),
+            gemm: Tensor::zeros(&[spec.out_channels, oh * ow]),
+        }
+    }
+}
+
+/// [`conv2d`] into a caller-provided `[n, out_c, oh, ow]` output tensor,
+/// reusing `scratch` for the per-image im2col and GEMM intermediates.
+///
+/// Every output element is assigned, so neither the output's nor the
+/// scratch buffers' prior contents leak into the result; `conv2d` is
+/// exactly this over fresh buffers.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec` or `scratch` was built
+/// for a different input geometry.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    scratch: &mut Conv2dScratch,
+    out: &mut Tensor,
+) {
+    let (n, c, h, w) = input.shape().as_nchw();
+    check_weights(weight, bias, spec, c);
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(
+        out.shape().dims(),
+        &[n, spec.out_channels, oh, ow],
+        "conv2d output shape mismatch"
+    );
+    assert_eq!(
+        scratch.cols.shape().dims(),
+        &[c * spec.kernel * spec.kernel, oh * ow],
+        "conv2d scratch built for a different geometry"
+    );
     let in_stride = c * h * w;
     let out_stride = spec.out_channels * oh * ow;
     let plane = oh * ow;
     for img in 0..n {
-        let cols = im2col(
+        im2col_into(
             &input.data()[img * in_stride..(img + 1) * in_stride],
             c,
             h,
             w,
             spec,
+            &mut scratch.cols,
         );
-        let y = matmul(weight, &cols); // [out_c, oh*ow]
+        matmul_into(weight, &scratch.cols, &mut scratch.gemm); // [out_c, oh*ow]
         let od = out.data_mut();
         let dst = &mut od[img * out_stride..(img + 1) * out_stride];
         for oc in 0..spec.out_channels {
             let b = bias.data()[oc];
             for (d, &s) in dst[oc * plane..(oc + 1) * plane]
                 .iter_mut()
-                .zip(&y.data()[oc * plane..(oc + 1) * plane])
+                .zip(&scratch.gemm.data()[oc * plane..(oc + 1) * plane])
             {
                 *d = s + b;
             }
         }
     }
-    out
 }
 
 /// Backward pass of [`conv2d`].
@@ -256,13 +343,38 @@ pub fn conv2d_backward(
 /// `out_channels` must both equal the channel count).
 pub fn dwconv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let (n, c, h, w) = input.shape().as_nchw();
+    let (oh, ow) = spec.out_hw(h, w);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    dwconv2d_into(input, weight, bias, spec, &mut out);
+    out
+}
+
+/// [`dwconv2d`] into a caller-provided `[n, c, oh, ow]` output tensor.
+///
+/// Every output element is assigned, so prior contents never leak.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec`.
+pub fn dwconv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    out: &mut Tensor,
+) {
+    let (n, c, h, w) = input.shape().as_nchw();
     assert_eq!(spec.in_channels, c, "depthwise spec channel mismatch");
     assert_eq!(spec.out_channels, c, "depthwise conv keeps channel count");
     assert_eq!(weight.shape().dims(), &[c, spec.kernel * spec.kernel]);
     assert_eq!(bias.len(), c);
     let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(
+        out.shape().dims(),
+        &[n, c, oh, ow],
+        "dwconv2d output shape mismatch"
+    );
     let k = spec.kernel;
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let id = input.data();
     let wd = weight.data();
     let od = out.data_mut();
@@ -293,7 +405,6 @@ pub fn dwconv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpe
             }
         }
     }
-    out
 }
 
 /// Backward pass of [`dwconv2d`]; returns `(grad_input, grad_weight, grad_bias)`.

@@ -11,27 +11,155 @@ use crate::Tensor;
 ///
 /// Panics if the operands are not rank-2 or the inner dimensions differ.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _) = mat_dims(a, "matmul lhs");
+    let (_, n) = mat_dims(b, "matmul rhs");
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul`] into a caller-provided `[m, n]` output tensor.
+///
+/// The output is zeroed first, so its prior contents never leak into the
+/// result; `matmul(a, b)` is exactly this over a fresh tensor.
+///
+/// # Panics
+///
+/// Panics on rank, inner-dimension, or output-shape mismatches.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (m, k) = mat_dims(a, "matmul lhs");
     let (kb, n) = mat_dims(b, "matmul rhs");
     assert_eq!(k, kb, "matmul inner dimensions differ: {k} vs {kb}");
-    let mut out = Tensor::zeros(&[m, n]);
+    assert_eq!(
+        out.shape().dims(),
+        &[m, n],
+        "matmul output must be [{m}, {n}]"
+    );
+    out.fill_zero();
     let ad = a.data();
     let bd = b.data();
     let od = out.data_mut();
-    for i in 0..m {
+    // Four output rows per pass over `b`: the rows of the block share every
+    // streamed `b` row, quartering the traffic on the dominant operand (for
+    // conv-sized products `b` is far larger than any cache level, so it is
+    // re-streamed from memory once per output row otherwise). Each output
+    // element still accumulates its products in ascending-k order, so the
+    // result is bit-for-bit the one-row, one-k-at-a-time loop's.
+    let mut i = 0;
+    while i + 4 <= m {
+        let (o0, rest) = od[i * n..(i + 4) * n].split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let a0 = &ad[i * k..(i + 1) * k];
+        let a1 = &ad[(i + 1) * k..(i + 2) * k];
+        let a2 = &ad[(i + 2) * k..(i + 3) * k];
+        let a3 = &ad[(i + 3) * k..(i + 4) * k];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let q0 = [a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]];
+            let q1 = [a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]];
+            let q2 = [a2[kk], a2[kk + 1], a2[kk + 2], a2[kk + 3]];
+            let q3 = [a3[kk], a3[kk + 1], a3[kk + 2], a3[kk + 3]];
+            let b0 = &bd[kk * n..(kk + 1) * n];
+            let b1 = &bd[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &bd[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &bd[(kk + 3) * n..(kk + 4) * n];
+            let dense = |q: &[f32; 4]| q.iter().all(|&v| v != 0.0);
+            if dense(&q0) && dense(&q1) && dense(&q2) && dense(&q3) {
+                for j in 0..n {
+                    let v0 = b0[j];
+                    let v1 = b1[j];
+                    let v2 = b2[j];
+                    let v3 = b3[j];
+                    o0[j] = fma4(o0[j], &q0, v0, v1, v2, v3);
+                    o1[j] = fma4(o1[j], &q1, v0, v1, v2, v3);
+                    o2[j] = fma4(o2[j], &q2, v0, v1, v2, v3);
+                    o3[j] = fma4(o3[j], &q3, v0, v1, v2, v3);
+                }
+            } else {
+                // A zero somewhere in the block: per-row passes keep the
+                // skip semantics (zero rows contribute no operations).
+                matmul_k4_row(&q0, b0, b1, b2, b3, o0);
+                matmul_k4_row(&q1, b0, b1, b2, b3, o1);
+                matmul_k4_row(&q2, b0, b1, b2, b3, o2);
+                matmul_k4_row(&q3, b0, b1, b2, b3, o3);
+            }
+            kk += 4;
+        }
+        for t in kk..k {
+            let brow = &bd[t * n..(t + 1) * n];
+            matmul_scalar_k(a0[t], brow, o0);
+            matmul_scalar_k(a1[t], brow, o1);
+            matmul_scalar_k(a2[t], brow, o2);
+            matmul_scalar_k(a3[t], brow, o3);
+        }
+        i += 4;
+    }
+    // Leftover rows: same k-blocking, one row at a time.
+    while i < m {
         let arow = &ad[i * k..(i + 1) * k];
         let orow = &mut od[i * n..(i + 1) * n];
-        for (kk, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
-            }
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let q = [arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]];
+            matmul_k4_row(
+                &q,
+                &bd[kk * n..(kk + 1) * n],
+                &bd[(kk + 1) * n..(kk + 2) * n],
+                &bd[(kk + 2) * n..(kk + 3) * n],
+                &bd[(kk + 3) * n..(kk + 4) * n],
+                orow,
+            );
+            kk += 4;
         }
+        for t in kk..k {
+            matmul_scalar_k(arow[t], &bd[t * n..(t + 1) * n], orow);
+        }
+        i += 1;
     }
-    out
+}
+
+/// `acc + q[0]*v0 + q[1]*v1 + q[2]*v2 + q[3]*v3`, added in that (ascending
+/// k) order.
+#[inline(always)]
+fn fma4(acc: f32, q: &[f32; 4], v0: f32, v1: f32, v2: f32, v3: f32) -> f32 {
+    let mut s = acc;
+    s += q[0] * v0;
+    s += q[1] * v1;
+    s += q[2] * v2;
+    s += q[3] * v3;
+    s
+}
+
+/// Four k-steps of one output row: each element accumulates its four
+/// products in ascending-k order (bit-for-bit the one-k-at-a-time result),
+/// but the row is loaded and stored once per four steps, and the
+/// independent chains give the ALUs latency to hide. Falls back to the
+/// skipping scalar passes when any step's `a` value is exactly zero.
+#[inline]
+fn matmul_k4_row(q: &[f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32], orow: &mut [f32]) {
+    if q.iter().all(|&v| v != 0.0) {
+        for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o = fma4(*o, q, v0, v1, v2, v3);
+        }
+    } else {
+        matmul_scalar_k(q[0], b0, orow);
+        matmul_scalar_k(q[1], b1, orow);
+        matmul_scalar_k(q[2], b2, orow);
+        matmul_scalar_k(q[3], b3, orow);
+    }
+}
+
+/// One k-step of [`matmul_into`]: `orow += aval * brow`, skipped entirely
+/// when `aval` is exactly zero (im2col padding rows, sparse inputs).
+#[inline]
+fn matmul_scalar_k(aval: f32, brow: &[f32], orow: &mut [f32]) {
+    if aval == 0.0 {
+        return;
+    }
+    for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+        *o += aval * bval;
+    }
 }
 
 /// Matrix product with the left operand transposed: `aᵀ[k,m]ᵀ · b[k,n] -> [m,n]`.
@@ -73,10 +201,29 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics if the operands are not rank-2 or their trailing dimensions differ.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _) = mat_dims(a, "matmul_bt lhs");
+    let (n, _) = mat_dims(b, "matmul_bt rhs");
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_bt_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul_bt`] into a caller-provided `[m, n]` output tensor.
+///
+/// Every output element is assigned, so prior contents never leak.
+///
+/// # Panics
+///
+/// Panics on rank, trailing-dimension, or output-shape mismatches.
+pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     let (m, k) = mat_dims(a, "matmul_bt lhs");
     let (n, kb) = mat_dims(b, "matmul_bt rhs");
     assert_eq!(k, kb, "matmul_bt trailing dimensions differ: {k} vs {kb}");
-    let mut out = Tensor::zeros(&[m, n]);
+    assert_eq!(
+        out.shape().dims(),
+        &[m, n],
+        "matmul_bt output must be [{m}, {n}]"
+    );
     let ad = a.data();
     let bd = b.data();
     let od = out.data_mut();
@@ -87,7 +234,6 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
             od[i * n + j] = dot(arow, brow);
         }
     }
-    out
 }
 
 /// Fully-connected layer: `x[n, in] · wᵀ[out, in]ᵀ + bias -> [n, out]`.
@@ -96,6 +242,21 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on rank or dimension mismatches.
 pub fn linear(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
+    let (n, _) = mat_dims(x, "linear input");
+    let (out_f, _) = mat_dims(weight, "linear weight");
+    let mut out = Tensor::zeros(&[n, out_f]);
+    linear_into(x, weight, bias, &mut out);
+    out
+}
+
+/// [`linear`] into a caller-provided `[n, out]` output tensor.
+///
+/// Every output element is assigned, so prior contents never leak.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn linear_into(x: &Tensor, weight: &Tensor, bias: &Tensor, out: &mut Tensor) {
     let (out_f, in_f) = mat_dims(weight, "linear weight");
     assert_eq!(
         bias.len(),
@@ -105,7 +266,7 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
     );
     let (n, xin) = mat_dims(x, "linear input");
     assert_eq!(xin, in_f, "linear input features {xin} vs weight {in_f}");
-    let mut out = matmul_bt(x, weight);
+    matmul_bt_into(x, weight, out);
     let od = out.data_mut();
     let bd = bias.data();
     for row in 0..n {
@@ -113,7 +274,6 @@ pub fn linear(x: &Tensor, weight: &Tensor, bias: &Tensor) -> Tensor {
             *o += b;
         }
     }
-    out
 }
 
 /// Backward pass of [`linear`].

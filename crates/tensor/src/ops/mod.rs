@@ -13,13 +13,18 @@ mod linear;
 mod pool;
 
 pub use activation::{
-    cross_entropy_with_logits, leaky_relu, leaky_relu_backward, log_softmax_rows, relu,
-    relu_backward, sigmoid, sigmoid_backward, silu, silu_backward, softmax_rows, tanh,
-    tanh_backward,
+    cross_entropy_with_logits, leaky_relu, leaky_relu_backward, leaky_relu_into, log_softmax_rows,
+    relu, relu_backward, relu_into, sigmoid, sigmoid_backward, sigmoid_into, silu, silu_backward,
+    silu_into, softmax_rows, tanh, tanh_backward, tanh_into,
 };
-pub use conv::{conv2d, conv2d_backward, dwconv2d, dwconv2d_backward, Conv2dSpec};
-pub use linear::{linear, linear_backward, matmul, matmul_at, matmul_bt};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_into, dwconv2d, dwconv2d_backward, dwconv2d_into,
+    Conv2dScratch, Conv2dSpec,
+};
+pub use linear::{
+    linear, linear_backward, linear_into, matmul, matmul_at, matmul_bt, matmul_bt_into, matmul_into,
+};
 pub use pool::{
-    avgpool2d, avgpool2d_backward, global_avgpool, global_avgpool_backward, maxpool2d,
-    maxpool2d_backward, MaxPoolIndices,
+    avgpool2d, avgpool2d_backward, avgpool2d_into, global_avgpool, global_avgpool_backward,
+    global_avgpool_into, maxpool2d, maxpool2d_backward, maxpool2d_into, MaxPoolIndices,
 };

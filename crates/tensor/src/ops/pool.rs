@@ -11,6 +11,15 @@ pub struct MaxPoolIndices {
 }
 
 impl MaxPoolIndices {
+    /// An empty record, to be filled by [`maxpool2d_into`] (reusing its
+    /// allocation across calls).
+    pub fn empty() -> Self {
+        Self {
+            indices: Vec::new(),
+            input_dims: [0; 4],
+        }
+    }
+
     /// The recorded winner index (into the flat input buffer) per output.
     pub fn indices(&self) -> &[usize] {
         &self.indices
@@ -35,7 +44,41 @@ pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoolIndices)
     let oh = (h - k) / s + 1;
     let ow = (w - k) / s + 1;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let mut indices = vec![0usize; n * c * oh * ow];
+    let mut indices = MaxPoolIndices::empty();
+    maxpool2d_into(input, k, s, &mut out, &mut indices);
+    (out, indices)
+}
+
+/// [`maxpool2d`] into a caller-provided output tensor and index record,
+/// reusing both allocations across calls.
+///
+/// Every output element and index is assigned, so prior contents never
+/// leak.
+///
+/// # Panics
+///
+/// Panics on the same violations as [`maxpool2d`], or if `out` does not
+/// have the pooled output shape.
+pub fn maxpool2d_into(
+    input: &Tensor,
+    k: usize,
+    s: usize,
+    out: &mut Tensor,
+    record: &mut MaxPoolIndices,
+) {
+    assert!(k > 0 && s > 0, "pool window and stride must be positive");
+    let (n, c, h, w) = input.shape().as_nchw();
+    assert!(
+        h >= k && w >= k,
+        "input {h}x{w} smaller than pool window {k}"
+    );
+    let oh = (h - k) / s + 1;
+    let ow = (w - k) / s + 1;
+    assert_eq!(out.len(), n * c * oh * ow, "maxpool output length mismatch");
+    record.indices.clear();
+    record.indices.resize(n * c * oh * ow, 0);
+    record.input_dims = [n, c, h, w];
+    let indices = &mut record.indices;
     let id = input.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -63,13 +106,6 @@ pub fn maxpool2d(input: &Tensor, k: usize, s: usize) -> (Tensor, MaxPoolIndices)
             }
         }
     }
-    (
-        out,
-        MaxPoolIndices {
-            indices,
-            input_dims: [n, c, h, w],
-        },
-    )
 }
 
 /// Backward pass of [`maxpool2d`]: gradients flow only to each window winner.
@@ -107,8 +143,30 @@ pub fn avgpool2d(input: &Tensor, k: usize, s: usize) -> Tensor {
     );
     let oh = (h - k) / s + 1;
     let ow = (w - k) / s + 1;
-    let norm = 1.0 / (k * k) as f32;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    avgpool2d_into(input, k, s, &mut out);
+    out
+}
+
+/// [`avgpool2d`] into a caller-provided output tensor.
+///
+/// Every output element is assigned, so prior contents never leak.
+///
+/// # Panics
+///
+/// Panics on the same violations as [`avgpool2d`], or if `out` does not
+/// have the pooled output length.
+pub fn avgpool2d_into(input: &Tensor, k: usize, s: usize, out: &mut Tensor) {
+    assert!(k > 0 && s > 0, "pool window and stride must be positive");
+    let (n, c, h, w) = input.shape().as_nchw();
+    assert!(
+        h >= k && w >= k,
+        "input {h}x{w} smaller than pool window {k}"
+    );
+    let oh = (h - k) / s + 1;
+    let ow = (w - k) / s + 1;
+    assert_eq!(out.len(), n * c * oh * ow, "avgpool output length mismatch");
+    let norm = 1.0 / (k * k) as f32;
     let id = input.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -129,7 +187,6 @@ pub fn avgpool2d(input: &Tensor, k: usize, s: usize) -> Tensor {
             }
         }
     }
-    out
 }
 
 /// Backward pass of [`avgpool2d`]: spreads each gradient uniformly over its
@@ -182,10 +239,25 @@ pub fn avgpool2d_backward(
 ///
 /// Panics if the input is not rank 4.
 pub fn global_avgpool(input: &Tensor) -> Tensor {
+    let (n, c, _, _) = input.shape().as_nchw();
+    let mut out = Tensor::zeros(&[n, c]);
+    global_avgpool_into(input, &mut out);
+    out
+}
+
+/// [`global_avgpool`] into a caller-provided `[n, c]` output tensor.
+///
+/// Every output element is assigned, so prior contents never leak.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4 or `out` does not hold `n * c`
+/// elements.
+pub fn global_avgpool_into(input: &Tensor, out: &mut Tensor) {
     let (n, c, h, w) = input.shape().as_nchw();
+    assert_eq!(out.len(), n * c, "global_avgpool output length mismatch");
     let plane = h * w;
     let norm = 1.0 / plane as f32;
-    let mut out = Tensor::zeros(&[n, c]);
     let id = input.data();
     let od = out.data_mut();
     for img in 0..n {
@@ -194,7 +266,6 @@ pub fn global_avgpool(input: &Tensor) -> Tensor {
             od[img * c + ch] = id[base..base + plane].iter().sum::<f32>() * norm;
         }
     }
-    out
 }
 
 /// Backward pass of [`global_avgpool`].

@@ -123,12 +123,19 @@ impl Shape {
 
     /// Interprets the shape as `(batch, channels, height, width)`.
     ///
+    /// A rank-3 CHW shape is accepted as a batch of one — the flat data of
+    /// a `[c, h, w]` tensor is bytewise identical to `[1, c, h, w]`, which
+    /// lets single-image pipelines skip the batch-copy reshape.
+    ///
     /// # Panics
     ///
-    /// Panics if the rank is not 4.
+    /// Panics if the rank is neither 3 nor 4.
     pub fn as_nchw(&self) -> (usize, usize, usize, usize) {
-        assert_eq!(self.rank(), 4, "expected NCHW shape, got {self:?}");
-        (self.dims[0], self.dims[1], self.dims[2], self.dims[3])
+        match self.rank() {
+            3 => (1, self.dims[0], self.dims[1], self.dims[2]),
+            4 => (self.dims[0], self.dims[1], self.dims[2], self.dims[3]),
+            _ => panic!("expected NCHW shape, got {self:?}"),
+        }
     }
 }
 

@@ -142,18 +142,39 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
-    inserted_at: u64,
+/// Packed line metadata: the tag lives in the low bits, VALID/DIRTY in the
+/// top two. Tags are `line_addr / sets`, which for 64-bit byte addresses
+/// fits in 58 bits with room to spare, so the packing is lossless.
+const META_VALID: u64 = 1 << 63;
+const META_DIRTY: u64 = 1 << 62;
+const META_TAG: u64 = META_DIRTY - 1;
+
+/// Routes to the access copy monomorphized on `(ways, policy)`. Common
+/// associativities get fully unrolled scans (`0` = runtime way count); the
+/// policy flag lets each copy skip the stamp array it never reads.
+macro_rules! dispatch_geometry {
+    ($self:ident, $method:ident, $($arg:expr),*) => {
+        match ($self.config.policy, $self.config.ways) {
+            (ReplacementPolicy::Lru, 2) => $self.$method::<2, false>($($arg),*),
+            (ReplacementPolicy::Lru, 4) => $self.$method::<4, false>($($arg),*),
+            (ReplacementPolicy::Lru, 8) => $self.$method::<8, false>($($arg),*),
+            (ReplacementPolicy::Lru, 16) => $self.$method::<16, false>($($arg),*),
+            (ReplacementPolicy::Lru, _) => $self.$method::<0, false>($($arg),*),
+            (ReplacementPolicy::Fifo, 2) => $self.$method::<2, true>($($arg),*),
+            (ReplacementPolicy::Fifo, 4) => $self.$method::<4, true>($($arg),*),
+            (ReplacementPolicy::Fifo, 8) => $self.$method::<8, true>($($arg),*),
+            (ReplacementPolicy::Fifo, 16) => $self.$method::<16, true>($($arg),*),
+            (ReplacementPolicy::Fifo, _) => $self.$method::<0, true>($($arg),*),
+        }
+    };
 }
 
 /// One level of set-associative cache.
 ///
 /// Addresses are byte addresses; the cache operates on 64-byte lines.
+/// Internally the ways of a set are stored structure-of-arrays with packed
+/// tag/valid/dirty words so the hit scan and victim scan compile to
+/// branch-free compare/select loops.
 ///
 /// # Example
 ///
@@ -167,19 +188,30 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<Line>,
-    clock: u64,
+    /// `num_sets - 1`: the set count is a power of two, so set selection is
+    /// a mask and tag extraction a shift — no division on the access path.
+    set_mask: u64,
+    /// `log2(num_sets)`.
+    tag_shift: u32,
+    /// Packed `VALID | DIRTY | tag` per way, indexed `set * ways + way`,
+    /// with each set's valid ways kept as a prefix ordered newest-first by
+    /// policy age (last touch under LRU, fill under FIFO). The order IS the
+    /// replacement state — no timestamps — so the victim is always the back
+    /// of the prefix, and one 8-way set is a single 64-byte row.
+    meta: Vec<u64>,
     stats: CacheStats,
 }
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(config: CacheConfig) -> Self {
-        let total = (config.num_sets() as usize) * config.ways();
+        let sets = config.num_sets();
+        let total = (sets as usize) * config.ways();
         Self {
             config,
-            lines: vec![Line::default(); total],
-            clock: 0,
+            set_mask: sets - 1,
+            tag_shift: sets.trailing_zeros(),
+            meta: vec![0; total],
             stats: CacheStats::default(),
         }
     }
@@ -196,8 +228,7 @@ impl Cache {
 
     /// Invalidates every line and clears statistics.
     pub fn reset(&mut self) {
-        self.lines.fill(Line::default());
-        self.clock = 0;
+        self.meta.fill(0);
         self.stats = CacheStats::default();
     }
 
@@ -207,29 +238,122 @@ impl Cache {
     /// the LRU line of the set; if that line was dirty its base address is
     /// reported so the caller can write it back to the next level.
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> (bool, Eviction) {
-        self.clock += 1;
-        let line_addr = addr / LINE_BYTES;
-        let sets = self.config.num_sets();
-        let set = (line_addr % sets) as usize;
-        let tag = line_addr / sets;
-        let ways = self.config.ways();
+        self.access_line(addr / LINE_BYTES, kind)
+    }
+
+    /// Accesses `lines` consecutive cache lines starting at the line
+    /// containing `base_addr`, all with the same `kind`.
+    ///
+    /// Semantically identical to calling [`access`](Self::access) once per
+    /// line in ascending order (both delegate to the same per-line inner
+    /// loop), but without per-call dispatch overhead. Returns the number of
+    /// misses; for every line, in access order, it appends to `follow_ups`
+    /// the traffic the next cache level must absorb: on a miss the aligned
+    /// line address with the access kind (the allocating fill), followed by
+    /// the write-back address with [`AccessKind::Write`] if the fill
+    /// displaced a dirty line.
+    pub fn access_range(
+        &mut self,
+        base_addr: u64,
+        lines: u64,
+        kind: AccessKind,
+        follow_ups: &mut Vec<(u64, AccessKind)>,
+    ) -> u64 {
+        dispatch_geometry!(self, access_range_ways, base_addr, lines, kind, follow_ups)
+    }
+
+    /// Accesses each `(byte address, kind)` in order — the batched form the
+    /// next cache level uses to absorb a range's follow-up traffic.
+    /// Equivalent to one [`access`](Self::access) per item; evictions out of
+    /// this level go to DRAM, which is not modeled.
+    pub fn access_list(&mut self, items: &[(u64, AccessKind)]) {
+        dispatch_geometry!(self, access_list_ways, items)
+    }
+
+    fn access_list_ways<const W: usize, const FIFO: bool>(&mut self, items: &[(u64, AccessKind)]) {
+        for &(addr, kind) in items {
+            let _ = self.access_line_ways::<W, FIFO>(addr / LINE_BYTES, kind);
+        }
+    }
+
+    /// The per-line access shared by [`access`](Self::access) and
+    /// [`access_range`](Self::access_range). Dispatches to a copy
+    /// monomorphized on the associativity (so the way scans fully unroll;
+    /// the `0` instantiation reads the runtime way count) and on the
+    /// replacement policy (so each copy touches only the stamp array its
+    /// policy reads).
+    fn access_line(&mut self, line_addr: u64, kind: AccessKind) -> (bool, Eviction) {
+        dispatch_geometry!(self, access_line_ways, line_addr, kind)
+    }
+
+    /// [`access_range`](Self::access_range) with the geometry dispatch
+    /// hoisted out of the per-line loop, so the whole loop body inlines and
+    /// the set mask, tag shift, and statistics stay in registers.
+    fn access_range_ways<const W: usize, const FIFO: bool>(
+        &mut self,
+        base_addr: u64,
+        lines: u64,
+        kind: AccessKind,
+        follow_ups: &mut Vec<(u64, AccessKind)>,
+    ) -> u64 {
+        let base_line = base_addr / LINE_BYTES;
+        let mut misses = 0;
+        for i in 0..lines {
+            let line_addr = base_line + i;
+            let (hit, ev) = self.access_line_ways::<W, FIFO>(line_addr, kind);
+            if !hit {
+                misses += 1;
+                follow_ups.push((line_addr * LINE_BYTES, kind));
+            }
+            if let Eviction::Dirty(victim_addr) = ev {
+                follow_ups.push((victim_addr, AccessKind::Write));
+            }
+        }
+        misses
+    }
+
+    #[inline(always)]
+    fn access_line_ways<const W: usize, const FIFO: bool>(
+        &mut self,
+        line_addr: u64,
+        kind: AccessKind,
+    ) -> (bool, Eviction) {
+        let ways = if W == 0 { self.config.ways() } else { W };
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.tag_shift;
         let base = set * ways;
+        let row = &mut self.meta[base..base + ways];
 
         match kind {
             AccessKind::Read => self.stats.read_accesses += 1,
             AccessKind::Write => self.stats.write_accesses += 1,
         }
 
-        // Hit path.
-        for w in 0..ways {
-            let line = &mut self.lines[base + w];
-            if line.valid && line.tag == tag {
-                line.last_use = self.clock;
-                if kind == AccessKind::Write {
-                    line.dirty = true;
-                }
-                return (true, Eviction::None);
+        // Hit scan: one packed compare per way with the dirty bit masked
+        // out, collected into a bitmask (which vectorizes). Tags within a
+        // set are unique, so at most one bit is set.
+        let want = META_VALID | tag;
+        let mut hit_mask = 0u32;
+        for (w, &m) in row.iter().enumerate() {
+            hit_mask |= u32::from(m & !META_DIRTY == want) << w;
+        }
+        if hit_mask != 0 {
+            let hit_way = hit_mask.trailing_zeros() as usize;
+            let dirty = if kind == AccessKind::Write {
+                META_DIRTY
+            } else {
+                0
+            };
+            if FIFO {
+                // A FIFO hit leaves the insertion order alone.
+                row[hit_way] |= dirty;
+            } else {
+                // LRU: rotate the touched way to the front of the order.
+                let line = row[hit_way] | dirty;
+                row.copy_within(0..hit_way, 1);
+                row[0] = line;
             }
+            return (true, Eviction::None);
         }
 
         // Miss: count, then fill (write-allocate).
@@ -238,56 +362,38 @@ impl Cache {
             AccessKind::Write => self.stats.write_misses += 1,
         }
 
-        // Victim: first invalid way, else LRU.
-        let mut victim = 0;
-        let mut found_invalid = false;
-        for w in 0..ways {
-            if !self.lines[base + w].valid {
-                victim = w;
-                found_invalid = true;
-                break;
-            }
-        }
-        if !found_invalid {
-            let mut oldest = u64::MAX;
-            for w in 0..ways {
-                let age = match self.config.policy {
-                    ReplacementPolicy::Lru => self.lines[base + w].last_use,
-                    ReplacementPolicy::Fifo => self.lines[base + w].inserted_at,
-                };
-                if age < oldest {
-                    oldest = age;
-                    victim = w;
-                }
-            }
-        }
-
-        let evicted = {
-            let line = &self.lines[base + victim];
-            if !line.valid {
-                Eviction::None
-            } else if line.dirty {
+        // Victim: the first invalid way (valid ways form a prefix), or the
+        // back of the order when the set is full — the oldest line under
+        // both policies.
+        let valid = row.iter().filter(|&&m| m & META_VALID != 0).count();
+        let (victim, evicted) = if valid < ways {
+            (valid, Eviction::None)
+        } else {
+            let vm = row[ways - 1];
+            let ev = if vm & META_DIRTY != 0 {
                 self.stats.writebacks += 1;
-                let victim_line_addr = line.tag * sets + set as u64;
+                let victim_line_addr = ((vm & META_TAG) << self.tag_shift) | set as u64;
                 Eviction::Dirty(victim_line_addr * LINE_BYTES)
             } else {
                 Eviction::Clean
-            }
+            };
+            (ways - 1, ev)
         };
 
-        self.lines[base + victim] = Line {
-            tag,
-            valid: true,
-            dirty: kind == AccessKind::Write,
-            last_use: self.clock,
-            inserted_at: self.clock,
+        let dirty = if kind == AccessKind::Write {
+            META_DIRTY
+        } else {
+            0
         };
+        // Insert the fill at the front of the order.
+        row.copy_within(0..victim, 1);
+        row[0] = META_VALID | dirty | tag;
         (false, evicted)
     }
 
     /// Number of currently valid lines (useful for occupancy assertions).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.meta.iter().filter(|&&m| m & META_VALID != 0).count()
     }
 }
 
@@ -382,6 +488,75 @@ mod tests {
         let (_, ev) = c.access(4 * 64, AccessKind::Read); // evicts dirty line 0
         assert_eq!(ev, Eviction::Dirty(0));
         assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_nonzero_set_and_tag_address() {
+        let mut c = tiny(); // 2 sets x 2 ways; odd lines map to set 1.
+        c.access(3 * 64, AccessKind::Write); // dirty line 3 in set 1
+        c.access(5 * 64, AccessKind::Read); // fills way 1 of set 1
+        let (_, ev) = c.access(7 * 64, AccessKind::Read); // evicts line 3
+        assert_eq!(
+            ev,
+            Eviction::Dirty(3 * 64),
+            "writeback address reconstructs tag AND set bits"
+        );
+    }
+
+    #[test]
+    fn fifo_dirty_eviction_reports_writeback_address() {
+        let mut c = Cache::new(CacheConfig::with_policy(256, 2, ReplacementPolicy::Fifo));
+        c.access(2 * 64, AccessKind::Write); // dirty line 2, set 0, oldest
+        c.access(4 * 64, AccessKind::Read); // fills way 1 of set 0
+        c.access(2 * 64, AccessKind::Write); // touch again; FIFO ignores it
+        let (_, ev) = c.access(6 * 64, AccessKind::Read); // evicts line 2
+        assert_eq!(ev, Eviction::Dirty(2 * 64));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn fifo_write_hit_does_not_refresh_insertion_age() {
+        let mut c = Cache::new(CacheConfig::with_policy(256, 2, ReplacementPolicy::Fifo));
+        c.access(0, AccessKind::Read); // line 0 oldest
+        c.access(2 * 64, AccessKind::Read);
+        c.access(0, AccessKind::Write); // write hit: dirties, no re-insert
+        let (_, ev) = c.access(4 * 64, AccessKind::Read);
+        assert_eq!(ev, Eviction::Dirty(0), "line 0 still evicted first");
+    }
+
+    #[test]
+    fn access_range_matches_single_access_loop() {
+        let mut batched = tiny();
+        let mut scalar = tiny();
+        // Interleave ranges that wrap sets, alias, and mix kinds.
+        let ranges = [
+            (0u64, 6u64, AccessKind::Read),
+            (2 * 64, 5, AccessKind::Write),
+            (0, 3, AccessKind::Read),
+            (7 * 64, 4, AccessKind::Write),
+            (0, 0, AccessKind::Read), // empty range is a no-op
+        ];
+        let mut follow_ups = Vec::new();
+        for (base, n, kind) in ranges {
+            let mut expected = Vec::new();
+            let mut misses = 0;
+            for i in 0..n {
+                let addr = base + i * LINE_BYTES;
+                let (hit, ev) = scalar.access(addr, kind);
+                if !hit {
+                    misses += 1;
+                    expected.push((addr, kind));
+                }
+                if let Eviction::Dirty(victim) = ev {
+                    expected.push((victim, AccessKind::Write));
+                }
+            }
+            follow_ups.clear();
+            let got = batched.access_range(base, n, kind, &mut follow_ups);
+            assert_eq!(got, misses);
+            assert_eq!(follow_ups, expected);
+            assert_eq!(batched.stats(), scalar.stats());
+        }
     }
 
     #[test]

@@ -91,6 +91,25 @@ impl CounterGroup {
         self.memory.fetch(addr);
     }
 
+    /// Streaming data reads of `lines` consecutive cache lines starting at
+    /// `base_addr` — equivalent to one [`load`](Self::load) per line in
+    /// ascending order, simulated through the batched hierarchy path.
+    pub fn stream_read(&mut self, base_addr: u64, lines: u64) {
+        self.memory.load_range(base_addr, lines);
+    }
+
+    /// Streaming data writes of `lines` consecutive cache lines starting at
+    /// `base_addr` — equivalent to one [`store`](Self::store) per line.
+    pub fn stream_write(&mut self, base_addr: u64, lines: u64) {
+        self.memory.store_range(base_addr, lines);
+    }
+
+    /// Instruction fetches of `lines` consecutive cache lines starting at
+    /// `base_addr` — equivalent to one [`fetch`](Self::fetch) per line.
+    pub fn fetch_range(&mut self, base_addr: u64, lines: u64) {
+        self.memory.fetch_range(base_addr, lines);
+    }
+
     /// Retires `n` non-branch instructions.
     pub fn retire_instructions(&mut self, n: u64) {
         self.instructions += n;

@@ -50,6 +50,75 @@ proptest! {
     }
 
     #[test]
+    fn access_range_matches_loop_of_single_accesses(
+        lines in proptest::collection::vec(0u64..512, 1..40),
+        lens in proptest::collection::vec(0u64..48, 1..40),
+        writes in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut batched = Cache::new(CacheConfig::new(2048, 2));
+        let mut scalar = Cache::new(CacheConfig::new(2048, 2));
+        let mut follow_ups = Vec::new();
+        for ((line, n), w) in lines
+            .iter()
+            .zip(lens.iter().cycle())
+            .zip(writes.iter().cycle())
+        {
+            let base = line * 64;
+            let kind = if *w { AccessKind::Write } else { AccessKind::Read };
+            let mut expected = Vec::new();
+            let mut expected_misses = 0u64;
+            for i in 0..*n {
+                let addr = base + i * 64;
+                let (hit, ev) = scalar.access(addr, kind);
+                if !hit {
+                    expected_misses += 1;
+                    expected.push((addr, kind));
+                }
+                if let advhunter_uarch::Eviction::Dirty(victim) = ev {
+                    expected.push((victim, AccessKind::Write));
+                }
+            }
+            follow_ups.clear();
+            let misses = batched.access_range(base, *n, kind, &mut follow_ups);
+            prop_assert_eq!(misses, expected_misses);
+            prop_assert_eq!(&follow_ups, &expected);
+            prop_assert_eq!(batched.stats(), scalar.stats());
+        }
+    }
+
+    #[test]
+    fn hierarchy_range_apis_match_scalar_loops(
+        lines in proptest::collection::vec(0u64..2048, 1..30),
+        lens in proptest::collection::vec(0u64..32, 1..30),
+        ops in proptest::collection::vec(0u8..3, 1..30),
+    ) {
+        let mut batched = MemoryHierarchy::new(MachineConfig::default());
+        let mut scalar = MemoryHierarchy::new(MachineConfig::default());
+        for ((line, n), op) in lines
+            .iter()
+            .zip(lens.iter().cycle())
+            .zip(ops.iter().cycle())
+        {
+            let base = line * 64;
+            match op {
+                0 => {
+                    batched.load_range(base, *n);
+                    for i in 0..*n { scalar.load(base + i * 64); }
+                }
+                1 => {
+                    batched.store_range(base, *n);
+                    for i in 0..*n { scalar.store(base + i * 64); }
+                }
+                _ => {
+                    batched.fetch_range(base, *n);
+                    for i in 0..*n { scalar.fetch(base + i * 64); }
+                }
+            }
+            prop_assert_eq!(batched.stats(), scalar.stats());
+        }
+    }
+
+    #[test]
     fn hierarchy_event_invariants(
         addrs in proptest::collection::vec(0u64..4_000_000, 1..500),
         ops in proptest::collection::vec(0u8..3, 1..500),

@@ -1,0 +1,228 @@
+//! Golden-counts pin for the instrumented inference path.
+//!
+//! The values below were captured from the implementation *before* the
+//! zero-allocation / precomputed-trace-plan refactor of the hot path.
+//! They pin `Measurement` down to the bit level: the predicted class, every
+//! `HpcCounts` event, and the exact f64 bit pattern of every `HpcSample`
+//! event. Any change to the simulated trace order, the cache replacement
+//! behaviour, the branch predictor accounting, or the noise stream shows
+//! up here as a hard failure.
+//!
+//! Two fixtures cover the op zoo: `small` is a conv/relu/flatten/linear
+//! stack, `zoo` routes through all sixteen graph ops (batchnorm, silu,
+//! dwconv, leaky_relu, tanh, add, max/avg pool, concat, global_avgpool,
+//! sigmoid, scale_channels, ...).
+
+use advhunter_exec::TraceEngine;
+use advhunter_nn::{Graph, GraphBuilder};
+use advhunter_tensor::Tensor;
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_model() -> Graph {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut b = GraphBuilder::new(&[1, 8, 8]);
+    let input = b.input();
+    let c1 = b.conv2d("c1", input, 8, 3, 1, 1, &mut rng);
+    let r1 = b.relu("r1", c1);
+    let c2 = b.conv2d("c2", r1, 8, 3, 1, 1, &mut rng);
+    let r2 = b.relu("r2", c2);
+    let f = b.flatten("f", r2);
+    b.linear("fc", f, 4, &mut rng);
+    b.build()
+}
+
+fn zoo_model() -> Graph {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut b = GraphBuilder::new(&[2, 8, 8]);
+    let input = b.input();
+    let c1 = b.conv2d("c1", input, 8, 3, 1, 1, &mut rng);
+    let bn = b.batchnorm("bn", c1);
+    let s1 = b.silu("silu", bn);
+    let dw = b.dwconv2d("dw", s1, 3, 1, 1, &mut rng);
+    let lr = b.leaky_relu("lrelu", dw, 0.1);
+    let th = b.tanh("tanh", lr);
+    let ad = b.add("add", th, s1);
+    let mp = b.maxpool("mp", ad, 2, 2);
+    let ap = b.avgpool("ap", ad, 2, 2);
+    let cc = b.concat("cat", mp, ap);
+    let rr = b.relu("relu", cc);
+    let gp = b.global_avgpool("gap", rr);
+    let se = b.linear("se", gp, 16, &mut rng);
+    let sg = b.sigmoid("sig", se);
+    let sc = b.scale_channels("scale", rr, sg);
+    let fl = b.flatten("flat", sc);
+    b.linear("fc", fl, 5, &mut rng);
+    b.build()
+}
+
+fn image(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    advhunter_tensor::init::uniform(&mut rng, dims, 0.0, 1.0)
+}
+
+/// One pinned measurement: predicted class, counts in `HpcEvent::ALL`
+/// order, and sample f64 bit patterns in the same order.
+struct Golden {
+    seed: u64,
+    predicted: usize,
+    counts: [u64; 9],
+    sample_bits: [u64; 9],
+}
+
+const SMALL_GOLDEN: [Golden; 3] = [
+    Golden {
+        seed: 0,
+        predicted: 2,
+        counts: [13558, 366, 11, 336, 336, 80, 192, 272, 64],
+        sample_bits: [
+            0x40cee4a1e4faf7ae,
+            0x408367b46b9161b3,
+            0x403adb7c47e41eed,
+            0x407b162073ba221a,
+            0x407645a912f9c5c9,
+            0x40649dfa0d58d5da,
+            0x406bad7c371647a0,
+            0x407253f8202e2ea0,
+            0x40522fa6b8bd981e,
+        ],
+    },
+    Golden {
+        seed: 1,
+        predicted: 2,
+        counts: [13558, 366, 11, 343, 343, 87, 192, 279, 64],
+        sample_bits: [
+            0x40ccb35c94442503,
+            0x4083842bc5e8eda4,
+            0x403d80bb646e67b3,
+            0x407d5c2763b54c1b,
+            0x4076e4cae179965f,
+            0x40650e9d6aa64ba2,
+            0x406b69e46f68efad,
+            0x4071f0c4b611747a,
+            0x4052a255963eee88,
+        ],
+    },
+    Golden {
+        seed: 2,
+        predicted: 3,
+        counts: [13558, 366, 11, 350, 350, 94, 192, 286, 64],
+        sample_bits: [
+            0x40ce491bf339fe3d,
+            0x408591f75cffef01,
+            0x4043c7ce534a938c,
+            0x407cbc358bc9618e,
+            0x4076f03d1dc31674,
+            0x4063d9b90ec8f392,
+            0x40697ed64d198b42,
+            0x4073002036b9c192,
+            0x405301d8dac42fd3,
+        ],
+    },
+];
+
+const ZOO_GOLDEN: [Golden; 3] = [
+    Golden {
+        seed: 0,
+        predicted: 0,
+        counts: [12094, 514, 24, 1107, 1107, 51, 960, 1011, 96],
+        sample_bits: [
+            0x40cc0671c46e2c12,
+            0x408808838aa95376,
+            0x404412b6caeb6311,
+            0x4092b7c6d97a16b2,
+            0x40919ffcee1660db,
+            0x4060f5b4bb5107d8,
+            0x408dfd0999f0118e,
+            0x40902551d60ad3b4,
+            0x405a11f70197ab6d,
+        ],
+    },
+    Golden {
+        seed: 1,
+        predicted: 3,
+        counts: [12094, 514, 24, 1109, 1109, 53, 960, 1013, 96],
+        sample_bits: [
+            0x40c9d720853b517d,
+            0x408820b403a7d3d8,
+            0x40451866717ee7ce,
+            0x4093646060f8f4ae,
+            0x4091bec4898502f1,
+            0x4060cfc577155f9a,
+            0x408e80401b26fe33,
+            0x408fe1c70e31b068,
+            0x405a9df7b6678ca3,
+        ],
+    },
+    Golden {
+        seed: 2,
+        predicted: 3,
+        counts: [12094, 514, 24, 1110, 1110, 54, 960, 1014, 96],
+        sample_bits: [
+            0x40cb6efd2d9cc6be,
+            0x408a2d38d8f6b02a,
+            0x404a1f6b59f464d8,
+            0x4092f50f4166138b,
+            0x4091a4ddef3c47f2,
+            0x405dfcf8997853f3,
+            0x408d8da6c4383fa8,
+            0x409024f5c8d2a092,
+            0x405b1340b49c780d,
+        ],
+    },
+];
+
+fn check(name: &str, g: &Graph, dims: &[usize], golden: &[Golden; 3]) {
+    let e = TraceEngine::new(g);
+    for gold in golden {
+        let img = image(dims, gold.seed);
+        let m = e.measure_indexed(g, &img, 42, gold.seed);
+        assert_eq!(
+            m.predicted, gold.predicted,
+            "{name} seed {}: predicted class drifted",
+            gold.seed
+        );
+        for (slot, ev) in HpcEvent::ALL.into_iter().enumerate() {
+            assert_eq!(
+                m.counts.get(ev),
+                gold.counts[slot],
+                "{name} seed {}: count for {ev:?} drifted",
+                gold.seed
+            );
+            assert_eq!(
+                m.sample.get(ev).to_bits(),
+                gold.sample_bits[slot],
+                "{name} seed {}: sample bits for {ev:?} drifted (got {})",
+                gold.seed,
+                m.sample.get(ev)
+            );
+        }
+    }
+}
+
+#[test]
+fn small_model_measurements_match_pre_refactor_golden() {
+    check("small", &small_model(), &[1, 8, 8], &SMALL_GOLDEN);
+}
+
+#[test]
+fn zoo_model_measurements_match_pre_refactor_golden() {
+    check("zoo", &zoo_model(), &[2, 8, 8], &ZOO_GOLDEN);
+}
+
+#[test]
+fn repeated_measurements_reuse_state_without_drift() {
+    // The engine may pool scratch memory across calls; re-measuring the
+    // same image three times must keep returning the golden values.
+    let g = small_model();
+    let e = TraceEngine::new(&g);
+    let img = image(&[1, 8, 8], 0);
+    let first = e.measure_indexed(&g, &img, 42, 0);
+    for _ in 0..3 {
+        let again = e.measure_indexed(&g, &img, 42, 0);
+        assert_eq!(first.predicted, again.predicted);
+        assert_eq!(first.counts, again.counts);
+        assert_eq!(first.sample, again.sample);
+    }
+}
