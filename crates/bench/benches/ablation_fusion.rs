@@ -8,7 +8,7 @@
 use advhunter::experiment::{measure_examples, LabeledSample};
 use advhunter::scenario::ScenarioId;
 use advhunter::BinaryConfusion;
-use advhunter::Detector;
+use advhunter::{Detector, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -54,7 +54,7 @@ fn main() {
         Some(scaled(200, 40)),
         &mut rng,
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xAB42));
 
     let strong = [
         HpcEvent::CacheMisses,

@@ -8,7 +8,7 @@
 
 use advhunter::experiment::{detection_confusion, measure_examples};
 use advhunter::scenario::ScenarioId;
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -28,7 +28,7 @@ fn main() {
         Some(scaled(200, 40)),
         &mut rng,
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xAB12));
 
     section("Ablation: GMM component count (S2, targeted FGSM ε=0.5, cache-misses)");
     println!("{:<12} {:>10} {:>10}", "components", "accuracy%", "F1");
@@ -50,7 +50,8 @@ fn main() {
         ));
     }
     for (name, cfg) in configs {
-        let detector = Detector::fit(&prep.template, &cfg, &mut rng).expect("detector fit");
+        let detector = Detector::fit(&prep.template, &cfg, &ExecOptions::seeded(0xAB13))
+            .expect("detector fit");
         let c = detection_confusion(&detector, HpcEvent::CacheMisses, &prep.clean_test, &adv);
         println!(
             "{:<12} {:>10.2} {:>10.4}",

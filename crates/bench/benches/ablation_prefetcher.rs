@@ -8,7 +8,7 @@
 use advhunter::experiment::{detection_confusion, LabeledSample};
 use advhunter::offline::collect_template;
 use advhunter::scenario::ScenarioId;
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_scenario, scaled, section};
 use advhunter_exec::TraceEngine;
@@ -44,9 +44,10 @@ fn main() {
         };
         let engine = TraceEngine::with_config(&art.model, machine, Sampler::default());
         let mut r = StdRng::seed_from_u64(0xAB51);
-        let template = collect_template(&engine, &art.model, &art.split.val, None, &mut r);
-        let detector =
-            Detector::fit(&template, &DetectorConfig::default(), &mut r).expect("detector fit");
+        let opts = ExecOptions::seeded(0xAB51);
+        let template = collect_template(&engine, &art.model, &art.split.val, None, &opts.stage(0));
+        let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
+            .expect("detector fit");
         let measure =
             |img: &advhunter_tensor::Tensor, label: usize, r: &mut StdRng| -> LabeledSample {
                 let m = engine.measure(&art.model, img, r);

@@ -7,7 +7,7 @@
 use advhunter::experiment::{detection_confusion, LabeledSample};
 use advhunter::offline::collect_template;
 use advhunter::scenario::ScenarioId;
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_scenario, scaled, section};
 use advhunter_exec::TraceEngine;
@@ -40,12 +40,13 @@ fn main() {
             },
         );
         let mut r = StdRng::seed_from_u64(0xAB31 + repeats as u64);
-        let template = collect_template(&engine, &art.model, &art.split.val, None, &mut r);
+        let opts = ExecOptions::seeded(0xAB31 + repeats as u64);
+        let template = collect_template(&engine, &art.model, &art.split.val, None, &opts.stage(0));
         let cfg = DetectorConfig {
             events: vec![HpcEvent::CacheMisses],
             ..DetectorConfig::default()
         };
-        let detector = Detector::fit(&template, &cfg, &mut r).expect("detector fit");
+        let detector = Detector::fit(&template, &cfg, &opts.stage(1)).expect("detector fit");
 
         let clean: Vec<LabeledSample> = (0..art.split.test.len())
             .take(scaled(400, 100))

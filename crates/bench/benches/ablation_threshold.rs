@@ -7,7 +7,7 @@
 
 use advhunter::experiment::{detection_confusion, measure_examples};
 use advhunter::scenario::ScenarioId;
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -27,7 +27,7 @@ fn main() {
         Some(scaled(200, 40)),
         &mut rng,
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xAB22));
 
     section("Ablation: threshold multiplier k in Δ = μ + k·σ (S2, targeted FGSM ε=0.5)");
     println!(
@@ -40,7 +40,8 @@ fn main() {
             sigma_factor: k,
             ..DetectorConfig::default()
         };
-        let detector = Detector::fit(&prep.template, &cfg, &mut rng).expect("detector fit");
+        let detector = Detector::fit(&prep.template, &cfg, &ExecOptions::seeded(0xAB23))
+            .expect("detector fit");
         let c = detection_confusion(&detector, HpcEvent::CacheMisses, &prep.clean_test, &adv);
         println!(
             "{:<6.1} {:>10.2} {:>10.4} {:>12.4} {:>10.4}",

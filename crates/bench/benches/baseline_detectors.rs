@@ -6,7 +6,7 @@
 use advhunter::baseline::{KnnDetector, ZScoreDetector};
 use advhunter::experiment::{detection_confusion, measure_examples, LabeledSample};
 use advhunter::scenario::ScenarioId;
-use advhunter::BinaryConfusion;
+use advhunter::{BinaryConfusion, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -63,7 +63,7 @@ fn main() {
             Some(scaled(150, 40)),
             &mut rng,
         );
-        let adv = measure_examples(&art, &report.examples, &mut rng);
+        let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xBA60));
         let rows: Vec<(&str, BinaryConfusion)> = vec![
             (
                 "GMM + 3σ (paper)",

@@ -11,8 +11,8 @@
 
 use std::time::{Duration, Instant};
 
-use advhunter::offline::collect_template_par;
-use advhunter::{Detector, DetectorConfig, Parallelism};
+use advhunter::offline::collect_template;
+use advhunter::{Detector, DetectorConfig, ExecOptions, Parallelism};
 use advhunter_data::{scenarios, SplitSizes};
 use advhunter_exec::TraceEngine;
 use advhunter_nn::models;
@@ -105,14 +105,13 @@ fn main() {
             test: 4,
         },
     );
-    let parallelism = Parallelism::new(4);
+    let opts = ExecOptions::seeded(21).with_threads(4);
     let (fit_us, iters) = time_per_iter(budget, || {
-        let template = collect_template_par(&engine, &model, &split.val, None, 21, &parallelism);
-        std::hint::black_box(Detector::fit_par(
+        let template = collect_template(&engine, &model, &split.val, None, &opts.stage(0));
+        std::hint::black_box(Detector::fit(
             &template,
             &DetectorConfig::default(),
-            22,
-            &parallelism,
+            &opts.stage(1),
         ))
         .ok();
     });

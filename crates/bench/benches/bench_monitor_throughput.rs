@@ -1,0 +1,134 @@
+//! Sustained throughput of the online monitor service at 1/2/4 worker
+//! threads, against the single-image `measure` rate as the scaling
+//! baseline.
+//!
+//! Like `bench_inference_throughput` this harness does its own timing and
+//! writes a machine-readable `BENCH_monitor.json` at the repo root. The
+//! target on a machine with enough cores is sustained monitor throughput
+//! ≥ single-image rate × 0.9 × threads: micro-batch coalescing plus the
+//! per-worker scratch pool should make service overhead (queue, channel,
+//! telemetry) disappear next to the trace simulation itself.
+//!
+//! `ADVHUNTER_MONITOR_N` overrides the stream length (default 256).
+
+use std::time::Instant;
+
+use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate};
+use advhunter_exec::TraceEngine;
+use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
+use advhunter_nn::models;
+use advhunter_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CLASSES: usize = 10;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn stream_len() -> usize {
+    std::env::var("ADVHUNTER_MONITOR_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// A fitted detector for the benchmark model, built from measured traces
+/// of random images binned round-robin into categories. (The detector's
+/// quality is irrelevant here — only the work per request matters.)
+fn fitted_detector(engine: &TraceEngine, model: &advhunter_nn::Graph) -> Detector {
+    let mut rng = StdRng::seed_from_u64(2);
+    let images: Vec<Tensor> = (0..CLASSES * 12)
+        .map(|_| init::uniform(&mut rng, &[3, 32, 32], 0.0, 1.0))
+        .collect();
+    let opts = ExecOptions::seeded(3);
+    let measurements = engine.measure_batch(model, &images, opts.seed, &opts.parallelism);
+    let mut per_class = vec![Vec::new(); CLASSES];
+    for (i, m) in measurements.iter().enumerate() {
+        per_class[i % CLASSES].push(m.sample);
+    }
+    let template = OfflineTemplate::from_samples(per_class);
+    Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
+        .expect("detector fit on synthetic template")
+}
+
+fn main() {
+    let n = stream_len();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = models::case_study_cnn(&[3, 32, 32], CLASSES, &mut rng);
+    let images: Vec<Tensor> = (0..n)
+        .map(|_| init::uniform(&mut rng, &[3, 32, 32], 0.0, 1.0))
+        .collect();
+
+    advhunter_bench::section("Online monitor throughput (case-study CNN, 3x32x32)");
+
+    // Baseline: raw single-image measurement rate, no service in the way.
+    let engine = TraceEngine::new(&model);
+    let warmup = engine.measure_indexed(&model, &images[0], 7, 0);
+    std::hint::black_box(&warmup);
+    let t0 = Instant::now();
+    let single_probe = 32.min(n);
+    for (i, image) in images.iter().take(single_probe).enumerate() {
+        std::hint::black_box(engine.measure_indexed(&model, image, 7, i as u64));
+    }
+    let single_us = t0.elapsed().as_secs_f64() * 1e6 / single_probe as f64;
+    let single_per_s = 1e6 / single_us;
+    println!("measure/single_image: {single_us:>10.1} µs  {single_per_s:>8.1} images/s");
+
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let engine = TraceEngine::new(&model);
+        let detector = fitted_detector(&engine, &model);
+        let config = MonitorConfig::new(ExecOptions::seeded(7).with_threads(threads))
+            .with_queue_capacity(n.max(1))
+            .with_micro_batch(16)
+            .with_overload(OverloadPolicy::Block);
+        let monitor =
+            Monitor::spawn(engine, model.clone(), detector, config).expect("spawn monitor");
+
+        let t0 = Instant::now();
+        for image in &images {
+            monitor.submit(image.clone()).expect("submit");
+        }
+        monitor.close();
+        let mut received = 0usize;
+        while let Some(v) = monitor.recv() {
+            std::hint::black_box(&v.verdict);
+            received += 1;
+        }
+        let elapsed = t0.elapsed();
+        assert_eq!(received, n, "monitor must deliver one verdict per request");
+        let stats = monitor.shutdown();
+        let per_s = n as f64 / elapsed.as_secs_f64();
+        let target = single_per_s * 0.9 * threads as f64;
+        println!(
+            "monitor/{threads}t: {per_s:>8.1} images/s over {n} requests \
+             ({} micro-batches, target {target:.1}/s, {:.2}x of target)",
+            stats.batches,
+            per_s / target,
+        );
+        rows.push((threads, per_s, target, elapsed));
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"monitor_throughput\",\n");
+    json.push_str(&format!("  \"stream_len\": {n},\n"));
+    json.push_str(&format!("  \"single_image_us\": {single_us:.1},\n"));
+    json.push_str(&format!("  \"single_image_per_s\": {single_per_s:.1},\n"));
+    for (threads, per_s, target, elapsed) in &rows {
+        json.push_str(&format!(
+            "  \"monitor_{threads}t_per_s\": {per_s:.1},\n  \
+             \"monitor_{threads}t_target_per_s\": {target:.1},\n  \
+             \"monitor_{threads}t_elapsed_ms\": {},\n",
+            elapsed.as_millis()
+        ));
+    }
+    json.push_str(&format!(
+        "  \"available_parallelism\": {}\n}}\n",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    ));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_monitor.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

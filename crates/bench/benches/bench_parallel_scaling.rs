@@ -9,8 +9,8 @@
 //! hardware the offline stages scale near-linearly because each item owns
 //! its trace simulator or EM fit outright.
 
-use advhunter::offline::collect_template_par;
-use advhunter::{Detector, DetectorConfig, OfflineTemplate, Parallelism};
+use advhunter::offline::collect_template;
+use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate, Parallelism};
 use advhunter_data::Dataset;
 use advhunter_exec::TraceEngine;
 use advhunter_nn::{Graph, GraphBuilder};
@@ -71,16 +71,15 @@ fn synthetic_template(classes: usize, samples_per_class: usize) -> OfflineTempla
 fn bench_collect_template(c: &mut Criterion) {
     let (model, engine, ds) = toy_setup();
     for threads in THREAD_COUNTS {
-        let parallelism = Parallelism::new(threads);
+        let opts = ExecOptions::seeded(7).with_threads(threads);
         c.bench_function(&format!("offline/collect_template/{threads}t"), |b| {
             b.iter(|| {
-                black_box(collect_template_par(
+                black_box(collect_template(
                     &engine,
                     &model,
                     black_box(&ds),
                     None,
-                    7,
-                    &parallelism,
+                    &opts,
                 ))
             })
         });
@@ -92,13 +91,9 @@ fn bench_fit_gmm_bank(c: &mut Criterion) {
     let template = synthetic_template(10, 60);
     let config = DetectorConfig::default();
     for threads in THREAD_COUNTS {
-        let parallelism = Parallelism::new(threads);
+        let opts = ExecOptions::seeded(7).with_threads(threads);
         c.bench_function(&format!("offline/fit_gmm_bank/{threads}t"), |b| {
-            b.iter(|| {
-                black_box(
-                    Detector::fit_par(black_box(&template), &config, 7, &parallelism).unwrap(),
-                )
-            })
+            b.iter(|| black_box(Detector::fit(black_box(&template), &config, &opts).unwrap()))
         });
     }
 }
@@ -106,11 +101,10 @@ fn bench_fit_gmm_bank(c: &mut Criterion) {
 /// Online phase: batched NLL scoring of many queries.
 fn bench_score_batch(c: &mut Criterion) {
     let template = synthetic_template(10, 60);
-    let detector = Detector::fit_par(
+    let detector = Detector::fit(
         &template,
         &DetectorConfig::default(),
-        7,
-        &Parallelism::new(1),
+        &ExecOptions::sequential(7),
     )
     .unwrap();
     let mut rng = StdRng::seed_from_u64(2);

@@ -9,6 +9,7 @@
 
 use advhunter::experiment::{detection_confusion, measure_examples};
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal, SquareParams};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -42,7 +43,7 @@ fn main() {
             Some(scaled(80, 25)),
             &mut rng,
         );
-        let adv = measure_examples(&art, &report.examples, &mut rng);
+        let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xB1AE));
         let c = detection_confusion(
             &prep.detector,
             HpcEvent::CacheMisses,

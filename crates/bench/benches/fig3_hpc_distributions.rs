@@ -8,6 +8,7 @@
 
 use advhunter::experiment::measure_examples;
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{
     distribution_overlap, prepare_detector, prepare_scenario, render_two_histograms, scaled,
@@ -35,7 +36,7 @@ fn main() {
         "targeted FGSM eps=0.5: targeted accuracy {:.2}% (paper: 94.04%)",
         report.targeted_accuracy * 100.0
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xF165));
     let clean: Vec<_> = prep
         .clean_test
         .iter()

@@ -13,6 +13,7 @@
 
 use advhunter::experiment::run_attack_detection;
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -63,6 +64,7 @@ fn main() {
                 Some(max),
                 &prep.clean_test,
                 &mut rng,
+                &ExecOptions::seeded(0xF402),
             );
             let variant = match goal {
                 AttackGoal::Untargeted => "untargeted",

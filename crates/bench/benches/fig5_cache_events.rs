@@ -10,6 +10,7 @@
 
 use advhunter::experiment::measure_examples;
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{
     distribution_overlap, prepare_detector, prepare_scenario, render_two_histograms, scaled,
@@ -37,7 +38,7 @@ fn main() {
         report.adversarial_accuracy * 100.0,
         report.examples.len()
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xF502));
     let clean: Vec<_> = prep
         .clean_test
         .iter()

@@ -9,7 +9,7 @@
 use advhunter::experiment::{detection_confusion, measure_examples};
 use advhunter::mean_std;
 use advhunter::scenario::ScenarioId;
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -43,7 +43,7 @@ fn main() {
             Some(scaled(200, 40)),
             &mut rng,
         );
-        let adv = measure_examples(&art, &report.examples, &mut rng);
+        let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xF603));
         let max_m = prep.template.min_samples_per_class();
 
         let cfg = DetectorConfig {
@@ -58,7 +58,8 @@ fn main() {
             for trial in 0..trials {
                 let mut trial_rng = StdRng::seed_from_u64(0xF602 + trial as u64);
                 let sub = prep.template.subsample(m, &mut trial_rng);
-                let Ok(detector) = Detector::fit(&sub, &cfg, &mut trial_rng) else {
+                let fit_opts = ExecOptions::seeded(0xF602 + trial as u64);
+                let Ok(detector) = Detector::fit(&sub, &cfg, &fit_opts) else {
                     continue;
                 };
                 let c =

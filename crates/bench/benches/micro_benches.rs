@@ -2,7 +2,7 @@
 //! throughput, branch prediction, convolution, GMM fitting, instrumented
 //! inference, and online detector scoring.
 
-use advhunter::{Detector, DetectorConfig, OfflineTemplate};
+use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate};
 use advhunter_exec::TraceEngine;
 use advhunter_gmm::{EmConfig, Gmm1d};
 use advhunter_nn::{models, Mode};
@@ -100,7 +100,12 @@ fn bench_detector_scoring(c: &mut Criterion) {
         })
         .collect();
     let template = OfflineTemplate::from_samples(per_class);
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng).unwrap();
+    let detector = Detector::fit(
+        &template,
+        &DetectorConfig::default(),
+        &ExecOptions::seeded(6),
+    )
+    .unwrap();
     let mut probe = HpcSample::default();
     probe.set(HpcEvent::CacheMisses, 12_345.0);
     c.bench_function("detector_score_all_events", |b| {

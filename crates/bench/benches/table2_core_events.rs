@@ -10,7 +10,7 @@
 
 use advhunter::experiment::{by_true_class, detection_confusion, measure_examples, LabeledSample};
 use advhunter::scenario::ScenarioId;
-use advhunter::BinaryConfusion;
+use advhunter::{BinaryConfusion, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, section};
 use advhunter_uarch::HpcEvent;
@@ -39,7 +39,7 @@ fn main() {
         report.targeted_accuracy * 100.0,
         report.examples.len()
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0x7AB4));
     let clean_target: Vec<LabeledSample> = prep
         .clean_test
         .iter()

@@ -11,6 +11,7 @@
 
 use advhunter::experiment::run_attack_detection;
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario, scaled, section};
 use advhunter_uarch::HpcEvent;
@@ -37,6 +38,7 @@ fn main() {
             Some(scaled(250, 50)),
             &prep.clean_test,
             &mut rng,
+            &ExecOptions::seeded(0x7AB3_0005),
         );
         adv_acc[j] = run.adversarial_accuracy;
         for (i, ev) in run.per_event.iter().enumerate() {

@@ -8,6 +8,7 @@
 
 use advhunter::experiment::{detection_confusion, measure_examples};
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_bench::{distribution_overlap, prepare_detector, prepare_scenario, section};
 use advhunter_uarch::HpcEvent;
@@ -47,7 +48,7 @@ fn main() {
     );
 
     let t3 = std::time::Instant::now();
-    let adv = measure_examples(&art, &report.examples, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &ExecOptions::seeded(0xCAFF));
     eprintln!(
         "measured {} AEs in {:.1}s",
         adv.len(),

@@ -3,6 +3,7 @@
 
 use advhunter::experiment::run_attack_detection;
 use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_bench::{prepare_detector, prepare_scenario};
 use advhunter_uarch::HpcEvent;
@@ -32,6 +33,7 @@ fn main() {
                 Some(n),
                 &prep.clean_test,
                 &mut rng,
+                &ExecOptions::seeded(0xDB66),
             );
             println!(
                 "{} {:>8} {:?} eps={:.2}: adv-acc {:>5.1}% tgt {:>5.1}% #AE {:>3}  F1 {:.3}",

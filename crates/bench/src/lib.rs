@@ -9,7 +9,7 @@
 use advhunter::experiment::{measure_dataset, LabeledSample};
 use advhunter::offline::{collect_template, OfflineTemplate};
 use advhunter::scenario::{build_scenario, ScenarioArtifacts, ScenarioId};
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_data::SplitSizes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,17 +72,17 @@ pub fn prepare_detector(
     test_per_class: Option<usize>,
     seed: u64,
 ) -> PreparedDetector {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let opts = ExecOptions::seeded(seed);
     let template = collect_template(
         &art.engine,
         &art.model,
         &art.split.val,
         val_per_class,
-        &mut rng,
+        &opts.stage(0),
     );
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
         .expect("detector fit on validation template");
-    let clean_test = measure_dataset(art, &art.split.test, test_per_class, &mut rng);
+    let clean_test = measure_dataset(art, &art.split.test, test_per_class, &opts.stage(2));
     PreparedDetector {
         template,
         detector,

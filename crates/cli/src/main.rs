@@ -1,0 +1,444 @@
+//! `advhunter` — command-line front end for the detector.
+//!
+//! ```text
+//! advhunter events                      list monitorable HPC events
+//! advhunter scenarios                   list evaluation scenarios
+//! advhunter train  <S1|S2|S3|CASE>      train/cache a scenario model
+//! advhunter fit    <SCN> <out.ahd>      run the offline phase, save detector
+//! advhunter detect <SCN> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool]
+//!                  [--eps F] [--targeted] [-n N]
+//!                                       screen clean + attacked inferences
+//! advhunter monitor <SCN> [--attack A] [--eps F] [-n N] [--capacity N]
+//!                  [--batch N] [--shed]
+//!                                       replay a clean + attacked stream
+//!                                       through the online monitor service
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
+use advhunter::offline::collect_template;
+use advhunter::scenario::{build_scenario, ScenarioId};
+use advhunter::{load_detector, save_detector, Detector, DetectorConfig, ExecOptions};
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
+use advhunter_uarch::HpcEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("events") => {
+            for e in HpcEvent::ALL {
+                println!("{}", e.perf_name());
+            }
+            Ok(())
+        }
+        Some("scenarios") => {
+            for id in [
+                ScenarioId::S1,
+                ScenarioId::S2,
+                ScenarioId::S3,
+                ScenarioId::CaseStudy,
+            ] {
+                println!(
+                    "{:<10} {:<18} {:<20} {} classes",
+                    id.label(),
+                    id.dataset_name(),
+                    id.model_name(),
+                    id.num_classes()
+                );
+            }
+            Ok(())
+        }
+        Some("train") => cmd_train(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
+        _ => {
+            eprintln!("usage: advhunter <events|scenarios|train|fit|detect|monitor> ...");
+            eprintln!("see the crate docs or README for details");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_scenario(arg: Option<&String>) -> Result<ScenarioId, String> {
+    match arg.map(|s| s.to_uppercase()).as_deref() {
+        Some("S1") => Ok(ScenarioId::S1),
+        Some("S2") => Ok(ScenarioId::S2),
+        Some("S3") => Ok(ScenarioId::S3),
+        Some("CASE") | Some("CASESTUDY") => Ok(ScenarioId::CaseStudy),
+        other => Err(format!(
+            "expected a scenario (S1|S2|S3|CASE), got {:?}",
+            other.unwrap_or("nothing")
+        )),
+    }
+}
+
+/// Attack-stream flags shared by `detect` and `monitor`.
+struct AttackFlags {
+    attack: Attack,
+    targeted: bool,
+    n: usize,
+    capacity: usize,
+    batch: usize,
+    shed: bool,
+}
+
+fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
+    let mut attack_name = "fgsm".to_string();
+    let mut eps = 0.5f32;
+    let mut targeted = false;
+    let mut n = 60usize;
+    let mut capacity = 64usize;
+    let mut batch = 8usize;
+    let mut shed = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--attack" => {
+                attack_name = args.get(i + 1).ok_or("--attack needs a value")?.clone();
+                i += 2;
+            }
+            "--eps" => {
+                eps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--eps needs a number")?;
+                i += 2;
+            }
+            "--targeted" => {
+                targeted = true;
+                i += 1;
+            }
+            "-n" => {
+                n = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("-n needs a number")?;
+                i += 2;
+            }
+            "--capacity" => {
+                capacity = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--capacity needs a number")?;
+                i += 2;
+            }
+            "--batch" => {
+                batch = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--batch needs a number")?;
+                i += 2;
+            }
+            "--shed" => {
+                shed = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let attack = match attack_name.as_str() {
+        "fgsm" => Attack::fgsm(eps),
+        "pgd" => Attack::pgd(eps),
+        "mifgsm" => Attack::mi_fgsm(eps),
+        "deepfool" => Attack::deepfool(),
+        other => return Err(format!("unknown attack {other}")),
+    };
+    Ok(AttackFlags {
+        attack,
+        targeted,
+        n,
+        capacity,
+        batch,
+        shed,
+    })
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let mut rng = StdRng::seed_from_u64(0xC11);
+    let art = build_scenario(id, None, &mut rng);
+    println!(
+        "{}: {} on {} — clean accuracy {:.2}% ({})",
+        id.label(),
+        id.model_name(),
+        id.dataset_name(),
+        art.clean_accuracy * 100.0,
+        if art.from_cache {
+            "loaded from cache"
+        } else {
+            "trained"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_fit(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let out = args.get(1).ok_or("missing output path for the detector")?;
+    let mut rng = StdRng::seed_from_u64(0xC12);
+    let art = build_scenario(id, None, &mut rng);
+    let opts = ExecOptions::seeded(0xC12);
+    println!("measuring clean validation inferences ...");
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &opts.stage(0),
+    );
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
+        .map_err(|e| e.to_string())?;
+    save_detector(&detector, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "detector saved to {out}: {} categories × {} events, M ≥ {}",
+        detector.num_classes(),
+        detector.events().len(),
+        template.min_samples_per_class()
+    );
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let det_path = args
+        .get(1)
+        .ok_or("missing detector path (run `fit` first)")?;
+    let flags = parse_attack_flags(&args[2..])?;
+
+    let detector = load_detector(Path::new(det_path)).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(0xC13);
+    let art = build_scenario(id, None, &mut rng);
+    let goal = if flags.targeted {
+        AttackGoal::Targeted(id.target_class())
+    } else {
+        AttackGoal::Untargeted
+    };
+    println!(
+        "attacking up to {} test images with {} ...",
+        flags.n,
+        flags.attack.name()
+    );
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &flags.attack,
+        goal,
+        Some(flags.n),
+        &mut rng,
+    );
+    println!(
+        "attack: {} attacked, {:.1}% success",
+        report.attacked,
+        report.success_rate() * 100.0
+    );
+    let opts = ExecOptions::seeded(0xC13);
+    let adv = measure_examples(&art, &report.examples, &opts.stage(0));
+    let clean = measure_dataset(&art, &art.split.test, Some(10), &opts.stage(1));
+    println!("\n{:>24} {:>10} {:>8}", "event", "accuracy", "F1");
+    for event in HpcEvent::ALL {
+        let c = detection_confusion(&detector, event, &clean, &adv);
+        println!(
+            "{:>24} {:>9.1}% {:>8.4}",
+            event.perf_name(),
+            c.accuracy() * 100.0,
+            c.f1()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let flags = parse_attack_flags(&args[1..])?;
+    let mut rng = StdRng::seed_from_u64(0xC14);
+    let art = build_scenario(id, None, &mut rng);
+    let opts = ExecOptions::seeded(0xC14);
+
+    // Offline phase: fit a detector in-process from the validation split.
+    println!("offline phase: measuring validation set and fitting GMMs ...");
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &opts.stage(0),
+    );
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
+        .map_err(|e| e.to_string())?;
+
+    // Build the replay stream: clean test images interleaved with
+    // adversarial examples generated from the same split.
+    let goal = if flags.targeted {
+        AttackGoal::Targeted(id.target_class())
+    } else {
+        AttackGoal::Untargeted
+    };
+    println!(
+        "attacking up to {} test images with {} ...",
+        flags.n,
+        flags.attack.name()
+    );
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &flags.attack,
+        goal,
+        Some(flags.n),
+        &mut rng,
+    );
+    let clean_images: Vec<_> = art
+        .split
+        .test
+        .images()
+        .iter()
+        .take(flags.n)
+        .cloned()
+        .collect();
+    // true = adversarial, indexed by submission order (= request id).
+    let mut stream = Vec::new();
+    let mut adv_iter = report.examples.iter();
+    for image in clean_images {
+        stream.push((image, false));
+        if let Some(ex) = adv_iter.next() {
+            stream.push((ex.image.clone(), true));
+        }
+    }
+    for ex in adv_iter {
+        stream.push((ex.image.clone(), true));
+    }
+
+    let config = MonitorConfig::new(opts.stage(2))
+        .with_queue_capacity(flags.capacity)
+        .with_micro_batch(flags.batch)
+        .with_overload(if flags.shed {
+            OverloadPolicy::Shed
+        } else {
+            OverloadPolicy::Block
+        });
+    let monitor =
+        Monitor::spawn(art.engine, art.model, detector, config).map_err(|e| e.to_string())?;
+
+    println!(
+        "monitor up: queue capacity {}, micro-batch {}, policy {}, {} requests",
+        flags.capacity,
+        flags.batch,
+        if flags.shed { "shed" } else { "block" },
+        stream.len()
+    );
+    println!(
+        "\n{:>8} {:>8} {:>8} {:>10} {:>10}",
+        "done", "depth", "shed", "clean-flag", "adv-flag"
+    );
+
+    let start = Instant::now();
+    let mut admitted = vec![false; stream.len()];
+    for (i, (image, _)) in stream.iter().enumerate() {
+        match monitor.submit(image.clone()) {
+            Ok(_) => admitted[i] = true,
+            Err(_) => {} // shed under the shed policy; counted by the service
+        }
+    }
+    monitor.close();
+
+    // Verdicts arrive in admission order; map them back onto the stream
+    // (shed submissions never got an id, so walk the admitted ones).
+    let truth: Vec<bool> = stream
+        .iter()
+        .zip(&admitted)
+        .filter(|(_, &adm)| adm)
+        .map(|((_, adv), _)| *adv)
+        .collect();
+    let mut clean_seen = 0u64;
+    let mut clean_flagged = 0u64;
+    let mut adv_seen = 0u64;
+    let mut adv_flagged = 0u64;
+    let mut done = 0u64;
+    while let Some(v) = monitor.recv() {
+        let is_adv = truth[usize::try_from(v.request_id).expect("id fits usize")];
+        if is_adv {
+            adv_seen += 1;
+            adv_flagged += u64::from(v.flagged);
+        } else {
+            clean_seen += 1;
+            clean_flagged += u64::from(v.flagged);
+        }
+        done += 1;
+        if done % (flags.batch as u64 * 4) == 0 {
+            let s = monitor.stats();
+            println!(
+                "{:>8} {:>8} {:>8} {:>9.1}% {:>9.1}%",
+                done,
+                monitor.queue_depth(),
+                s.shed,
+                rate(clean_flagged, clean_seen) * 100.0,
+                rate(adv_flagged, adv_seen) * 100.0
+            );
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = monitor.shutdown();
+
+    println!("\nstream done in {:.2}s", elapsed.as_secs_f64());
+    println!(
+        "  throughput      {:.1} inferences/s",
+        stats.completed as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  submitted {} · completed {} · shed {} · {} micro-batches · max depth {}",
+        stats.submitted, stats.completed, stats.shed, stats.batches, stats.max_queue_depth
+    );
+    println!(
+        "  mean queued {:?} · mean measure/batch {:?} · mean score/batch {:?}",
+        stats.mean_queued(),
+        stats.mean_measure_per_batch(),
+        stats.mean_score_per_batch()
+    );
+    println!(
+        "  clean flagged   {:>5.1}%  (false-positive rate, any-event fusion)",
+        rate(clean_flagged, clean_seen) * 100.0
+    );
+    println!(
+        "  adv flagged     {:>5.1}%  (recall, any-event fusion)",
+        rate(adv_flagged, adv_seen) * 100.0
+    );
+    println!("\n{:>8} {:>10} {:>10}", "class", "screened", "flag-rate");
+    for (class, c) in stats.per_class.iter().enumerate() {
+        if c.screened == 0 {
+            continue;
+        }
+        let label = if class < id.num_classes() {
+            format!("{class}")
+        } else {
+            "other".to_string()
+        };
+        println!(
+            "{:>8} {:>10} {:>9.1}%",
+            label,
+            c.screened,
+            c.flag_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn rate(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}

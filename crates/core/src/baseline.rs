@@ -12,7 +12,9 @@
 
 use advhunter_uarch::{HpcEvent, HpcSample};
 
+use crate::detector::EventScore;
 use crate::offline::OfflineTemplate;
+use crate::verdict::{AnomalyDetector, Verdict};
 
 /// k-nearest-neighbor distance anomaly detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,6 +90,27 @@ impl KnnDetector {
     }
 }
 
+impl AnomalyDetector for KnnDetector {
+    /// The [`EventScore::nll`] slot carries the k-NN distance and the
+    /// threshold its three-sigma cutoff, so `nll > threshold` reproduces
+    /// [`KnnDetector::is_adversarial`] exactly.
+    fn evaluate(&self, predicted_class: usize, sample: &HpcSample) -> Verdict {
+        let scores = HpcEvent::ALL
+            .into_iter()
+            .filter_map(|event| {
+                let nll = self.score(predicted_class, event, sample)?;
+                let threshold = *self.thresholds.get(predicted_class)?.get(event.index())?;
+                Some(EventScore {
+                    event,
+                    nll,
+                    threshold,
+                })
+            })
+            .collect();
+        Verdict::new(predicted_class, scores)
+    }
+}
+
 /// Single-Gaussian z-score detector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZScoreDetector {
@@ -132,6 +155,26 @@ impl ZScoreDetector {
         sample: &HpcSample,
     ) -> Option<bool> {
         Some(self.score(class, event, sample)? > self.sigma_factor)
+    }
+}
+
+impl AnomalyDetector for ZScoreDetector {
+    /// The [`EventScore::nll`] slot carries the absolute z-score and the
+    /// threshold is `sigma_factor`, so `nll > threshold` reproduces
+    /// [`ZScoreDetector::is_adversarial`] exactly.
+    fn evaluate(&self, predicted_class: usize, sample: &HpcSample) -> Verdict {
+        let scores = HpcEvent::ALL
+            .into_iter()
+            .filter_map(|event| {
+                let nll = self.score(predicted_class, event, sample)?;
+                Some(EventScore {
+                    event,
+                    nll,
+                    threshold: self.sigma_factor,
+                })
+            })
+            .collect();
+        Verdict::new(predicted_class, scores)
     }
 }
 
@@ -226,5 +269,54 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         KnnDetector::fit(&template(), 0, 3.0);
+    }
+
+    #[test]
+    fn baseline_verdicts_agree_with_event_rules() {
+        let knn = KnnDetector::fit(&template(), 3, 3.0);
+        let z = ZScoreDetector::fit(&template(), 3.0);
+        for value in [1_005.0, 1_400.0, 9_999.0] {
+            let sample = probe(value);
+            for class in 0..2 {
+                let kv = knn.evaluate(class, &sample);
+                let zv = z.evaluate(class, &sample);
+                assert_eq!(kv.predicted(), class);
+                for event in HpcEvent::ALL {
+                    assert_eq!(
+                        kv.flagged_by(event),
+                        knn.is_adversarial(class, event, &sample)
+                    );
+                    assert_eq!(
+                        zv.flagged_by(event),
+                        z.is_adversarial(class, event, &sample)
+                    );
+                }
+            }
+        }
+        // Unknown categories give empty verdicts, matching `score`'s `None`.
+        assert!(knn.evaluate(9, &probe(0.0)).scores().is_empty());
+        assert!(z.evaluate(9, &probe(0.0)).scores().is_empty());
+    }
+
+    #[test]
+    fn baselines_plug_into_detection_confusion() {
+        use crate::experiment::{detection_confusion, LabeledSample};
+        let z = ZScoreDetector::fit(&template(), 3.0);
+        let clean: Vec<LabeledSample> = (0..10)
+            .map(|_| LabeledSample {
+                true_class: 0,
+                predicted: 0,
+                sample: probe(1_002.0),
+            })
+            .collect();
+        let adv: Vec<LabeledSample> = (0..10)
+            .map(|_| LabeledSample {
+                true_class: 1,
+                predicted: 0,
+                sample: probe(1_400.0),
+            })
+            .collect();
+        let c = detection_confusion(&z, HpcEvent::CacheMisses, &clean, &adv);
+        assert!(c.accuracy() > 0.9, "confusion: {c:?}");
     }
 }

@@ -5,12 +5,13 @@ use std::fmt;
 use std::ops::RangeInclusive;
 
 use advhunter_gmm::{fit_bic_1d, EmConfig, FitGmmError, Gmm1d};
-use advhunter_runtime::{derive_seed, parallel_map, parallel_tasks, Parallelism};
+use advhunter_runtime::{derive_seed, parallel_map, parallel_tasks, ExecOptions, Parallelism};
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::offline::OfflineTemplate;
+use crate::verdict::{AnomalyDetector, Verdict};
 
 /// Detector hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +35,161 @@ impl Default for DetectorConfig {
             em: EmConfig::default(),
             sigma_factor: 3.0,
         }
+    }
+}
+
+impl DetectorConfig {
+    /// A validating builder starting from the paper's defaults.
+    pub fn builder() -> DetectorConfigBuilder {
+        DetectorConfigBuilder::default()
+    }
+}
+
+/// An invalid [`DetectorConfig`] rejected by
+/// [`DetectorConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorConfigError {
+    /// `sigma_factor` must be a positive, finite threshold multiplier.
+    NonPositiveSigma {
+        /// The rejected value.
+        sigma_factor: f64,
+    },
+    /// A detector with no events monitors nothing.
+    NoEvents,
+    /// The same event was listed more than once.
+    DuplicateEvent {
+        /// The repeated event.
+        event: HpcEvent,
+    },
+    /// `max_components` (the top of the BIC search range) must be at
+    /// least 1.
+    ZeroComponents,
+    /// The component search range is empty or starts at zero.
+    EmptyKRange {
+        /// The rejected lower bound.
+        lo: usize,
+        /// The rejected upper bound.
+        hi: usize,
+    },
+}
+
+impl fmt::Display for DetectorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveSigma { sigma_factor } => {
+                write!(
+                    f,
+                    "sigma_factor must be positive and finite, got {sigma_factor}"
+                )
+            }
+            Self::NoEvents => write!(f, "the event list must not be empty"),
+            Self::DuplicateEvent { event } => {
+                write!(f, "event {event} is listed more than once")
+            }
+            Self::ZeroComponents => write!(f, "max_components must be at least 1"),
+            Self::EmptyKRange { lo, hi } => {
+                write!(f, "component range {lo}..={hi} is empty or starts at zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectorConfigError {}
+
+/// Builder for [`DetectorConfig`] that rejects nonsensical hyperparameters
+/// with a typed [`DetectorConfigError`] instead of silently fitting a
+/// detector that can never work.
+#[derive(Debug, Clone)]
+pub struct DetectorConfigBuilder {
+    events: Vec<HpcEvent>,
+    k_lo: usize,
+    k_hi: usize,
+    em: EmConfig,
+    sigma_factor: f64,
+}
+
+impl Default for DetectorConfigBuilder {
+    fn default() -> Self {
+        let d = DetectorConfig::default();
+        Self {
+            k_lo: *d.k_range.start(),
+            k_hi: *d.k_range.end(),
+            events: d.events,
+            em: d.em,
+            sigma_factor: d.sigma_factor,
+        }
+    }
+}
+
+impl DetectorConfigBuilder {
+    /// The events to build per-category models for.
+    pub fn events(mut self, events: Vec<HpcEvent>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Candidate GMM component counts for BIC selection.
+    pub fn k_range(mut self, range: RangeInclusive<usize>) -> Self {
+        self.k_lo = *range.start();
+        self.k_hi = *range.end();
+        self
+    }
+
+    /// The largest component count BIC may select (keeps the lower bound).
+    pub fn max_components(mut self, k: usize) -> Self {
+        self.k_hi = k;
+        self
+    }
+
+    /// EM fitting configuration.
+    pub fn em(mut self, em: EmConfig) -> Self {
+        self.em = em;
+        self
+    }
+
+    /// Threshold multiplier over the validation NLLs (3.0 = the paper's
+    /// three-sigma rule).
+    pub fn sigma_factor(mut self, sigma_factor: f64) -> Self {
+        self.sigma_factor = sigma_factor;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DetectorConfigError`] naming the first invalid field.
+    pub fn build(self) -> Result<DetectorConfig, DetectorConfigError> {
+        if !(self.sigma_factor.is_finite() && self.sigma_factor > 0.0) {
+            return Err(DetectorConfigError::NonPositiveSigma {
+                sigma_factor: self.sigma_factor,
+            });
+        }
+        if self.events.is_empty() {
+            return Err(DetectorConfigError::NoEvents);
+        }
+        let mut seen = [false; HpcEvent::ALL.len()];
+        for &event in &self.events {
+            if seen[event.index()] {
+                return Err(DetectorConfigError::DuplicateEvent { event });
+            }
+            seen[event.index()] = true;
+        }
+        if self.k_hi == 0 {
+            return Err(DetectorConfigError::ZeroComponents);
+        }
+        if self.k_lo == 0 || self.k_lo > self.k_hi {
+            return Err(DetectorConfigError::EmptyKRange {
+                lo: self.k_lo,
+                hi: self.k_hi,
+            });
+        }
+        Ok(DetectorConfig {
+            events: self.events,
+            k_range: self.k_lo..=self.k_hi,
+            em: self.em,
+            sigma_factor: self.sigma_factor,
+        })
     }
 }
 
@@ -122,65 +278,25 @@ pub struct Detector {
 }
 
 impl Detector {
-    /// Fits the detector from an offline template (paper Algorithm 1 + BIC
-    /// + the three-sigma rule).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FitDetectorError`] if any category has no samples or a
-    /// mixture cannot be fit.
-    pub fn fit(
-        template: &OfflineTemplate,
-        config: &DetectorConfig,
-        rng: &mut impl Rng,
-    ) -> Result<Self, FitDetectorError> {
-        let mut models = Vec::with_capacity(template.num_classes());
-        for class in 0..template.num_classes() {
-            let samples = template.class_samples(class);
-            if samples.is_empty() {
-                return Err(FitDetectorError::EmptyCategory { class });
-            }
-            let mut row: Vec<Option<EventModel>> = vec![None; HpcEvent::ALL.len()];
-            let k_range = clamped_k_range(config, samples.len());
-            for &event in &config.events {
-                let model = fit_event_model(samples, event, k_range.clone(), config, rng).map_err(
-                    |source| FitDetectorError::Gmm {
-                        class,
-                        event,
-                        source,
-                    },
-                )?;
-                row[event.index()] = Some(model);
-            }
-            models.push(row);
-        }
-        Ok(Self {
-            models,
-            events: config.events.clone(),
-        })
-    }
-
-    /// Parallel [`fit`](Self::fit): fans the independent (category, event)
-    /// GMM fits out over the runtime's worker pool.
+    /// Fits the detector from an offline template (paper Algorithm 1 with
+    /// BIC and the three-sigma rule), fanning the independent
+    /// (category, event) GMM fits out over the runtime's worker pool.
     ///
     /// The job for pair number `j` (row-major over categories ×
     /// `config.events`) draws its EM restarts from the stream seeded by
-    /// `derive_seed(seed, j)`, so the fitted bank is bit-for-bit identical
-    /// for every thread count, including [`Parallelism::sequential`].
-    /// (The entropy scheme differs from the single-RNG [`fit`](Self::fit),
-    /// whose exact output this does not reproduce; both are fully
-    /// seed-deterministic.)
+    /// `derive_seed(opts.seed, j)`, so the fitted bank is bit-for-bit
+    /// identical for every thread count, including
+    /// [`Parallelism::sequential`].
     ///
     /// # Errors
     ///
     /// Returns [`FitDetectorError`] if any category has no samples or a
     /// mixture cannot be fit; with several failures, the error of the
     /// first failing pair in job order is returned.
-    pub fn fit_par(
+    pub fn fit(
         template: &OfflineTemplate,
         config: &DetectorConfig,
-        seed: u64,
-        parallelism: &Parallelism,
+        opts: &ExecOptions,
     ) -> Result<Self, FitDetectorError> {
         let num_classes = template.num_classes();
         for class in 0..num_classes {
@@ -189,12 +305,12 @@ impl Detector {
             }
         }
         let num_events = config.events.len();
-        let fits = parallel_tasks(parallelism, num_classes * num_events, |job| {
+        let fits = parallel_tasks(&opts.parallelism, num_classes * num_events, |job| {
             let (class, slot) = (job / num_events.max(1), job % num_events.max(1));
             let samples = template.class_samples(class);
             let event = config.events[slot];
             let k_range = clamped_k_range(config, samples.len());
-            let mut rng = StdRng::seed_from_u64(derive_seed(seed, job as u64));
+            let mut rng = StdRng::seed_from_u64(derive_seed(opts.seed, job as u64));
             fit_event_model(samples, event, k_range, config, &mut rng).map_err(|source| {
                 FitDetectorError::Gmm {
                     class,
@@ -212,6 +328,24 @@ impl Detector {
             models,
             events: config.events.clone(),
         })
+    }
+
+    /// Forwarding shim for the pre-`ExecOptions` name.
+    ///
+    /// # Errors
+    ///
+    /// See [`fit`](Self::fit).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Detector::fit` with an `ExecOptions` instead"
+    )]
+    pub fn fit_par(
+        template: &OfflineTemplate,
+        config: &DetectorConfig,
+        seed: u64,
+        parallelism: &Parallelism,
+    ) -> Result<Self, FitDetectorError> {
+        Self::fit(template, config, &ExecOptions::new(seed, *parallelism))
     }
 
     /// Reassembles a detector from its parts (used by persistence).
@@ -250,6 +384,15 @@ impl Detector {
         })
     }
 
+    /// Screens one inference into a [`Verdict`]: every configured event is
+    /// scored under the predicted category's models, and the verdict's
+    /// `flagged_*` views answer the single-event rule and both fusion
+    /// rules without re-scoring. This is the primary online entry point;
+    /// the `is_adversarial*` conveniences below are thin views over it.
+    pub fn evaluate(&self, predicted_class: usize, sample: &HpcSample) -> Verdict {
+        Verdict::new(predicted_class, self.score_all(predicted_class, sample))
+    }
+
     /// The paper's detection rule for one event: `Some(true)` when the
     /// reading's NLL exceeds the threshold.
     pub fn is_adversarial(
@@ -258,8 +401,7 @@ impl Detector {
         event: HpcEvent,
         sample: &HpcSample,
     ) -> Option<bool> {
-        self.score(predicted_class, event, sample)
-            .map(|s| s.is_adversarial())
+        self.evaluate(predicted_class, sample).flagged_by(event)
     }
 
     /// Scores every configured event at once.
@@ -279,10 +421,8 @@ impl Detector {
         events: &[HpcEvent],
         sample: &HpcSample,
     ) -> bool {
-        events
-            .iter()
-            .filter_map(|&e| self.is_adversarial(predicted_class, e, sample))
-            .any(|b| b)
+        self.evaluate(predicted_class, sample)
+            .flagged_any_of(events)
     }
 
     /// Batched online scoring: `out[i]` is
@@ -320,11 +460,14 @@ impl Detector {
         events: &[HpcEvent],
         sample: &HpcSample,
     ) -> bool {
-        let scores: Vec<bool> = events
-            .iter()
-            .filter_map(|&e| self.is_adversarial(predicted_class, e, sample))
-            .collect();
-        !scores.is_empty() && scores.into_iter().all(|b| b)
+        self.evaluate(predicted_class, sample)
+            .flagged_all_of(events)
+    }
+}
+
+impl AnomalyDetector for Detector {
+    fn evaluate(&self, predicted_class: usize, sample: &HpcSample) -> Verdict {
+        Detector::evaluate(self, predicted_class, sample)
     }
 }
 
@@ -388,7 +531,7 @@ mod tests {
     fn fit_builds_models_for_all_classes_and_events() {
         let mut rng = StdRng::seed_from_u64(0);
         let t = synthetic_template(&mut rng);
-        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        let d = Detector::fit(&t, &DetectorConfig::default(), &ExecOptions::seeded(0)).unwrap();
         assert_eq!(d.num_classes(), 2);
         for class in 0..2 {
             for event in HpcEvent::ALL {
@@ -401,7 +544,7 @@ mod tests {
     fn in_distribution_readings_pass_outliers_flag() {
         let mut rng = StdRng::seed_from_u64(1);
         let t = synthetic_template(&mut rng);
-        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        let d = Detector::fit(&t, &DetectorConfig::default(), &ExecOptions::seeded(1)).unwrap();
 
         let mut clean = HpcSample::default();
         clean.set(HpcEvent::CacheMisses, 10_050.0);
@@ -426,22 +569,17 @@ mod tests {
     fn higher_sigma_factor_is_more_permissive() {
         let mut rng = StdRng::seed_from_u64(2);
         let t = synthetic_template(&mut rng);
+        let opts = ExecOptions::seeded(2);
         let tight = Detector::fit(
             &t,
-            &DetectorConfig {
-                sigma_factor: 1.0,
-                ..DetectorConfig::default()
-            },
-            &mut rng,
+            &DetectorConfig::builder().sigma_factor(1.0).build().unwrap(),
+            &opts,
         )
         .unwrap();
         let loose = Detector::fit(
             &t,
-            &DetectorConfig {
-                sigma_factor: 5.0,
-                ..DetectorConfig::default()
-            },
-            &mut rng,
+            &DetectorConfig::builder().sigma_factor(5.0).build().unwrap(),
+            &opts,
         )
         .unwrap();
         let mt = tight.event_model(0, HpcEvent::CacheMisses).unwrap();
@@ -451,10 +589,9 @@ mod tests {
 
     #[test]
     fn empty_category_is_an_error() {
-        let mut rng = StdRng::seed_from_u64(3);
         let t = OfflineTemplate::from_samples(vec![vec![HpcSample::default()], vec![]]);
         assert_eq!(
-            Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap_err(),
+            Detector::fit(&t, &DetectorConfig::default(), &ExecOptions::seeded(3)).unwrap_err(),
             FitDetectorError::EmptyCategory { class: 1 }
         );
     }
@@ -463,11 +600,11 @@ mod tests {
     fn score_all_covers_configured_events() {
         let mut rng = StdRng::seed_from_u64(4);
         let t = synthetic_template(&mut rng);
-        let cfg = DetectorConfig {
-            events: vec![HpcEvent::CacheMisses, HpcEvent::Instructions],
-            ..DetectorConfig::default()
-        };
-        let d = Detector::fit(&t, &cfg, &mut rng).unwrap();
+        let cfg = DetectorConfig::builder()
+            .events(vec![HpcEvent::CacheMisses, HpcEvent::Instructions])
+            .build()
+            .unwrap();
+        let d = Detector::fit(&t, &cfg, &ExecOptions::seeded(4)).unwrap();
         let scores = d.score_all(0, &HpcSample::default());
         assert_eq!(scores.len(), 2);
         assert!(d.event_model(0, HpcEvent::Branches).is_none());
@@ -477,7 +614,7 @@ mod tests {
     fn fusion_rules_compose_single_event_verdicts() {
         let mut rng = StdRng::seed_from_u64(5);
         let t = synthetic_template(&mut rng);
-        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        let d = Detector::fit(&t, &DetectorConfig::default(), &ExecOptions::seeded(5)).unwrap();
         let mut s = HpcSample::default();
         s.set(HpcEvent::CacheMisses, 50_000.0); // extreme outlier
         s.set(HpcEvent::Instructions, 1_000_000.0); // normal
@@ -487,17 +624,97 @@ mod tests {
     }
 
     #[test]
-    fn fit_par_is_thread_count_invariant() {
+    fn evaluate_verdict_agrees_with_event_conveniences() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = synthetic_template(&mut rng);
+        let d = Detector::fit(&t, &DetectorConfig::default(), &ExecOptions::seeded(10)).unwrap();
+        let mut s = HpcSample::default();
+        s.set(HpcEvent::CacheMisses, 50_000.0);
+        s.set(HpcEvent::Instructions, 1_000_000.0);
+        let v = d.evaluate(0, &s);
+        assert_eq!(v.predicted(), 0);
+        assert_eq!(v.scores(), d.score_all(0, &s));
+        for event in HpcEvent::ALL {
+            assert_eq!(v.flagged_by(event), d.is_adversarial(0, event, &s));
+            assert_eq!(
+                v.score(event).map(|sc| (sc.nll, sc.threshold)),
+                d.score(0, event, &s).map(|sc| (sc.nll, sc.threshold))
+            );
+        }
+        assert_eq!(v.flagged_any(), d.is_adversarial_any(0, &HpcEvent::ALL, &s));
+        assert_eq!(v.flagged_all(), d.is_adversarial_all(0, &HpcEvent::ALL, &s));
+        // Unknown categories produce an empty verdict, never a panic.
+        let unknown = d.evaluate(99, &s);
+        assert!(unknown.scores().is_empty());
+        assert!(!unknown.flagged_any());
+    }
+
+    #[test]
+    fn builder_rejects_nonsense_configs() {
+        assert_eq!(
+            DetectorConfig::builder().sigma_factor(0.0).build(),
+            Err(DetectorConfigError::NonPositiveSigma { sigma_factor: 0.0 })
+        );
+        assert!(matches!(
+            DetectorConfig::builder().sigma_factor(f64::NAN).build(),
+            Err(DetectorConfigError::NonPositiveSigma { .. })
+        ));
+        assert_eq!(
+            DetectorConfig::builder().events(Vec::new()).build(),
+            Err(DetectorConfigError::NoEvents)
+        );
+        assert_eq!(
+            DetectorConfig::builder()
+                .events(vec![HpcEvent::CacheMisses, HpcEvent::CacheMisses])
+                .build(),
+            Err(DetectorConfigError::DuplicateEvent {
+                event: HpcEvent::CacheMisses
+            })
+        );
+        assert_eq!(
+            DetectorConfig::builder().max_components(0).build(),
+            Err(DetectorConfigError::ZeroComponents)
+        );
+        assert_eq!(
+            DetectorConfig::builder().k_range(0..=4).build(),
+            Err(DetectorConfigError::EmptyKRange { lo: 0, hi: 4 })
+        );
+        assert_eq!(
+            DetectorConfig::builder().k_range(3..=2).build(),
+            Err(DetectorConfigError::EmptyKRange { lo: 3, hi: 2 })
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_default_config() {
+        assert_eq!(
+            DetectorConfig::builder().build().unwrap(),
+            DetectorConfig::default()
+        );
+        let custom = DetectorConfig::builder()
+            .events(vec![HpcEvent::CacheMisses])
+            .max_components(2)
+            .sigma_factor(2.5)
+            .build()
+            .unwrap();
+        assert_eq!(custom.events, vec![HpcEvent::CacheMisses]);
+        assert_eq!(custom.k_range, 1..=2);
+        assert_eq!(custom.sigma_factor, 2.5);
+    }
+
+    #[test]
+    fn fit_is_thread_count_invariant() {
         let mut rng = StdRng::seed_from_u64(7);
         let t = synthetic_template(&mut rng);
         let cfg = DetectorConfig::default();
-        let seq = Detector::fit_par(&t, &cfg, 99, &Parallelism::sequential()).unwrap();
+        let seq = Detector::fit(&t, &cfg, &ExecOptions::sequential(99)).unwrap();
         for threads in [2, 4] {
-            let par = Detector::fit_par(&t, &cfg, 99, &Parallelism::new(threads)).unwrap();
+            let par = Detector::fit(&t, &cfg, &ExecOptions::sequential(99).with_threads(threads))
+                .unwrap();
             assert_eq!(seq, par, "thread count {threads} changed the fit");
         }
         // A different seed gives a different bank (EM restarts differ)...
-        let other = Detector::fit_par(&t, &cfg, 100, &Parallelism::new(2)).unwrap();
+        let other = Detector::fit(&t, &cfg, &ExecOptions::seeded(100).with_threads(2)).unwrap();
         assert_eq!(other.num_classes(), seq.num_classes());
         // ...but both flag the same gross outlier.
         let mut s = HpcSample::default();
@@ -509,10 +726,15 @@ mod tests {
     }
 
     #[test]
-    fn fit_par_reports_empty_category_like_fit() {
+    fn fit_reports_empty_category_before_spawning_jobs() {
         let t = OfflineTemplate::from_samples(vec![vec![HpcSample::default()], vec![]]);
         assert_eq!(
-            Detector::fit_par(&t, &DetectorConfig::default(), 0, &Parallelism::new(4)).unwrap_err(),
+            Detector::fit(
+                &t,
+                &DetectorConfig::default(),
+                &ExecOptions::seeded(0).with_threads(4)
+            )
+            .unwrap_err(),
             FitDetectorError::EmptyCategory { class: 1 }
         );
     }
@@ -521,7 +743,12 @@ mod tests {
     fn score_batch_agrees_with_single_scores() {
         let mut rng = StdRng::seed_from_u64(8);
         let t = synthetic_template(&mut rng);
-        let d = Detector::fit_par(&t, &DetectorConfig::default(), 1, &Parallelism::new(2)).unwrap();
+        let d = Detector::fit(
+            &t,
+            &DetectorConfig::default(),
+            &ExecOptions::seeded(1).with_threads(2),
+        )
+        .unwrap();
         let queries: Vec<(usize, HpcSample)> = (0..40)
             .map(|i| {
                 let mut s = HpcSample::default();
@@ -557,7 +784,12 @@ mod tests {
                 s
             })
             .collect()]);
-        let d = Detector::fit_par(&t, &DetectorConfig::default(), 2, &Parallelism::new(2)).unwrap();
+        let d = Detector::fit(
+            &t,
+            &DetectorConfig::default(),
+            &ExecOptions::seeded(2).with_threads(2),
+        )
+        .unwrap();
         assert!(d
             .score_batch(&[], HpcEvent::CacheMisses, &Parallelism::new(4))
             .is_empty());
@@ -571,7 +803,7 @@ mod tests {
     fn unknown_class_scores_none() {
         let mut rng = StdRng::seed_from_u64(6);
         let t = synthetic_template(&mut rng);
-        let d = Detector::fit(&t, &DetectorConfig::default(), &mut rng).unwrap();
+        let d = Detector::fit(&t, &DetectorConfig::default(), &ExecOptions::seeded(6)).unwrap();
         assert!(d
             .score(99, HpcEvent::CacheMisses, &HpcSample::default())
             .is_none());

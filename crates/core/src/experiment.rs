@@ -6,13 +6,13 @@
 
 use advhunter_attacks::{attack_dataset, AdversarialExample, Attack, AttackGoal, AttackReport};
 use advhunter_data::Dataset;
-use advhunter_runtime::Parallelism;
+use advhunter_runtime::{ExecOptions, Parallelism};
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::Rng;
 
-use crate::detector::Detector;
 use crate::metrics::BinaryConfusion;
 use crate::scenario::ScenarioArtifacts;
+use crate::verdict::AnomalyDetector;
 
 /// One measured inference with ground truth attached (ground truth is for
 /// scoring only; the detector itself sees just `predicted` and `sample`).
@@ -28,62 +28,17 @@ pub struct LabeledSample {
 
 /// Measures (up to `limit_per_class`) images of a dataset through the
 /// scenario's engine.
+///
+/// The cap is applied by label in dataset order (it never depends on
+/// predictions), then the kept images are measured as one batch over the
+/// runtime's worker pool. Item `i` of the kept set draws noise from the
+/// stream seeded by `derive_seed(opts.seed, i)`, so results are identical
+/// for every thread count, including [`Parallelism::sequential`].
 pub fn measure_dataset(
     art: &ScenarioArtifacts,
     dataset: &Dataset,
     limit_per_class: Option<usize>,
-    rng: &mut impl Rng,
-) -> Vec<LabeledSample> {
-    let cap = limit_per_class.unwrap_or(usize::MAX);
-    let mut taken = vec![0usize; dataset.num_classes()];
-    let mut out = Vec::new();
-    for i in 0..dataset.len() {
-        let (image, label) = dataset.item(i);
-        if taken[label] >= cap {
-            continue;
-        }
-        taken[label] += 1;
-        let m = art.engine.measure(&art.model, image, rng);
-        out.push(LabeledSample {
-            true_class: label,
-            predicted: m.predicted,
-            sample: m.sample,
-        });
-    }
-    out
-}
-
-/// Measures a batch of adversarial examples through the scenario's engine.
-pub fn measure_examples(
-    art: &ScenarioArtifacts,
-    examples: &[AdversarialExample],
-    rng: &mut impl Rng,
-) -> Vec<LabeledSample> {
-    examples
-        .iter()
-        .map(|ex| {
-            let m = art.engine.measure(&art.model, &ex.image, rng);
-            LabeledSample {
-                true_class: ex.original_label,
-                predicted: m.predicted,
-                sample: m.sample,
-            }
-        })
-        .collect()
-}
-
-/// Parallel [`measure_dataset`]: the cap is applied by label in dataset
-/// order exactly as in the sequential path (it never depends on
-/// predictions), then the kept images are measured as one batch over the
-/// runtime's worker pool. Item `i` of the kept set draws noise from the
-/// stream seeded by `derive_seed(seed, i)`, so results are identical for
-/// every thread count.
-pub fn measure_dataset_par(
-    art: &ScenarioArtifacts,
-    dataset: &Dataset,
-    limit_per_class: Option<usize>,
-    seed: u64,
-    parallelism: &Parallelism,
+    opts: &ExecOptions,
 ) -> Vec<LabeledSample> {
     let cap = limit_per_class.unwrap_or(usize::MAX);
     let mut taken = vec![0usize; dataset.num_classes()];
@@ -99,7 +54,7 @@ pub fn measure_dataset_par(
     let images: Vec<_> = kept.iter().map(|&i| dataset.images()[i].clone()).collect();
     let measurements = art
         .engine
-        .measure_batch(&art.model, &images, seed, parallelism);
+        .measure_batch(&art.model, &images, opts.seed, &opts.parallelism);
     kept.iter()
         .zip(measurements)
         .map(|(&i, m)| LabeledSample {
@@ -110,18 +65,18 @@ pub fn measure_dataset_par(
         .collect()
 }
 
-/// Parallel [`measure_examples`]: one batch over the runtime's worker
-/// pool, with per-item noise streams derived from `(seed, index)`.
-pub fn measure_examples_par(
+/// Measures a batch of adversarial examples through the scenario's engine
+/// as one batch over the runtime's worker pool, with per-item noise
+/// streams derived from `(opts.seed, index)`.
+pub fn measure_examples(
     art: &ScenarioArtifacts,
     examples: &[AdversarialExample],
-    seed: u64,
-    parallelism: &Parallelism,
+    opts: &ExecOptions,
 ) -> Vec<LabeledSample> {
     let images: Vec<_> = examples.iter().map(|ex| ex.image.clone()).collect();
     let measurements = art
         .engine
-        .measure_batch(&art.model, &images, seed, parallelism);
+        .measure_batch(&art.model, &images, opts.seed, &opts.parallelism);
     examples
         .iter()
         .zip(measurements)
@@ -133,44 +88,72 @@ pub fn measure_examples_par(
         .collect()
 }
 
-/// Scores the detector on one event over a clean set and an adversarial
+/// Forwarding shim for the pre-`ExecOptions` name.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `measure_dataset` with an `ExecOptions` instead"
+)]
+pub fn measure_dataset_par(
+    art: &ScenarioArtifacts,
+    dataset: &Dataset,
+    limit_per_class: Option<usize>,
+    seed: u64,
+    parallelism: &Parallelism,
+) -> Vec<LabeledSample> {
+    measure_dataset(
+        art,
+        dataset,
+        limit_per_class,
+        &ExecOptions::new(seed, *parallelism),
+    )
+}
+
+/// Forwarding shim for the pre-`ExecOptions` name.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `measure_examples` with an `ExecOptions` instead"
+)]
+pub fn measure_examples_par(
+    art: &ScenarioArtifacts,
+    examples: &[AdversarialExample],
+    seed: u64,
+    parallelism: &Parallelism,
+) -> Vec<LabeledSample> {
+    measure_examples(art, examples, &ExecOptions::new(seed, *parallelism))
+}
+
+/// Scores a detector on one event over a clean set and an adversarial
 /// set. Clean inputs are only scored when the model classified them
 /// correctly (mirroring the paper's protocol: the clean side of each
 /// comparison is images the DNN handles normally); adversarial inputs are
 /// scored under their (wrong) predicted class.
 ///
-/// Scoring goes through [`Detector::detect_batch`] under the process-wide
-/// [`Parallelism`] default; scoring is pure, so the confusion counts do
-/// not depend on the thread count.
-pub fn detection_confusion(
-    detector: &Detector,
+/// Each inference is screened through [`AnomalyDetector::evaluate`] and
+/// the [`Verdict::flagged_by`] view of `event`, so any detector producing
+/// verdicts — the paper's GMM [`Detector`], the baselines — is scored by
+/// the same rule. Samples whose predicted category is unmodelled for
+/// `event` are skipped, exactly as in the old `detect_batch` path.
+///
+/// [`Detector`]: crate::Detector
+/// [`Verdict::flagged_by`]: crate::Verdict::flagged_by
+pub fn detection_confusion<D: AnomalyDetector + ?Sized>(
+    detector: &D,
     event: HpcEvent,
     clean: &[LabeledSample],
     adversarial: &[LabeledSample],
 ) -> BinaryConfusion {
-    let parallelism = Parallelism::default();
     let mut confusion = BinaryConfusion::default();
-    let clean_queries: Vec<(usize, HpcSample)> = clean
+    let clean_flags = clean
         .iter()
         .filter(|s| s.predicted == s.true_class)
-        .map(|s| (s.predicted, s.sample))
-        .collect();
-    for flagged in detector
-        .detect_batch(&clean_queries, event, &parallelism)
-        .into_iter()
-        .flatten()
-    {
+        .filter_map(|s| detector.evaluate(s.predicted, &s.sample).flagged_by(event));
+    for flagged in clean_flags {
         confusion.record(false, flagged);
     }
-    let adv_queries: Vec<(usize, HpcSample)> = adversarial
+    let adv_flags = adversarial
         .iter()
-        .map(|s| (s.predicted, s.sample))
-        .collect();
-    for flagged in detector
-        .detect_batch(&adv_queries, event, &parallelism)
-        .into_iter()
-        .flatten()
-    {
+        .filter_map(|s| detector.evaluate(s.predicted, &s.sample).flagged_by(event));
+    for flagged in adv_flags {
         confusion.record(true, flagged);
     }
     confusion
@@ -221,20 +204,25 @@ pub struct AttackDetectionRun {
 /// Runs the full protocol for one attack setting: generate AEs from the
 /// scenario's test split, measure them, and score the detector per event
 /// against the provided clean measurements.
+///
+/// `rng` drives adversarial-example generation (image selection and
+/// attack randomness); the measurement phase is governed by `opts` and is
+/// thread-count invariant like every other unified entry point.
 #[allow(clippy::too_many_arguments)]
-pub fn run_attack_detection(
+pub fn run_attack_detection<D: AnomalyDetector + ?Sized>(
     art: &ScenarioArtifacts,
-    detector: &Detector,
+    detector: &D,
     attack: &Attack,
     goal: AttackGoal,
     events: &[HpcEvent],
     max_attacked: Option<usize>,
     clean: &[LabeledSample],
     rng: &mut impl Rng,
+    opts: &ExecOptions,
 ) -> AttackDetectionRun {
     let report: AttackReport =
         attack_dataset(&art.model, &art.split.test, attack, goal, max_attacked, rng);
-    let adv_samples = measure_examples(art, &report.examples, rng);
+    let adv_samples = measure_examples(art, &report.examples, opts);
     let per_event = events
         .iter()
         .map(|&event| EventDetection {
@@ -296,7 +284,7 @@ mod tests {
                 events: vec![HpcEvent::CacheMisses],
                 ..DetectorConfig::default()
             },
-            rng,
+            &ExecOptions::seeded(rng.gen()),
         )
         .unwrap()
     }

@@ -25,23 +25,35 @@
 //! looks like:
 //!
 //! ```no_run
-//! use advhunter::{offline, Detector, DetectorConfig};
+//! use advhunter::{offline, Detector, DetectorConfig, ExecOptions};
 //! use advhunter::scenario::{build_scenario, ScenarioId};
 //! use advhunter_uarch::HpcEvent;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let art = build_scenario(ScenarioId::S2, None, &mut rng);
-//! let template = offline::collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
-//! let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)?;
-//! let m = art.engine.measure(&art.model, &art.split.test.images()[0], &mut rng);
-//! let flagged = detector.is_adversarial(m.predicted, HpcEvent::CacheMisses, &m.sample);
+//! // One ExecOptions drives every phase; stage-derived seeds keep the
+//! // phases' noise streams independent, and results are bit-identical for
+//! // every thread count (ADVHUNTER_THREADS picks the pool size).
+//! let opts = ExecOptions::seeded(0);
+//! let template = offline::collect_template(
+//!     &art.engine,
+//!     &art.model,
+//!     &art.split.val,
+//!     None,
+//!     &opts.stage(0),
+//! );
+//! let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
+//! let m = art.engine.measure_indexed(&art.model, &art.split.test.images()[0], opts.seed, 0);
+//! let verdict = detector.evaluate(m.predicted, &m.sample);
+//! let flagged = verdict.flagged_by(HpcEvent::CacheMisses);
 //! # let _ = flagged;
 //! # Ok::<(), advhunter::FitDetectorError>(())
 //! ```
 
 mod detector;
 mod metrics;
+mod verdict;
 
 pub mod baseline;
 pub mod experiment;
@@ -50,8 +62,12 @@ pub mod persist;
 pub mod report;
 pub mod scenario;
 
-pub use advhunter_runtime::{derive_seed, Parallelism};
-pub use detector::{Detector, DetectorConfig, EventModel, EventScore, FitDetectorError};
+pub use advhunter_runtime::{derive_seed, ExecOptions, Parallelism};
+pub use detector::{
+    Detector, DetectorConfig, DetectorConfigBuilder, DetectorConfigError, EventModel, EventScore,
+    FitDetectorError,
+};
 pub use metrics::{mean_std, BinaryConfusion};
-pub use offline::{collect_template_par, OfflineTemplate};
+pub use offline::{collect_template, OfflineTemplate};
 pub use persist::{load_detector, save_detector, PersistDetectorError};
+pub use verdict::{AnomalyDetector, Verdict};

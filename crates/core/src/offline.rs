@@ -3,7 +3,7 @@
 use advhunter_data::Dataset;
 use advhunter_exec::TraceEngine;
 use advhunter_nn::Graph;
-use advhunter_runtime::Parallelism;
+use advhunter_runtime::{ExecOptions, Parallelism};
 use advhunter_uarch::HpcSample;
 use rand::Rng;
 
@@ -57,62 +57,29 @@ impl OfflineTemplate {
 /// Measures the clean validation set and groups readings by category.
 ///
 /// Each image is measured once (internally averaged over the engine's `R`
-/// repetitions). Following the hard-label protocol, an image contributes to
-/// the category the model *predicts*; validation images the model
-/// misclassifies are dropped (the defender can check predictions against
-/// the validation labels it owns).
+/// repetitions) over the runtime's worker pool, then the selection rule is
+/// replayed in dataset order: following the hard-label protocol, an image
+/// contributes to the category the model *predicts*; validation images the
+/// model misclassifies are dropped (the defender can check predictions
+/// against the validation labels it owns).
 ///
 /// `per_class_cap` limits how many images per category are used (the
 /// paper's `M`); `None` uses everything available.
+///
+/// Image `i` draws its measurement noise from the stream seeded by
+/// `derive_seed(opts.seed, i)`, so the returned template is bit-for-bit
+/// identical for every thread count, including
+/// [`Parallelism::sequential`].
 pub fn collect_template(
     engine: &TraceEngine,
     model: &Graph,
     validation: &Dataset,
     per_class_cap: Option<usize>,
-    rng: &mut impl Rng,
+    opts: &ExecOptions,
 ) -> OfflineTemplate {
     let cap = per_class_cap.unwrap_or(usize::MAX);
-    let mut per_class: Vec<Vec<HpcSample>> = vec![Vec::new(); validation.num_classes()];
-    for i in 0..validation.len() {
-        let (image, label) = validation.item(i);
-        if per_class[label].len() >= cap {
-            continue;
-        }
-        let m = engine.measure(model, image, rng);
-        if m.predicted != label {
-            continue; // model got this validation image wrong; skip it
-        }
-        per_class[label].push(m.sample);
-    }
-    OfflineTemplate::from_samples(per_class)
-}
-
-/// Parallel [`collect_template`]: measures the whole validation set over
-/// the runtime's worker pool, then replays the sequential selection rule
-/// (cap check in dataset order, keep only correctly predicted images).
-///
-/// Image `i` draws its measurement noise from the stream seeded by
-/// `derive_seed(seed, i)`, so the returned template is bit-for-bit
-/// identical for every thread count, including
-/// [`Parallelism::sequential`]. Note the entropy scheme differs from the
-/// single-RNG [`collect_template`], whose results this does not reproduce;
-/// within each scheme results are fully seed-deterministic.
-///
-/// Unlike the sequential path — which can skip measuring images of
-/// already-full categories — every image is measured (the selection rule
-/// depends on predictions, which are only known after measuring), trading
-/// some redundant work when `per_class_cap` is tight for scheduling
-/// freedom.
-pub fn collect_template_par(
-    engine: &TraceEngine,
-    model: &Graph,
-    validation: &Dataset,
-    per_class_cap: Option<usize>,
-    seed: u64,
-    parallelism: &Parallelism,
-) -> OfflineTemplate {
-    let cap = per_class_cap.unwrap_or(usize::MAX);
-    let measurements = engine.measure_batch(model, validation.images(), seed, parallelism);
+    let measurements =
+        engine.measure_batch(model, validation.images(), opts.seed, &opts.parallelism);
     let mut per_class: Vec<Vec<HpcSample>> = vec![Vec::new(); validation.num_classes()];
     for (m, &label) in measurements.iter().zip(validation.labels()) {
         if per_class[label].len() >= cap || m.predicted != label {
@@ -121,6 +88,28 @@ pub fn collect_template_par(
         per_class[label].push(m.sample);
     }
     OfflineTemplate::from_samples(per_class)
+}
+
+/// Forwarding shim for the pre-`ExecOptions` name.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `collect_template` with an `ExecOptions` instead"
+)]
+pub fn collect_template_par(
+    engine: &TraceEngine,
+    model: &Graph,
+    validation: &Dataset,
+    per_class_cap: Option<usize>,
+    seed: u64,
+    parallelism: &Parallelism,
+) -> OfflineTemplate {
+    collect_template(
+        engine,
+        model,
+        validation,
+        per_class_cap,
+        &ExecOptions::new(seed, *parallelism),
+    )
 }
 
 #[cfg(test)]
@@ -155,8 +144,7 @@ mod tests {
     #[test]
     fn template_groups_by_class_and_respects_cap() {
         let (model, engine, ds) = setup();
-        let mut rng = StdRng::seed_from_u64(1);
-        let t = collect_template(&engine, &model, &ds, Some(5), &mut rng);
+        let t = collect_template(&engine, &model, &ds, Some(5), &ExecOptions::seeded(1));
         assert_eq!(t.num_classes(), 2);
         assert!(t.class_samples(0).len() <= 5);
         assert!(t.class_samples(1).len() <= 5);
@@ -165,8 +153,7 @@ mod tests {
     #[test]
     fn only_correctly_predicted_images_contribute() {
         let (model, engine, ds) = setup();
-        let mut rng = StdRng::seed_from_u64(2);
-        let t = collect_template(&engine, &model, &ds, None, &mut rng);
+        let t = collect_template(&engine, &model, &ds, None, &ExecOptions::seeded(2));
         // An untrained 2-class model predicts ~one class for most inputs;
         // total retained samples can never exceed the dataset size, and
         // every retained sample must have been predicted as its class.
@@ -192,11 +179,10 @@ mod tests {
     #[test]
     fn parallel_template_is_thread_count_invariant() {
         let (model, engine, ds) = setup();
-        let seq =
-            collect_template_par(&engine, &model, &ds, Some(5), 3, &Parallelism::sequential());
+        let seq = collect_template(&engine, &model, &ds, Some(5), &ExecOptions::sequential(3));
         for threads in [2, 4] {
-            let par =
-                collect_template_par(&engine, &model, &ds, Some(5), 3, &Parallelism::new(threads));
+            let opts = ExecOptions::sequential(3).with_threads(threads);
+            let par = collect_template(&engine, &model, &ds, Some(5), &opts);
             assert_eq!(seq, par, "thread count {threads} changed the template");
         }
     }
@@ -204,7 +190,13 @@ mod tests {
     #[test]
     fn parallel_template_applies_the_same_selection_rule() {
         let (model, engine, ds) = setup();
-        let t = collect_template_par(&engine, &model, &ds, None, 4, &Parallelism::new(2));
+        let t = collect_template(
+            &engine,
+            &model,
+            &ds,
+            None,
+            &ExecOptions::seeded(4).with_threads(2),
+        );
         // Every retained sample was predicted as its own class; cross-check
         // against direct predictions as in the sequential test.
         let mut expect0 = 0;
@@ -216,7 +208,13 @@ mod tests {
             }
         }
         assert_eq!(t.class_samples(0).len(), expect0);
-        let capped = collect_template_par(&engine, &model, &ds, Some(2), 4, &Parallelism::new(2));
+        let capped = collect_template(
+            &engine,
+            &model,
+            &ds,
+            Some(2),
+            &ExecOptions::seeded(4).with_threads(2),
+        );
         assert!(capped.class_samples(0).len() <= 2);
         assert!(capped.class_samples(1).len() <= 2);
     }

@@ -221,7 +221,12 @@ mod tests {
             })
             .collect();
         let template = OfflineTemplate::from_samples(per_class);
-        Detector::fit(&template, &DetectorConfig::default(), &mut rng).unwrap()
+        Detector::fit(
+            &template,
+            &DetectorConfig::default(),
+            &advhunter_runtime::ExecOptions::seeded(0),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -251,11 +256,10 @@ mod tests {
             })
             .collect();
         let template = OfflineTemplate::from_samples(per_class);
-        let d = Detector::fit_par(
+        let d = Detector::fit(
             &template,
             &DetectorConfig::default(),
-            17,
-            &advhunter_runtime::Parallelism::new(4),
+            &advhunter_runtime::ExecOptions::seeded(17).with_threads(4),
         )
         .unwrap();
         let path = tempfile("par.ahd");

@@ -1,0 +1,157 @@
+//! The unified online decision type shared by every detector.
+//!
+//! A [`Verdict`] is the complete outcome of screening one inference: the
+//! hard-label prediction it was scored under plus one [`EventScore`] per
+//! monitored HPC event. Single-event checks, any-event fusion, and
+//! all-event fusion are all views over the same `Verdict`, so callers no
+//! longer re-assemble them by hand from the four-way
+//! `score`/`is_adversarial`/`is_adversarial_any`/`is_adversarial_all`
+//! surface. The paper's GMM detector and the baseline detectors all
+//! produce this shape through [`AnomalyDetector`], which makes them
+//! interchangeable in the experiment harnesses and the monitor service.
+
+use advhunter_uarch::{HpcEvent, HpcSample};
+
+use crate::detector::EventScore;
+
+/// The full screening outcome for one inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    predicted: usize,
+    scores: Vec<EventScore>,
+}
+
+impl Verdict {
+    /// Builds a verdict from the predicted category and per-event scores.
+    pub fn new(predicted: usize, scores: Vec<EventScore>) -> Self {
+        Self { predicted, scores }
+    }
+
+    /// The hard-label prediction the inference was scored under.
+    pub fn predicted(&self) -> usize {
+        self.predicted
+    }
+
+    /// All per-event scores (one per event the detector models for the
+    /// predicted category; empty when the category is unmodelled).
+    pub fn scores(&self) -> &[EventScore] {
+        &self.scores
+    }
+
+    /// The score of one event, if the detector models it.
+    pub fn score(&self, event: HpcEvent) -> Option<EventScore> {
+        self.scores.iter().find(|s| s.event == event).copied()
+    }
+
+    /// The paper's single-event rule: `Some(true)` when `event`'s reading
+    /// exceeds its threshold, `None` when the event is unmodelled.
+    pub fn flagged_by(&self, event: HpcEvent) -> Option<bool> {
+        self.score(event).map(|s| s.is_adversarial())
+    }
+
+    /// Fusion rule: adversarial if *any* scored event flags (increases
+    /// recall at some precision cost).
+    pub fn flagged_any(&self) -> bool {
+        self.scores.iter().any(EventScore::is_adversarial)
+    }
+
+    /// Fusion rule: adversarial only if *all* scored events flag (and at
+    /// least one event was scored).
+    pub fn flagged_all(&self) -> bool {
+        !self.scores.is_empty() && self.scores.iter().all(EventScore::is_adversarial)
+    }
+
+    /// [`flagged_any`](Self::flagged_any) restricted to `events`; events
+    /// the detector does not model are skipped.
+    pub fn flagged_any_of(&self, events: &[HpcEvent]) -> bool {
+        events.iter().filter_map(|&e| self.flagged_by(e)).any(|b| b)
+    }
+
+    /// [`flagged_all`](Self::flagged_all) restricted to `events`: true only
+    /// if at least one of `events` is scored and every scored one flags.
+    pub fn flagged_all_of(&self, events: &[HpcEvent]) -> bool {
+        let mut scored = 0usize;
+        for &event in events {
+            match self.flagged_by(event) {
+                Some(false) => return false,
+                Some(true) => scored += 1,
+                None => {}
+            }
+        }
+        scored > 0
+    }
+}
+
+/// The interface every online detector exposes: score one inference into a
+/// [`Verdict`]. Implemented by the paper's GMM [`Detector`] and the
+/// [`KnnDetector`]/[`ZScoreDetector`] baselines, so evaluation harnesses
+/// and the monitor service work with any of them.
+///
+/// [`Detector`]: crate::Detector
+/// [`KnnDetector`]: crate::baseline::KnnDetector
+/// [`ZScoreDetector`]: crate::baseline::ZScoreDetector
+pub trait AnomalyDetector {
+    /// Scores `sample` under the models of `predicted_class`, producing one
+    /// [`EventScore`] per event the detector models for that category.
+    fn evaluate(&self, predicted_class: usize, sample: &HpcSample) -> Verdict;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(event: HpcEvent, nll: f64, threshold: f64) -> EventScore {
+        EventScore {
+            event,
+            nll,
+            threshold,
+        }
+    }
+
+    fn verdict() -> Verdict {
+        Verdict::new(
+            2,
+            vec![
+                score(HpcEvent::CacheMisses, 10.0, 5.0), // flags
+                score(HpcEvent::Instructions, 1.0, 5.0), // passes
+                score(HpcEvent::Branches, 7.0, 5.0),     // flags
+            ],
+        )
+    }
+
+    #[test]
+    fn per_event_views_match_scores() {
+        let v = verdict();
+        assert_eq!(v.predicted(), 2);
+        assert_eq!(v.scores().len(), 3);
+        assert_eq!(v.flagged_by(HpcEvent::CacheMisses), Some(true));
+        assert_eq!(v.flagged_by(HpcEvent::Instructions), Some(false));
+        assert_eq!(v.flagged_by(HpcEvent::BranchMisses), None);
+        assert_eq!(v.score(HpcEvent::Branches).unwrap().nll, 7.0);
+    }
+
+    #[test]
+    fn fusion_views_compose_event_flags() {
+        let v = verdict();
+        assert!(v.flagged_any());
+        assert!(!v.flagged_all());
+        assert!(v.flagged_any_of(&[HpcEvent::Instructions, HpcEvent::Branches]));
+        assert!(!v.flagged_any_of(&[HpcEvent::Instructions]));
+        assert!(v.flagged_all_of(&[HpcEvent::CacheMisses, HpcEvent::Branches]));
+        assert!(!v.flagged_all_of(&[HpcEvent::CacheMisses, HpcEvent::Instructions]));
+        // Unmodelled events are skipped, not counted as failures...
+        assert!(v.flagged_all_of(&[HpcEvent::CacheMisses, HpcEvent::BranchMisses]));
+        // ...but a selection with nothing scored never flags.
+        assert!(!v.flagged_all_of(&[HpcEvent::BranchMisses]));
+        assert!(!v.flagged_any_of(&[]));
+        assert!(!v.flagged_all_of(&[]));
+    }
+
+    #[test]
+    fn empty_verdict_never_flags() {
+        let v = Verdict::new(0, Vec::new());
+        assert!(!v.flagged_any());
+        assert!(!v.flagged_all());
+        assert_eq!(v.flagged_by(HpcEvent::CacheMisses), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Monitor service configuration.
+
+use std::fmt;
+
+use advhunter_runtime::ExecOptions;
+
+/// What the monitor does with a submission that arrives while the bounded
+/// queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Reject the request immediately with
+    /// [`SubmitError::Overloaded`](crate::SubmitError::Overloaded) and
+    /// count it as shed. The right choice when the caller has its own
+    /// retry or drop logic and must never stall.
+    Shed,
+    /// Block the submitting thread until a slot frees up (or the monitor
+    /// closes). The right choice for replay/offline drivers that want
+    /// every request processed.
+    Block,
+}
+
+/// Configuration of a [`Monitor`](crate::Monitor).
+///
+/// The `exec` field carries the determinism contract: request `i` (ids are
+/// assigned in admission order) draws its measurement noise from the
+/// stream seeded by `derive_seed(exec.seed, i)`, so the verdict stream is
+/// bit-identical for every `exec.parallelism` and every way of batching
+/// the submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Capacity of the bounded submission queue.
+    pub queue_capacity: usize,
+    /// Maximum number of queued requests coalesced into one measurement
+    /// micro-batch.
+    pub micro_batch: usize,
+    /// What to do with submissions while the queue is full.
+    pub overload: OverloadPolicy,
+    /// Seed and worker count for the measurement fan-out.
+    pub exec: ExecOptions,
+}
+
+impl MonitorConfig {
+    /// A configuration with the given execution options and the default
+    /// queue shape (capacity 128, micro-batches of 16, blocking overload
+    /// policy).
+    pub fn new(exec: ExecOptions) -> Self {
+        Self {
+            queue_capacity: 128,
+            micro_batch: 16,
+            overload: OverloadPolicy::Block,
+            exec,
+        }
+    }
+
+    /// The same configuration with a different queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// The same configuration with a different micro-batch ceiling.
+    pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
+        self.micro_batch = micro_batch;
+        self
+    }
+
+    /// The same configuration with a different overload policy.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Checks the configuration for nonsense values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorConfigError`] when the queue capacity or the
+    /// micro-batch ceiling is zero.
+    pub fn validate(&self) -> Result<(), MonitorConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(MonitorConfigError::ZeroQueueCapacity);
+        }
+        if self.micro_batch == 0 {
+            return Err(MonitorConfigError::ZeroMicroBatch);
+        }
+        Ok(())
+    }
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self::new(ExecOptions::default())
+    }
+}
+
+/// An invalid [`MonitorConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorConfigError {
+    /// `queue_capacity` was zero: the service could never admit a request.
+    ZeroQueueCapacity,
+    /// `micro_batch` was zero: the worker could never drain the queue.
+    ZeroMicroBatch,
+}
+
+impl fmt::Display for MonitorConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroQueueCapacity => write!(f, "monitor queue capacity must be positive"),
+            Self::ZeroMicroBatch => write!(f, "monitor micro-batch size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_and_validate() {
+        let cfg = MonitorConfig::new(ExecOptions::sequential(7))
+            .with_queue_capacity(4)
+            .with_micro_batch(2)
+            .with_overload(OverloadPolicy::Shed);
+        assert_eq!(cfg.queue_capacity, 4);
+        assert_eq!(cfg.micro_batch, 2);
+        assert_eq!(cfg.overload, OverloadPolicy::Shed);
+        assert_eq!(cfg.exec.seed, 7);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(
+            cfg.with_queue_capacity(0).validate(),
+            Err(MonitorConfigError::ZeroQueueCapacity)
+        );
+        assert_eq!(
+            cfg.with_micro_batch(0).validate(),
+            Err(MonitorConfigError::ZeroMicroBatch)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Online monitor service for AdvHunter: a long-lived detector that
+//! screens a *stream* of inference requests the way the paper deploys the
+//! defense — continuously, during inference, from the hard label and the
+//! HPC readings alone.
+//!
+//! # Architecture (DESIGN.md §11)
+//!
+//! ```text
+//! submit() ──► BoundedQueue ──► worker: micro-batch ──► parallel
+//!   │            (capacity,        (≤ micro_batch        measure over
+//!   │             shed/block)       per drain)           the thread pool
+//!   │                                                        │
+//!   ◄──────────── recv(): MonitorVerdict per request ◄── score + fuse
+//! ```
+//!
+//! * **Admission** — [`Monitor::submit`] pushes into a bounded queue that
+//!   assigns sequential request ids under its lock. When full it either
+//!   sheds ([`OverloadPolicy::Shed`]) or blocks the caller
+//!   ([`OverloadPolicy::Block`]).
+//! * **Micro-batching** — one worker thread drains up to
+//!   [`MonitorConfig::micro_batch`] requests at a time and measures them
+//!   as one batch over the `advhunter-runtime` pool, reusing the engine's
+//!   pooled per-worker scratch so the steady state allocates nothing.
+//! * **Verdicts** — every request yields a [`MonitorVerdict`]: the
+//!   detector's [`Verdict`](advhunter::Verdict) (predicted class plus
+//!   per-event NLL scores), the fused flagged bit, and queue/latency
+//!   telemetry. [`Monitor::stats`] exposes service-level counters (depth,
+//!   shed count, per-stage latency, per-class flag rate).
+//!
+//! # Determinism
+//!
+//! Request `i` draws measurement noise from
+//! `derive_seed(config.exec.seed, i)` and scoring is pure, so the
+//! `(request_id, verdict)` stream is bit-identical for every
+//! `ADVHUNTER_THREADS` value and for every way the same ordered inputs
+//! are split into submissions. Telemetry is observational only.
+
+mod config;
+mod queue;
+mod service;
+mod stats;
+
+pub use config::{MonitorConfig, MonitorConfigError, OverloadPolicy};
+pub use queue::{BoundedQueue, PushError};
+pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SubmitError};
+pub use stats::{ClassFlagStats, StatsSnapshot};

@@ -1,0 +1,255 @@
+//! The bounded submission queue behind the monitor service.
+//!
+//! A `Mutex` + `Condvar` MPSC queue with three properties the service
+//! needs beyond `std::sync::mpsc`:
+//!
+//! * **Admission-order ids** — [`BoundedQueue::try_push_with`] and
+//!   [`BoundedQueue::push_with`] assign the next sequential id *under the
+//!   queue lock*, so ids are a total order over admitted requests no
+//!   matter how many threads submit concurrently. The ids seed per-request
+//!   noise streams, which is what makes verdicts independent of batching.
+//! * **Bounded, with explicit overflow behavior** — `try_push_with` sheds
+//!   (returns [`PushError::Full`]) and `push_with` blocks until a slot
+//!   frees, giving the service its shed/block overload policies.
+//! * **Pause/resume** — [`BoundedQueue::pause`] holds the consumer while
+//!   producers keep admitting, so backpressure paths are testable without
+//!   races or sleeps.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue was at capacity (only returned by the non-blocking push).
+    Full,
+    /// The queue was closed; no further items are accepted.
+    Closed,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    next_id: u64,
+    closed: bool,
+    paused: bool,
+}
+
+/// A bounded MPSC queue with in-lock id assignment and a pausable
+/// consumer side.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                next_id: 0,
+                closed: false,
+                paused: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Admits `make(id, depth)` — where `id` is the next sequential id
+    /// and `depth` the queue depth including the new item — or sheds.
+    /// Returns `(id, depth)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity, [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push_with(
+        &self,
+        make: impl FnOnce(u64, usize) -> T,
+    ) -> Result<(u64, usize), PushError> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        Ok(self.admit(&mut s, make))
+    }
+
+    /// Admits `make(id, depth)` with the next sequential id, blocking
+    /// while the queue is at capacity. Returns `(id, depth)`.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] if the queue is (or becomes, while waiting)
+    /// closed.
+    pub fn push_with(&self, make: impl FnOnce(u64, usize) -> T) -> Result<(u64, usize), PushError> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        while !s.closed && s.items.len() >= self.capacity {
+            s = self.not_full.wait(s).expect("queue lock poisoned");
+        }
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        Ok(self.admit(&mut s, make))
+    }
+
+    fn admit(&self, s: &mut QueueState<T>, make: impl FnOnce(u64, usize) -> T) -> (u64, usize) {
+        let id = s.next_id;
+        s.next_id += 1;
+        let depth = s.items.len() + 1;
+        s.items.push_back(make(id, depth));
+        self.not_empty.notify_one();
+        (id, depth)
+    }
+
+    /// Takes up to `max` items in admission order, blocking while the
+    /// queue is empty or paused. Returns `None` once the queue is closed
+    /// *and* drained — the consumer's termination signal.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<T>> {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        // Close overrides pause so shutdown always drains.
+        while (s.items.is_empty() || s.paused) && !s.closed {
+            s = self.not_empty.wait(s).expect("queue lock poisoned");
+        }
+        if s.items.is_empty() {
+            debug_assert!(s.closed);
+            return None;
+        }
+        let n = max.min(s.items.len()).max(1);
+        let batch: Vec<T> = s.items.drain(..n).collect();
+        drop(s);
+        self.not_full.notify_all();
+        Some(batch)
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Holds the consumer: [`pop_batch`](Self::pop_batch) blocks until
+    /// [`resume`](Self::resume) (or [`close`](Self::close)). Producers are
+    /// unaffected, so a paused queue fills up — the deterministic way to
+    /// exercise the overload paths.
+    pub fn pause(&self) {
+        self.state.lock().expect("queue lock poisoned").paused = true;
+    }
+
+    /// Releases a paused consumer.
+    pub fn resume(&self) {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        s.paused = false;
+        drop(s);
+        self.not_empty.notify_all();
+    }
+
+    /// Closes the queue: further pushes fail with [`PushError::Closed`],
+    /// blocked pushers wake with that error, and the consumer drains what
+    /// is left before [`pop_batch`](Self::pop_batch) returns `None`.
+    pub fn close(&self) {
+        let mut s = self.state.lock().expect("queue lock poisoned");
+        s.closed = true;
+        drop(s);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ids_are_sequential_in_admission_order() {
+        let q = BoundedQueue::new(8);
+        for expect in 0..5u64 {
+            let (id, depth) = q.try_push_with(|id, _| id).unwrap();
+            assert_eq!(id, expect);
+            assert_eq!(depth, expect as usize + 1);
+        }
+        assert_eq!(q.pop_batch(3).unwrap(), vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(99).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn try_push_sheds_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push_with(|id, _| id).unwrap();
+        q.try_push_with(|id, _| id).unwrap();
+        assert_eq!(q.try_push_with(|id, _| id), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+        q.pop_batch(1).unwrap();
+        // Shed submissions never consumed an id.
+        assert_eq!(q.try_push_with(|id, _| id), Ok((2, 2)));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_with(|id, _| id).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_with(|id, _| id));
+        // The consumer frees the slot; the blocked pusher then lands.
+        assert_eq!(q.pop_batch(1).unwrap(), vec![0]);
+        assert_eq!(pusher.join().unwrap(), Ok((1, 1)));
+        assert_eq!(q.pop_batch(1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn close_drains_then_signals_termination() {
+        let q = BoundedQueue::new(4);
+        q.try_push_with(|id, _| id).unwrap();
+        q.try_push_with(|id, _| id).unwrap();
+        q.close();
+        assert_eq!(q.try_push_with(|id, _| id), Err(PushError::Closed));
+        assert_eq!(q.pop_batch(10).unwrap(), vec![0, 1]);
+        assert_eq!(q.pop_batch(10), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_pusher() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_with(|id, _| id).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push_with(|id, _| id));
+        q.close();
+        assert_eq!(pusher.join().unwrap(), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn pause_holds_consumer_but_not_producers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.pause();
+        q.try_push_with(|id, _| id).unwrap();
+        q.try_push_with(|id, _| id).unwrap();
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_batch(10));
+        // Producers kept working while the consumer is held.
+        q.try_push_with(|id, _| id).unwrap();
+        q.resume();
+        assert_eq!(consumer.join().unwrap().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u64>::new(0);
+    }
+}

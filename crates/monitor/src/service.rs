@@ -1,0 +1,309 @@
+//! The monitor service itself: queue → micro-batch → scored verdicts.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use advhunter::{Detector, Verdict};
+use advhunter_exec::TraceEngine;
+use advhunter_nn::Graph;
+use advhunter_runtime::parallel_map;
+use advhunter_tensor::Tensor;
+
+use crate::config::{MonitorConfig, MonitorConfigError, OverloadPolicy};
+use crate::queue::{BoundedQueue, PushError};
+use crate::stats::{MonitorStats, StatsSnapshot};
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue was full and the monitor runs the
+    /// [`OverloadPolicy::Shed`] policy.
+    Overloaded,
+    /// The monitor has been closed.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded => write!(f, "monitor queue is full (request shed)"),
+            Self::Closed => write!(f, "monitor is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Observational timings of one request's trip through the service.
+///
+/// Telemetry never feeds back into measurement or scoring, so it varies
+/// run to run while the [`Verdict`] stays bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTelemetry {
+    /// Queue depth right after this request was admitted.
+    pub depth_at_admission: usize,
+    /// Size of the micro-batch this request was coalesced into.
+    pub batch_size: usize,
+    /// Time spent queued before its micro-batch started measuring.
+    pub queued: Duration,
+    /// Wall time of the micro-batch's measurement stage.
+    pub measure: Duration,
+    /// Wall time of the micro-batch's scoring stage.
+    pub score: Duration,
+}
+
+/// One request's complete outcome: id, deterministic verdict, telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorVerdict {
+    /// The admission-order id returned by [`Monitor::submit`].
+    pub request_id: u64,
+    /// The hard-label prediction and per-event scores. Deterministic: a
+    /// pure function of `(image, exec.seed, request_id)`.
+    pub verdict: Verdict,
+    /// Whether the monitor's fusion rule ([`Verdict::flagged_any`])
+    /// flagged the inference as adversarial.
+    pub flagged: bool,
+    /// Observational timings (not deterministic).
+    pub telemetry: RequestTelemetry,
+}
+
+struct Request {
+    id: u64,
+    image: Tensor,
+    admitted_at: Instant,
+    depth_at_admission: usize,
+}
+
+struct Shared {
+    engine: TraceEngine,
+    model: Graph,
+    detector: Detector,
+    config: MonitorConfig,
+    queue: BoundedQueue<Request>,
+    stats: MonitorStats,
+}
+
+/// A long-lived online detection service.
+///
+/// The monitor owns an instrumented-inference engine, a model, and a
+/// fitted [`Detector`]. Requests enter through a bounded queue
+/// ([`submit`](Self::submit)), a worker thread coalesces them into
+/// micro-batches, fans the trace measurements out over the
+/// `advhunter-runtime` worker pool, scores each measurement under the
+/// predicted category's models, and delivers one [`MonitorVerdict`] per
+/// request through [`recv`](Self::recv) in admission order.
+///
+/// # Determinism
+///
+/// Request `i` (ids count admissions) is measured via the engine's
+/// indexed noise stream `derive_seed(config.exec.seed, i)` and scored by
+/// pure functions, so the `(request_id, verdict)` stream is bit-identical
+/// for every `ADVHUNTER_THREADS` setting and every way the same images
+/// are batched into submissions. Only the telemetry varies.
+///
+/// # Overload
+///
+/// The queue is bounded by `config.queue_capacity`. When it is full,
+/// [`OverloadPolicy::Shed`] makes `submit` fail fast with
+/// [`SubmitError::Overloaded`] (counted in
+/// [`StatsSnapshot::shed`]); [`OverloadPolicy::Block`] parks the
+/// submitting thread until a slot frees.
+pub struct Monitor {
+    shared: Arc<Shared>,
+    verdicts: Mutex<Receiver<MonitorVerdict>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Monitor {
+    /// Starts the service: validates `config`, spawns the worker thread,
+    /// and returns the handle used to submit requests and receive
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MonitorConfigError`] when `config` is invalid; no thread
+    /// is spawned in that case.
+    pub fn spawn(
+        engine: TraceEngine,
+        model: Graph,
+        detector: Detector,
+        config: MonitorConfig,
+    ) -> Result<Self, MonitorConfigError> {
+        config.validate()?;
+        let num_classes = detector.num_classes();
+        let shared = Arc::new(Shared {
+            engine,
+            model,
+            detector,
+            config,
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: MonitorStats::new(num_classes),
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("advhunter-monitor".into())
+            .spawn(move || worker_loop(&worker_shared, &tx))
+            .expect("failed to spawn monitor worker thread");
+        Ok(Self {
+            shared,
+            verdicts: Mutex::new(rx),
+            worker: Some(worker),
+        })
+    }
+
+    /// Submits one image for screening and returns its admission-order
+    /// request id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full under the shed
+    /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
+    pub fn submit(&self, image: Tensor) -> Result<u64, SubmitError> {
+        let make = |id, depth_at_admission| Request {
+            id,
+            image,
+            admitted_at: Instant::now(),
+            depth_at_admission,
+        };
+        let pushed = match self.shared.config.overload {
+            OverloadPolicy::Shed => self.shared.queue.try_push_with(make),
+            OverloadPolicy::Block => self.shared.queue.push_with(make),
+        };
+        match pushed {
+            Ok((id, depth)) => {
+                self.shared.stats.record_submitted(depth);
+                Ok(id)
+            }
+            Err(PushError::Full) => {
+                self.shared.stats.record_shed();
+                Err(SubmitError::Overloaded)
+            }
+            Err(PushError::Closed) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Blocks until the next verdict is available. Returns `None` once
+    /// the monitor is closed and every admitted request has been
+    /// delivered.
+    pub fn recv(&self) -> Option<MonitorVerdict> {
+        self.verdicts
+            .lock()
+            .expect("verdict receiver poisoned")
+            .recv()
+            .ok()
+    }
+
+    /// Returns the next verdict if one is ready, without blocking, or
+    /// `None` otherwise (including after the stream has ended).
+    pub fn try_recv(&self) -> Option<MonitorVerdict> {
+        self.verdicts
+            .lock()
+            .expect("verdict receiver poisoned")
+            .try_recv()
+            .ok()
+    }
+
+    /// Current queue depth (requests admitted but not yet measured).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A point-in-time copy of the operational counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Holds the worker before its next micro-batch: submissions keep
+    /// being admitted (and the bounded queue fills), but nothing is
+    /// measured until [`resume`](Self::resume). Exposed for operational
+    /// drains and for deterministic backpressure tests.
+    pub fn pause(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Releases a paused worker.
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// Stops admissions. Already-admitted requests are still measured and
+    /// delivered; once they are, [`recv`](Self::recv) returns `None`.
+    pub fn close(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Closes the monitor, waits for the worker to drain the queue, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.close();
+        if let Some(worker) = self.worker.take() {
+            worker.join().expect("monitor worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Monitor {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(worker) = self.worker.take() {
+            // Surfacing the worker's panic beats swallowing it, except
+            // while already unwinding (a double panic would abort).
+            if worker.join().is_err() && !std::thread::panicking() {
+                panic!("monitor worker panicked");
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
+    let micro_batch = shared.config.micro_batch;
+    let exec = shared.config.exec;
+    while let Some(batch) = shared.queue.pop_batch(micro_batch) {
+        let measure_start = Instant::now();
+        // Fan-out over the worker pool. Each request's noise stream is
+        // derived from (exec.seed, request id), and the engine's pooled
+        // per-worker scratch (workspace + tiles + counter group) is
+        // reused across micro-batches, so the hot path stays
+        // allocation-free after warm-up.
+        let measurements = parallel_map(&exec.parallelism, &batch, |_, req| {
+            shared
+                .engine
+                .measure_indexed(&shared.model, &req.image, exec.seed, req.id)
+        });
+        let score_start = Instant::now();
+        let verdicts: Vec<Verdict> = measurements
+            .iter()
+            .map(|m| shared.detector.evaluate(m.predicted, &m.sample))
+            .collect();
+        let score_done = Instant::now();
+        let measure = score_start - measure_start;
+        let score = score_done - score_start;
+        shared.stats.record_batch(measure, score);
+        for (req, verdict) in batch.iter().zip(verdicts) {
+            let queued = measure_start.saturating_duration_since(req.admitted_at);
+            let flagged = verdict.flagged_any();
+            shared
+                .stats
+                .record_verdict(verdict.predicted(), flagged, queued);
+            let out = MonitorVerdict {
+                request_id: req.id,
+                verdict,
+                flagged,
+                telemetry: RequestTelemetry {
+                    depth_at_admission: req.depth_at_admission,
+                    batch_size: batch.len(),
+                    queued,
+                    measure,
+                    score,
+                },
+            };
+            // A dropped receiver just means nobody wants verdicts any
+            // more; keep draining so shutdown still completes.
+            let _ = tx.send(out);
+        }
+    }
+}

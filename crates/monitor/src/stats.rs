@@ -1,0 +1,233 @@
+//! Operational counters of the monitor service.
+//!
+//! All counters are lock-free atomics updated by the submission and worker
+//! paths; [`MonitorStats::snapshot`] reads them into a plain
+//! [`StatsSnapshot`] for reporting. Telemetry is *observational* — none of
+//! it feeds back into measurement or scoring, so verdicts stay
+//! deterministic while latencies and depths vary run to run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters shared between the submission side and the worker.
+#[derive(Debug)]
+pub(crate) struct MonitorStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicU64,
+    queued_nanos: AtomicU64,
+    measure_nanos: AtomicU64,
+    score_nanos: AtomicU64,
+    /// Interleaved per-class `[screened, flagged]` pairs; the final pair
+    /// collects predictions outside the detector's modelled range.
+    per_class: Vec<[AtomicU64; 2]>,
+}
+
+impl MonitorStats {
+    pub(crate) fn new(num_classes: usize) -> Self {
+        Self {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            queued_nanos: AtomicU64::new(0),
+            measure_nanos: AtomicU64::new(0),
+            score_nanos: AtomicU64::new(0),
+            per_class: (0..=num_classes)
+                .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record_submitted(&self, depth_after: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_queue_depth
+            .fetch_max(depth_after as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, measure: Duration, score: Duration) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.measure_nanos
+            .fetch_add(measure.as_nanos() as u64, Ordering::Relaxed);
+        self.score_nanos
+            .fetch_add(score.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_verdict(&self, predicted: usize, flagged: bool, queued: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.queued_nanos
+            .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
+        let slot = self.per_class.get(predicted).unwrap_or(
+            self.per_class
+                .last()
+                .expect("per_class always has an overflow slot"),
+        );
+        slot[0].fetch_add(1, Ordering::Relaxed);
+        if flagged {
+            slot[1].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            queued: Duration::from_nanos(self.queued_nanos.load(Ordering::Relaxed)),
+            measure: Duration::from_nanos(self.measure_nanos.load(Ordering::Relaxed)),
+            score: Duration::from_nanos(self.score_nanos.load(Ordering::Relaxed)),
+            per_class: self
+                .per_class
+                .iter()
+                .map(|slot| ClassFlagStats {
+                    screened: slot[0].load(Ordering::Relaxed),
+                    flagged: slot[1].load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-predicted-class screening counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassFlagStats {
+    /// Verdicts produced for this predicted class.
+    pub screened: u64,
+    /// How many of them were flagged adversarial (by the monitor's
+    /// configured fusion rule).
+    pub flagged: u64,
+}
+
+impl ClassFlagStats {
+    /// Fraction of screened inferences that were flagged (0 when none
+    /// were screened).
+    pub fn flag_rate(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.flagged as f64 / self.screened as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the monitor's operational counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Verdicts produced.
+    pub completed: u64,
+    /// Submissions rejected under the shed policy.
+    pub shed: u64,
+    /// Micro-batches processed.
+    pub batches: u64,
+    /// Highest queue depth observed at any admission.
+    pub max_queue_depth: u64,
+    /// Total time completed requests spent queued before measurement.
+    pub queued: Duration,
+    /// Total wall time of the measurement stage across batches.
+    pub measure: Duration,
+    /// Total wall time of the scoring stage across batches.
+    pub score: Duration,
+    /// Per-predicted-class screening counts; the final entry collects
+    /// predictions outside the detector's modelled classes.
+    pub per_class: Vec<ClassFlagStats>,
+}
+
+impl StatsSnapshot {
+    /// Mean queued time per completed request.
+    pub fn mean_queued(&self) -> Duration {
+        checked_div(self.queued, self.completed)
+    }
+
+    /// Mean measurement-stage time per micro-batch.
+    pub fn mean_measure_per_batch(&self) -> Duration {
+        checked_div(self.measure, self.batches)
+    }
+
+    /// Mean scoring-stage time per micro-batch.
+    pub fn mean_score_per_batch(&self) -> Duration {
+        checked_div(self.score, self.batches)
+    }
+}
+
+fn checked_div(total: Duration, n: u64) -> Duration {
+    if n == 0 {
+        Duration::ZERO
+    } else {
+        total / n as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_snapshot() {
+        let stats = MonitorStats::new(2);
+        stats.record_submitted(1);
+        stats.record_submitted(3);
+        stats.record_shed();
+        stats.record_batch(Duration::from_millis(4), Duration::from_millis(1));
+        stats.record_verdict(0, true, Duration::from_millis(2));
+        stats.record_verdict(1, false, Duration::from_millis(2));
+        stats.record_verdict(9, true, Duration::from_millis(2)); // overflow slot
+        let s = stats.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.max_queue_depth, 3);
+        assert_eq!(s.per_class.len(), 3);
+        assert_eq!(
+            s.per_class[0],
+            ClassFlagStats {
+                screened: 1,
+                flagged: 1
+            }
+        );
+        assert_eq!(
+            s.per_class[1],
+            ClassFlagStats {
+                screened: 1,
+                flagged: 0
+            }
+        );
+        assert_eq!(
+            s.per_class[2],
+            ClassFlagStats {
+                screened: 1,
+                flagged: 1
+            }
+        );
+        assert!((s.per_class[0].flag_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(s.mean_queued(), Duration::from_millis(2));
+        assert_eq!(s.mean_measure_per_batch(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn empty_snapshot_divides_safely() {
+        let s = MonitorStats::new(1).snapshot();
+        assert_eq!(s.mean_queued(), Duration::ZERO);
+        assert_eq!(s.mean_measure_per_batch(), Duration::ZERO);
+        assert_eq!(s.mean_score_per_batch(), Duration::ZERO);
+        assert_eq!(
+            ClassFlagStats {
+                screened: 0,
+                flagged: 0
+            }
+            .flag_rate(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Service-level tests: determinism of the verdict stream across thread
+//! counts and submission batchings, and graceful behavior under overload.
+
+use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate, Verdict};
+use advhunter_exec::TraceEngine;
+use advhunter_monitor::{Monitor, MonitorConfig, MonitorConfigError, OverloadPolicy, SubmitError};
+use advhunter_nn::{Graph, GraphBuilder};
+use advhunter_tensor::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A tiny 2-class CNN plus a detector fitted on a toy validation split.
+/// Everything is seeded, so repeated calls build bit-identical fixtures —
+/// the property the cross-monitor determinism tests rely on.
+fn fixture() -> (Graph, TraceEngine, Detector, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut b = GraphBuilder::new(&[1, 6, 6]);
+    let input = b.input();
+    let c = b.conv2d("c", input, 4, 3, 1, 1, &mut rng);
+    let r = b.relu("r", c);
+    let g = b.global_avgpool("g", r);
+    b.linear("fc", g, 2, &mut rng);
+    let model = b.build();
+    let engine = TraceEngine::new(&model);
+
+    // An untrained model predicts mostly one class, so group validation
+    // measurements by true label instead of going through the
+    // prediction-filtered `collect_template` path.
+    let mut images = Vec::new();
+    for _ in 0..40 {
+        images.push(init::uniform(&mut rng, &[1, 6, 6], 0.0, 1.0));
+    }
+    let opts = ExecOptions::sequential(7);
+    let measurements = engine.measure_batch(&model, &images, opts.seed, &opts.parallelism);
+    let mut per_class = vec![Vec::new(); 2];
+    for (i, m) in measurements.iter().enumerate() {
+        per_class[i % 2].push(m.sample);
+    }
+    let template = OfflineTemplate::from_samples(per_class);
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1)).unwrap();
+
+    let mut stream = Vec::new();
+    for _ in 0..12 {
+        stream.push(init::uniform(&mut rng, &[1, 6, 6], 0.0, 1.0));
+    }
+    (model, engine, detector, stream)
+}
+
+/// Runs `stream` through a fresh monitor with the given thread count and
+/// micro-batch size, submitting everything up front, and returns the
+/// deterministic part of each outcome.
+fn run_stream(stream: &[Tensor], threads: usize, micro_batch: usize) -> Vec<(u64, Verdict, bool)> {
+    let (model, engine, detector, _) = fixture();
+    let config = MonitorConfig::new(ExecOptions::seeded(42).with_threads(threads))
+        .with_queue_capacity(stream.len().max(1))
+        .with_micro_batch(micro_batch);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    for image in stream {
+        monitor.submit(image.clone()).unwrap();
+    }
+    monitor.close();
+    let mut out = Vec::new();
+    while let Some(v) = monitor.recv() {
+        out.push((v.request_id, v.verdict, v.flagged));
+    }
+    out
+}
+
+#[test]
+fn verdict_stream_is_thread_count_invariant() {
+    let (_, _, _, stream) = fixture();
+    let baseline = run_stream(&stream, 1, 4);
+    assert_eq!(baseline.len(), stream.len());
+    for threads in [2, 4] {
+        let par = run_stream(&stream, threads, 4);
+        assert_eq!(baseline, par, "thread count {threads} changed verdicts");
+    }
+}
+
+#[test]
+fn verdict_stream_is_invariant_to_micro_batch_size() {
+    let (_, _, _, stream) = fixture();
+    let baseline = run_stream(&stream, 2, 1);
+    for micro_batch in [3, 5, 64] {
+        let other = run_stream(&stream, 2, micro_batch);
+        assert_eq!(
+            baseline, other,
+            "micro-batch size {micro_batch} changed verdicts"
+        );
+    }
+}
+
+#[test]
+fn verdict_stream_is_invariant_to_submission_batching() {
+    let (model, engine, detector, stream) = fixture();
+    let all_at_once = run_stream(&stream, 2, 4);
+
+    // Same images trickled in one by one, with every verdict consumed
+    // before the next submission — maximally different arrival pattern.
+    let config = MonitorConfig::new(ExecOptions::seeded(42).with_threads(2))
+        .with_queue_capacity(1)
+        .with_micro_batch(4);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let mut trickled = Vec::new();
+    for image in &stream {
+        monitor.submit(image.clone()).unwrap();
+        let v = monitor.recv().unwrap();
+        trickled.push((v.request_id, v.verdict, v.flagged));
+    }
+    monitor.close();
+    assert!(monitor.recv().is_none());
+    assert_eq!(all_at_once, trickled);
+}
+
+#[test]
+fn env_thread_override_does_not_change_verdicts() {
+    let (_, _, _, stream) = fixture();
+    let baseline = run_stream(&stream, 1, 4);
+    std::env::set_var("ADVHUNTER_THREADS", "3");
+    // ExecOptions::seeded picks up the env-driven parallelism.
+    let (model, engine, detector, _) = fixture();
+    let config = MonitorConfig::new(ExecOptions::seeded(42))
+        .with_queue_capacity(stream.len())
+        .with_micro_batch(4);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    std::env::remove_var("ADVHUNTER_THREADS");
+    for image in &stream {
+        monitor.submit(image.clone()).unwrap();
+    }
+    let stats = monitor.shutdown();
+    assert_eq!(stats.completed, stream.len() as u64);
+    let replay = run_stream(&stream, 3, 4);
+    assert_eq!(baseline, replay);
+}
+
+#[test]
+fn shed_policy_rejects_when_full_and_recovers() {
+    let (model, engine, detector, stream) = fixture();
+    let config = MonitorConfig::new(ExecOptions::sequential(1))
+        .with_queue_capacity(4)
+        .with_micro_batch(2)
+        .with_overload(OverloadPolicy::Shed);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+
+    // Hold the worker so the queue fills deterministically.
+    monitor.pause();
+    for image in stream.iter().take(4) {
+        monitor.submit(image.clone()).unwrap();
+    }
+    assert_eq!(monitor.queue_depth(), 4);
+    assert_eq!(
+        monitor.submit(stream[4].clone()),
+        Err(SubmitError::Overloaded)
+    );
+    assert_eq!(
+        monitor.submit(stream[5].clone()),
+        Err(SubmitError::Overloaded)
+    );
+    monitor.resume();
+
+    // The shed requests are gone; the four admitted ones all complete.
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        ids.push(monitor.recv().unwrap().request_id);
+    }
+    assert_eq!(ids, vec![0, 1, 2, 3]);
+    let stats = monitor.shutdown();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.shed, 2);
+    assert_eq!(stats.max_queue_depth, 4);
+}
+
+#[test]
+fn block_policy_admits_everything_without_shedding() {
+    let (model, engine, detector, stream) = fixture();
+    let config = MonitorConfig::new(ExecOptions::sequential(1))
+        .with_queue_capacity(2)
+        .with_micro_batch(2)
+        .with_overload(OverloadPolicy::Block);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    // Submissions outnumber the queue capacity several times over; the
+    // blocking policy parks the submitter instead of shedding.
+    for image in &stream {
+        monitor.submit(image.clone()).unwrap();
+    }
+    let stats = monitor.shutdown();
+    assert_eq!(stats.submitted, stream.len() as u64);
+    assert_eq!(stats.completed, stream.len() as u64);
+    assert_eq!(stats.shed, 0);
+    assert!(stats.max_queue_depth <= 2);
+}
+
+#[test]
+fn close_ends_the_stream_and_rejects_new_work() {
+    let (model, engine, detector, stream) = fixture();
+    let config = MonitorConfig::new(ExecOptions::sequential(5)).with_micro_batch(3);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    for image in stream.iter().take(5) {
+        monitor.submit(image.clone()).unwrap();
+    }
+    monitor.close();
+    assert_eq!(monitor.submit(stream[5].clone()), Err(SubmitError::Closed));
+    let mut count = 0;
+    while let Some(v) = monitor.recv() {
+        assert_eq!(v.request_id, count);
+        count += 1;
+    }
+    assert_eq!(count, 5);
+    assert!(monitor.try_recv().is_none());
+}
+
+#[test]
+fn telemetry_and_stats_describe_the_run() {
+    let (model, engine, detector, stream) = fixture();
+    let config = MonitorConfig::new(ExecOptions::seeded(9).with_threads(2)).with_micro_batch(4);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    for image in &stream {
+        monitor.submit(image.clone()).unwrap();
+    }
+    monitor.close();
+    let mut flagged_total = 0u64;
+    while let Some(v) = monitor.recv() {
+        assert!(v.telemetry.batch_size >= 1 && v.telemetry.batch_size <= 4);
+        assert!(v.telemetry.depth_at_admission >= 1);
+        assert_eq!(v.flagged, v.verdict.flagged_any());
+        flagged_total += u64::from(v.flagged);
+    }
+    let stats = monitor.shutdown();
+    assert_eq!(stats.completed, stream.len() as u64);
+    assert!(stats.batches >= (stream.len() as u64).div_ceil(4));
+    let screened: u64 = stats.per_class.iter().map(|c| c.screened).sum();
+    let flagged: u64 = stats.per_class.iter().map(|c| c.flagged).sum();
+    assert_eq!(screened, stats.completed);
+    assert_eq!(flagged, flagged_total);
+}
+
+#[test]
+fn spawn_rejects_invalid_configs() {
+    let (model, engine, detector, _) = fixture();
+    let bad = MonitorConfig::default().with_queue_capacity(0);
+    assert_eq!(
+        Monitor::spawn(engine, model, detector, bad).err(),
+        Some(MonitorConfigError::ZeroQueueCapacity)
+    );
+}

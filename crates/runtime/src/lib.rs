@@ -83,6 +83,85 @@ impl Default for Parallelism {
     }
 }
 
+/// Execution options shared by every deterministic batch entry point: the
+/// seed that roots all per-item random streams plus the worker count.
+///
+/// The unified pipeline APIs (`collect_template`, `Detector::fit`,
+/// `measure_dataset`, `measure_examples`, the monitor service) all take an
+/// `ExecOptions` instead of separate `rng`/`seed`/`parallelism` arguments.
+/// Under the runtime's determinism contract the `parallelism` field never
+/// changes results — only `seed` does.
+///
+/// ```
+/// use advhunter_runtime::{ExecOptions, Parallelism};
+///
+/// let opts = ExecOptions::seeded(42).with_threads(4);
+/// assert_eq!(opts.seed, 42);
+/// assert_eq!(opts.parallelism.threads(), 4);
+/// assert_eq!(ExecOptions::sequential(7).parallelism, Parallelism::sequential());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Root seed for derived per-item random streams.
+    pub seed: u64,
+    /// Worker count for the parallel stages.
+    pub parallelism: Parallelism,
+}
+
+impl ExecOptions {
+    /// Options with an explicit seed and worker count.
+    pub fn new(seed: u64, parallelism: Parallelism) -> Self {
+        Self { seed, parallelism }
+    }
+
+    /// Options with the environment-driven default worker count
+    /// (`ADVHUNTER_THREADS`, else available cores).
+    pub fn seeded(seed: u64) -> Self {
+        Self::new(seed, Parallelism::default())
+    }
+
+    /// Options running the exact sequential path.
+    pub fn sequential(seed: u64) -> Self {
+        Self::new(seed, Parallelism::sequential())
+    }
+
+    /// The same options with `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallelism = Parallelism::new(threads);
+        self
+    }
+
+    /// The same options with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Options for pipeline stage `stage`, with an independent seed derived
+    /// from this one via [`derive_seed`]. Lets one root seed drive a whole
+    /// multi-stage pipeline without correlated streams:
+    ///
+    /// ```
+    /// use advhunter_runtime::ExecOptions;
+    ///
+    /// let root = ExecOptions::seeded(42);
+    /// assert_ne!(root.stage(0).seed, root.stage(1).seed);
+    /// assert_eq!(root.stage(1), root.stage(1));
+    /// ```
+    pub fn stage(&self, stage: u64) -> Self {
+        Self {
+            seed: derive_seed(self.seed, stage),
+            parallelism: self.parallelism,
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self::seeded(0)
+    }
+}
+
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Derives the seed of item `index`'s private random stream from the
@@ -311,6 +390,18 @@ mod tests {
             |_: &mut (), i| i,
         );
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn exec_options_builders_compose() {
+        let opts = ExecOptions::new(9, Parallelism::new(2));
+        assert_eq!(opts.with_seed(10).seed, 10);
+        assert_eq!(opts.with_threads(8).parallelism.threads(), 8);
+        assert_eq!(opts.with_seed(10).parallelism, opts.parallelism);
+        // Stage derivation is pure and injective across stage indices.
+        assert_eq!(opts.stage(3), opts.stage(3));
+        assert_ne!(opts.stage(3).seed, opts.stage(4).seed);
+        assert_eq!(opts.stage(3).parallelism, opts.parallelism);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
 use advhunter::offline::collect_template;
 use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_uarch::HpcEvent;
 use rand::rngs::StdRng;
@@ -29,8 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Offline phase.
-    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)?;
+    let opts = ExecOptions::seeded(7);
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &opts.stage(0),
+    );
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
 
     // The adversary: targeted FGSM pushing every category toward 'frog'.
     let report = attack_dataset(
@@ -48,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Measure both populations and score every event.
-    let adv = measure_examples(&art, &report.examples, &mut rng);
-    let clean = measure_dataset(&art, &art.split.test, Some(20), &mut rng);
+    let adv = measure_examples(&art, &report.examples, &opts.stage(2));
+    let clean = measure_dataset(&art, &art.split.test, Some(20), &opts.stage(3));
     let clean_target: Vec<_> = clean
         .into_iter()
         .filter(|s| s.true_class == target)

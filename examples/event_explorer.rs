@@ -8,6 +8,7 @@
 
 use advhunter::experiment::{measure_dataset, measure_examples};
 use advhunter::scenario::{build_scenario, ScenarioId};
+use advhunter::ExecOptions;
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_uarch::HpcEvent;
 use rand::rngs::StdRng;
@@ -40,8 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(120),
         &mut rng,
     );
-    let adv = measure_examples(&art, &report.examples, &mut rng);
-    let clean = measure_dataset(&art, &art.split.test, Some(15), &mut rng);
+    let opts = ExecOptions::seeded(5);
+    let adv = measure_examples(&art, &report.examples, &opts.stage(0));
+    let clean = measure_dataset(&art, &art.split.test, Some(15), &opts.stage(1));
     let clean_target: Vec<f64> = clean
         .iter()
         .filter(|s| s.true_class == target && s.predicted == target)

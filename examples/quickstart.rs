@@ -8,9 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use advhunter::offline::collect_template_par;
+use advhunter::offline::collect_template;
 use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{Detector, DetectorConfig, Parallelism};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_data::SplitSizes;
 use advhunter_uarch::HpcEvent;
@@ -19,12 +19,14 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
-    // Worker count for the parallel stages: available cores, or the
-    // ADVHUNTER_THREADS override. Results are identical at any setting.
-    let parallelism = Parallelism::default();
+    // One ExecOptions drives every deterministic stage: the seed fixes the
+    // noise streams, the parallelism picks the worker count (available
+    // cores, or the ADVHUNTER_THREADS override). Results are identical at
+    // any thread count.
+    let opts = ExecOptions::seeded(42);
     println!(
         "parallel runtime: {} worker thread(s)",
-        parallelism.threads()
+        opts.parallelism.threads()
     );
 
     // 1. The victim: a CNN the defender can only query for hard labels.
@@ -47,15 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    one GMM per (category, event) with a three-sigma threshold. Both
     //    stages fan out over the worker pool; seeds make them bit-for-bit
     //    reproducible at any thread count.
-    let template = collect_template_par(
+    let template = collect_template(
         &art.engine,
         &art.model,
         &art.split.val,
         None,
-        42,
-        &parallelism,
+        &opts.stage(0),
     );
-    let detector = Detector::fit_par(&template, &DetectorConfig::default(), 43, &parallelism)?;
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
     println!(
         "offline phase done: {} categories, {} events, M ≥ {} images/category",
         detector.num_classes(),
@@ -69,12 +70,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clean_images = &art.split.test.images()[..batch_len];
     let measurements = art
         .engine
-        .measure_batch(&art.model, clean_images, 44, &parallelism);
+        .measure_batch(&art.model, clean_images, 44, &opts.parallelism);
     let queries: Vec<(usize, _)> = measurements
         .iter()
         .map(|m| (m.predicted, m.sample))
         .collect();
-    let verdicts = detector.detect_batch(&queries, HpcEvent::CacheMisses, &parallelism);
+    let verdicts = detector.detect_batch(&queries, HpcEvent::CacheMisses, &opts.parallelism);
     for (i, (m, verdict)) in measurements.iter().zip(&verdicts).enumerate() {
         let label = art.split.test.labels()[i];
         println!(

@@ -8,7 +8,7 @@
 
 use advhunter::offline::collect_template;
 use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{BinaryConfusion, Detector, DetectorConfig};
+use advhunter::{BinaryConfusion, Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_tensor::Tensor;
 use advhunter_uarch::HpcEvent;
@@ -27,8 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         art.clean_accuracy * 100.0
     );
 
-    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)?;
+    let opts = ExecOptions::seeded(33);
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &opts.stage(0),
+    );
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
 
     // A stream of 40 inferences: each is either a clean test sign or a
     // PGD-perturbed one (untargeted, ε = 0.2).

@@ -1,0 +1,160 @@
+//! The unified, `ExecOptions`-driven entry points (`collect_template`,
+//! `Detector::fit`, `measure_dataset`, `measure_examples`) are
+//! thread-count invariant: the sequential path and the worker-pool path
+//! at 2 and 4 threads produce bit-identical results. This is exactly the
+//! guarantee the retired seq/`_par` API split used to encode in two
+//! function names — now it is one function and a property test.
+
+use advhunter::experiment::{measure_dataset, measure_examples};
+use advhunter::offline::collect_template;
+use advhunter::scenario::{build_scenario, ScenarioArtifacts, ScenarioId};
+use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate};
+use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
+use advhunter_data::SplitSizes;
+use advhunter_uarch::{HpcEvent, HpcSample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sequential baseline plus the pool sizes the results must agree across.
+const THREAD_COUNTS: [usize; 2] = [2, 4];
+
+fn tiny_scenario() -> ScenarioArtifacts {
+    let sizes = SplitSizes {
+        train: 12,
+        val: 10,
+        test: 8,
+    };
+    let mut rng = StdRng::seed_from_u64(0xE9);
+    build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng)
+}
+
+fn synthetic_template() -> OfflineTemplate {
+    let mut rng = StdRng::seed_from_u64(11);
+    let per_class: Vec<Vec<HpcSample>> = (0..4)
+        .map(|c| {
+            (0..40)
+                .map(|_| {
+                    let mut s = HpcSample::default();
+                    for (slot, event) in HpcEvent::ALL.into_iter().enumerate() {
+                        s.set(
+                            event,
+                            5_000.0 * (c + 1) as f64
+                                + 250.0 * slot as f64
+                                + rng.gen_range(-60.0..60.0),
+                        );
+                    }
+                    s
+                })
+                .collect()
+        })
+        .collect();
+    OfflineTemplate::from_samples(per_class)
+}
+
+#[test]
+fn collect_template_matches_sequential_at_any_thread_count() {
+    let art = tiny_scenario();
+    let baseline = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &ExecOptions::sequential(41),
+    );
+    for threads in THREAD_COUNTS {
+        let pooled = collect_template(
+            &art.engine,
+            &art.model,
+            &art.split.val,
+            None,
+            &ExecOptions::seeded(41).with_threads(threads),
+        );
+        assert_eq!(
+            baseline, pooled,
+            "collect_template diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn detector_fit_matches_sequential_at_any_thread_count() {
+    let template = synthetic_template();
+    let config = DetectorConfig::default();
+    let baseline = Detector::fit(&template, &config, &ExecOptions::sequential(42)).unwrap();
+    for threads in THREAD_COUNTS {
+        let pooled = Detector::fit(
+            &template,
+            &config,
+            &ExecOptions::seeded(42).with_threads(threads),
+        )
+        .unwrap();
+        // Detector equality covers every GMM parameter and threshold.
+        assert_eq!(
+            baseline, pooled,
+            "Detector::fit diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn measure_dataset_matches_sequential_at_any_thread_count() {
+    let art = tiny_scenario();
+    let baseline = measure_dataset(&art, &art.split.test, Some(3), &ExecOptions::sequential(43));
+    assert!(!baseline.is_empty());
+    for threads in THREAD_COUNTS {
+        let pooled = measure_dataset(
+            &art,
+            &art.split.test,
+            Some(3),
+            &ExecOptions::seeded(43).with_threads(threads),
+        );
+        assert_eq!(
+            baseline, pooled,
+            "measure_dataset diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn measure_examples_matches_sequential_at_any_thread_count() {
+    let art = tiny_scenario();
+    let mut rng = StdRng::seed_from_u64(0xEA);
+    let report = attack_dataset(
+        &art.model,
+        &art.split.test,
+        &Attack::fgsm(0.5),
+        AttackGoal::Untargeted,
+        Some(6),
+        &mut rng,
+    );
+    assert!(!report.examples.is_empty(), "attack produced no examples");
+    let baseline = measure_examples(&art, &report.examples, &ExecOptions::sequential(44));
+    for threads in THREAD_COUNTS {
+        let pooled = measure_examples(
+            &art,
+            &report.examples,
+            &ExecOptions::seeded(44).with_threads(threads),
+        );
+        assert_eq!(
+            baseline, pooled,
+            "measure_examples diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn stage_seeds_are_independent() {
+    // Two stages of the same ExecOptions must not share a noise stream:
+    // measuring the same dataset under stage(0) and stage(1) yields
+    // different samples, while repeating a stage reproduces it exactly.
+    let art = tiny_scenario();
+    let opts = ExecOptions::seeded(45);
+    let a = measure_dataset(&art, &art.split.test, Some(2), &opts.stage(0));
+    let b = measure_dataset(&art, &art.split.test, Some(2), &opts.stage(0));
+    let c = measure_dataset(&art, &art.split.test, Some(2), &opts.stage(1));
+    assert_eq!(a, b, "same stage must reproduce bit-identically");
+    assert!(
+        a.iter().zip(&c).any(|(x, y)| x.sample != y.sample),
+        "different stages must draw different measurement noise"
+    );
+}

@@ -1,8 +1,8 @@
 //! Cross-crate integration: everything in the pipeline is reproducible
 //! from seeds — datasets, models, traces, measurements, and detectors.
 
-use advhunter::offline::{collect_template, collect_template_par};
-use advhunter::{Detector, DetectorConfig, Parallelism};
+use advhunter::offline::collect_template;
+use advhunter::{Detector, DetectorConfig, ExecOptions, Parallelism};
 use advhunter_data::{scenarios, SplitSizes};
 use advhunter_exec::TraceEngine;
 use advhunter_nn::{models, Graph};
@@ -89,30 +89,28 @@ fn measure_batch_is_identical_across_thread_counts() {
 }
 
 #[test]
-fn collect_template_par_is_identical_across_thread_counts() {
+fn collect_template_is_identical_across_thread_counts() {
     let split = scenarios::cifar10_like(9, &tiny_sizes());
     let model = tiny_model(1);
     let engine = TraceEngine::new(&model);
-    let sequential = collect_template_par(
+    let sequential = collect_template(
         &engine,
         &model,
         &split.val,
         None,
-        5,
-        &Parallelism::sequential(),
+        &ExecOptions::sequential(5),
     );
     for threads in THREAD_COUNTS {
-        let parallel = collect_template_par(
+        let parallel = collect_template(
             &engine,
             &model,
             &split.val,
             None,
-            5,
-            &Parallelism::new(threads),
+            &ExecOptions::seeded(5).with_threads(threads),
         );
         assert_eq!(
             sequential, parallel,
-            "collect_template_par diverged at {threads} threads"
+            "collect_template diverged at {threads} threads"
         );
     }
 }
@@ -141,15 +139,16 @@ fn gmm_bank_fit_is_identical_across_thread_counts() {
         .collect();
     let template = advhunter::OfflineTemplate::from_samples(per_class);
     let config = DetectorConfig::default();
-    let sequential = Detector::fit_par(&template, &config, 13, &Parallelism::sequential()).unwrap();
+    let sequential = Detector::fit(&template, &config, &ExecOptions::sequential(13)).unwrap();
     for threads in THREAD_COUNTS {
-        let parallel =
-            Detector::fit_par(&template, &config, 13, &Parallelism::new(threads)).unwrap();
+        let parallel = Detector::fit(
+            &template,
+            &config,
+            &ExecOptions::seeded(13).with_threads(threads),
+        )
+        .unwrap();
         // Detector equality covers every GMM parameter and threshold.
-        assert_eq!(
-            sequential, parallel,
-            "fit_par diverged at {threads} threads"
-        );
+        assert_eq!(sequential, parallel, "fit diverged at {threads} threads");
     }
 }
 
@@ -160,8 +159,9 @@ fn end_to_end_parallel_pipeline_is_identical_across_thread_counts() {
     let engine = TraceEngine::new(&model);
     let run = |threads: usize| {
         let parallelism = Parallelism::new(threads);
-        let template = collect_template_par(&engine, &model, &split.val, None, 21, &parallelism);
-        let detector = Detector::fit_par(&template, &DetectorConfig::default(), 22, &parallelism);
+        let opts = ExecOptions::new(21, parallelism);
+        let template = collect_template(&engine, &model, &split.val, None, &opts.stage(0));
+        let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1));
         let measurements = engine.measure_batch(&model, split.test.images(), 23, &parallelism);
         let queries: Vec<(usize, HpcSample)> = measurements
             .iter()
@@ -191,9 +191,9 @@ fn detectors_are_seed_deterministic() {
     let model = tiny_model(1);
     let engine = TraceEngine::new(&model);
     let fit_once = |seed: u64| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let template = collect_template(&engine, &model, &split.val, None, &mut rng);
-        Detector::fit(&template, &DetectorConfig::default(), &mut rng)
+        let opts = ExecOptions::seeded(seed);
+        let template = collect_template(&engine, &model, &split.val, None, &opts.stage(0));
+        Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
     };
     // With an untrained model many classes may be empty; accept either
     // outcome, but demand it is the *same* outcome.

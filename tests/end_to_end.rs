@@ -6,7 +6,7 @@
 use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
 use advhunter::offline::collect_template;
 use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{Detector, DetectorConfig};
+use advhunter::{Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_data::SplitSizes;
 use advhunter_uarch::HpcEvent;
@@ -37,8 +37,15 @@ fn cache_misses_detect_what_branches_cannot() {
     );
 
     // Offline phase.
-    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &mut rng)
+    let opts = ExecOptions::seeded(0xE2E);
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &opts.stage(0),
+    );
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
         .expect("detector fits on the validation template");
 
     // A strong targeted attack (the paper's Table 2 setting).
@@ -57,8 +64,8 @@ fn cache_misses_detect_what_branches_cannot() {
         report.examples.len()
     );
 
-    let adv = measure_examples(&art, &report.examples, &mut rng);
-    let clean = measure_dataset(&art, &art.split.test, None, &mut rng);
+    let adv = measure_examples(&art, &report.examples, &opts.stage(2));
+    let clean = measure_dataset(&art, &art.split.test, None, &opts.stage(3));
     let clean_target: Vec<_> = clean
         .into_iter()
         .filter(|s| s.true_class == target)
@@ -89,11 +96,18 @@ fn cache_misses_detect_what_branches_cannot() {
 fn detector_keeps_false_positives_low_on_clean_traffic() {
     let mut rng = StdRng::seed_from_u64(0xE2F);
     let art = build_scenario(ScenarioId::CaseStudy, Some(small_sizes()), &mut rng);
-    let template = collect_template(&art.engine, &art.model, &art.split.val, None, &mut rng);
+    let opts = ExecOptions::seeded(0xE2F);
+    let template = collect_template(
+        &art.engine,
+        &art.model,
+        &art.split.val,
+        None,
+        &opts.stage(0),
+    );
     let detector =
-        Detector::fit(&template, &DetectorConfig::default(), &mut rng).expect("detector fit");
+        Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1)).expect("detector fit");
 
-    let clean = measure_dataset(&art, &art.split.test, None, &mut rng);
+    let clean = measure_dataset(&art, &art.split.test, None, &opts.stage(2));
     let mut flagged = 0usize;
     let mut scored = 0usize;
     for s in &clean {
