@@ -9,10 +9,16 @@
 //!                  [--eps F] [--targeted] [-n N]
 //!                                       screen clean + attacked inferences
 //! advhunter monitor <SCN> [--attack A] [--eps F] [-n N] [--capacity N]
-//!                  [--batch N] [--shed]
+//!                  [--batch N] [--shed] [--tiny]
+//!                  [--metrics-json PATH]
 //!                                       replay a clean + attacked stream
 //!                                       through the online monitor service
 //! ```
+//!
+//! `monitor` extras: `--tiny` shrinks the dataset splits for smoke runs,
+//! `--metrics-json PATH` writes the unified telemetry snapshot (monitor +
+//! engine + worker pool) as JSON on shutdown, and a `metrics:` summary
+//! line goes to stderr periodically during the stream.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -20,7 +26,7 @@ use std::time::Instant;
 
 use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
 use advhunter::offline::collect_template;
-use advhunter::scenario::{build_scenario, ScenarioId};
+use advhunter::scenario::{build_scenario, ScenarioId, SplitSizes};
 use advhunter::{load_detector, save_detector, Detector, DetectorConfig, ExecOptions};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
@@ -94,6 +100,20 @@ struct AttackFlags {
     capacity: usize,
     batch: usize,
     shed: bool,
+    tiny: bool,
+    metrics_json: Option<String>,
+}
+
+impl AttackFlags {
+    /// Split sizes for `build_scenario`: the scenario default, or a
+    /// smoke-test split under `--tiny`.
+    fn sizes(&self) -> Option<SplitSizes> {
+        self.tiny.then_some(SplitSizes {
+            train: 30,
+            val: 40,
+            test: 10,
+        })
+    }
 }
 
 fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
@@ -104,6 +124,8 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
     let mut capacity = 64usize;
     let mut batch = 8usize;
     let mut shed = false;
+    let mut tiny = false;
+    let mut metrics_json = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -147,6 +169,18 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
                 shed = true;
                 i += 1;
             }
+            "--tiny" => {
+                tiny = true;
+                i += 1;
+            }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    args.get(i + 1)
+                        .ok_or("--metrics-json needs a path")?
+                        .clone(),
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -164,6 +198,8 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
         capacity,
         batch,
         shed,
+        tiny,
+        metrics_json,
     })
 }
 
@@ -265,7 +301,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let id = parse_scenario(args.first())?;
     let flags = parse_attack_flags(&args[1..])?;
     let mut rng = StdRng::seed_from_u64(0xC14);
-    let art = build_scenario(id, None, &mut rng);
+    let art = build_scenario(id, flags.sizes(), &mut rng);
     let opts = ExecOptions::seeded(0xC14);
 
     // Offline phase: fit a detector in-process from the validation split.
@@ -387,9 +423,30 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
                 rate(clean_flagged, clean_seen) * 100.0,
                 rate(adv_flagged, adv_seen) * 100.0
             );
+            // Periodic operational summary on stderr, from the unified
+            // telemetry snapshot (stdout stays a clean results table).
+            let snap = monitor.metrics_snapshot();
+            let p50_us = snap
+                .histogram("advhunter_monitor_verdict_latency_ns")
+                .and_then(|h| h.quantile(0.5))
+                .unwrap_or(0)
+                / 1_000;
+            eprintln!(
+                "metrics: completed={done} depth={} shed={} blocked={} \
+                 batches={} p50_verdict_latency_us<={p50_us}",
+                monitor.queue_depth(),
+                s.shed,
+                s.blocked,
+                s.batches,
+            );
         }
     }
     let elapsed = start.elapsed();
+    if let Some(path) = &flags.metrics_json {
+        std::fs::write(path, monitor.metrics_snapshot().render_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
+    }
     let stats = monitor.shutdown();
 
     println!("\nstream done in {:.2}s", elapsed.as_secs_f64());
@@ -398,8 +455,13 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         stats.completed as f64 / elapsed.as_secs_f64().max(1e-9)
     );
     println!(
-        "  submitted {} · completed {} · shed {} · {} micro-batches · max depth {}",
-        stats.submitted, stats.completed, stats.shed, stats.batches, stats.max_queue_depth
+        "  submitted {} · completed {} · shed {} · blocked {} · {} micro-batches · max depth {}",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.blocked,
+        stats.batches,
+        stats.max_queue_depth
     );
     println!(
         "  mean queued {:?} · mean measure/batch {:?} · mean score/batch {:?}",

@@ -330,24 +330,6 @@ impl Detector {
         })
     }
 
-    /// Forwarding shim for the pre-`ExecOptions` name.
-    ///
-    /// # Errors
-    ///
-    /// See [`fit`](Self::fit).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Detector::fit` with an `ExecOptions` instead"
-    )]
-    pub fn fit_par(
-        template: &OfflineTemplate,
-        config: &DetectorConfig,
-        seed: u64,
-        parallelism: &Parallelism,
-    ) -> Result<Self, FitDetectorError> {
-        Self::fit(template, config, &ExecOptions::new(seed, *parallelism))
-    }
-
     /// Reassembles a detector from its parts (used by persistence).
     pub(crate) fn from_parts(models: Vec<Vec<Option<EventModel>>>, events: Vec<HpcEvent>) -> Self {
         Self { models, events }

@@ -6,7 +6,7 @@
 
 use advhunter_attacks::{attack_dataset, AdversarialExample, Attack, AttackGoal, AttackReport};
 use advhunter_data::Dataset;
-use advhunter_runtime::{ExecOptions, Parallelism};
+use advhunter_runtime::ExecOptions;
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::Rng;
 
@@ -86,40 +86,6 @@ pub fn measure_examples(
             sample: m.sample,
         })
         .collect()
-}
-
-/// Forwarding shim for the pre-`ExecOptions` name.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `measure_dataset` with an `ExecOptions` instead"
-)]
-pub fn measure_dataset_par(
-    art: &ScenarioArtifacts,
-    dataset: &Dataset,
-    limit_per_class: Option<usize>,
-    seed: u64,
-    parallelism: &Parallelism,
-) -> Vec<LabeledSample> {
-    measure_dataset(
-        art,
-        dataset,
-        limit_per_class,
-        &ExecOptions::new(seed, *parallelism),
-    )
-}
-
-/// Forwarding shim for the pre-`ExecOptions` name.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `measure_examples` with an `ExecOptions` instead"
-)]
-pub fn measure_examples_par(
-    art: &ScenarioArtifacts,
-    examples: &[AdversarialExample],
-    seed: u64,
-    parallelism: &Parallelism,
-) -> Vec<LabeledSample> {
-    measure_examples(art, examples, &ExecOptions::new(seed, *parallelism))
 }
 
 /// Scores a detector on one event over a clean set and an adversarial

@@ -62,12 +62,14 @@ pub mod persist;
 pub mod report;
 pub mod scenario;
 
-pub use advhunter_runtime::{derive_seed, ExecOptions, Parallelism};
+pub use advhunter_runtime::{
+    derive_seed, ExecOptions, ExecOptionsBuilder, ExecOptionsError, Parallelism,
+};
 pub use detector::{
     Detector, DetectorConfig, DetectorConfigBuilder, DetectorConfigError, EventModel, EventScore,
     FitDetectorError,
 };
 pub use metrics::{mean_std, BinaryConfusion};
 pub use offline::{collect_template, OfflineTemplate};
-pub use persist::{load_detector, save_detector, PersistDetectorError};
+pub use persist::{load_detector, save_detector, PersistError};
 pub use verdict::{AnomalyDetector, Verdict};

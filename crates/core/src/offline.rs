@@ -3,7 +3,7 @@
 use advhunter_data::Dataset;
 use advhunter_exec::TraceEngine;
 use advhunter_nn::Graph;
-use advhunter_runtime::{ExecOptions, Parallelism};
+use advhunter_runtime::ExecOptions;
 use advhunter_uarch::HpcSample;
 use rand::Rng;
 
@@ -88,28 +88,6 @@ pub fn collect_template(
         per_class[label].push(m.sample);
     }
     OfflineTemplate::from_samples(per_class)
-}
-
-/// Forwarding shim for the pre-`ExecOptions` name.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `collect_template` with an `ExecOptions` instead"
-)]
-pub fn collect_template_par(
-    engine: &TraceEngine,
-    model: &Graph,
-    validation: &Dataset,
-    per_class_cap: Option<usize>,
-    seed: u64,
-    parallelism: &Parallelism,
-) -> OfflineTemplate {
-    collect_template(
-        engine,
-        model,
-        validation,
-        per_class_cap,
-        &ExecOptions::new(seed, *parallelism),
-    )
 }
 
 #[cfg(test)]

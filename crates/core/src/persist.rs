@@ -1,9 +1,14 @@
 //! Detector persistence: save a fitted [`Detector`] to disk and load it
 //! back, so the (expensive) offline phase runs once per deployment.
 //!
-//! Format (`AHD1`): magic, category count, then per category and per event
-//! an optional [`EventModel`] — threshold plus the GMM's weights, means,
-//! and variances, all little-endian `f64`.
+//! Format: the `AHD` magic, a one-byte format version (currently `1`,
+//! making the header the familiar `AHD1` byte string), category count,
+//! then per category and per event an optional [`EventModel`] — threshold
+//! plus the GMM's weights, means, and variances, all little-endian `f64`.
+//! Files written by earlier releases under the `AHD1` name load
+//! unchanged; a future format bump changes only the version byte, so old
+//! binaries reject new files with a precise [`PersistError::UnsupportedVersion`]
+//! instead of a generic parse failure.
 
 use std::fmt;
 use std::fs;
@@ -15,27 +20,58 @@ use advhunter_uarch::HpcEvent;
 
 use crate::detector::{Detector, EventModel};
 
-const MAGIC: &[u8; 4] = b"AHD1";
+const MAGIC: &[u8; 3] = b"AHD";
+/// The format version this build writes and the only one it reads.
+const VERSION: u8 = b'1';
 
 /// Error persisting or restoring a detector.
 #[derive(Debug)]
-pub enum PersistDetectorError {
+#[non_exhaustive]
+pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// Not an `AHD1` detector file, or structurally malformed.
+    /// The file does not start with the `AHD` magic — not a detector file.
+    BadMagic,
+    /// The file is a detector file, but of a format version this build
+    /// does not understand.
+    UnsupportedVersion {
+        /// The version byte found in the file.
+        found: u8,
+        /// The version this build supports.
+        supported: u8,
+    },
+    /// The file ended before the structure it declares was complete.
+    Truncated {
+        /// Bytes the parser needed at the point of failure.
+        needed: usize,
+        /// Bytes actually remaining in the file.
+        available: usize,
+    },
+    /// Structurally well-formed reads produced invalid content.
     Malformed(&'static str),
 }
 
-impl fmt::Display for PersistDetectorError {
+impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "detector file I/O failed: {e}"),
+            Self::BadMagic => write!(f, "not a detector file (missing AHD magic)"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported detector format version {} (this build reads version {})",
+                char::from(*found),
+                char::from(*supported),
+            ),
+            Self::Truncated { needed, available } => write!(
+                f,
+                "truncated detector file: needed {needed} more bytes, {available} available"
+            ),
             Self::Malformed(what) => write!(f, "malformed detector file: {what}"),
         }
     }
 }
 
-impl std::error::Error for PersistDetectorError {
+impl std::error::Error for PersistError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
@@ -44,7 +80,7 @@ impl std::error::Error for PersistDetectorError {
     }
 }
 
-impl From<io::Error> for PersistDetectorError {
+impl From<io::Error> for PersistError {
     fn from(e: io::Error) -> Self {
         Self::Io(e)
     }
@@ -54,13 +90,14 @@ impl From<io::Error> for PersistDetectorError {
 ///
 /// # Errors
 ///
-/// Returns [`PersistDetectorError::Io`] on filesystem failures.
-pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistDetectorError> {
+/// Returns [`PersistError::Io`] on filesystem failures.
+pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistError> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
     push_u32(&mut buf, detector.num_classes() as u32);
     push_u32(&mut buf, detector.events().len() as u32);
     for &event in detector.events() {
@@ -96,35 +133,43 @@ pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistDete
 ///
 /// # Errors
 ///
-/// Returns [`PersistDetectorError`] if the file is missing, truncated, or
-/// not a detector file.
-pub fn load_detector(path: &Path) -> Result<Detector, PersistDetectorError> {
+/// Returns [`PersistError`] if the file is missing ([`PersistError::Io`]),
+/// not a detector file ([`PersistError::BadMagic`]), of a newer format
+/// ([`PersistError::UnsupportedVersion`]), cut short
+/// ([`PersistError::Truncated`]), or carries invalid content
+/// ([`PersistError::Malformed`]).
+pub fn load_detector(path: &Path) -> Result<Detector, PersistError> {
     let mut data = Vec::new();
     fs::File::open(path)?.read_to_end(&mut data)?;
     let mut cur = 0usize;
-    if take(&data, &mut cur, 4)? != MAGIC {
-        return Err(PersistDetectorError::Malformed("bad magic"));
+    if take(&data, &mut cur, MAGIC.len())? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = take(&data, &mut cur, 1)?[0];
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
     }
     let num_classes = read_u32(&data, &mut cur)? as usize;
     let num_events = read_u32(&data, &mut cur)? as usize;
     if num_events > HpcEvent::ALL.len() {
-        return Err(PersistDetectorError::Malformed("too many events"));
+        return Err(PersistError::Malformed("too many events"));
     }
     let mut events = Vec::with_capacity(num_events);
     for _ in 0..num_events {
         let idx = read_u32(&data, &mut cur)? as usize;
         let event = *HpcEvent::ALL
             .get(idx)
-            .ok_or(PersistDetectorError::Malformed("bad event index"))?;
+            .ok_or(PersistError::Malformed("bad event index"))?;
         events.push(event);
     }
     let mut models: Vec<Vec<Option<EventModel>>> = Vec::with_capacity(num_classes);
     for _ in 0..num_classes {
         let mut row: Vec<Option<EventModel>> = Vec::with_capacity(HpcEvent::ALL.len());
         for _ in HpcEvent::ALL {
-            let tag = *take(&data, &mut cur, 1)?
-                .first()
-                .ok_or(PersistDetectorError::Malformed("missing tag"))?;
+            let tag = take(&data, &mut cur, 1)?[0];
             if tag == 0 {
                 row.push(None);
                 continue;
@@ -132,7 +177,7 @@ pub fn load_detector(path: &Path) -> Result<Detector, PersistDetectorError> {
             let threshold = read_f64(&data, &mut cur)?;
             let k = read_u32(&data, &mut cur)? as usize;
             if k == 0 || k > 64 {
-                return Err(PersistDetectorError::Malformed("bad component count"));
+                return Err(PersistError::Malformed("bad component count"));
             }
             let mut weights = Vec::with_capacity(k);
             for _ in 0..k {
@@ -148,9 +193,7 @@ pub fn load_detector(path: &Path) -> Result<Detector, PersistDetectorError> {
             }
             let wsum: f64 = weights.iter().sum();
             if !(0.999..=1.001).contains(&wsum) || variances.iter().any(|&v| v <= 0.0) {
-                return Err(PersistDetectorError::Malformed(
-                    "invalid mixture parameters",
-                ));
+                return Err(PersistError::Malformed("invalid mixture parameters"));
             }
             row.push(Some(EventModel {
                 gmm: Gmm1d::from_parameters(weights, means, variances),
@@ -170,20 +213,23 @@ fn push_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn take<'d>(data: &'d [u8], cur: &mut usize, n: usize) -> Result<&'d [u8], PersistDetectorError> {
+fn take<'d>(data: &'d [u8], cur: &mut usize, n: usize) -> Result<&'d [u8], PersistError> {
     if *cur + n > data.len() {
-        return Err(PersistDetectorError::Malformed("truncated file"));
+        return Err(PersistError::Truncated {
+            needed: n,
+            available: data.len() - *cur,
+        });
     }
     let s = &data[*cur..*cur + n];
     *cur += n;
     Ok(s)
 }
 
-fn read_u32(data: &[u8], cur: &mut usize) -> Result<u32, PersistDetectorError> {
+fn read_u32(data: &[u8], cur: &mut usize) -> Result<u32, PersistError> {
     Ok(u32::from_le_bytes(take(data, cur, 4)?.try_into().unwrap()))
 }
 
-fn read_f64(data: &[u8], cur: &mut usize) -> Result<f64, PersistDetectorError> {
+fn read_f64(data: &[u8], cur: &mut usize) -> Result<f64, PersistError> {
     Ok(f64::from_le_bytes(take(data, cur, 8)?.try_into().unwrap()))
 }
 
@@ -236,6 +282,15 @@ mod tests {
         save_detector(&d, &path).unwrap();
         let loaded = load_detector(&path).unwrap();
         assert_eq!(d, loaded);
+    }
+
+    #[test]
+    fn header_is_the_legacy_ahd1_byte_string() {
+        let d = fitted();
+        let path = tempfile("header.ahd");
+        save_detector(&d, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], b"AHD1", "magic+version must stay AHD1");
     }
 
     #[test]
@@ -300,25 +355,51 @@ mod tests {
     }
 
     #[test]
-    fn garbage_is_rejected() {
+    fn garbage_is_rejected_as_bad_magic() {
         let path = tempfile("garbage.ahd");
         fs::write(&path, b"definitely not a detector").unwrap();
-        assert!(matches!(
-            load_detector(&path),
-            Err(PersistDetectorError::Malformed(_))
-        ));
+        assert!(matches!(load_detector(&path), Err(PersistError::BadMagic)));
     }
 
     #[test]
-    fn truncation_is_rejected() {
+    fn future_version_is_rejected_with_both_versions() {
+        let d = fitted();
+        let path = tempfile("future.ahd");
+        save_detector(&d, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3] = b'2';
+        fs::write(&path, &bytes).unwrap();
+        match load_detector(&path) {
+            Err(PersistError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, b'2');
+                assert_eq!(supported, b'1');
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_reports_needed_and_available() {
         let d = fitted();
         let path = tempfile("trunc.ahd");
         save_detector(&d, &path).unwrap();
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 9]).unwrap();
+        match load_detector(&path) {
+            Err(PersistError::Truncated { needed, available }) => {
+                assert!(available < needed, "needed {needed}, available {available}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_only_file_is_truncated_not_malformed() {
+        let path = tempfile("header-only.ahd");
+        fs::write(&path, b"AHD1").unwrap();
         assert!(matches!(
             load_detector(&path),
-            Err(PersistDetectorError::Malformed(_))
+            Err(PersistError::Truncated { .. })
         ));
     }
 
@@ -326,7 +407,25 @@ mod tests {
     fn missing_file_is_io_error() {
         assert!(matches!(
             load_detector(Path::new("/definitely/not/here.ahd")),
-            Err(PersistDetectorError::Io(_))
+            Err(PersistError::Io(_))
         ));
+    }
+
+    #[test]
+    fn errors_display_their_specifics() {
+        let v = PersistError::UnsupportedVersion {
+            found: b'2',
+            supported: b'1',
+        };
+        assert_eq!(
+            v.to_string(),
+            "unsupported detector format version 2 (this build reads version 1)"
+        );
+        let t = PersistError::Truncated {
+            needed: 8,
+            available: 3,
+        };
+        assert!(t.to_string().contains("needed 8"));
+        assert!(t.to_string().contains("3 available"));
     }
 }

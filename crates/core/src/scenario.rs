@@ -1,7 +1,8 @@
 //! The paper's evaluation scenarios: dataset + architecture + trained model
 //! (Table 1), plus the Figure 1 case-study CNN.
 
-use advhunter_data::{scenarios as data_scenarios, SplitDataset, SplitSizes};
+pub use advhunter_data::SplitSizes;
+use advhunter_data::{scenarios as data_scenarios, SplitDataset};
 use advhunter_exec::TraceEngine;
 use advhunter_nn::train::{evaluate, fit, TrainConfig};
 use advhunter_nn::{io, models, Graph};

@@ -1,12 +1,68 @@
 //! The instrumented-inference engine.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use advhunter_nn::{Graph, Mode, Workspace};
 use advhunter_runtime::{parallel_map_with, Parallelism};
+use advhunter_telemetry::{Counter, Histogram};
 use advhunter_tensor::Tensor;
-use advhunter_uarch::{CounterGroup, HpcCounts, HpcSample, MachineConfig, Sampler};
+use advhunter_uarch::{CounterGroup, HpcCounts, HpcEvent, HpcSample, MachineConfig, Sampler};
 use rand::Rng;
+
+/// Telemetry handles for the measurement hot path, registered once in the
+/// global registry. Observational only — the measured counts, predictions,
+/// and noise streams are untouched, and stage spans read the clock only
+/// when telemetry is enabled.
+struct EngineMetrics {
+    measurements: Arc<Counter>,
+    scratch_pool_hits: Arc<Counter>,
+    scratch_pool_misses: Arc<Counter>,
+    forward_ns: Arc<Histogram>,
+    trace_ns: Arc<Histogram>,
+    /// Cumulative simulated-HPC event totals, indexed like
+    /// [`HpcEvent::ALL`].
+    event_totals: [Arc<Counter>; HpcEvent::ALL.len()],
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = advhunter_telemetry::global();
+        EngineMetrics {
+            measurements: r.counter(
+                "advhunter_exec_measurements_total",
+                "Instrumented inferences replayed through the simulated machine",
+            ),
+            scratch_pool_hits: r.counter(
+                "advhunter_exec_scratch_pool_hits_total",
+                "Measurements that recycled a pooled TraceScratch",
+            ),
+            scratch_pool_misses: r.counter(
+                "advhunter_exec_scratch_pool_misses_total",
+                "Measurements that had to allocate a fresh TraceScratch",
+            ),
+            forward_ns: r.histogram(
+                "advhunter_exec_forward_ns",
+                "Wall time of the model forward pass per measurement",
+            ),
+            trace_ns: r.histogram(
+                "advhunter_exec_trace_ns",
+                "Wall time of the trace replay through the cache/branch model per measurement",
+            ),
+            event_totals: HpcEvent::ALL.map(|event| {
+                // Prometheus metric names cannot contain '-'.
+                let name = format!(
+                    "advhunter_exec_event_{}_total",
+                    event.perf_name().replace('-', "_").to_lowercase()
+                );
+                r.counter(
+                    &name,
+                    "Cumulative noise-free simulated counts for this HPC event",
+                )
+            }),
+        }
+    })
+}
 
 use crate::kernels::tile_active_counts_into;
 use crate::layout::MemoryLayout;
@@ -115,7 +171,16 @@ impl TraceEngine {
 
     fn pooled_scratch(&self, graph: &Graph) -> TraceScratch {
         let recycled = self.pool.lock().expect("scratch pool poisoned").pop();
-        recycled.unwrap_or_else(|| self.scratch(graph))
+        match recycled {
+            Some(scratch) => {
+                engine_metrics().scratch_pool_hits.inc();
+                scratch
+            }
+            None => {
+                engine_metrics().scratch_pool_misses.inc();
+                self.scratch(graph)
+            }
+        }
     }
 
     fn recycle(&self, scratch: TraceScratch) {
@@ -247,19 +312,29 @@ impl TraceEngine {
             graph.input_dims(),
             "image shape must match model input"
         );
+        let metrics = engine_metrics();
+        metrics.measurements.inc();
         let TraceScratch { ws, tiles, group } = scratch;
         // A CHW image is a batch of one — same flat data, no copy needed.
+        let forward_span = metrics.forward_ns.span();
         graph.forward_with(image, Mode::Eval, ws);
         let predicted = argmax_row(ws.output());
+        forward_span.finish();
 
         // Reused machine, but reset to cold: identical to a fresh one.
+        let trace_span = metrics.trace_ns.span();
         group.reset_machine();
         group.enable();
         for node_plan in &self.plan.nodes {
             execute_node(group, node_plan, image, ws, tiles);
         }
         group.disable();
-        (predicted, group.read())
+        trace_span.finish();
+        let counts = group.read();
+        for (event, counter) in HpcEvent::ALL.iter().zip(&metrics.event_totals) {
+            counter.add(counts.get(*event));
+        }
+        (predicted, counts)
     }
 }
 

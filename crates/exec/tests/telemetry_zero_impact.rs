@@ -1,0 +1,73 @@
+//! The zero-impact contract, end to end: toggling telemetry recording
+//! must never change a measured result, sequentially or across the
+//! worker pool.
+//!
+//! The telemetry switch is process-global, so every enable/disable
+//! transition lives inside this single test function — the contract
+//! itself (results are a pure function of `(image, seed, index)`) is
+//! what makes the interleaving safe to assert.
+
+use advhunter_exec::TraceEngine;
+use advhunter_nn::{Graph, GraphBuilder};
+use advhunter_runtime::Parallelism;
+use advhunter_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_model(seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(&[1, 8, 8]);
+    let input = b.input();
+    let c = b.conv2d("conv", input, 4, 3, 1, 1, &mut rng);
+    let r = b.relu("relu", c);
+    let f = b.flatten("flat", r);
+    b.linear("fc", f, 4, &mut rng);
+    b.build()
+}
+
+#[test]
+fn measurements_are_bit_identical_with_telemetry_on_and_off() {
+    let model = small_model(11);
+    let engine = TraceEngine::new(&model);
+    let mut rng = StdRng::seed_from_u64(7);
+    let images: Vec<_> = (0..12)
+        .map(|_| init::uniform(&mut rng, &[1, 8, 8], 0.0, 1.0))
+        .collect();
+
+    // Single-image path: same (image, seed, index), opposite switch state.
+    advhunter_telemetry::enable();
+    let on = engine.measure_indexed(&model, &images[0], 42, 0);
+    advhunter_telemetry::disable();
+    let off = engine.measure_indexed(&model, &images[0], 42, 0);
+    assert_eq!(on, off, "telemetry switch changed a single measurement");
+
+    // Batched path over real worker threads, each order of toggling.
+    advhunter_telemetry::enable();
+    let batch_on = engine.measure_batch(&model, &images, 42, &Parallelism::new(3));
+    advhunter_telemetry::disable();
+    let batch_off = engine.measure_batch(&model, &images, 42, &Parallelism::new(3));
+    advhunter_telemetry::enable();
+    assert_eq!(
+        batch_on, batch_off,
+        "telemetry switch changed a batched measurement"
+    );
+    assert_eq!(batch_on[0], on, "batch item 0 must equal the single path");
+
+    // Mid-batch toggling from another thread: recording state may change
+    // at any instant during a parallel run without perturbing results.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let flipped = std::thread::scope(|s| {
+        s.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                advhunter_telemetry::disable();
+                advhunter_telemetry::enable();
+                std::thread::yield_now();
+            }
+        });
+        let out = engine.measure_batch(&model, &images, 42, &Parallelism::new(3));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        out
+    });
+    advhunter_telemetry::enable();
+    assert_eq!(flipped, batch_on, "mid-run toggling changed measurements");
+}

@@ -41,6 +41,6 @@ mod service;
 mod stats;
 
 pub use config::{MonitorConfig, MonitorConfigError, OverloadPolicy};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{BoundedQueue, PushError, Pushed};
 pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SubmitError};
 pub use stats::{ClassFlagStats, StatsSnapshot};

@@ -27,6 +27,18 @@ pub enum PushError {
     Closed,
 }
 
+/// Outcome of a successful push.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pushed {
+    /// The admission-order id assigned under the queue lock.
+    pub id: u64,
+    /// Queue depth including the new item.
+    pub depth: usize,
+    /// Whether the push had to park on a full queue before being
+    /// admitted (always `false` for [`BoundedQueue::try_push_with`]).
+    pub blocked: bool,
+}
+
 struct QueueState<T> {
     items: VecDeque<T>,
     next_id: u64,
@@ -66,16 +78,12 @@ impl<T> BoundedQueue<T> {
 
     /// Admits `make(id, depth)` — where `id` is the next sequential id
     /// and `depth` the queue depth including the new item — or sheds.
-    /// Returns `(id, depth)`.
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] when at capacity, [`PushError::Closed`] after
     /// [`close`](Self::close).
-    pub fn try_push_with(
-        &self,
-        make: impl FnOnce(u64, usize) -> T,
-    ) -> Result<(u64, usize), PushError> {
+    pub fn try_push_with(&self, make: impl FnOnce(u64, usize) -> T) -> Result<Pushed, PushError> {
         let mut s = self.state.lock().expect("queue lock poisoned");
         if s.closed {
             return Err(PushError::Closed);
@@ -83,34 +91,42 @@ impl<T> BoundedQueue<T> {
         if s.items.len() >= self.capacity {
             return Err(PushError::Full);
         }
-        Ok(self.admit(&mut s, make))
+        Ok(self.admit(&mut s, make, false))
     }
 
     /// Admits `make(id, depth)` with the next sequential id, blocking
-    /// while the queue is at capacity. Returns `(id, depth)`.
+    /// while the queue is at capacity. [`Pushed::blocked`] reports
+    /// whether the call had to wait.
     ///
     /// # Errors
     ///
     /// [`PushError::Closed`] if the queue is (or becomes, while waiting)
     /// closed.
-    pub fn push_with(&self, make: impl FnOnce(u64, usize) -> T) -> Result<(u64, usize), PushError> {
+    pub fn push_with(&self, make: impl FnOnce(u64, usize) -> T) -> Result<Pushed, PushError> {
         let mut s = self.state.lock().expect("queue lock poisoned");
+        let mut blocked = false;
         while !s.closed && s.items.len() >= self.capacity {
+            blocked = true;
             s = self.not_full.wait(s).expect("queue lock poisoned");
         }
         if s.closed {
             return Err(PushError::Closed);
         }
-        Ok(self.admit(&mut s, make))
+        Ok(self.admit(&mut s, make, blocked))
     }
 
-    fn admit(&self, s: &mut QueueState<T>, make: impl FnOnce(u64, usize) -> T) -> (u64, usize) {
+    fn admit(
+        &self,
+        s: &mut QueueState<T>,
+        make: impl FnOnce(u64, usize) -> T,
+        blocked: bool,
+    ) -> Pushed {
         let id = s.next_id;
         s.next_id += 1;
         let depth = s.items.len() + 1;
         s.items.push_back(make(id, depth));
         self.not_empty.notify_one();
-        (id, depth)
+        Pushed { id, depth, blocked }
     }
 
     /// Takes up to `max` items in admission order, blocking while the
@@ -180,9 +196,10 @@ mod tests {
     fn ids_are_sequential_in_admission_order() {
         let q = BoundedQueue::new(8);
         for expect in 0..5u64 {
-            let (id, depth) = q.try_push_with(|id, _| id).unwrap();
-            assert_eq!(id, expect);
-            assert_eq!(depth, expect as usize + 1);
+            let p = q.try_push_with(|id, _| id).unwrap();
+            assert_eq!(p.id, expect);
+            assert_eq!(p.depth, expect as usize + 1);
+            assert!(!p.blocked, "try_push never blocks");
         }
         assert_eq!(q.pop_batch(3).unwrap(), vec![0, 1, 2]);
         assert_eq!(q.pop_batch(99).unwrap(), vec![3, 4]);
@@ -197,18 +214,44 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop_batch(1).unwrap();
         // Shed submissions never consumed an id.
-        assert_eq!(q.try_push_with(|id, _| id), Ok((2, 2)));
+        assert_eq!(
+            q.try_push_with(|id, _| id),
+            Ok(Pushed {
+                id: 2,
+                depth: 2,
+                blocked: false
+            })
+        );
     }
 
     #[test]
-    fn blocking_push_waits_for_space() {
+    fn blocking_push_waits_for_space_and_reports_it() {
+        use std::sync::atomic::{AtomicBool, Ordering};
         let q = Arc::new(BoundedQueue::new(1));
-        q.push_with(|id, _| id).unwrap();
+        assert!(!q.push_with(|id, _| id).unwrap().blocked, "queue had room");
+        let started = Arc::new(AtomicBool::new(false));
         let q2 = Arc::clone(&q);
-        let pusher = std::thread::spawn(move || q2.push_with(|id, _| id));
+        let started2 = Arc::clone(&started);
+        let pusher = std::thread::spawn(move || {
+            started2.store(true, Ordering::SeqCst);
+            q2.push_with(|id, _| id)
+        });
+        // Wait until the pusher is at (or inside) push_with, then give it
+        // a grace period to park before freeing the slot.
+        while !started.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
         // The consumer frees the slot; the blocked pusher then lands.
         assert_eq!(q.pop_batch(1).unwrap(), vec![0]);
-        assert_eq!(pusher.join().unwrap(), Ok((1, 1)));
+        assert_eq!(
+            pusher.join().unwrap(),
+            Ok(Pushed {
+                id: 1,
+                depth: 1,
+                blocked: true
+            })
+        );
         assert_eq!(q.pop_batch(1).unwrap(), vec![1]);
     }
 

@@ -173,9 +173,12 @@ impl Monitor {
             OverloadPolicy::Block => self.shared.queue.push_with(make),
         };
         match pushed {
-            Ok((id, depth)) => {
-                self.shared.stats.record_submitted(depth);
-                Ok(id)
+            Ok(p) => {
+                if p.blocked {
+                    self.shared.stats.record_blocked();
+                }
+                self.shared.stats.record_submitted(p.depth);
+                Ok(p.id)
             }
             Err(PushError::Full) => {
                 self.shared.stats.record_shed();
@@ -214,6 +217,23 @@ impl Monitor {
     /// A point-in-time copy of the operational counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// A unified telemetry snapshot: this monitor's private metrics
+    /// (queue occupancy, shed/block counts, batch sizes, stage and
+    /// end-to-end latency histograms, per-class screening counters)
+    /// merged with the process-wide registry (engine measurement spans,
+    /// simulated-HPC event totals, worker-pool utilisation).
+    ///
+    /// Render it with
+    /// [`Snapshot::render_prometheus`](advhunter_telemetry::Snapshot::render_prometheus)
+    /// or
+    /// [`Snapshot::render_json`](advhunter_telemetry::Snapshot::render_json).
+    pub fn metrics_snapshot(&self) -> advhunter_telemetry::Snapshot {
+        self.shared
+            .stats
+            .registry_snapshot()
+            .merge(advhunter_telemetry::global().snapshot())
     }
 
     /// Holds the worker before its next micro-batch: submissions keep
@@ -263,6 +283,7 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
     let micro_batch = shared.config.micro_batch;
     let exec = shared.config.exec;
     while let Some(batch) = shared.queue.pop_batch(micro_batch) {
+        shared.stats.record_drain(batch.len(), shared.queue.len());
         let measure_start = Instant::now();
         // Fan-out over the worker pool. Each request's noise stream is
         // derived from (exec.seed, request id), and the engine's pooled
@@ -286,9 +307,12 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
         for (req, verdict) in batch.iter().zip(verdicts) {
             let queued = measure_start.saturating_duration_since(req.admitted_at);
             let flagged = verdict.flagged_any();
-            shared
-                .stats
-                .record_verdict(verdict.predicted(), flagged, queued);
+            shared.stats.record_verdict(
+                verdict.predicted(),
+                flagged,
+                queued,
+                req.admitted_at.elapsed(),
+            );
             let out = MonitorVerdict {
                 request_id: req.id,
                 verdict,

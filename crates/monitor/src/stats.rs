@@ -1,96 +1,175 @@
-//! Operational counters of the monitor service.
+//! Operational counters of the monitor service, backed by the
+//! `advhunter-telemetry` registry.
 //!
-//! All counters are lock-free atomics updated by the submission and worker
-//! paths; [`MonitorStats::snapshot`] reads them into a plain
-//! [`StatsSnapshot`] for reporting. Telemetry is *observational* — none of
-//! it feeds back into measurement or scoring, so verdicts stay
-//! deterministic while latencies and depths vary run to run.
+//! Every counter, gauge, and latency histogram lives in a per-monitor
+//! [`Registry`], so the same numbers are available two ways: as the plain
+//! [`StatsSnapshot`] struct (the stable programmatic surface) and as a
+//! telemetry [`Snapshot`](advhunter_telemetry::Snapshot) renderable to
+//! Prometheus text or JSON via [`Monitor::metrics_snapshot`]. Telemetry is
+//! *observational* — none of it feeds back into measurement or scoring, so
+//! verdicts stay deterministic while latencies and depths vary run to run.
+//!
+//! [`Monitor::metrics_snapshot`]: crate::Monitor::metrics_snapshot
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Live counters shared between the submission side and the worker.
+use advhunter_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// Live counters shared between the submission side and the worker, all
+/// registered in a per-monitor registry.
 #[derive(Debug)]
 pub(crate) struct MonitorStats {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    shed: AtomicU64,
-    batches: AtomicU64,
-    max_queue_depth: AtomicU64,
-    queued_nanos: AtomicU64,
-    measure_nanos: AtomicU64,
-    score_nanos: AtomicU64,
-    /// Interleaved per-class `[screened, flagged]` pairs; the final pair
+    registry: Registry,
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    shed: Arc<Counter>,
+    blocked: Arc<Counter>,
+    batches: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    queued_ns: Arc<Histogram>,
+    measure_ns: Arc<Histogram>,
+    score_ns: Arc<Histogram>,
+    verdict_latency_ns: Arc<Histogram>,
+    /// Per-class `[screened, flagged]` counter pairs; the final pair
     /// collects predictions outside the detector's modelled range.
-    per_class: Vec<[AtomicU64; 2]>,
+    per_class: Vec<[Arc<Counter>; 2]>,
 }
 
 impl MonitorStats {
     pub(crate) fn new(num_classes: usize) -> Self {
+        let registry = Registry::new();
+        let per_class = (0..=num_classes)
+            .map(|i| {
+                let label = if i < num_classes {
+                    i.to_string()
+                } else {
+                    "other".to_string()
+                };
+                [
+                    registry.counter(
+                        &format!("advhunter_monitor_class_{label}_screened_total"),
+                        "Verdicts produced for this predicted class",
+                    ),
+                    registry.counter(
+                        &format!("advhunter_monitor_class_{label}_flagged_total"),
+                        "Verdicts flagged adversarial for this predicted class",
+                    ),
+                ]
+            })
+            .collect();
         Self {
-            submitted: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            max_queue_depth: AtomicU64::new(0),
-            queued_nanos: AtomicU64::new(0),
-            measure_nanos: AtomicU64::new(0),
-            score_nanos: AtomicU64::new(0),
-            per_class: (0..=num_classes)
-                .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
-                .collect(),
+            submitted: registry.counter(
+                "advhunter_monitor_submitted_total",
+                "Requests admitted into the queue",
+            ),
+            completed: registry.counter("advhunter_monitor_completed_total", "Verdicts produced"),
+            shed: registry.counter(
+                "advhunter_monitor_shed_total",
+                "Submissions rejected under the shed overload policy",
+            ),
+            blocked: registry.counter(
+                "advhunter_monitor_blocked_total",
+                "Submissions that parked on a full queue under the block policy",
+            ),
+            batches: registry.counter("advhunter_monitor_batches_total", "Micro-batches processed"),
+            queue_depth: registry.gauge(
+                "advhunter_monitor_queue_depth",
+                "Queue occupancy (level at last admission/drain; _max is the high watermark)",
+            ),
+            batch_size: registry.histogram(
+                "advhunter_monitor_batch_size",
+                "Requests coalesced into one micro-batch",
+            ),
+            queued_ns: registry.histogram(
+                "advhunter_monitor_queued_ns",
+                "Time a request spent queued before its micro-batch started measuring",
+            ),
+            measure_ns: registry.histogram(
+                "advhunter_monitor_measure_ns",
+                "Wall time of the measurement stage per micro-batch",
+            ),
+            score_ns: registry.histogram(
+                "advhunter_monitor_score_ns",
+                "Wall time of the scoring stage per micro-batch",
+            ),
+            verdict_latency_ns: registry.histogram(
+                "advhunter_monitor_verdict_latency_ns",
+                "End-to-end time from admission to verdict delivery per request",
+            ),
+            per_class,
+            registry,
         }
     }
 
     pub(crate) fn record_submitted(&self, depth_after: usize) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.max_queue_depth
-            .fetch_max(depth_after as u64, Ordering::Relaxed);
+        self.submitted.inc();
+        self.queue_depth.set(depth_after as u64);
     }
 
     pub(crate) fn record_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.shed.inc();
+    }
+
+    pub(crate) fn record_blocked(&self) {
+        self.blocked.inc();
+    }
+
+    pub(crate) fn record_drain(&self, batch_size: usize, depth_after: usize) {
+        self.batch_size.record(batch_size as u64);
+        self.queue_depth.set(depth_after as u64);
     }
 
     pub(crate) fn record_batch(&self, measure: Duration, score: Duration) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.measure_nanos
-            .fetch_add(measure.as_nanos() as u64, Ordering::Relaxed);
-        self.score_nanos
-            .fetch_add(score.as_nanos() as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.measure_ns.record_duration(measure);
+        self.score_ns.record_duration(score);
     }
 
-    pub(crate) fn record_verdict(&self, predicted: usize, flagged: bool, queued: Duration) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.queued_nanos
-            .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
+    pub(crate) fn record_verdict(
+        &self,
+        predicted: usize,
+        flagged: bool,
+        queued: Duration,
+        latency: Duration,
+    ) {
+        self.completed.inc();
+        self.queued_ns.record_duration(queued);
+        self.verdict_latency_ns.record_duration(latency);
         let slot = self.per_class.get(predicted).unwrap_or(
             self.per_class
                 .last()
                 .expect("per_class always has an overflow slot"),
         );
-        slot[0].fetch_add(1, Ordering::Relaxed);
+        slot[0].inc();
         if flagged {
-            slot[1].fetch_add(1, Ordering::Relaxed);
+            slot[1].inc();
         }
+    }
+
+    /// A telemetry snapshot of this monitor's private registry.
+    pub(crate) fn registry_snapshot(&self) -> advhunter_telemetry::Snapshot {
+        self.registry.snapshot()
     }
 
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            queued: Duration::from_nanos(self.queued_nanos.load(Ordering::Relaxed)),
-            measure: Duration::from_nanos(self.measure_nanos.load(Ordering::Relaxed)),
-            score: Duration::from_nanos(self.score_nanos.load(Ordering::Relaxed)),
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            shed: self.shed.get(),
+            blocked: self.blocked.get(),
+            batches: self.batches.get(),
+            max_queue_depth: self.queue_depth.max(),
+            queued: Duration::from_nanos(self.queued_ns.snapshot().sum),
+            measure: Duration::from_nanos(self.measure_ns.snapshot().sum),
+            score: Duration::from_nanos(self.score_ns.snapshot().sum),
             per_class: self
                 .per_class
                 .iter()
                 .map(|slot| ClassFlagStats {
-                    screened: slot[0].load(Ordering::Relaxed),
-                    flagged: slot[1].load(Ordering::Relaxed),
+                    screened: slot[0].get(),
+                    flagged: slot[1].get(),
                 })
                 .collect(),
         }
@@ -128,6 +207,10 @@ pub struct StatsSnapshot {
     pub completed: u64,
     /// Submissions rejected under the shed policy.
     pub shed: u64,
+    /// Submissions that parked on a full queue under the block policy
+    /// (they were eventually admitted and are also counted in
+    /// `submitted`).
+    pub blocked: u64,
     /// Micro-batches processed.
     pub batches: u64,
     /// Highest queue depth observed at any admission.
@@ -178,13 +261,18 @@ mod tests {
         stats.record_submitted(1);
         stats.record_submitted(3);
         stats.record_shed();
+        stats.record_blocked();
+        stats.record_drain(3, 0);
         stats.record_batch(Duration::from_millis(4), Duration::from_millis(1));
-        stats.record_verdict(0, true, Duration::from_millis(2));
-        stats.record_verdict(1, false, Duration::from_millis(2));
-        stats.record_verdict(9, true, Duration::from_millis(2)); // overflow slot
+        let q = Duration::from_millis(2);
+        let lat = Duration::from_millis(5);
+        stats.record_verdict(0, true, q, lat);
+        stats.record_verdict(1, false, q, lat);
+        stats.record_verdict(9, true, q, lat); // overflow slot
         let s = stats.snapshot();
         assert_eq!(s.submitted, 2);
         assert_eq!(s.shed, 1);
+        assert_eq!(s.blocked, 1);
         assert_eq!(s.completed, 3);
         assert_eq!(s.batches, 1);
         assert_eq!(s.max_queue_depth, 3);
@@ -213,6 +301,36 @@ mod tests {
         assert!((s.per_class[0].flag_rate() - 1.0).abs() < 1e-12);
         assert_eq!(s.mean_queued(), Duration::from_millis(2));
         assert_eq!(s.mean_measure_per_batch(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn registry_snapshot_mirrors_the_struct() {
+        let stats = MonitorStats::new(1);
+        stats.record_submitted(2);
+        stats.record_shed();
+        stats.record_drain(2, 0);
+        stats.record_verdict(0, true, Duration::from_micros(3), Duration::from_micros(9));
+        let r = stats.registry_snapshot();
+        assert_eq!(r.counter("advhunter_monitor_submitted_total"), Some(1));
+        assert_eq!(r.counter("advhunter_monitor_shed_total"), Some(1));
+        assert_eq!(r.counter("advhunter_monitor_blocked_total"), Some(0));
+        assert_eq!(r.gauge("advhunter_monitor_queue_depth"), Some((0, 2)));
+        assert_eq!(
+            r.counter("advhunter_monitor_class_0_screened_total"),
+            Some(1)
+        );
+        assert_eq!(
+            r.counter("advhunter_monitor_class_other_screened_total"),
+            Some(0)
+        );
+        let lat = r.histogram("advhunter_monitor_verdict_latency_ns").unwrap();
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, 9_000);
+        assert_eq!(
+            r.histogram("advhunter_monitor_batch_size").unwrap().sum,
+            2,
+            "batch-size histogram sums coalesced requests"
+        );
     }
 
     #[test]

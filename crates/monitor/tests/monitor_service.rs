@@ -168,6 +168,7 @@ fn shed_policy_rejects_when_full_and_recovers() {
     assert_eq!(stats.submitted, 4);
     assert_eq!(stats.completed, 4);
     assert_eq!(stats.shed, 2);
+    assert_eq!(stats.blocked, 0, "the shed policy never parks a submitter");
     assert_eq!(stats.max_queue_depth, 4);
 }
 
@@ -189,6 +190,105 @@ fn block_policy_admits_everything_without_shedding() {
     assert_eq!(stats.completed, stream.len() as u64);
     assert_eq!(stats.shed, 0);
     assert!(stats.max_queue_depth <= 2);
+}
+
+#[test]
+fn block_policy_counts_parked_submissions() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let (model, engine, detector, stream) = fixture();
+    let config = MonitorConfig::new(ExecOptions::sequential(1))
+        .with_queue_capacity(2)
+        .with_micro_batch(2)
+        .with_overload(OverloadPolicy::Block);
+    let monitor = Arc::new(Monitor::spawn(engine, model, detector, config).unwrap());
+
+    // Hold the worker and fill the queue, so the next submission must park.
+    monitor.pause();
+    monitor.submit(stream[0].clone()).unwrap();
+    monitor.submit(stream[1].clone()).unwrap();
+    assert_eq!(monitor.queue_depth(), 2);
+
+    let started = Arc::new(AtomicBool::new(false));
+    let (m2, s2, image) = (
+        Arc::clone(&monitor),
+        Arc::clone(&started),
+        stream[2].clone(),
+    );
+    let submitter = std::thread::spawn(move || {
+        s2.store(true, Ordering::SeqCst);
+        m2.submit(image)
+    });
+    // Give the submitter a grace period to park on the full queue before
+    // releasing the worker.
+    while !started.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    monitor.resume();
+    assert_eq!(submitter.join().unwrap(), Ok(2));
+
+    for _ in 0..3 {
+        monitor.recv().unwrap();
+    }
+    let stats = Arc::into_inner(monitor).unwrap().shutdown();
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.shed, 0, "the block policy never sheds");
+    assert_eq!(stats.blocked, 1, "exactly one submission parked");
+}
+
+#[test]
+fn metrics_snapshot_unifies_monitor_engine_and_pool_families() {
+    let (model, engine, detector, stream) = fixture();
+    let config = MonitorConfig::new(ExecOptions::seeded(3).with_threads(2)).with_micro_batch(4);
+    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    for image in &stream {
+        monitor.submit(image.clone()).unwrap();
+    }
+    monitor.close();
+    while monitor.recv().is_some() {}
+
+    let snapshot = monitor.metrics_snapshot();
+    // Monitor-private families.
+    assert_eq!(
+        snapshot.counter("advhunter_monitor_completed_total"),
+        Some(stream.len() as u64)
+    );
+    assert_eq!(snapshot.counter("advhunter_monitor_shed_total"), Some(0));
+    assert_eq!(snapshot.counter("advhunter_monitor_blocked_total"), Some(0));
+    let (_, max_depth) = snapshot.gauge("advhunter_monitor_queue_depth").unwrap();
+    assert!(max_depth >= 1);
+    let batch_sizes = snapshot.histogram("advhunter_monitor_batch_size").unwrap();
+    assert_eq!(batch_sizes.sum, stream.len() as u64);
+    let latency = snapshot
+        .histogram("advhunter_monitor_verdict_latency_ns")
+        .unwrap();
+    assert_eq!(latency.count, stream.len() as u64);
+    // Process-global families merged in: the engine measured this stream
+    // (plus whatever other tests in this process ran) and the pool ran it.
+    assert!(
+        snapshot
+            .counter("advhunter_exec_measurements_total")
+            .unwrap()
+            >= stream.len() as u64,
+        "engine measurement counter missing or too small"
+    );
+    assert!(
+        snapshot
+            .counter("advhunter_exec_event_instructions_total")
+            .unwrap()
+            > 0
+    );
+    assert!(snapshot.counter("advhunter_runtime_tasks_total").unwrap() >= stream.len() as u64);
+
+    // Both renderings carry the same families.
+    let text = snapshot.render_prometheus();
+    assert!(text.contains("# TYPE advhunter_monitor_completed_total counter"));
+    assert!(text.contains("# TYPE advhunter_monitor_verdict_latency_ns histogram"));
+    let json = snapshot.render_json();
+    assert!(json.contains("\"name\": \"advhunter_monitor_completed_total\""));
+    assert!(json.contains("\"name\": \"advhunter_exec_measurements_total\""));
 }
 
 #[test]

@@ -23,6 +23,61 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use advhunter_telemetry::{Counter, Histogram};
+
+/// Telemetry handles for the worker pool, registered once in the global
+/// registry. Purely observational: nothing here feeds back into
+/// scheduling or results (the determinism contract), and the wall-clock
+/// reads are skipped entirely when `advhunter_telemetry::disabled()`.
+struct PoolMetrics {
+    parallel_runs: Arc<Counter>,
+    sequential_runs: Arc<Counter>,
+    tasks: Arc<Counter>,
+    workers: Arc<Counter>,
+    worker_items: Arc<Histogram>,
+    worker_busy_ns: Arc<Histogram>,
+    worker_idle_ns: Arc<Histogram>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = advhunter_telemetry::global();
+        PoolMetrics {
+            parallel_runs: r.counter(
+                "advhunter_runtime_parallel_runs_total",
+                "Pool fan-outs that spawned worker threads",
+            ),
+            sequential_runs: r.counter(
+                "advhunter_runtime_sequential_runs_total",
+                "Pool runs that took the exact sequential path",
+            ),
+            tasks: r.counter(
+                "advhunter_runtime_tasks_total",
+                "Items executed across all pool runs",
+            ),
+            workers: r.counter(
+                "advhunter_runtime_workers_total",
+                "Worker threads spawned across all fan-outs",
+            ),
+            worker_items: r.histogram(
+                "advhunter_runtime_worker_items",
+                "Items one worker claimed in one fan-out (work-distribution balance)",
+            ),
+            worker_busy_ns: r.histogram(
+                "advhunter_runtime_worker_busy_ns",
+                "Per-worker wall time spent inside item closures, per fan-out",
+            ),
+            worker_idle_ns: r.histogram(
+                "advhunter_runtime_worker_idle_ns",
+                "Per-worker wall time spent claiming work or waiting, per fan-out",
+            ),
+        }
+    })
+}
 
 /// How many worker threads a parallel stage may use.
 ///
@@ -114,6 +169,12 @@ impl ExecOptions {
         Self { seed, parallelism }
     }
 
+    /// A validating builder starting from the defaults ([`Self::default`]):
+    /// seed `0`, environment-driven worker count.
+    pub fn builder() -> ExecOptionsBuilder {
+        ExecOptionsBuilder::default()
+    }
+
     /// Options with the environment-driven default worker count
     /// (`ADVHUNTER_THREADS`, else available cores).
     pub fn seeded(seed: u64) -> Self {
@@ -159,6 +220,76 @@ impl ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         Self::seeded(0)
+    }
+}
+
+/// Validation failures from [`ExecOptionsBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecOptionsError {
+    /// `threads(0)` was requested. [`Parallelism::new`] silently promotes
+    /// zero to one; the builder instead reports the contradiction so
+    /// callers wiring thread counts from config files catch the mistake.
+    ZeroThreads,
+}
+
+impl std::fmt::Display for ExecOptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroThreads => {
+                write!(f, "thread count must be at least 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecOptionsError {}
+
+/// Builder for [`ExecOptions`] that rejects nonsensical settings with a
+/// typed [`ExecOptionsError`] instead of silently normalising them — the
+/// same contract as `DetectorConfig::builder()` in the core crate.
+///
+/// ```
+/// use advhunter_runtime::{ExecOptions, ExecOptionsError};
+///
+/// let opts = ExecOptions::builder().seed(42).threads(4).build().unwrap();
+/// assert_eq!(opts.seed, 42);
+/// assert_eq!(opts.parallelism.threads(), 4);
+/// assert_eq!(
+///     ExecOptions::builder().threads(0).build(),
+///     Err(ExecOptionsError::ZeroThreads)
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptionsBuilder {
+    seed: u64,
+    threads: Option<usize>,
+}
+
+impl ExecOptionsBuilder {
+    /// Root seed for derived per-item random streams (default `0`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Explicit worker count. When unset, [`build`](Self::build) falls
+    /// back to the environment-driven default ([`Parallelism::from_env`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Validates and produces the options.
+    ///
+    /// Returns an [`ExecOptionsError`] naming the first invalid field.
+    pub fn build(self) -> Result<ExecOptions, ExecOptionsError> {
+        let parallelism = match self.threads {
+            Some(0) => return Err(ExecOptionsError::ZeroThreads),
+            Some(t) => Parallelism::new(t),
+            None => Parallelism::default(),
+        };
+        Ok(ExecOptions::new(self.seed, parallelism))
     }
 }
 
@@ -220,11 +351,24 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let metrics = pool_metrics();
+    metrics.tasks.add(n as u64);
     let threads = parallelism.threads().min(n);
     if threads <= 1 {
+        metrics.sequential_runs.inc();
+        let started = advhunter_telemetry::now();
         let mut state = init();
-        return (0..n).map(|i| f(&mut state, i)).collect();
+        let out = (0..n).map(|i| f(&mut state, i)).collect();
+        if started.is_some() {
+            metrics.worker_items.record(n as u64);
+            metrics
+                .worker_busy_ns
+                .record(advhunter_telemetry::elapsed_nanos(started));
+        }
+        return out;
     }
+    metrics.parallel_runs.inc();
+    metrics.workers.add(threads as u64);
 
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
@@ -232,6 +376,8 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let spawned = advhunter_telemetry::now();
+                    let mut busy = Duration::ZERO;
                     let mut state = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
@@ -239,7 +385,19 @@ where
                         if i >= n {
                             break;
                         }
+                        let item_start = advhunter_telemetry::now();
                         local.push((i, f(&mut state, i)));
+                        if let Some(start) = item_start {
+                            busy += start.elapsed();
+                        }
+                    }
+                    if let Some(spawned) = spawned {
+                        let wall = spawned.elapsed();
+                        metrics.worker_items.record(local.len() as u64);
+                        metrics.worker_busy_ns.record_duration(busy);
+                        metrics
+                            .worker_idle_ns
+                            .record_duration(wall.saturating_sub(busy));
                     }
                     local
                 })
@@ -402,6 +560,24 @@ mod tests {
         assert_eq!(opts.stage(3), opts.stage(3));
         assert_ne!(opts.stage(3).seed, opts.stage(4).seed);
         assert_eq!(opts.stage(3).parallelism, opts.parallelism);
+    }
+
+    #[test]
+    fn builder_validates_and_mirrors_constructors() {
+        let opts = ExecOptions::builder().seed(9).threads(2).build().unwrap();
+        assert_eq!(opts, ExecOptions::new(9, Parallelism::new(2)));
+        assert_eq!(
+            ExecOptions::builder().threads(0).build(),
+            Err(ExecOptionsError::ZeroThreads)
+        );
+        // Unset threads falls back to the environment-driven default.
+        let defaulted = ExecOptions::builder().seed(3).build().unwrap();
+        assert_eq!(defaulted.seed, 3);
+        assert!(defaulted.parallelism.threads() >= 1);
+        assert_eq!(
+            ExecOptionsError::ZeroThreads.to_string(),
+            "thread count must be at least 1 (got 0)"
+        );
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Fixed-bucket log₂-scale histograms, mergeable across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::span::StageSpan;
+
+/// Number of buckets in every histogram. Bucket `i` holds values whose
+/// highest set bit is bit `i - 1` (bucket 0 holds exactly 0), giving full
+/// `u64` range at ~2x relative resolution — the right trade for latency
+/// distributions spanning nanoseconds to seconds.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: 0 for 0, otherwise `floor(log2(v)) + 1`,
+/// clamped to [`BUCKETS`]` - 1`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` label):
+/// bucket 0 → 0, bucket `i` → `2^i - 1`, last bucket → `u64::MAX`.
+///
+/// # Panics
+///
+/// Panics if `i >= BUCKETS`.
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        0
+    } else if i == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log₂-bucketed distribution over `u64` values.
+///
+/// Everything is a relaxed atomic, so any number of threads record
+/// concurrently without locks, and a [`snapshot`](Self::snapshot) taken
+/// at quiescence is exact. Snapshots [`merge`](HistogramSnapshot::merge)
+/// associatively and commutatively — per-thread or per-shard histograms
+/// combine into the same totals no matter the grouping.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a stage span over this histogram: the span records the wall
+    /// time from this call to its drop (or [`StageSpan::finish`]). When
+    /// telemetry is disabled the span is inert — it never reads the clock
+    /// and records nothing.
+    pub fn span(&self) -> StageSpan<'_> {
+        StageSpan::start(self)
+    }
+
+    /// Times `f` through a [`span`](Self::span) and returns its result.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let span = self.span();
+        let r = f();
+        span.finish();
+        r
+    }
+
+    /// A point-in-time copy of the distribution. Exact when no thread is
+    /// concurrently recording; during recording each component is atomic
+    /// but the tuple is not cut at a single instant.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty — use
+    /// [`min`](Self::min)).
+    min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub const fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Smallest observed value, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Combines two snapshots as if their observations had been recorded
+    /// into one histogram. Associative and commutative with
+    /// [`empty`](Self::empty) as identity.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&other.buckets))
+        {
+            *out = a + b;
+        }
+        Self {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` clamped to [0, 1]), or `None` when empty. Log-scale buckets
+    /// make this accurate to a factor of 2 — plenty for p50/p99 summary
+    /// lines.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Cap the reported bound at the observed max: tighter and
+                // keeps the last bucket from reporting u64::MAX.
+                return Some(bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_their_log2_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_and_contiguous() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        // Every non-final bucket's bound is one below the next power of 2.
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_min_max() {
+        let h = Histogram::new();
+        for v in [3u64, 0, 900, 17] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 920);
+        assert_eq!(s.min(), Some(0));
+        assert_eq!(s.max, 900);
+        assert_eq!(s.buckets[0], 1); // the 0
+        assert_eq!(s.buckets[2], 1); // 3
+        assert_eq!(s.buckets[5], 1); // 17
+        assert_eq!(s.buckets[10], 1); // 900
+        assert!((s.mean() - 230.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_identity_for_merge() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        let s = h.snapshot();
+        assert_eq!(s.merge(&HistogramSnapshot::empty()), s);
+        assert_eq!(HistogramSnapshot::empty().merge(&s), s);
+        assert_eq!(HistogramSnapshot::empty().min(), None);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, bound 127
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), Some(127));
+        assert_eq!(s.quantile(0.5), Some(127));
+        // The single large observation is the p100 and caps at max.
+        assert_eq!(s.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn duration_recording_is_in_nanos() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(2));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 2_000);
+    }
+}

@@ -1,0 +1,131 @@
+//! Zero-overhead observability substrate for the AdvHunter serving stack.
+//!
+//! AdvHunter's premise is that low-level execution telemetry carries a
+//! security signal; this crate makes the serving stack's *own* telemetry a
+//! first-class citizen so the defense's overhead and health are
+//! continuously measurable (the deployability bar stressed by the HPC
+//! countermeasure surveys). It is dependency-free and leaf-level, so every
+//! crate in the workspace can instrument itself without cycles.
+//!
+//! # Model
+//!
+//! * [`Counter`] — monotone atomic `u64` (requests, events, cache totals).
+//! * [`Gauge`] — last-written atomic `u64` with a high-watermark
+//!   (`record_max`) for things like queue depth.
+//! * [`Histogram`] — fixed-bucket log₂-scale distribution over `u64`
+//!   values (latencies in nanoseconds, batch sizes). All buckets are
+//!   atomics, so worker threads record concurrently and snapshots merge
+//!   associatively across threads and processes.
+//! * [`StageSpan`] — an RAII timer over a histogram:
+//!   `let _s = hist.span();` records the enclosing scope's wall time.
+//! * [`Registry`] — a named family table rendering both a
+//!   Prometheus-style text exposition and a JSON snapshot. A process-wide
+//!   [`global`] registry serves static instrumentation; services that need
+//!   per-instance counters (the monitor) own private registries and merge
+//!   snapshots.
+//!
+//! # The zero-impact contract
+//!
+//! Telemetry is *observational only*: nothing recorded here may feed back
+//! into seeded measurement or scoring, and wall-clock reads live only
+//! here. When the crate is disabled ([`disable`]), [`Histogram::span`] and
+//! [`now`] return inert values without ever touching the clock — spans
+//! become no-ops — so the instrumented hot paths carry only a relaxed
+//! atomic load. Counter and gauge updates always land (they cost one
+//! uncontended atomic RMW and keep service accounting exact either way).
+//! Measured results are bit-identical with telemetry enabled, disabled, or
+//! absent; `tests/telemetry_zero_impact.rs` and the `golden_counts` /
+//! `determinism` / `api_equivalence` suites pin that down.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+mod histogram;
+mod metrics;
+mod registry;
+mod span;
+
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use metrics::{Counter, Gauge};
+pub use registry::{MetricSnapshot, MetricValue, Registry, Snapshot};
+pub use span::StageSpan;
+
+/// Process-wide recording switch. Defaults to enabled.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Process-wide registry for static instrumentation (engine, runtime).
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry. Static instrumentation (the trace engine,
+/// the parallel runtime) registers here once via `OnceLock`; services
+/// with per-instance counters own private [`Registry`] values instead.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Turns recording on (the default).
+pub fn enable() {
+    set_enabled(true);
+}
+
+/// Turns recording off: spans and [`now`] become no-ops that never read
+/// the clock.
+pub fn disable() {
+    set_enabled(false);
+}
+
+/// Sets the process-wide recording switch.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether recording is currently disabled (the no-op mode).
+pub fn disabled() -> bool {
+    !enabled()
+}
+
+/// Reads the clock only when telemetry is enabled. The building block for
+/// explicit timed sections: pair with [`elapsed_nanos`] and feed the
+/// result to [`Histogram::record`].
+pub fn now() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Nanoseconds since `start`, or 0 if the start was taken while disabled.
+/// Saturates at `u64::MAX` (585 years).
+pub fn elapsed_nanos(start: Option<Instant>) -> u64 {
+    match start {
+        Some(t) => u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn now_respects_the_switch() {
+        // Tests in this binary run concurrently; flip the switch inside a
+        // short window and restore it so neighbours see it enabled.
+        assert!(enabled());
+        assert!(now().is_some());
+        disable();
+        assert!(disabled());
+        assert_eq!(now(), None);
+        assert_eq!(elapsed_nanos(None), 0);
+        enable();
+        assert!(enabled());
+        let t = now();
+        assert!(elapsed_nanos(t) < 1_000_000_000);
+    }
+}

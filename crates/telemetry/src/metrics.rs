@@ -1,0 +1,119 @@
+//! Scalar metrics: monotone counters and last-value gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+///
+/// All updates are relaxed atomic RMWs: safe from any thread, never a
+/// lock, and cheap enough to leave permanently enabled on hot paths.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping, like Prometheus counters on overflow).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written value with a separate high-watermark.
+///
+/// `set` records the current level (e.g. queue depth after a drain) and
+/// transparently maintains the maximum ever seen; `record_max` bumps only
+/// the watermark (e.g. depth at admission without claiming it is the
+/// *current* depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the current level and folds it into the high-watermark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Raises the high-watermark without touching the current level.
+    pub fn record_max(&self, v: u64) {
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The most recently set level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever set or recorded.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_watermark() {
+        let g = Gauge::new();
+        g.set(5);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 5);
+        g.record_max(9);
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.max(), 9);
+    }
+
+    #[test]
+    fn concurrent_counter_updates_are_exact() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

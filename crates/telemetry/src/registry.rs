@@ -1,0 +1,467 @@
+//! The metric registry and its snapshot/exposition formats.
+
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::metrics::{Counter, Gauge};
+use crate::Histogram;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    name: String,
+    help: String,
+    metric: Metric,
+}
+
+/// A named table of metrics that renders point-in-time [`Snapshot`]s.
+///
+/// Registration is get-or-create: registering a name twice with the same
+/// kind returns the existing handle, so instrumented code can register
+/// from `OnceLock` initializers without coordination. The registry lock is
+/// only taken at registration and snapshot time — never on the record
+/// path, which goes straight to the atomic handles.
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().map(|v| v.len()).unwrap_or(0);
+        write!(f, "Registry({n} families)")
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers (or retrieves) a counter named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register(name, help, || Metric::Counter(Arc::new(Counter::new())))
+    }
+
+    /// Registers (or retrieves) a gauge named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register(name, help, || Metric::Gauge(Arc::new(Gauge::new())))
+    }
+
+    /// Registers (or retrieves) a histogram named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.register(name, help, || Metric::Histogram(Arc::new(Histogram::new())))
+    }
+
+    fn register<M: HandleKind>(&self, name: &str, help: &str, make: impl FnOnce() -> Metric) -> M {
+        let mut families = self.families.lock().expect("registry lock poisoned");
+        if let Some(existing) = families.iter().find(|f| f.name == name) {
+            return M::from_metric(&existing.metric).unwrap_or_else(|| {
+                panic!(
+                    "metric {name} already registered as a {}",
+                    existing.metric.kind()
+                )
+            });
+        }
+        let metric = make();
+        let handle = M::from_metric(&metric).expect("freshly made metric matches its kind");
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            metric,
+        });
+        handle
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name —
+    /// the deterministic order makes snapshots diffable and testable.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.lock().expect("registry lock poisoned");
+        let mut metrics: Vec<MetricSnapshot> = families
+            .iter()
+            .map(|f| MetricSnapshot {
+                name: f.name.clone(),
+                help: f.help.clone(),
+                value: match &f.metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge {
+                        value: g.get(),
+                        max: g.max(),
+                    },
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect();
+        drop(families);
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { metrics }
+    }
+}
+
+/// Internal: maps the type-erased [`Metric`] back to a typed handle.
+trait HandleKind: Sized {
+    fn from_metric(m: &Metric) -> Option<Self>;
+}
+
+impl HandleKind for Arc<Counter> {
+    fn from_metric(m: &Metric) -> Option<Self> {
+        match m {
+            Metric::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+}
+
+impl HandleKind for Arc<Gauge> {
+    fn from_metric(m: &Metric) -> Option<Self> {
+        match m {
+            Metric::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        }
+    }
+}
+
+impl HandleKind for Arc<Histogram> {
+    fn from_metric(m: &Metric) -> Option<Self> {
+        match m {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+}
+
+/// The value side of one metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level and its high-watermark.
+    Gauge {
+        /// The most recently set level.
+        value: u64,
+        /// The highest level ever seen.
+        max: u64,
+    },
+    /// A histogram distribution (boxed: a snapshot carries the full
+    /// bucket array, which would otherwise dominate the enum's size).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One named metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// The registered metric name (Prometheus-compatible).
+    pub name: String,
+    /// The registered help line.
+    pub help: String,
+    /// The metric's value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// The total of the counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The level and high-watermark of the gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<(u64, u64)> {
+        match self.get(name)? {
+            MetricValue::Gauge { value, max } => Some((*value, *max)),
+            _ => None,
+        }
+    }
+
+    /// The distribution of the histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Combines two snapshots (e.g. a service's private registry with the
+    /// process-wide one) into one sorted snapshot. On a name collision the
+    /// entry from `self` wins.
+    pub fn merge(mut self, other: Snapshot) -> Snapshot {
+        for m in other.metrics {
+            if self.get(&m.name).is_none() {
+                self.metrics.push(m);
+            }
+        }
+        self.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for m in &self.metrics {
+            if !m.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {v}", m.name);
+                }
+                MetricValue::Gauge { value, max } => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {value}", m.name);
+                    let _ = writeln!(out, "{}_max {max}", m.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{{le=\"{}\"}} {cumulative}",
+                            m.name,
+                            bucket_upper_bound(i)
+                        );
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count);
+                    let _ = writeln!(out, "{}_sum {}", m.name, h.sum);
+                    let _ = writeln!(out, "{}_count {}", m.name, h.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders a JSON snapshot:
+    /// `{"metrics": [{"name", "help", "type", ...}, ...]}`. Histograms
+    /// list only their non-empty buckets as `{"le", "count"}` pairs.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"name\": {}, \"help\": {}, ",
+                json_string(&m.name),
+                json_string(&m.help)
+            );
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "\"type\": \"counter\", \"value\": {v}}}");
+                }
+                MetricValue::Gauge { value, max } => {
+                    let _ = write!(
+                        out,
+                        "\"type\": \"gauge\", \"value\": {value}, \"max\": {max}}}"
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "\"type\": \"histogram\", \"count\": {}, \"sum\": {}, ",
+                        h.count, h.sum
+                    );
+                    if let Some(min) = h.min() {
+                        let _ = write!(out, "\"min\": {min}, \"max\": {}, ", h.max);
+                    }
+                    let _ = write!(out, "\"buckets\": [");
+                    let mut first = true;
+                    for (b, &c) in h.buckets.iter().enumerate().take(BUCKETS) {
+                        if c == 0 {
+                            continue;
+                        }
+                        let sep = if first { "" } else { ", " };
+                        first = false;
+                        let _ = write!(
+                            out,
+                            "{sep}{{\"le\": {}, \"count\": {c}}}",
+                            bucket_upper_bound(b)
+                        );
+                    }
+                    let _ = write!(out, "]}}");
+                }
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string encoder (the names and help lines are ASCII, but
+/// escape defensively).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_get_or_create() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("x_total"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _c = r.counter("x", "");
+        let _g = r.gauge("x", "");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let r = Registry::new();
+        r.gauge("b_gauge", "").set(7);
+        r.counter("a_total", "").add(4);
+        r.histogram("c_ns", "").record(100);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "b_gauge", "c_ns"]);
+        assert_eq!(s.counter("a_total"), Some(4));
+        assert_eq!(s.gauge("b_gauge"), Some((7, 7)));
+        assert_eq!(s.histogram("c_ns").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.counter("b_gauge"), None, "kind-checked accessors");
+    }
+
+    #[test]
+    fn merge_prefers_self_and_sorts() {
+        let r1 = Registry::new();
+        r1.counter("m_total", "").add(1);
+        let r2 = Registry::new();
+        r2.counter("m_total", "").add(99);
+        r2.counter("a_total", "").add(5);
+        let merged = r1.snapshot().merge(r2.snapshot());
+        assert_eq!(merged.counter("m_total"), Some(1));
+        assert_eq!(merged.counter("a_total"), Some(5));
+        assert_eq!(merged.metrics[0].name, "a_total");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_types_and_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("req_total", "requests").add(3);
+        let h = r.histogram("lat_ns", "latency");
+        h.record(1);
+        h.record(1000);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total 3"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_ns_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_ns_sum 1001"));
+        assert!(text.contains("lat_ns_count 2"));
+    }
+
+    #[test]
+    fn json_rendering_is_structurally_sound() {
+        let r = Registry::new();
+        r.counter("a_total", "say \"hi\"").add(2);
+        r.gauge("d_depth", "").set(3);
+        let h = r.histogram("b_ns", "");
+        h.record(7);
+        let json = r.snapshot().render_json();
+        assert!(json.contains("\"name\": \"a_total\""));
+        assert!(json.contains("\"say \\\"hi\\\"\""));
+        assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("{\"le\": 7, \"count\": 1}"));
+        // Balanced braces/brackets — cheap structural sanity without a
+        // JSON parser (CI runs a real parser over the CLI's output).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_documents() {
+        let s = Registry::new().snapshot();
+        assert_eq!(s.render_prometheus(), "");
+        assert!(s.render_json().contains("\"metrics\": [\n  ]"));
+    }
+}

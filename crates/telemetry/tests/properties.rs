@@ -1,0 +1,149 @@
+//! Property tests for the telemetry substrate: bucket-boundary
+//! correctness, cross-thread merge associativity, and snapshot exactness
+//! under concurrent recording.
+
+use advhunter_telemetry::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, Registry, BUCKETS,
+};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        // Inclusive upper bound, exclusive lower bound (previous bucket's
+        // upper bound) — the `le` semantics of the exposition format.
+        prop_assert!(v <= bucket_upper_bound(i), "{v} above bucket {i} bound");
+        if i > 0 {
+            prop_assert!(
+                v > bucket_upper_bound(i - 1),
+                "{v} not above bucket {} bound",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        zs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        // Associativity: per-thread partials combine identically no
+        // matter which workers' results merge first.
+        prop_assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        // Commutativity: merge order across threads is irrelevant.
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+        // Identity.
+        prop_assert_eq!(a.merge(&HistogramSnapshot::empty()), a);
+    }
+
+    #[test]
+    fn merged_snapshot_equals_single_histogram_over_the_union(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+        ys in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+    ) {
+        let merged = hist_of(&xs).merge(&hist_of(&ys));
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_bounds_cover_observations(
+        xs in proptest::collection::vec(0u64..1_000_000_000, 1..60),
+    ) {
+        let s = hist_of(&xs);
+        let min = *xs.iter().min().unwrap();
+        let max = *xs.iter().max().unwrap();
+        let p0 = s.quantile(0.0).unwrap();
+        let p100 = s.quantile(1.0).unwrap();
+        // p0's bucket bound is at least the smallest observation and the
+        // p100 bound is exactly the maximum (capped there by design).
+        prop_assert!(p0 >= min);
+        prop_assert_eq!(p100, max);
+        prop_assert!(s.quantile(0.5).unwrap() <= p100);
+    }
+}
+
+#[test]
+fn concurrent_recording_yields_an_exact_snapshot() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let registry = Registry::new();
+    let counter = registry.counter("t_ops_total", "ops");
+    let gauge = registry.gauge("t_depth", "depth");
+    let hist = registry.histogram("t_val", "values");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (counter, gauge, hist) = (&counter, &gauge, &hist);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.record_max(t * PER_THREAD + i + 1);
+                    hist.record(i % 1024);
+                }
+            });
+        }
+    });
+    // After all writers join, the snapshot must be exact — not merely
+    // approximately consistent.
+    let s = registry.snapshot();
+    assert_eq!(s.counter("t_ops_total"), Some(THREADS * PER_THREAD));
+    assert_eq!(s.gauge("t_depth"), Some((0, THREADS * PER_THREAD)));
+    let h = s.histogram("t_val").unwrap();
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    let expected_sum: u64 = THREADS * (0..PER_THREAD).map(|i| i % 1024).sum::<u64>();
+    assert_eq!(h.sum, expected_sum);
+    assert_eq!(h.min(), Some(0));
+    assert_eq!(h.max, 1023);
+    // And repeated snapshots of a quiescent registry are identical.
+    assert_eq!(registry.snapshot(), s);
+}
+
+#[test]
+fn snapshot_during_concurrent_recording_is_internally_sane() {
+    let registry = Registry::new();
+    let hist = registry.histogram("live_val", "values");
+    std::thread::scope(|scope| {
+        let h = &hist;
+        let writer = scope.spawn(move || {
+            for i in 0..50_000u64 {
+                h.record(i % 4096);
+            }
+        });
+        // Snapshots raced against the writer: bucket totals never exceed
+        // the final count and counters only move forward.
+        let mut last_count = 0;
+        while !writer.is_finished() {
+            let s = registry.snapshot();
+            let h = s.histogram("live_val").unwrap();
+            let bucket_total: u64 = h.buckets.iter().sum();
+            assert!(bucket_total <= 50_000);
+            assert!(h.count >= last_count, "count went backwards");
+            last_count = h.count;
+        }
+    });
+    assert_eq!(
+        registry.snapshot().histogram("live_val").unwrap().count,
+        50_000
+    );
+}
