@@ -7,12 +7,10 @@
 //! fitting, histogram rendering, and consistent report formatting.
 
 use advhunter::experiment::{measure_dataset, LabeledSample};
-use advhunter::offline::{collect_template, OfflineTemplate};
+use advhunter::offline::OfflineTemplate;
 use advhunter::scenario::{build_scenario, ScenarioArtifacts, ScenarioId};
-use advhunter::{Detector, DetectorConfig, ExecOptions};
+use advhunter::{ArtifactStore, Detector, ExecOptions, Pipeline, PipelineConfig};
 use advhunter_data::SplitSizes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Scale factor for experiment sizes, settable via `ADVHUNTER_SCALE`
 /// (default 1.0). Values below 1 shrink sample counts for quick runs;
@@ -39,8 +37,7 @@ pub fn prepare_scenario(id: ScenarioId) -> ScenarioArtifacts {
 /// Builds a scenario with explicit split sizes.
 pub fn prepare_scenario_sized(id: ScenarioId, sizes: Option<SplitSizes>) -> ScenarioArtifacts {
     let t0 = std::time::Instant::now();
-    let mut rng = StdRng::seed_from_u64(0xA11CE);
-    let art = build_scenario(id, sizes, &mut rng);
+    let art = build_scenario(id, sizes);
     eprintln!(
         "[{}] {} on {}: clean accuracy {:.2}% ({}, {:.1}s)",
         id.label(),
@@ -64,28 +61,28 @@ pub struct PreparedDetector {
     pub clean_test: Vec<LabeledSample>,
 }
 
-/// Runs the offline phase for a scenario: measure the validation split,
-/// fit the GMM bank, and pre-measure the clean test split.
+/// Runs the offline phase for a scenario through the staged pipeline:
+/// measure the validation split, fit the GMM bank (both cached in the
+/// shared artifact store), and pre-measure the clean test split.
 pub fn prepare_detector(
     art: &ScenarioArtifacts,
     val_per_class: Option<usize>,
     test_per_class: Option<usize>,
     seed: u64,
 ) -> PreparedDetector {
+    let config = PipelineConfig::for_scenario(art.id)
+        .with_sizes(art.split.sizes_per_class())
+        .with_seed(seed)
+        .with_per_class_cap(val_per_class);
+    let store = ArtifactStore::shared().expect("artifact store I/O");
+    let (out, _report) = Pipeline::new(config, store)
+        .run()
+        .expect("offline pipeline for prepared detector");
     let opts = ExecOptions::seeded(seed);
-    let template = collect_template(
-        &art.engine,
-        &art.model,
-        &art.split.val,
-        val_per_class,
-        &opts.stage(0),
-    );
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
-        .expect("detector fit on validation template");
     let clean_test = measure_dataset(art, &art.split.test, test_per_class, &opts.stage(2));
     PreparedDetector {
-        template,
-        detector,
+        template: out.template,
+        detector: out.detector,
         clean_test,
     }
 }

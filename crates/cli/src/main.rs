@@ -3,6 +3,10 @@
 //! ```text
 //! advhunter events                      list monitorable HPC events
 //! advhunter scenarios                   list evaluation scenarios
+//! advhunter pipeline <S1|S2|S3|CASE> [--store DIR] [--force] [--tiny]
+//!                  [--seed N] [--metrics-json PATH]
+//!                                       run the staged offline pipeline
+//!                                       with per-stage cache status
 //! advhunter train  <S1|S2|S3|CASE>      train/cache a scenario model
 //! advhunter fit    <SCN> <out.ahd>      run the offline phase, save detector
 //! advhunter detect <SCN> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool]
@@ -15,6 +19,13 @@
 //!                                       through the online monitor service
 //! ```
 //!
+//! `pipeline` runs the four offline stages (`train-model`,
+//! `collect-template`, `fit-detector`, `calibrate`) against a
+//! content-addressed artifact store and prints one status line per stage
+//! (`hit` = loaded, `miss`/`rebuilt`/`forced` = recomputed). `train`,
+//! `fit`, and `monitor` are thin views over the same stages, so anything
+//! the pipeline cached they load instead of recomputing.
+//!
 //! `monitor` extras: `--tiny` shrinks the dataset splits for smoke runs,
 //! `--metrics-json PATH` writes the unified telemetry snapshot (monitor +
 //! engine + worker pool) as JSON on shutdown, and a `metrics:` summary
@@ -25,9 +36,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
-use advhunter::offline::collect_template;
 use advhunter::scenario::{build_scenario, ScenarioId, SplitSizes};
-use advhunter::{load_detector, save_detector, Detector, DetectorConfig, ExecOptions};
+use advhunter::{
+    load_detector, save_detector, ArtifactStore, ExecOptions, Pipeline, PipelineConfig,
+};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
 use advhunter_uarch::HpcEvent;
@@ -60,12 +72,13 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
+        Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
         _ => {
-            eprintln!("usage: advhunter <events|scenarios|train|fit|detect|monitor> ...");
+            eprintln!("usage: advhunter <events|scenarios|pipeline|train|fit|detect|monitor> ...");
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(2);
         }
@@ -92,6 +105,112 @@ fn parse_scenario(arg: Option<&String>) -> Result<ScenarioId, String> {
     }
 }
 
+/// The smoke-test split used by `--tiny` across subcommands.
+fn tiny_sizes() -> SplitSizes {
+    SplitSizes {
+        train: 30,
+        val: 40,
+        test: 10,
+    }
+}
+
+fn cmd_pipeline(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let mut store_dir: Option<String> = None;
+    let mut force = false;
+    let mut tiny = false;
+    let mut seed: Option<u64> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                store_dir = Some(args.get(i + 1).ok_or("--store needs a directory")?.clone());
+                i += 2;
+            }
+            "--force" => {
+                force = true;
+                i += 1;
+            }
+            "--tiny" => {
+                tiny = true;
+                i += 1;
+            }
+            "--seed" => {
+                seed = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs a number")?,
+                );
+                i += 2;
+            }
+            "--metrics-json" => {
+                metrics_json = Some(
+                    args.get(i + 1)
+                        .ok_or("--metrics-json needs a path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let mut config = PipelineConfig::for_scenario(id);
+    if tiny {
+        config = config.with_sizes(tiny_sizes());
+    }
+    if let Some(seed) = seed {
+        config = config.with_seed(seed);
+    }
+    let store = match store_dir {
+        Some(dir) => ArtifactStore::open(dir),
+        None => ArtifactStore::shared(),
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "{} offline pipeline, store {}",
+        id.label(),
+        store.root().display()
+    );
+    let start = Instant::now();
+    let (art, report) = Pipeline::new(config, store)
+        .force(force)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let total_ms = start.elapsed().as_millis();
+    println!("{:<18} {:<18} {}", "stage", "fingerprint", "status");
+    for s in &report.stages {
+        println!(
+            "{:<18} {:<18} {}",
+            s.stage.name(),
+            s.fingerprint.to_string(),
+            s.outcome
+        );
+    }
+    println!(
+        "pipeline: hits={} recomputed={} total_ms={}",
+        report.hits(),
+        report.recomputed(),
+        total_ms
+    );
+    println!(
+        "clean accuracy {:.2}%, template M >= {}, detector {} categories x {} events",
+        art.clean_accuracy * 100.0,
+        art.template.min_samples_per_class(),
+        art.detector.num_classes(),
+        art.detector.events().len()
+    );
+    if let Some(path) = metrics_json {
+        std::fs::write(
+            &path,
+            advhunter_telemetry::global().snapshot().render_json(),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("metrics snapshot written to {path}");
+    }
+    Ok(())
+}
+
 /// Attack-stream flags shared by `detect` and `monitor`.
 struct AttackFlags {
     attack: Attack,
@@ -105,14 +224,10 @@ struct AttackFlags {
 }
 
 impl AttackFlags {
-    /// Split sizes for `build_scenario`: the scenario default, or a
+    /// Split sizes for the pipeline: the scenario default, or a
     /// smoke-test split under `--tiny`.
     fn sizes(&self) -> Option<SplitSizes> {
-        self.tiny.then_some(SplitSizes {
-            train: 30,
-            val: 40,
-            test: 10,
-        })
+        self.tiny.then_some(tiny_sizes())
     }
 }
 
@@ -205,8 +320,7 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let id = parse_scenario(args.first())?;
-    let mut rng = StdRng::seed_from_u64(0xC11);
-    let art = build_scenario(id, None, &mut rng);
+    let art = build_scenario(id, None);
     println!(
         "{}: {} on {} — clean accuracy {:.2}% ({})",
         id.label(),
@@ -214,7 +328,7 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         id.dataset_name(),
         art.clean_accuracy * 100.0,
         if art.from_cache {
-            "loaded from cache"
+            "loaded from store"
         } else {
             "trained"
         }
@@ -225,25 +339,18 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 fn cmd_fit(args: &[String]) -> Result<(), String> {
     let id = parse_scenario(args.first())?;
     let out = args.get(1).ok_or("missing output path for the detector")?;
-    let mut rng = StdRng::seed_from_u64(0xC12);
-    let art = build_scenario(id, None, &mut rng);
-    let opts = ExecOptions::seeded(0xC12);
-    println!("measuring clean validation inferences ...");
-    let template = collect_template(
-        &art.engine,
-        &art.model,
-        &art.split.val,
-        None,
-        &opts.stage(0),
-    );
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
+    let store = ArtifactStore::shared().map_err(|e| e.to_string())?;
+    println!("running offline pipeline (cached stages load from the store) ...");
+    let (art, report) = Pipeline::new(PipelineConfig::for_scenario(id), store)
+        .run()
         .map_err(|e| e.to_string())?;
-    save_detector(&detector, Path::new(out)).map_err(|e| e.to_string())?;
+    save_detector(&art.detector, Path::new(out)).map_err(|e| e.to_string())?;
     println!(
-        "detector saved to {out}: {} categories × {} events, M ≥ {}",
-        detector.num_classes(),
-        detector.events().len(),
-        template.min_samples_per_class()
+        "detector saved to {out}: {} categories × {} events, M ≥ {} ({} stage hits)",
+        art.detector.num_classes(),
+        art.detector.events().len(),
+        art.template.min_samples_per_class(),
+        report.hits()
     );
     Ok(())
 }
@@ -257,7 +364,7 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
 
     let detector = load_detector(Path::new(det_path)).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(0xC13);
-    let art = build_scenario(id, None, &mut rng);
+    let art = build_scenario(id, None);
     let goal = if flags.targeted {
         AttackGoal::Targeted(id.target_class())
     } else {
@@ -301,20 +408,26 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let id = parse_scenario(args.first())?;
     let flags = parse_attack_flags(&args[1..])?;
     let mut rng = StdRng::seed_from_u64(0xC14);
-    let art = build_scenario(id, flags.sizes(), &mut rng);
     let opts = ExecOptions::seeded(0xC14);
 
-    // Offline phase: fit a detector in-process from the validation split.
-    println!("offline phase: measuring validation set and fitting GMMs ...");
-    let template = collect_template(
-        &art.engine,
-        &art.model,
-        &art.split.val,
-        None,
-        &opts.stage(0),
-    );
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))
+    // Offline phase through the staged pipeline: on a warm store every
+    // stage is a load, so the monitor boots without training, measuring,
+    // or fitting anything.
+    println!("offline phase: running the staged pipeline (cached stages load) ...");
+    let mut config = PipelineConfig::for_scenario(id);
+    if let Some(sizes) = flags.sizes() {
+        config = config.with_sizes(sizes);
+    }
+    let store = ArtifactStore::shared().map_err(|e| e.to_string())?;
+    let (art, report) = Pipeline::new(config, store)
+        .run()
         .map_err(|e| e.to_string())?;
+    println!(
+        "offline phase ready: {}/{} stage cache hits",
+        report.hits(),
+        report.stages.len()
+    );
+    let detector = art.detector.clone();
 
     // Build the replay stream: clean test images interleaved with
     // adversarial examples generated from the same split.

@@ -335,6 +335,47 @@ impl Detector {
         Self { models, events }
     }
 
+    /// The same detector with every threshold recomputed as
+    /// `μ + sigma_factor · σ` over the template NLLs under the *existing*
+    /// mixtures — the calibration half of [`fit`](Self::fit) without
+    /// re-running EM.
+    ///
+    /// This is the pipeline's `Calibrate` stage: changing the sigma factor
+    /// re-derives thresholds from the fitted mixtures instead of refitting
+    /// them. For the canonical `sigma_factor` used at fit time the result
+    /// is bit-identical to the fitted detector (same data, same summation
+    /// order). Categories absent from the template keep their thresholds.
+    #[must_use]
+    pub fn recalibrated(&self, template: &OfflineTemplate, sigma_factor: f64) -> Self {
+        let mut models = self.models.clone();
+        for (class, row) in models.iter_mut().enumerate() {
+            if class >= template.num_classes() {
+                continue;
+            }
+            let samples = template.class_samples(class);
+            if samples.is_empty() {
+                continue;
+            }
+            for event in HpcEvent::ALL {
+                let Some(model) = &mut row[event.index()] else {
+                    continue;
+                };
+                // Mirrors `fit_event_model` exactly so identical inputs
+                // reproduce identical threshold bits.
+                let data: Vec<f64> = samples.iter().map(|s| s.get(event)).collect();
+                let nlls: Vec<f64> = data.iter().map(|&x| model.gmm.nll(x)).collect();
+                let mean = nlls.iter().sum::<f64>() / nlls.len() as f64;
+                let var =
+                    nlls.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / nlls.len() as f64;
+                model.threshold = mean + sigma_factor * var.sqrt();
+            }
+        }
+        Self {
+            models,
+            events: self.events.clone(),
+        }
+    }
+
     /// Number of categories modelled.
     pub fn num_classes(&self) -> usize {
         self.models.len()

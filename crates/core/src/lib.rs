@@ -16,8 +16,10 @@
 //!   the negative log-likelihood exceeds the threshold.
 //!
 //! [`scenario`] rebuilds the paper's three evaluation scenarios (dataset +
-//! model + trained weights), and [`experiment`] implements the evaluation
-//! protocols behind every table and figure.
+//! model + trained weights), [`pipeline`] stages the whole offline phase
+//! through the content-addressed [`store`] so it runs once per deployment,
+//! and [`experiment`] implements the evaluation protocols behind every
+//! table and figure.
 //!
 //! # Example
 //!
@@ -25,30 +27,25 @@
 //! looks like:
 //!
 //! ```no_run
-//! use advhunter::{offline, Detector, DetectorConfig, ExecOptions};
-//! use advhunter::scenario::{build_scenario, ScenarioId};
+//! use advhunter::{ArtifactStore, Pipeline, PipelineConfig};
+//! use advhunter::scenario::ScenarioId;
 //! use advhunter_uarch::HpcEvent;
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let art = build_scenario(ScenarioId::S2, None, &mut rng);
-//! // One ExecOptions drives every phase; stage-derived seeds keep the
-//! // phases' noise streams independent, and results are bit-identical for
-//! // every thread count (ADVHUNTER_THREADS picks the pool size).
-//! let opts = ExecOptions::seeded(0);
-//! let template = offline::collect_template(
-//!     &art.engine,
-//!     &art.model,
-//!     &art.split.val,
-//!     None,
-//!     &opts.stage(0),
+//! // Each stage (train → measure → fit → calibrate) is cached in the
+//! // store under a fingerprint of its inputs, so re-runs are pure cache
+//! // hits and results are bit-identical for every thread count
+//! // (ADVHUNTER_THREADS picks the pool size).
+//! let pipeline = Pipeline::new(
+//!     PipelineConfig::for_scenario(ScenarioId::S2),
+//!     ArtifactStore::shared()?,
 //! );
-//! let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
-//! let m = art.engine.measure_indexed(&art.model, &art.split.test.images()[0], opts.seed, 0);
-//! let verdict = detector.evaluate(m.predicted, &m.sample);
+//! let (art, report) = pipeline.run()?;
+//! println!("cache hits: {}/{}", report.hits(), report.stages.len());
+//! let m = art.engine.measure_indexed(&art.model, &art.split.test.images()[0], 0, 0);
+//! let verdict = art.detector.evaluate(m.predicted, &m.sample);
 //! let flagged = verdict.flagged_by(HpcEvent::CacheMisses);
 //! # let _ = flagged;
-//! # Ok::<(), advhunter::FitDetectorError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 mod detector;
@@ -59,8 +56,10 @@ pub mod baseline;
 pub mod experiment;
 pub mod offline;
 pub mod persist;
+pub mod pipeline;
 pub mod report;
 pub mod scenario;
+pub mod store;
 
 pub use advhunter_runtime::{
     derive_seed, ExecOptions, ExecOptionsBuilder, ExecOptionsError, Parallelism,
@@ -72,4 +71,9 @@ pub use detector::{
 pub use metrics::{mean_std, BinaryConfusion};
 pub use offline::{collect_template, OfflineTemplate};
 pub use persist::{load_detector, save_detector, PersistError};
+pub use pipeline::{
+    Pipeline, PipelineArtifacts, PipelineConfig, PipelineError, PipelineReport, Stage,
+    StageOutcome, StageReport,
+};
+pub use store::{ArtifactKind, ArtifactStore, Fingerprint, FingerprintBuilder, StoreLoad};
 pub use verdict::{AnomalyDetector, Verdict};

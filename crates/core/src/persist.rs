@@ -1,14 +1,29 @@
-//! Detector persistence: save a fitted [`Detector`] to disk and load it
-//! back, so the (expensive) offline phase runs once per deployment.
+//! Artifact persistence: typed binary encodings for every offline-phase
+//! artifact — fitted [`Detector`]s, trained model weights, and
+//! [`OfflineTemplate`]s — so the (expensive) offline phase runs once per
+//! deployment and its outputs survive on disk.
 //!
-//! Format: the `AHD` magic, a one-byte format version (currently `1`,
-//! making the header the familiar `AHD1` byte string), category count,
-//! then per category and per event an optional [`EventModel`] — threshold
-//! plus the GMM's weights, means, and variances, all little-endian `f64`.
-//! Files written by earlier releases under the `AHD1` name load
-//! unchanged; a future format bump changes only the version byte, so old
-//! binaries reject new files with a precise [`PersistError::UnsupportedVersion`]
-//! instead of a generic parse failure.
+//! Every encoding follows the same header discipline: a three-byte magic
+//! (`AHD` detectors, `AHW` weights, `AHT` templates) plus a one-byte
+//! format version (currently `1`). Detector files written by earlier
+//! releases under the `AHD1` name load byte-identically; a future format
+//! bump changes only the version byte, so old binaries reject new files
+//! with a precise [`PersistError::UnsupportedVersion`] instead of a
+//! generic parse failure.
+//!
+//! * Detectors: category count, then per category and per event an
+//!   optional [`EventModel`] — threshold plus the GMM's weights, means,
+//!   and variances, all little-endian `f64`.
+//! * Model weights: the `advhunter_nn::io` `AHW1` encoding
+//!   ([`advhunter_nn::io::weights_to_bytes`]), re-exposed here behind the
+//!   same typed [`PersistError`].
+//! * Templates: category count, then per category the sample count and
+//!   each sample's nine event readings as little-endian `f64`.
+//!
+//! The byte-level entry points ([`detector_to_bytes`] /
+//! [`detector_from_bytes`] and friends) are what the content-addressed
+//! [`ArtifactStore`](crate::store::ArtifactStore) wraps; the `save_*` /
+//! `load_*` pairs are thin file adapters over them.
 
 use std::fmt;
 use std::fs;
@@ -16,36 +31,50 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use advhunter_gmm::Gmm1d;
-use advhunter_uarch::HpcEvent;
+use advhunter_nn::io::WeightsError;
+use advhunter_nn::Graph;
+use advhunter_uarch::{HpcEvent, HpcSample};
 
 use crate::detector::{Detector, EventModel};
+use crate::offline::OfflineTemplate;
 
 const MAGIC: &[u8; 3] = b"AHD";
 /// The format version this build writes and the only one it reads.
 const VERSION: u8 = b'1';
 
-/// Error persisting or restoring a detector.
+const TEMPLATE_MAGIC: &[u8; 3] = b"AHT";
+const TEMPLATE_VERSION: u8 = b'1';
+
+/// Error persisting or restoring an offline artifact.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file does not start with the `AHD` magic — not a detector file.
+    /// The data does not start with the expected magic — not an artifact
+    /// of the requested kind.
     BadMagic,
-    /// The file is a detector file, but of a format version this build
-    /// does not understand.
+    /// The data is an artifact of the right kind, but of a format version
+    /// this build does not understand.
     UnsupportedVersion {
-        /// The version byte found in the file.
+        /// The version byte found in the data.
         found: u8,
         /// The version this build supports.
         supported: u8,
     },
-    /// The file ended before the structure it declares was complete.
+    /// The data ended before the structure it declares was complete.
     Truncated {
         /// Bytes the parser needed at the point of failure.
         needed: usize,
-        /// Bytes actually remaining in the file.
+        /// Bytes actually remaining in the data.
         available: usize,
+    },
+    /// A weight payload does not match the target graph's tensor layout.
+    ShapeMismatch {
+        /// What the graph expects.
+        expected: usize,
+        /// What the payload contains.
+        actual: usize,
     },
     /// Structurally well-formed reads produced invalid content.
     Malformed(&'static str),
@@ -54,8 +83,8 @@ pub enum PersistError {
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Io(e) => write!(f, "detector file I/O failed: {e}"),
-            Self::BadMagic => write!(f, "not a detector file (missing AHD magic)"),
+            Self::Io(e) => write!(f, "artifact I/O failed: {e}"),
+            Self::BadMagic => write!(f, "not an artifact of the expected kind (bad magic)"),
             Self::UnsupportedVersion { found, supported } => write!(
                 f,
                 "unsupported detector format version {} (this build reads version {})",
@@ -64,9 +93,13 @@ impl fmt::Display for PersistError {
             ),
             Self::Truncated { needed, available } => write!(
                 f,
-                "truncated detector file: needed {needed} more bytes, {available} available"
+                "truncated artifact: needed {needed} more bytes, {available} available"
             ),
-            Self::Malformed(what) => write!(f, "malformed detector file: {what}"),
+            Self::ShapeMismatch { expected, actual } => write!(
+                f,
+                "weight payload mismatch: expected {expected}, found {actual}"
+            ),
+            Self::Malformed(what) => write!(f, "malformed artifact: {what}"),
         }
     }
 }
@@ -86,15 +119,28 @@ impl From<io::Error> for PersistError {
     }
 }
 
-/// Writes a fitted detector to `path`.
-///
-/// # Errors
-///
-/// Returns [`PersistError::Io`] on filesystem failures.
-pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistError> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
+impl From<WeightsError> for PersistError {
+    fn from(e: WeightsError) -> Self {
+        match e {
+            WeightsError::Io(e) => Self::Io(e),
+            WeightsError::BadMagic => Self::BadMagic,
+            WeightsError::UnsupportedVersion { found, supported } => {
+                Self::UnsupportedVersion { found, supported }
+            }
+            WeightsError::Truncated { needed, available } => Self::Truncated { needed, available },
+            WeightsError::ShapeMismatch { expected, actual } => {
+                Self::ShapeMismatch { expected, actual }
+            }
+            // `WeightsError` is non_exhaustive; any future variant is a
+            // content-level failure.
+            _ => Self::Malformed("unrecognized weight payload error"),
+        }
     }
+}
+
+/// Encodes a fitted detector as an `AHD1` byte payload — the exact bytes
+/// [`save_detector`] writes to disk.
+pub fn detector_to_bytes(detector: &Detector) -> Vec<u8> {
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.push(VERSION);
@@ -125,7 +171,19 @@ pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistErro
             }
         }
     }
-    fs::File::create(path)?.write_all(&buf)?;
+    buf
+}
+
+/// Writes a fitted detector to `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failures.
+pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::File::create(path)?.write_all(&detector_to_bytes(detector))?;
     Ok(())
 }
 
@@ -141,25 +199,34 @@ pub fn save_detector(detector: &Detector, path: &Path) -> Result<(), PersistErro
 pub fn load_detector(path: &Path) -> Result<Detector, PersistError> {
     let mut data = Vec::new();
     fs::File::open(path)?.read_to_end(&mut data)?;
+    detector_from_bytes(&data)
+}
+
+/// Decodes an `AHD1` byte payload produced by [`detector_to_bytes`].
+///
+/// # Errors
+///
+/// Same contract as [`load_detector`], minus the filesystem cases.
+pub fn detector_from_bytes(data: &[u8]) -> Result<Detector, PersistError> {
     let mut cur = 0usize;
-    if take(&data, &mut cur, MAGIC.len())? != MAGIC {
+    if take(data, &mut cur, MAGIC.len())? != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    let version = take(&data, &mut cur, 1)?[0];
+    let version = take(data, &mut cur, 1)?[0];
     if version != VERSION {
         return Err(PersistError::UnsupportedVersion {
             found: version,
             supported: VERSION,
         });
     }
-    let num_classes = read_u32(&data, &mut cur)? as usize;
-    let num_events = read_u32(&data, &mut cur)? as usize;
+    let num_classes = read_u32(data, &mut cur)? as usize;
+    let num_events = read_u32(data, &mut cur)? as usize;
     if num_events > HpcEvent::ALL.len() {
         return Err(PersistError::Malformed("too many events"));
     }
     let mut events = Vec::with_capacity(num_events);
     for _ in 0..num_events {
-        let idx = read_u32(&data, &mut cur)? as usize;
+        let idx = read_u32(data, &mut cur)? as usize;
         let event = *HpcEvent::ALL
             .get(idx)
             .ok_or(PersistError::Malformed("bad event index"))?;
@@ -169,27 +236,27 @@ pub fn load_detector(path: &Path) -> Result<Detector, PersistError> {
     for _ in 0..num_classes {
         let mut row: Vec<Option<EventModel>> = Vec::with_capacity(HpcEvent::ALL.len());
         for _ in HpcEvent::ALL {
-            let tag = take(&data, &mut cur, 1)?[0];
+            let tag = take(data, &mut cur, 1)?[0];
             if tag == 0 {
                 row.push(None);
                 continue;
             }
-            let threshold = read_f64(&data, &mut cur)?;
-            let k = read_u32(&data, &mut cur)? as usize;
+            let threshold = read_f64(data, &mut cur)?;
+            let k = read_u32(data, &mut cur)? as usize;
             if k == 0 || k > 64 {
                 return Err(PersistError::Malformed("bad component count"));
             }
             let mut weights = Vec::with_capacity(k);
             for _ in 0..k {
-                weights.push(read_f64(&data, &mut cur)?);
+                weights.push(read_f64(data, &mut cur)?);
             }
             let mut means = Vec::with_capacity(k);
             for _ in 0..k {
-                means.push(read_f64(&data, &mut cur)?);
+                means.push(read_f64(data, &mut cur)?);
             }
             let mut variances = Vec::with_capacity(k);
             for _ in 0..k {
-                variances.push(read_f64(&data, &mut cur)?);
+                variances.push(read_f64(data, &mut cur)?);
             }
             let wsum: f64 = weights.iter().sum();
             if !(0.999..=1.001).contains(&wsum) || variances.iter().any(|&v| v <= 0.0) {
@@ -203,6 +270,82 @@ pub fn load_detector(path: &Path) -> Result<Detector, PersistError> {
         models.push(row);
     }
     Ok(Detector::from_parts(models, events))
+}
+
+/// Encodes a trained model's weights as an `AHW1` byte payload.
+///
+/// Delegates to [`advhunter_nn::io::weights_to_bytes`]; re-exposed here so
+/// every artifact kind shares one encode/decode vocabulary.
+pub fn model_to_bytes(graph: &Graph) -> Vec<u8> {
+    advhunter_nn::io::weights_to_bytes(graph)
+}
+
+/// Restores model weights from an `AHW1` byte payload into `graph`.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] with the same taxonomy as the detector loaders
+/// ([`PersistError::BadMagic`], [`PersistError::UnsupportedVersion`],
+/// [`PersistError::Truncated`], [`PersistError::ShapeMismatch`]).
+pub fn load_model_bytes(graph: &mut Graph, data: &[u8]) -> Result<(), PersistError> {
+    advhunter_nn::io::weights_from_bytes(graph, data)?;
+    Ok(())
+}
+
+/// Encodes an [`OfflineTemplate`] as an `AHT1` byte payload: category
+/// count, then per category the sample count and each sample's nine event
+/// readings in [`HpcEvent::ALL`] order, all little-endian.
+pub fn template_to_bytes(template: &OfflineTemplate) -> Vec<u8> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(TEMPLATE_MAGIC);
+    buf.push(TEMPLATE_VERSION);
+    push_u32(&mut buf, template.num_classes() as u32);
+    for class in 0..template.num_classes() {
+        let samples = template.class_samples(class);
+        push_u32(&mut buf, samples.len() as u32);
+        for sample in samples {
+            for event in HpcEvent::ALL {
+                push_f64(&mut buf, sample.get(event));
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes an `AHT1` byte payload produced by [`template_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::BadMagic`] for non-template data,
+/// [`PersistError::UnsupportedVersion`] for a newer format, or
+/// [`PersistError::Truncated`] for short payloads.
+pub fn template_from_bytes(data: &[u8]) -> Result<OfflineTemplate, PersistError> {
+    let mut cur = 0usize;
+    if take(data, &mut cur, TEMPLATE_MAGIC.len())? != TEMPLATE_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = take(data, &mut cur, 1)?[0];
+    if version != TEMPLATE_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: TEMPLATE_VERSION,
+        });
+    }
+    let num_classes = read_u32(data, &mut cur)? as usize;
+    let mut per_class: Vec<Vec<HpcSample>> = Vec::with_capacity(num_classes.min(1 << 16));
+    for _ in 0..num_classes {
+        let num_samples = read_u32(data, &mut cur)? as usize;
+        let mut samples = Vec::with_capacity(num_samples.min(1 << 16));
+        for _ in 0..num_samples {
+            let mut sample = HpcSample::default();
+            for event in HpcEvent::ALL {
+                sample.set(event, read_f64(data, &mut cur)?);
+            }
+            samples.push(sample);
+        }
+        per_class.push(samples);
+    }
+    Ok(OfflineTemplate::from_samples(per_class))
 }
 
 fn push_u32(buf: &mut Vec<u8>, v: u32) {
@@ -408,6 +551,92 @@ mod tests {
         assert!(matches!(
             load_detector(Path::new("/definitely/not/here.ahd")),
             Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn detector_bytes_match_the_file_bytes() {
+        let d = fitted();
+        let path = tempfile("bytes.ahd");
+        save_detector(&d, &path).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), detector_to_bytes(&d));
+        assert_eq!(detector_from_bytes(&detector_to_bytes(&d)).unwrap(), d);
+    }
+
+    fn tiny_model(seed: u64) -> advhunter_nn::Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = advhunter_nn::GraphBuilder::new(&[1, 4, 4]);
+        let input = b.input();
+        let f = b.flatten("f", input);
+        b.linear("fc", f, 3, &mut rng);
+        b.build()
+    }
+
+    #[test]
+    fn model_bytes_round_trip_through_persist_error() {
+        let mut graph = tiny_model(9);
+        let bytes = model_to_bytes(&graph);
+        assert_eq!(&bytes[..4], b"AHW1");
+        let mut other = tiny_model(10);
+        load_model_bytes(&mut other, &bytes).unwrap();
+        assert_eq!(model_to_bytes(&other), bytes);
+        assert!(matches!(
+            load_model_bytes(&mut graph, b"AHT1"),
+            Err(PersistError::BadMagic)
+        ));
+        assert!(matches!(
+            load_model_bytes(&mut graph, &bytes[..bytes.len() - 3]),
+            Err(PersistError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn template_bytes_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let per_class: Vec<Vec<HpcSample>> = (0..3)
+            .map(|c| {
+                (0..7 + c)
+                    .map(|_| {
+                        let mut s = HpcSample::default();
+                        for event in HpcEvent::ALL {
+                            s.set(event, rng.gen_range(0.0..1e6));
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let template = OfflineTemplate::from_samples(per_class);
+        let bytes = template_to_bytes(&template);
+        assert_eq!(&bytes[..4], b"AHT1");
+        let restored = template_from_bytes(&bytes).unwrap();
+        assert_eq!(restored.num_classes(), template.num_classes());
+        for class in 0..template.num_classes() {
+            assert_eq!(restored.class_samples(class), template.class_samples(class));
+        }
+        assert_eq!(template_to_bytes(&restored), bytes);
+    }
+
+    #[test]
+    fn template_rejects_wrong_kind_and_truncation() {
+        let template = OfflineTemplate::from_samples(vec![vec![HpcSample::default()]]);
+        let bytes = template_to_bytes(&template);
+        assert!(matches!(
+            template_from_bytes(b"AHD1"),
+            Err(PersistError::BadMagic)
+        ));
+        let mut future = bytes.clone();
+        future[3] = b'2';
+        assert!(matches!(
+            template_from_bytes(&future),
+            Err(PersistError::UnsupportedVersion {
+                found: b'2',
+                supported: b'1'
+            })
+        ));
+        assert!(matches!(
+            template_from_bytes(&bytes[..bytes.len() - 5]),
+            Err(PersistError::Truncated { .. })
         ));
     }
 

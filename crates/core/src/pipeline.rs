@@ -1,0 +1,750 @@
+//! The staged offline pipeline: `TrainModel → CollectTemplate →
+//! FitDetector → Calibrate`, each stage cached in a content-addressed
+//! [`ArtifactStore`].
+//!
+//! The paper's offline phase "runs once per deployment"; this module makes
+//! that literal. Every stage is a typed unit with a deterministic
+//! [`Fingerprint`] over its complete input closure — scenario, split
+//! sizes, train config, measurement config, seeds, and the upstream
+//! stage's fingerprint — and persists its artifact under that fingerprint:
+//!
+//! ```text
+//! TrainModel       (scenario, sizes, train cfg, seeds)        → AHW1 weights
+//!   └─ CollectTemplate (fp↑, measure seed, R, cap)            → AHT1 template
+//!        └─ FitDetector (fp↑, events, k-range, EM cfg)        → AHD1 detector
+//!             └─ Calibrate (fp↑, sigma factor)                → AHD1 detector
+//! ```
+//!
+//! Re-running with unchanged inputs is a pure cache hit; changing a knob
+//! invalidates exactly the downstream stages (e.g. a new `sigma_factor`
+//! recalibrates thresholds without retraining, re-measuring, or refitting
+//! — `FitDetector` always fits at the canonical three-sigma factor, and
+//! `Calibrate` derives the configured thresholds from the stored
+//! mixtures). Because every stage is thread-count-deterministic, cached
+//! and freshly computed artifacts are bit-identical, so hits are exact.
+//!
+//! Stage wall-times land in the global telemetry registry
+//! (`advhunter_pipeline_<stage>_ns`), alongside the store's hit/miss/evict
+//! counters.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use advhunter_data::{SplitDataset, SplitSizes};
+use advhunter_exec::TraceEngine;
+use advhunter_nn::train::{evaluate, fit, TrainConfig};
+use advhunter_nn::Graph;
+use advhunter_telemetry::{global, Histogram};
+use advhunter_uarch::{MachineConfig, Sampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::detector::{Detector, DetectorConfig, FitDetectorError};
+use crate::offline::{collect_template, OfflineTemplate};
+use crate::persist::{
+    self, detector_from_bytes, detector_to_bytes, template_from_bytes, template_to_bytes,
+    PersistError,
+};
+use crate::scenario::ScenarioId;
+use crate::store::{ArtifactKind, ArtifactStore, Fingerprint, FingerprintBuilder, StoreLoad};
+use advhunter_runtime::{ExecOptions, Parallelism};
+
+/// The canonical training seed. Training is a pipeline input like any
+/// other, so it has one well-known default instead of whatever RNG a
+/// caller happened to hold; override with
+/// [`PipelineConfig::with_train_seed`].
+pub const DEFAULT_TRAIN_SEED: u64 = 0x5EED_0001;
+
+/// The canonical measurement/fit seed driving `CollectTemplate` and
+/// `FitDetector` (stage-derived, so their streams are independent).
+pub const DEFAULT_PIPELINE_SEED: u64 = 0xAD17;
+
+/// The sigma factor `FitDetector` always fits at (the paper's three-sigma
+/// rule). `Calibrate` re-derives thresholds for any other configured
+/// factor from the stored mixtures.
+pub const CANONICAL_FIT_SIGMA: f64 = 3.0;
+
+/// One stage of the offline pipeline, in dependency order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Train the victim model on the scenario's training split.
+    TrainModel,
+    /// Measure the validation split and collect per-class HPC templates.
+    CollectTemplate,
+    /// Fit per-(category, event) GMMs at the canonical sigma factor.
+    FitDetector,
+    /// Derive thresholds for the configured sigma factor.
+    Calibrate,
+}
+
+impl Stage {
+    /// All stages, upstream first.
+    pub const ALL: [Self; 4] = [
+        Self::TrainModel,
+        Self::CollectTemplate,
+        Self::FitDetector,
+        Self::Calibrate,
+    ];
+
+    /// Stable stage name (used in fingerprint domain tags and status
+    /// output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::TrainModel => "train-model",
+            Self::CollectTemplate => "collect-template",
+            Self::FitDetector => "fit-detector",
+            Self::Calibrate => "calibrate",
+        }
+    }
+
+    /// The artifact kind this stage stores.
+    #[must_use]
+    pub fn artifact_kind(self) -> ArtifactKind {
+        match self {
+            Self::TrainModel => ArtifactKind::ModelWeights,
+            Self::CollectTemplate => ArtifactKind::Template,
+            Self::FitDetector | Self::Calibrate => ArtifactKind::Detector,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The complete input closure of one pipeline run.
+///
+/// Everything that can change any artifact lives here; the per-stage
+/// [`fingerprint`](Self::fingerprint) is a stable hash over exactly these
+/// fields (plus the scenario's derived seeds), so equal configs address
+/// equal artifacts and any changed knob re-addresses the affected stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Which evaluation scenario to build.
+    pub scenario: ScenarioId,
+    /// Per-class split sizes.
+    pub sizes: SplitSizes,
+    /// Training hyperparameters.
+    pub train: TrainConfig,
+    /// Seed for the training RNG (shuffling, augmentation).
+    pub train_seed: u64,
+    /// Root seed for measurement and fitting; stages derive independent
+    /// streams from it.
+    pub seed: u64,
+    /// Measurement repeats per inference (the paper's `R`).
+    pub repeats: usize,
+    /// Cap on template samples kept per class (`None` = keep all).
+    pub per_class_cap: Option<usize>,
+    /// Detector hyperparameters. `sigma_factor` affects only the
+    /// `Calibrate` stage.
+    pub detector: DetectorConfig,
+}
+
+impl PipelineConfig {
+    /// The canonical configuration for `scenario`: default split sizes,
+    /// the scenario's training recipe, and the paper's measurement and
+    /// detector defaults.
+    #[must_use]
+    pub fn for_scenario(scenario: ScenarioId) -> Self {
+        Self {
+            scenario,
+            sizes: scenario.default_sizes(),
+            train: scenario.train_config(),
+            train_seed: DEFAULT_TRAIN_SEED,
+            seed: DEFAULT_PIPELINE_SEED,
+            repeats: Sampler::default().repeats,
+            per_class_cap: None,
+            detector: DetectorConfig::default(),
+        }
+    }
+
+    /// Replaces the split sizes.
+    #[must_use]
+    pub fn with_sizes(mut self, sizes: SplitSizes) -> Self {
+        self.sizes = sizes;
+        self
+    }
+
+    /// Replaces the training hyperparameters.
+    #[must_use]
+    pub fn with_train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Replaces the training seed.
+    #[must_use]
+    pub fn with_train_seed(mut self, train_seed: u64) -> Self {
+        self.train_seed = train_seed;
+        self
+    }
+
+    /// Replaces the measurement/fit root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the measurement repeat count `R`.
+    #[must_use]
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats;
+        self
+    }
+
+    /// Replaces the per-class template cap.
+    #[must_use]
+    pub fn with_per_class_cap(mut self, cap: Option<usize>) -> Self {
+        self.per_class_cap = cap;
+        self
+    }
+
+    /// Replaces the detector hyperparameters.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// The deterministic fingerprint of `stage` under this configuration.
+    ///
+    /// Fingerprints chain: each stage hashes its own knobs plus its
+    /// upstream stage's fingerprint, so an upstream change re-addresses
+    /// every downstream artifact while untouched prefixes keep hitting.
+    /// Thread count is not an input — results are thread-count-invariant.
+    #[must_use]
+    pub fn fingerprint(&self, stage: Stage) -> Fingerprint {
+        match stage {
+            Stage::TrainModel => {
+                let mut b = FingerprintBuilder::new("advhunter.pipeline.train-model.v1");
+                b.push_str(self.scenario.label())
+                    .push_usize(self.sizes.train)
+                    .push_usize(self.sizes.val)
+                    .push_usize(self.sizes.test)
+                    .push_u64(self.scenario.dataset_seed())
+                    .push_u64(self.scenario.model_seed())
+                    .push_u64(self.train_seed)
+                    .push_usize(self.train.epochs)
+                    .push_usize(self.train.batch_size)
+                    .push_f32(self.train.learning_rate)
+                    .push_f32(self.train.lr_decay);
+                b.finish()
+            }
+            Stage::CollectTemplate => {
+                let mut b = FingerprintBuilder::new("advhunter.pipeline.collect-template.v1");
+                b.push_fingerprint(self.fingerprint(Stage::TrainModel))
+                    .push_u64(self.seed)
+                    .push_usize(self.repeats);
+                match self.per_class_cap {
+                    None => b.push_u64(0),
+                    Some(cap) => b.push_u64(1).push_usize(cap),
+                };
+                b.finish()
+            }
+            Stage::FitDetector => {
+                let mut b = FingerprintBuilder::new("advhunter.pipeline.fit-detector.v1");
+                b.push_fingerprint(self.fingerprint(Stage::CollectTemplate))
+                    .push_u64(self.seed)
+                    .push_usize(self.detector.events.len());
+                for &event in &self.detector.events {
+                    b.push_usize(event.index());
+                }
+                b.push_usize(*self.detector.k_range.start())
+                    .push_usize(*self.detector.k_range.end())
+                    .push_usize(self.detector.em.max_iters)
+                    .push_f64(self.detector.em.tol)
+                    .push_f64(self.detector.em.variance_floor)
+                    .push_f64(self.detector.em.relative_floor)
+                    .push_usize(self.detector.em.restarts);
+                // sigma_factor is deliberately absent: it only affects
+                // Calibrate.
+                b.finish()
+            }
+            Stage::Calibrate => {
+                let mut b = FingerprintBuilder::new("advhunter.pipeline.calibrate.v1");
+                b.push_fingerprint(self.fingerprint(Stage::FitDetector))
+                    .push_f64(self.detector.sigma_factor);
+                b.finish()
+            }
+        }
+    }
+}
+
+/// How a stage's artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// Loaded from the store.
+    Hit,
+    /// Absent from the store; computed and stored.
+    Miss,
+    /// Present but corrupt or undecodable; evicted, recomputed, stored.
+    Rebuilt,
+    /// Recomputed because the pipeline ran with `force`.
+    Forced,
+}
+
+impl StageOutcome {
+    /// Whether the artifact came from the store without recomputation.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, Self::Hit)
+    }
+
+    /// Status label for CLI output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Miss => "miss",
+            Self::Rebuilt => "rebuilt",
+            Self::Forced => "forced",
+        }
+    }
+}
+
+impl fmt::Display for StageOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened at one stage of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage.
+    pub stage: Stage,
+    /// Its fingerprint under the run's configuration.
+    pub fingerprint: Fingerprint,
+    /// How its artifact was obtained.
+    pub outcome: StageOutcome,
+}
+
+/// Per-stage outcomes of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// One report per executed stage, upstream first.
+    pub stages: Vec<StageReport>,
+}
+
+impl PipelineReport {
+    /// Whether every stage was a cache hit.
+    #[must_use]
+    pub fn all_hits(&self) -> bool {
+        self.stages.iter().all(|s| s.outcome.is_hit())
+    }
+
+    /// Number of cache hits.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.stages.iter().filter(|s| s.outcome.is_hit()).count()
+    }
+
+    /// Number of stages that recomputed (miss, rebuild, or force).
+    #[must_use]
+    pub fn recomputed(&self) -> usize {
+        self.stages.len() - self.hits()
+    }
+}
+
+/// Everything a full pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineArtifacts {
+    /// Which scenario this is.
+    pub scenario: ScenarioId,
+    /// Train/val/test data (regenerated deterministically, not stored).
+    pub split: SplitDataset,
+    /// The trained victim model.
+    pub model: Graph,
+    /// The instrumented-inference engine over the model, with the
+    /// configured repeat count.
+    pub engine: TraceEngine,
+    /// Clean test accuracy.
+    pub clean_accuracy: f32,
+    /// The collected per-class template.
+    pub template: OfflineTemplate,
+    /// The calibrated detector.
+    pub detector: Detector,
+}
+
+/// Error running the pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The artifact store failed (I/O).
+    Store(PersistError),
+    /// Detector fitting failed.
+    Fit(FitDetectorError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Store(e) => write!(f, "artifact store failure: {e}"),
+            Self::Fit(e) => write!(f, "detector fit failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Store(e) => Some(e),
+            Self::Fit(e) => Some(e),
+        }
+    }
+}
+
+impl From<PersistError> for PipelineError {
+    fn from(e: PersistError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl From<FitDetectorError> for PipelineError {
+    fn from(e: FitDetectorError) -> Self {
+        Self::Fit(e)
+    }
+}
+
+struct StageTimers {
+    train: Arc<Histogram>,
+    template: Arc<Histogram>,
+    fit: Arc<Histogram>,
+    calibrate: Arc<Histogram>,
+}
+
+fn timers() -> &'static StageTimers {
+    static TIMERS: OnceLock<StageTimers> = OnceLock::new();
+    TIMERS.get_or_init(|| {
+        let r = global();
+        StageTimers {
+            train: r.histogram(
+                "advhunter_pipeline_train_model_ns",
+                "Wall time of the TrainModel stage (load or compute)",
+            ),
+            template: r.histogram(
+                "advhunter_pipeline_collect_template_ns",
+                "Wall time of the CollectTemplate stage (load or compute)",
+            ),
+            fit: r.histogram(
+                "advhunter_pipeline_fit_detector_ns",
+                "Wall time of the FitDetector stage (load or compute)",
+            ),
+            calibrate: r.histogram(
+                "advhunter_pipeline_calibrate_ns",
+                "Wall time of the Calibrate stage (load or compute)",
+            ),
+        }
+    })
+}
+
+fn timer(stage: Stage) -> &'static Histogram {
+    let t = timers();
+    match stage {
+        Stage::TrainModel => &t.train,
+        Stage::CollectTemplate => &t.template,
+        Stage::FitDetector => &t.fit,
+        Stage::Calibrate => &t.calibrate,
+    }
+}
+
+/// The `TrainModel` stage's output plus the always-recomputed context
+/// around it (data split, accuracy).
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// Train/val/test data.
+    pub split: SplitDataset,
+    /// The trained victim model.
+    pub model: Graph,
+    /// Clean test accuracy.
+    pub clean_accuracy: f32,
+    /// What happened at the `TrainModel` stage.
+    pub report: StageReport,
+}
+
+/// A configured pipeline bound to a store.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    store: ArtifactStore,
+    force: bool,
+    parallelism: Parallelism,
+}
+
+impl Pipeline {
+    /// A pipeline for `config` persisting into `store`, with the
+    /// environment-driven worker count.
+    #[must_use]
+    pub fn new(config: PipelineConfig, store: ArtifactStore) -> Self {
+        Self {
+            config,
+            store,
+            force: false,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Recompute every stage even when a stored artifact exists (the
+    /// recomputed artifact still overwrites the stored one).
+    #[must_use]
+    pub fn force(mut self, force: bool) -> Self {
+        self.force = force;
+        self
+    }
+
+    /// Overrides the worker count. Artifacts are bit-identical for every
+    /// setting; this only changes wall time.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The pipeline's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The store this pipeline reads and writes.
+    #[must_use]
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    fn opts(&self) -> ExecOptions {
+        ExecOptions::new(self.config.seed, self.parallelism)
+    }
+
+    /// The load-else-compute protocol shared by every stage: try the
+    /// store (unless forced), decode on a hit, evict-and-recompute if the
+    /// payload does not decode, and persist whatever was computed. The
+    /// outcome reported is exactly what happened.
+    fn run_stage<T>(
+        &self,
+        stage: Stage,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+        compute: impl FnOnce() -> Result<T, PipelineError>,
+        encode: impl FnOnce(&T) -> Vec<u8>,
+    ) -> Result<(T, StageReport), PipelineError> {
+        let _span = timer(stage).span();
+        let fp = self.config.fingerprint(stage);
+        let kind = stage.artifact_kind();
+        let outcome = if self.force {
+            StageOutcome::Forced
+        } else {
+            match self.store.load(kind, fp)? {
+                StoreLoad::Hit(payload) => match decode(&payload) {
+                    Some(value) => {
+                        return Ok((
+                            value,
+                            StageReport {
+                                stage,
+                                fingerprint: fp,
+                                outcome: StageOutcome::Hit,
+                            },
+                        ))
+                    }
+                    None => {
+                        // Envelope intact but the payload does not decode
+                        // (e.g. written by an incompatible build): evict
+                        // and recompute rather than load bad state.
+                        let _ = std::fs::remove_file(self.store.path_for(kind, fp));
+                        StageOutcome::Rebuilt
+                    }
+                },
+                StoreLoad::Miss => StageOutcome::Miss,
+                StoreLoad::Evicted => StageOutcome::Rebuilt,
+            }
+        };
+        let value = compute()?;
+        self.store.save(kind, fp, &encode(&value))?;
+        Ok((
+            value,
+            StageReport {
+                stage,
+                fingerprint: fp,
+                outcome,
+            },
+        ))
+    }
+
+    /// Runs (or loads) the `TrainModel` stage: generates the data split,
+    /// obtains trained weights, and records clean test accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Store`] on store I/O failures.
+    pub fn run_model(&self) -> Result<ModelRun, PipelineError> {
+        let config = &self.config;
+        let split = config.scenario.generate_data(&config.sizes);
+        let base = config
+            .scenario
+            .build_model(&mut StdRng::seed_from_u64(config.scenario.model_seed()));
+        let (model, report) = self.run_stage(
+            Stage::TrainModel,
+            |bytes| {
+                let mut m = base.clone();
+                persist::load_model_bytes(&mut m, bytes).ok().map(|()| m)
+            },
+            || {
+                let mut m = base.clone();
+                let mut train_rng = StdRng::seed_from_u64(config.train_seed);
+                fit(
+                    &mut m,
+                    split.train.images(),
+                    split.train.labels(),
+                    &config.train,
+                    &mut train_rng,
+                );
+                Ok(m)
+            },
+            persist::model_to_bytes,
+        )?;
+        let clean_accuracy = evaluate(&model, split.test.images(), split.test.labels());
+        Ok(ModelRun {
+            split,
+            model,
+            clean_accuracy,
+            report,
+        })
+    }
+
+    /// Runs the full pipeline, loading every stage that hits and computing
+    /// the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Store`] on store I/O failures and
+    /// [`PipelineError::Fit`] if `FitDetector` must recompute and fails.
+    pub fn run(&self) -> Result<(PipelineArtifacts, PipelineReport), PipelineError> {
+        let config = &self.config;
+        let model_run = self.run_model()?;
+        let engine = TraceEngine::with_config(
+            &model_run.model,
+            MachineConfig::default(),
+            Sampler {
+                repeats: config.repeats,
+                ..Sampler::default()
+            },
+        );
+        let opts = self.opts();
+
+        let (template, template_report) = self.run_stage(
+            Stage::CollectTemplate,
+            |bytes| template_from_bytes(bytes).ok(),
+            || {
+                Ok(collect_template(
+                    &engine,
+                    &model_run.model,
+                    &model_run.split.val,
+                    config.per_class_cap,
+                    &opts.stage(0),
+                ))
+            },
+            template_to_bytes,
+        )?;
+
+        let (fitted, fit_report) = self.run_stage(
+            Stage::FitDetector,
+            |bytes| detector_from_bytes(bytes).ok(),
+            || {
+                let mut fit_config = config.detector.clone();
+                fit_config.sigma_factor = CANONICAL_FIT_SIGMA;
+                Ok(Detector::fit(&template, &fit_config, &opts.stage(1))?)
+            },
+            detector_to_bytes,
+        )?;
+
+        let (detector, calibrate_report) = self.run_stage(
+            Stage::Calibrate,
+            |bytes| detector_from_bytes(bytes).ok(),
+            || Ok(fitted.recalibrated(&template, config.detector.sigma_factor)),
+            detector_to_bytes,
+        )?;
+
+        let report = PipelineReport {
+            stages: vec![
+                model_run.report,
+                template_report,
+                fit_report,
+                calibrate_report,
+            ],
+        };
+        Ok((
+            PipelineArtifacts {
+                scenario: config.scenario,
+                split: model_run.split,
+                model: model_run.model,
+                engine,
+                clean_accuracy: model_run.clean_accuracy,
+                template,
+                detector,
+            },
+            report,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PipelineConfig {
+        PipelineConfig::for_scenario(ScenarioId::CaseStudy).with_sizes(SplitSizes {
+            train: 6,
+            val: 8,
+            test: 4,
+        })
+    }
+
+    #[test]
+    fn fingerprints_chain_downstream() {
+        let base = tiny_config();
+        let fp = |c: &PipelineConfig, s| c.fingerprint(s);
+
+        // Train-seed change re-addresses every stage.
+        let new_train_seed = base.clone().with_train_seed(7);
+        for stage in Stage::ALL {
+            assert_ne!(fp(&base, stage), fp(&new_train_seed, stage), "{stage}");
+        }
+
+        // Repeat-count change leaves TrainModel alone, re-addresses the
+        // rest.
+        let new_repeats = base.clone().with_repeats(3);
+        assert_eq!(
+            fp(&base, Stage::TrainModel),
+            fp(&new_repeats, Stage::TrainModel)
+        );
+        for stage in [Stage::CollectTemplate, Stage::FitDetector, Stage::Calibrate] {
+            assert_ne!(fp(&base, stage), fp(&new_repeats, stage), "{stage}");
+        }
+
+        // Sigma change re-addresses only Calibrate.
+        let mut sigma = base.clone();
+        sigma.detector.sigma_factor = 2.5;
+        for stage in [
+            Stage::TrainModel,
+            Stage::CollectTemplate,
+            Stage::FitDetector,
+        ] {
+            assert_eq!(fp(&base, stage), fp(&sigma, stage), "{stage}");
+        }
+        assert_ne!(fp(&base, Stage::Calibrate), fp(&sigma, Stage::Calibrate));
+    }
+
+    #[test]
+    fn stage_names_and_kinds_are_stable() {
+        assert_eq!(Stage::TrainModel.name(), "train-model");
+        assert_eq!(Stage::Calibrate.artifact_kind(), ArtifactKind::Detector);
+        assert_eq!(
+            Stage::CollectTemplate.artifact_kind(),
+            ArtifactKind::Template
+        );
+        assert_eq!(Stage::ALL.len(), 4);
+    }
+}

@@ -4,10 +4,12 @@
 pub use advhunter_data::SplitSizes;
 use advhunter_data::{scenarios as data_scenarios, SplitDataset};
 use advhunter_exec::TraceEngine;
-use advhunter_nn::train::{evaluate, fit, TrainConfig};
-use advhunter_nn::{io, models, Graph};
+use advhunter_nn::train::TrainConfig;
+use advhunter_nn::{models, Graph};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::pipeline::{Pipeline, PipelineConfig};
+use crate::store::ArtifactStore;
 
 /// Which evaluation setup to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -169,7 +171,7 @@ impl ScenarioId {
         }
     }
 
-    fn dataset_seed(self) -> u64 {
+    pub(crate) fn dataset_seed(self) -> u64 {
         match self {
             ScenarioId::S1 => 101,
             ScenarioId::S2 | ScenarioId::CaseStudy => 102,
@@ -177,7 +179,7 @@ impl ScenarioId {
         }
     }
 
-    fn model_seed(self) -> u64 {
+    pub(crate) fn model_seed(self) -> u64 {
         match self {
             ScenarioId::S1 => 201,
             ScenarioId::S2 => 202,
@@ -186,7 +188,9 @@ impl ScenarioId {
         }
     }
 
-    fn train_config(self) -> TrainConfig {
+    /// The canonical training hyperparameters for this scenario (part of
+    /// the pipeline's `TrainModel` fingerprint).
+    pub fn train_config(self) -> TrainConfig {
         match self {
             ScenarioId::S3 => TrainConfig {
                 epochs: 5,
@@ -203,7 +207,7 @@ impl ScenarioId {
         }
     }
 
-    fn build_model(self, rng: &mut StdRng) -> Graph {
+    pub(crate) fn build_model(self, rng: &mut StdRng) -> Graph {
         let dims = self.input_dims();
         let classes = self.num_classes();
         match self {
@@ -214,7 +218,7 @@ impl ScenarioId {
         }
     }
 
-    fn generate_data(self, sizes: &SplitSizes) -> SplitDataset {
+    pub(crate) fn generate_data(self, sizes: &SplitSizes) -> SplitDataset {
         let seed = self.dataset_seed();
         match self {
             ScenarioId::S1 => data_scenarios::fashion_mnist_like(seed, sizes),
@@ -242,61 +246,33 @@ pub struct ScenarioArtifacts {
     pub from_cache: bool,
 }
 
-/// Builds (or loads from cache) a scenario: generate data, train the model,
+/// Builds (or loads from the shared artifact store) a scenario: generate
+/// data, obtain the trained model via the pipeline's `TrainModel` stage,
 /// wrap it in a trace engine, and record clean accuracy.
 ///
-/// Models are cached under [`advhunter_nn::io::cache_dir`] keyed by
-/// scenario and split sizes, so repeated builds are fast.
-pub fn build_scenario(
-    id: ScenarioId,
-    sizes: Option<SplitSizes>,
-    rng: &mut impl Rng,
-) -> ScenarioArtifacts {
-    let sizes = sizes.unwrap_or_else(|| id.default_sizes());
-    let split = id.generate_data(&sizes);
-    let mut model = id.build_model(&mut StdRng::seed_from_u64(id.model_seed()));
-    // Fingerprint the training data into the cache key so regenerated
-    // datasets (e.g. after tuning the synthesizer) invalidate stale models.
-    let fingerprint: u64 = split
-        .train
-        .images()
-        .iter()
-        .step_by((split.train.len() / 16).max(1))
-        .flat_map(|img| img.data().iter())
-        .fold(0u64, |acc, &v| {
-            acc.wrapping_mul(31).wrapping_add(v.to_bits() as u64)
-        });
-    let cfg = id.train_config();
-    let key = format!(
-        "{}-{}-t{}-e{}-seed{}-d{:016x}",
-        id.label().to_lowercase(),
-        id.model_name().to_lowercase(),
-        sizes.train,
-        cfg.epochs,
-        id.model_seed(),
-        fingerprint
-    );
-    let mut train_rng = StdRng::seed_from_u64(rng.gen());
-    let train_split = split.train.clone();
-    let from_cache = io::train_or_load(&mut model, &key, |m| {
-        fit(
-            m,
-            train_split.images(),
-            train_split.labels(),
-            &cfg,
-            &mut train_rng,
-        );
-    })
-    .expect("model cache I/O");
-    let clean_accuracy = evaluate(&model, split.test.images(), split.test.labels());
-    let engine = TraceEngine::new(&model);
+/// This is a thin view over [`Pipeline::run_model`] against
+/// [`ArtifactStore::shared`] with the canonical training seed
+/// ([`crate::pipeline::DEFAULT_TRAIN_SEED`]), so repeated builds are pure
+/// cache hits and every caller gets the same model bits. Callers needing a
+/// different store, seed, or the downstream stages should use
+/// [`Pipeline`] directly.
+pub fn build_scenario(id: ScenarioId, sizes: Option<SplitSizes>) -> ScenarioArtifacts {
+    let config = match sizes {
+        Some(sizes) => PipelineConfig::for_scenario(id).with_sizes(sizes),
+        None => PipelineConfig::for_scenario(id),
+    };
+    let store = ArtifactStore::shared().expect("artifact store I/O");
+    let run = Pipeline::new(config, store)
+        .run_model()
+        .expect("artifact store I/O");
+    let engine = TraceEngine::new(&run.model);
     ScenarioArtifacts {
         id,
-        split,
-        model,
+        split: run.split,
+        model: run.model,
         engine,
-        clean_accuracy,
-        from_cache,
+        clean_accuracy: run.clean_accuracy,
+        from_cache: run.report.outcome.is_hit(),
     }
 }
 
@@ -331,13 +307,12 @@ mod tests {
     fn build_scenario_trains_a_usable_model_on_tiny_sizes() {
         let dir = std::env::temp_dir().join(format!("advhunter-scn-{}", std::process::id()));
         std::env::set_var("ADVHUNTER_CACHE_DIR", &dir);
-        let mut rng = StdRng::seed_from_u64(0);
         let sizes = SplitSizes {
             train: 12,
             val: 4,
             test: 6,
         };
-        let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+        let art = build_scenario(ScenarioId::CaseStudy, Some(sizes));
         assert_eq!(art.split.train.len(), 120);
         // Even a tiny training run should beat random guessing (10%).
         assert!(
@@ -345,8 +320,8 @@ mod tests {
             "tiny model accuracy {}",
             art.clean_accuracy
         );
-        // A rebuild must hit the cache.
-        let art2 = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+        // A rebuild must hit the store.
+        let art2 = build_scenario(ScenarioId::CaseStudy, Some(sizes));
         assert!(art2.from_cache);
         assert_eq!(art2.model, art.model);
         std::env::remove_var("ADVHUNTER_CACHE_DIR");

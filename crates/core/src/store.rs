@@ -1,0 +1,531 @@
+//! Content-addressed artifact store for the staged offline pipeline.
+//!
+//! The offline phase produces three artifact kinds — trained model
+//! weights, per-class [`OfflineTemplate`](crate::OfflineTemplate)s, and
+//! fitted [`Detector`](crate::Detector)s — each addressed by the
+//! [`Fingerprint`] of everything that determined it (scenario, split
+//! sizes, train config, measurement config, seeds, and upstream
+//! fingerprints). Because every stage is thread-count-deterministic, the
+//! bytes stored under a fingerprint are *the* bytes that recomputation
+//! would produce, so a hit can be trusted without re-deriving anything.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   models/<fingerprint>.ahs      AHW1 weight payload in an AHS1 envelope
+//!   templates/<fingerprint>.ahs   AHT1 template payload in an AHS1 envelope
+//!   detectors/<fingerprint>.ahs   AHD1 detector payload in an AHS1 envelope
+//! ```
+//!
+//! Each file is an `AHS1` envelope: 3-byte magic `AHS`, version byte `1`,
+//! the artifact-kind tag, the fingerprint, the payload length, an FNV-1a
+//! checksum of the payload, then the payload itself (the exact bytes the
+//! `persist` module encodes). A file that fails *any* envelope check —
+//! magic, version, kind, fingerprint, length, checksum — is evicted
+//! (deleted) and reported as [`StoreLoad::Evicted`], so corruption
+//! triggers recomputation rather than a bad load.
+//!
+//! Writes are atomic (unique temp file + rename), so concurrent pipelines
+//! sharing a store never observe half-written artifacts; because
+//! computation is deterministic, racing writers produce identical bytes
+//! and the race is benign.
+//!
+//! Store traffic is counted in the global `advhunter-telemetry` registry
+//! (`advhunter_store_{hits,misses,evictions,writes}_total`).
+
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use advhunter_telemetry::{global, Counter};
+
+use crate::persist::PersistError;
+
+const STORE_MAGIC: &[u8; 3] = b"AHS";
+const STORE_VERSION: u8 = b'1';
+/// Envelope bytes before the payload: magic(3) + version(1) + kind(1) +
+/// fingerprint(8) + payload_len(8) + checksum(8).
+const HEADER_LEN: usize = 3 + 1 + 1 + 8 + 8 + 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A stable 64-bit identity for a pipeline stage's complete input closure.
+///
+/// Two runs share a fingerprint exactly when every input that could change
+/// the stage's output is identical: same scenario, same sizes, same seeds,
+/// same config, same upstream fingerprints. Thread count is deliberately
+/// *not* an input — results are thread-count-invariant, so the same
+/// fingerprint is produced under any `ADVHUNTER_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a hasher with typed, length-prefixed pushes.
+///
+/// Every push is framed (strings and byte slices are length-prefixed,
+/// numbers are fixed-width little-endian), so distinct input sequences
+/// cannot collide by concatenation. Builders start from a domain tag like
+/// `"advhunter.pipeline.train-model.v1"`, which separates stage hash
+/// domains and doubles as the format version: changing an encoding means
+/// bumping the tag, which invalidates exactly that stage and downstream.
+#[derive(Debug, Clone)]
+pub struct FingerprintBuilder {
+    state: u64,
+}
+
+impl FingerprintBuilder {
+    /// Starts a fingerprint in the hash domain named by `tag`.
+    #[must_use]
+    pub fn new(tag: &str) -> Self {
+        let mut b = Self { state: FNV_OFFSET };
+        b.push_str(tag);
+        b
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a length-prefixed byte slice.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.push_u64(bytes.len() as u64);
+        self.absorb(bytes);
+        self
+    }
+
+    /// Absorbs a length-prefixed UTF-8 string.
+    pub fn push_str(&mut self, s: &str) -> &mut Self {
+        self.push_bytes(s.as_bytes())
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.absorb(&v.to_le_bytes());
+        self
+    }
+
+    /// Absorbs a `usize` widened to `u64` (stable across pointer widths).
+    pub fn push_usize(&mut self, v: usize) -> &mut Self {
+        self.push_u64(v as u64)
+    }
+
+    /// Absorbs an `f64` by its exact bit pattern.
+    pub fn push_f64(&mut self, v: f64) -> &mut Self {
+        self.push_u64(v.to_bits())
+    }
+
+    /// Absorbs an `f32` by its exact bit pattern.
+    pub fn push_f32(&mut self, v: f32) -> &mut Self {
+        self.push_u64(u64::from(v.to_bits()))
+    }
+
+    /// Chains an upstream stage's fingerprint into this one.
+    pub fn push_fingerprint(&mut self, fp: Fingerprint) -> &mut Self {
+        self.push_u64(fp.0)
+    }
+
+    /// Finalizes the fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+/// FNV-1a over a raw byte payload — the envelope checksum.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for &byte in bytes {
+        state ^= u64::from(byte);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// The three artifact kinds the offline pipeline produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// Trained model weights (`AHW1` payload).
+    ModelWeights,
+    /// Collected per-class HPC template (`AHT1` payload).
+    Template,
+    /// Fitted + calibrated detector (`AHD1` payload).
+    Detector,
+}
+
+impl ArtifactKind {
+    /// All kinds, in pipeline order.
+    pub const ALL: [Self; 3] = [Self::ModelWeights, Self::Template, Self::Detector];
+
+    /// The envelope tag byte identifying this kind.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::ModelWeights => 1,
+            Self::Template => 2,
+            Self::Detector => 3,
+        }
+    }
+
+    /// The store subdirectory holding this kind.
+    #[must_use]
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            Self::ModelWeights => "models",
+            Self::Template => "templates",
+            Self::Detector => "detectors",
+        }
+    }
+
+    /// Human-readable label for status output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::ModelWeights => "model-weights",
+            Self::Template => "template",
+            Self::Detector => "detector",
+        }
+    }
+}
+
+/// The outcome of an [`ArtifactStore::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreLoad {
+    /// The artifact was present and passed every envelope check.
+    Hit(Vec<u8>),
+    /// No artifact is stored under this fingerprint.
+    Miss,
+    /// An artifact was present but corrupt; it has been deleted so the
+    /// caller recomputes instead of loading bad bytes.
+    Evicted,
+}
+
+/// An on-disk, content-addressed store of offline-pipeline artifacts.
+///
+/// Cloning is cheap (the handle is just a root path); any number of
+/// handles may share one directory, across threads and processes.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+struct StoreCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    writes: Arc<Counter>,
+}
+
+fn counters() -> &'static StoreCounters {
+    static COUNTERS: OnceLock<StoreCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = global();
+        StoreCounters {
+            hits: r.counter(
+                "advhunter_store_hits_total",
+                "Artifact-store loads satisfied from disk",
+            ),
+            misses: r.counter(
+                "advhunter_store_misses_total",
+                "Artifact-store loads with no stored artifact",
+            ),
+            evictions: r.counter(
+                "advhunter_store_evictions_total",
+                "Corrupt artifacts deleted from the store",
+            ),
+            writes: r.counter(
+                "advhunter_store_writes_total",
+                "Artifacts written to the store",
+            ),
+        }
+    })
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the directory tree cannot be
+    /// created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let root = root.into();
+        for kind in ArtifactKind::ALL {
+            fs::create_dir_all(root.join(kind.dir_name()))?;
+        }
+        Ok(Self { root })
+    }
+
+    /// Opens the workspace-shared store under the advhunter cache
+    /// directory (`ADVHUNTER_CACHE_DIR` or the workspace `target/`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if the directory tree cannot be
+    /// created.
+    pub fn shared() -> Result<Self, PersistError> {
+        Self::open(advhunter_nn::io::cache_dir().join("store"))
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The path an artifact of `kind` with fingerprint `fp` lives at.
+    #[must_use]
+    pub fn path_for(&self, kind: ArtifactKind, fp: Fingerprint) -> PathBuf {
+        self.root.join(kind.dir_name()).join(format!("{fp}.ahs"))
+    }
+
+    /// Loads the payload stored under `(kind, fp)`.
+    ///
+    /// Corrupt envelopes are deleted and reported as
+    /// [`StoreLoad::Evicted`] — never surfaced as payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] only for filesystem failures other
+    /// than the file being absent.
+    pub fn load(&self, kind: ArtifactKind, fp: Fingerprint) -> Result<StoreLoad, PersistError> {
+        let path = self.path_for(kind, fp);
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                counters().misses.inc();
+                return Ok(StoreLoad::Miss);
+            }
+            Err(e) => return Err(PersistError::Io(e)),
+        };
+        match decode_envelope(&data, kind, fp) {
+            Some(payload) => {
+                counters().hits.inc();
+                Ok(StoreLoad::Hit(payload))
+            }
+            None => {
+                // Any envelope failure means the file cannot be trusted;
+                // delete it so the caller recomputes.
+                let _ = fs::remove_file(&path);
+                counters().evictions.inc();
+                Ok(StoreLoad::Evicted)
+            }
+        }
+    }
+
+    /// Stores `payload` under `(kind, fp)` atomically (temp file +
+    /// rename), replacing any existing artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failures.
+    pub fn save(
+        &self,
+        kind: ArtifactKind,
+        fp: Fingerprint,
+        payload: &[u8],
+    ) -> Result<(), PersistError> {
+        let path = self.path_for(kind, fp);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.extend_from_slice(STORE_MAGIC);
+        buf.push(STORE_VERSION);
+        buf.push(kind.tag());
+        buf.extend_from_slice(&fp.0.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&checksum(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), tmp_nonce()));
+        fs::File::create(&tmp)?.write_all(&buf)?;
+        fs::rename(&tmp, &path)?;
+        counters().writes.inc();
+        Ok(())
+    }
+}
+
+/// Per-process monotonically increasing temp-file nonce, so concurrent
+/// saves within one process never collide on the temp path.
+fn tmp_nonce() -> u64 {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Validates an `AHS1` envelope and returns its payload, or `None` on any
+/// structural or integrity failure.
+fn decode_envelope(data: &[u8], kind: ArtifactKind, fp: Fingerprint) -> Option<Vec<u8>> {
+    if data.len() < HEADER_LEN {
+        return None;
+    }
+    if &data[..3] != STORE_MAGIC || data[3] != STORE_VERSION || data[4] != kind.tag() {
+        return None;
+    }
+    let stored_fp = u64::from_le_bytes(data[5..13].try_into().ok()?);
+    if stored_fp != fp.0 {
+        return None;
+    }
+    let payload_len = u64::from_le_bytes(data[13..21].try_into().ok()?) as usize;
+    let stored_sum = u64::from_le_bytes(data[21..29].try_into().ok()?);
+    let payload = &data[HEADER_LEN..];
+    if payload.len() != payload_len || checksum(payload) != stored_sum {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempstore(name: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("advhunter-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_order_sensitive() {
+        let fp = |f: &mut FingerprintBuilder| f.finish();
+        let mut a = FingerprintBuilder::new("tag");
+        a.push_u64(1).push_str("x");
+        let mut b = FingerprintBuilder::new("tag");
+        b.push_u64(1).push_str("x");
+        assert_eq!(fp(&mut a), fp(&mut b));
+        let mut c = FingerprintBuilder::new("tag");
+        c.push_str("x").push_u64(1);
+        assert_ne!(fp(&mut a), fp(&mut c));
+        let mut d = FingerprintBuilder::new("other");
+        d.push_u64(1).push_str("x");
+        assert_ne!(fp(&mut a), fp(&mut d));
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        let mut a = FingerprintBuilder::new("t");
+        a.push_str("ab").push_str("c");
+        let mut b = FingerprintBuilder::new("t");
+        b.push_str("a").push_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn save_then_load_round_trips() {
+        let store = tempstore("roundtrip");
+        let fp = Fingerprint(0xDEAD_BEEF);
+        let payload = b"hello artifact".to_vec();
+        store.save(ArtifactKind::Template, fp, &payload).unwrap();
+        assert_eq!(
+            store.load(ArtifactKind::Template, fp).unwrap(),
+            StoreLoad::Hit(payload)
+        );
+    }
+
+    #[test]
+    fn absent_artifact_is_a_miss() {
+        let store = tempstore("miss");
+        assert_eq!(
+            store.load(ArtifactKind::Detector, Fingerprint(7)).unwrap(),
+            StoreLoad::Miss
+        );
+    }
+
+    #[test]
+    fn kinds_are_isolated() {
+        let store = tempstore("kinds");
+        let fp = Fingerprint(42);
+        store.save(ArtifactKind::ModelWeights, fp, b"w").unwrap();
+        assert_eq!(
+            store.load(ArtifactKind::Template, fp).unwrap(),
+            StoreLoad::Miss
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_is_evicted_then_missing() {
+        let store = tempstore("corrupt");
+        let fp = Fingerprint(99);
+        store
+            .save(ArtifactKind::Detector, fp, b"payload-bytes")
+            .unwrap();
+        let path = store.path_for(ArtifactKind::Detector, fp);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            store.load(ArtifactKind::Detector, fp).unwrap(),
+            StoreLoad::Evicted
+        );
+        assert!(!path.exists(), "evicted artifact must be deleted");
+        assert_eq!(
+            store.load(ArtifactKind::Detector, fp).unwrap(),
+            StoreLoad::Miss
+        );
+    }
+
+    #[test]
+    fn truncated_envelope_is_evicted() {
+        let store = tempstore("trunc");
+        let fp = Fingerprint(5);
+        store
+            .save(ArtifactKind::Template, fp, b"0123456789")
+            .unwrap();
+        let path = store.path_for(ArtifactKind::Template, fp);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert_eq!(
+            store.load(ArtifactKind::Template, fp).unwrap(),
+            StoreLoad::Evicted
+        );
+    }
+
+    #[test]
+    fn wrong_fingerprint_slot_is_evicted() {
+        let store = tempstore("wrongfp");
+        let a = Fingerprint(1);
+        let b = Fingerprint(2);
+        store.save(ArtifactKind::Detector, a, b"abc").unwrap();
+        // Simulate a file landing in the wrong slot.
+        fs::rename(
+            store.path_for(ArtifactKind::Detector, a),
+            store.path_for(ArtifactKind::Detector, b),
+        )
+        .unwrap();
+        assert_eq!(
+            store.load(ArtifactKind::Detector, b).unwrap(),
+            StoreLoad::Evicted
+        );
+    }
+
+    #[test]
+    fn store_traffic_lands_in_global_counters() {
+        let store = tempstore("telemetry");
+        let before = advhunter_telemetry::global()
+            .snapshot()
+            .counter("advhunter_store_writes_total")
+            .unwrap_or(0);
+        store
+            .save(ArtifactKind::Template, Fingerprint(11), b"t")
+            .unwrap();
+        let after = advhunter_telemetry::global()
+            .snapshot()
+            .counter("advhunter_store_writes_total")
+            .unwrap();
+        assert!(after > before);
+    }
+}

@@ -170,6 +170,29 @@ pub struct SplitDataset {
     pub test: Dataset,
 }
 
+impl SplitDataset {
+    /// The per-class [`SplitSizes`] this split was generated from.
+    ///
+    /// Scenario splits are class-balanced (every generator produces the
+    /// same count per class), so the sizes are recoverable as
+    /// `len / num_classes` — useful for re-deriving the pipeline
+    /// configuration that addresses an existing split's artifacts.
+    pub fn sizes_per_class(&self) -> SplitSizes {
+        let per_class = |d: &Dataset| {
+            if d.num_classes() == 0 {
+                0
+            } else {
+                d.len() / d.num_classes()
+            }
+        };
+        SplitSizes {
+            train: per_class(&self.train),
+            val: per_class(&self.val),
+            test: per_class(&self.test),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,5 +42,5 @@ mod stats;
 
 pub use config::{MonitorConfig, MonitorConfigError, OverloadPolicy};
 pub use queue::{BoundedQueue, PushError, Pushed};
-pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SubmitError};
+pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SpawnFromStoreError, SubmitError};
 pub use stats::{ClassFlagStats, StatsSnapshot};

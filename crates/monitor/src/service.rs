@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use advhunter::{Detector, Verdict};
+use advhunter::{ArtifactStore, Detector, Pipeline, PipelineConfig, PipelineError, Verdict};
 use advhunter_exec::TraceEngine;
 use advhunter_nn::Graph;
 use advhunter_runtime::parallel_map;
@@ -35,6 +35,40 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why [`Monitor::spawn_from_store`] could not boot the service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpawnFromStoreError {
+    /// The offline pipeline failed (store I/O or detector fit).
+    Pipeline(PipelineError),
+    /// The monitor configuration was invalid.
+    Config(MonitorConfigError),
+}
+
+impl std::fmt::Display for SpawnFromStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Pipeline(e) => write!(f, "offline pipeline failed: {e}"),
+            Self::Config(e) => write!(f, "invalid monitor configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnFromStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Pipeline(e) => Some(e),
+            Self::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for SpawnFromStoreError {
+    fn from(e: PipelineError) -> Self {
+        Self::Pipeline(e)
+    }
+}
 
 /// Observational timings of one request's trip through the service.
 ///
@@ -152,6 +186,27 @@ impl Monitor {
             verdicts: Mutex::new(rx),
             worker: Some(worker),
         })
+    }
+
+    /// Boots the service from the staged offline pipeline: runs (or
+    /// loads, when the store already holds the artifacts) every offline
+    /// stage for `pipeline` against `store`, then spawns the monitor over
+    /// the resulting engine, model, and calibrated detector. On a warm
+    /// store this is a pure load — no training, measurement, or fitting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpawnFromStoreError::Pipeline`] when the offline phase
+    /// fails and [`SpawnFromStoreError::Config`] when `config` is
+    /// invalid; no thread is spawned in either case.
+    pub fn spawn_from_store(
+        pipeline: PipelineConfig,
+        store: ArtifactStore,
+        config: MonitorConfig,
+    ) -> Result<Self, SpawnFromStoreError> {
+        let (art, _report) = Pipeline::new(pipeline, store).run()?;
+        Self::spawn(art.engine, art.model, art.detector, config)
+            .map_err(SpawnFromStoreError::Config)
     }
 
     /// Submits one image for screening and returns its admission-order

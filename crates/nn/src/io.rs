@@ -1,11 +1,18 @@
 //! Weight persistence: a small explicit binary format plus a disk cache so
 //! each model trains once per machine.
 //!
-//! Format (`AHW1`): magic, tensor count, then for each tensor its element
-//! count and little-endian `f32` payload. Weights are stored in
-//! [`Graph::param_tensors`] order followed by the batch-norm running
-//! statistics, so the format is only meaningful together with the graph
-//! structure (which the model zoo rebuilds deterministically from a seed).
+//! Format (`AHW1`): the `AHW` magic, a one-byte format version (currently
+//! `1`, making the header the familiar `AHW1` byte string), tensor count,
+//! then for each tensor its element count and little-endian `f32` payload.
+//! Weights are stored in [`Graph::param_tensors`] order followed by the
+//! batch-norm running statistics, so the format is only meaningful
+//! together with the graph structure (which the model zoo rebuilds
+//! deterministically from a seed).
+//!
+//! [`weights_to_bytes`] / [`weights_from_bytes`] expose the encoding
+//! without touching the filesystem; the artifact store in `advhunter`
+//! reuses them so a stored model payload is byte-identical to an `.ahw`
+//! file written by [`save_weights`].
 
 use std::fmt;
 use std::fs;
@@ -16,15 +23,33 @@ use advhunter_tensor::Tensor;
 
 use crate::Graph;
 
-const MAGIC: &[u8; 4] = b"AHW1";
+const MAGIC: &[u8; 3] = b"AHW";
+/// The format version this build writes and the only one it reads.
+const VERSION: u8 = b'1';
 
 /// Error loading or saving model weights.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum WeightsError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The file is not an `AHW1` weight file.
+    /// The data does not start with the `AHW` magic — not a weight file.
     BadMagic,
+    /// The data is a weight file, but of a format version this build does
+    /// not understand.
+    UnsupportedVersion {
+        /// The version byte found in the data.
+        found: u8,
+        /// The version this build supports.
+        supported: u8,
+    },
+    /// The data ended before the structure it declares was complete.
+    Truncated {
+        /// Bytes the parser needed at the point of failure.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
     /// Tensor count or element counts do not match the graph.
     ShapeMismatch {
         /// What the graph expects.
@@ -38,7 +63,17 @@ impl fmt::Display for WeightsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "weight file I/O failed: {e}"),
-            Self::BadMagic => write!(f, "not an AHW1 weight file"),
+            Self::BadMagic => write!(f, "not a weight file (missing AHW magic)"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported weight format version {} (this build reads version {})",
+                char::from(*found),
+                char::from(*supported),
+            ),
+            Self::Truncated { needed, available } => write!(
+                f,
+                "truncated weight data: needed {needed} more bytes, {available} available"
+            ),
             Self::ShapeMismatch { expected, actual } => {
                 write!(
                     f,
@@ -64,6 +99,24 @@ impl From<io::Error> for WeightsError {
     }
 }
 
+/// Encodes a graph's parameters and running statistics as an `AHW1` byte
+/// payload — the exact bytes [`save_weights`] writes to disk.
+pub fn weights_to_bytes(graph: &Graph) -> Vec<u8> {
+    let mut tensors: Vec<&Tensor> = graph.param_tensors();
+    tensors.extend(graph.running_stat_tensors());
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.push(VERSION);
+    buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
+    for t in &tensors {
+        buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
+        for &v in t.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
 /// Writes a graph's parameters and running statistics to `path`.
 ///
 /// # Errors
@@ -73,19 +126,7 @@ pub fn save_weights(graph: &Graph, path: &Path) -> Result<(), WeightsError> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let mut tensors: Vec<&Tensor> = graph.param_tensors();
-    tensors.extend(graph.running_stat_tensors());
-    let mut buf: Vec<u8> = Vec::new();
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&(tensors.len() as u32).to_le_bytes());
-    for t in &tensors {
-        buf.extend_from_slice(&(t.len() as u32).to_le_bytes());
-        for &v in t.data() {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-    let mut f = fs::File::create(path)?;
-    f.write_all(&buf)?;
+    fs::File::create(path)?.write_all(&weights_to_bytes(graph))?;
     Ok(())
 }
 
@@ -100,13 +141,34 @@ pub fn load_weights(graph: &mut Graph, path: &Path) -> Result<(), WeightsError> 
     let mut f = fs::File::open(path)?;
     let mut data = Vec::new();
     f.read_to_end(&mut data)?;
+    weights_from_bytes(graph, &data)
+}
+
+/// Decodes an `AHW1` byte payload produced by [`weights_to_bytes`] into a
+/// graph with identical structure.
+///
+/// # Errors
+///
+/// Returns a precise [`WeightsError`]: [`BadMagic`](WeightsError::BadMagic)
+/// when the payload is not a weight encoding at all,
+/// [`UnsupportedVersion`](WeightsError::UnsupportedVersion) on a format
+/// bump, [`Truncated`](WeightsError::Truncated) when it ends early, and
+/// [`ShapeMismatch`](WeightsError::ShapeMismatch) when the tensor layout
+/// does not match the graph.
+pub fn weights_from_bytes(graph: &mut Graph, data: &[u8]) -> Result<(), WeightsError> {
     let mut cur = 0usize;
 
-    let magic = take(&data, &mut cur, 4)?;
-    if magic != MAGIC {
+    if take(data, &mut cur, MAGIC.len())? != MAGIC {
         return Err(WeightsError::BadMagic);
     }
-    let count = u32::from_le_bytes(take(&data, &mut cur, 4)?.try_into().unwrap()) as usize;
+    let version = take(data, &mut cur, 1)?[0];
+    if version != VERSION {
+        return Err(WeightsError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(take(data, &mut cur, 4)?.try_into().unwrap()) as usize;
 
     let expected = graph.param_tensors().len() + graph.running_stat_tensors().len();
     if expected != count {
@@ -119,8 +181,8 @@ pub fn load_weights(graph: &mut Graph, path: &Path) -> Result<(), WeightsError> 
     // Phase 1: parse every payload (with length checks deferred to phase 2).
     let mut payloads: Vec<Vec<f32>> = Vec::with_capacity(count);
     for _ in 0..count {
-        let len = u32::from_le_bytes(take(&data, &mut cur, 4)?.try_into().unwrap()) as usize;
-        let bytes = take(&data, &mut cur, len * 4)?;
+        let len = u32::from_le_bytes(take(data, &mut cur, 4)?.try_into().unwrap()) as usize;
+        let bytes = take(data, &mut cur, len * 4)?;
         payloads.push(
             bytes
                 .chunks_exact(4)
@@ -162,10 +224,10 @@ pub fn load_weights(graph: &mut Graph, path: &Path) -> Result<(), WeightsError> 
 
 fn take<'d>(data: &'d [u8], cur: &mut usize, n: usize) -> Result<&'d [u8], WeightsError> {
     if *cur + n > data.len() {
-        return Err(WeightsError::Io(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "weight file truncated",
-        )));
+        return Err(WeightsError::Truncated {
+            needed: n,
+            available: data.len() - *cur,
+        });
     }
     let s = &data[*cur..*cur + n];
     *cur += n;
@@ -326,7 +388,7 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_io_error() {
+    fn truncated_file_reports_needed_and_available() {
         let dir = tempdir("trunc");
         let path = dir.join("m.ahw");
         let mut a = model(1);
@@ -334,9 +396,40 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         let mut b = model(1);
-        assert!(matches!(
-            load_weights(&mut b, &path),
-            Err(WeightsError::Io(_))
-        ));
+        match load_weights(&mut b, &path) {
+            Err(WeightsError::Truncated { needed, available }) => {
+                assert!(available < needed, "needed {needed}, available {available}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip_matches_the_file_format() {
+        let dir = tempdir("bytes");
+        let path = dir.join("m.ahw");
+        let mut a = model(1);
+        save_weights(&mut a, &path).unwrap();
+        let file_bytes = fs::read(&path).unwrap();
+        assert_eq!(weights_to_bytes(&a), file_bytes, "in-memory == on-disk");
+        assert_eq!(&file_bytes[..4], b"AHW1", "magic+version must stay AHW1");
+        let mut b = model(2);
+        weights_from_bytes(&mut b, &file_bytes).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn future_version_is_rejected_with_both_versions() {
+        let a = model(1);
+        let mut bytes = weights_to_bytes(&a);
+        bytes[3] = b'2';
+        let mut b = model(1);
+        match weights_from_bytes(&mut b, &bytes) {
+            Err(WeightsError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, b'2');
+                assert_eq!(supported, b'1');
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
     }
 }

@@ -17,7 +17,7 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
-    let art = build_scenario(ScenarioId::S2, None, &mut rng);
+    let art = build_scenario(ScenarioId::S2, None);
     let names = art.id.class_names();
     let target = art.id.target_class();
     println!(

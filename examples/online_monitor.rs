@@ -10,9 +10,8 @@
 //! cargo run --release --example online_monitor
 //! ```
 
-use advhunter::offline::collect_template;
-use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{Detector, DetectorConfig, ExecOptions};
+use advhunter::scenario::ScenarioId;
+use advhunter::{ArtifactStore, ExecOptions, Pipeline, PipelineConfig};
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_data::SplitSizes;
 use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
@@ -23,38 +22,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(0x0411);
     let opts = ExecOptions::seeded(0x0411);
 
-    // 1. Victim model + offline phase, exactly as in `quickstart`.
+    // 1. Victim model + offline phase through the staged pipeline; every
+    //    stage artifact lands in the shared content-addressed store. We
+    //    run it once here to get the data split and model for crafting
+    //    the request stream.
     let sizes = SplitSizes {
         train: 60,
         val: 40,
         test: 20,
     };
-    let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
-    let template = collect_template(
-        &art.engine,
-        &art.model,
-        &art.split.val,
-        None,
-        &opts.stage(0),
-    );
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
+    let pipeline = PipelineConfig::for_scenario(ScenarioId::CaseStudy).with_sizes(sizes);
+    let store = ArtifactStore::shared()?;
+    let (art, _) = Pipeline::new(pipeline.clone(), store.clone()).run()?;
     println!(
         "victim: {} on {} (clean accuracy {:.1}%), detector over {} events",
-        art.id.model_name(),
-        art.id.dataset_name(),
+        art.scenario.model_name(),
+        art.scenario.dataset_name(),
         art.clean_accuracy * 100.0,
-        detector.events().len(),
+        art.detector.events().len(),
     );
 
-    // 2. Spawn the service. The monitor takes ownership of engine, model
-    //    and detector; `opts.stage(2)` seeds every request's noise stream
-    //    (request i is measured with derive_seed(seed, i), so the verdict
-    //    stream is bit-identical at any thread count or batching).
+    // 2. Spawn the service straight from the store: the monitor replays
+    //    the same pipeline (all cache hits now) and takes ownership of
+    //    the engine, model, and detector it yields. `opts.stage(2)` seeds
+    //    every request's noise stream (request i is measured with
+    //    derive_seed(seed, i), so the verdict stream is bit-identical at
+    //    any thread count or batching).
     let config = MonitorConfig::new(opts.stage(2))
         .with_queue_capacity(32)
         .with_micro_batch(8)
         .with_overload(OverloadPolicy::Block);
-    let monitor = Monitor::spawn(art.engine, art.model.clone(), detector, config)?;
+    let monitor = Monitor::spawn_from_store(pipeline, store, config)?;
 
     // 3. The request stream: alternate clean test images with untargeted
     //    FGSM perturbations of the same images.

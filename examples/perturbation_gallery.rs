@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         val: 40,
         test: 20,
     };
-    let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+    let art = build_scenario(ScenarioId::CaseStudy, Some(sizes));
     let out = PathBuf::from("target").join("gallery");
 
     let (image, label) = art.split.test.item(3);

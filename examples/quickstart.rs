@@ -8,9 +8,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use advhunter::offline::collect_template;
-use advhunter::scenario::{build_scenario, ScenarioId};
-use advhunter::{Detector, DetectorConfig, ExecOptions};
+use advhunter::scenario::ScenarioId;
+use advhunter::{ArtifactStore, ExecOptions, Pipeline, PipelineConfig};
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_data::SplitSizes;
 use advhunter_uarch::HpcEvent;
@@ -19,46 +18,40 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
-    // One ExecOptions drives every deterministic stage: the seed fixes the
-    // noise streams, the parallelism picks the worker count (available
-    // cores, or the ADVHUNTER_THREADS override). Results are identical at
-    // any thread count.
+    // One ExecOptions drives every deterministic online stage: the seed
+    // fixes the noise streams, the parallelism picks the worker count
+    // (available cores, or the ADVHUNTER_THREADS override). Results are
+    // identical at any thread count.
     let opts = ExecOptions::seeded(42);
     println!(
         "parallel runtime: {} worker thread(s)",
         opts.parallelism.threads()
     );
 
-    // 1. The victim: a CNN the defender can only query for hard labels.
-    //    (Small split sizes keep the first run under a minute; the trained
-    //    model is cached under target/advhunter-cache.)
+    // 1+2. The whole offline phase as one staged pipeline: train the CNN
+    //    victim (hard-label black box), measure HPCs for clean validation
+    //    images, fit one GMM per (category, event), and calibrate the
+    //    three-sigma thresholds. Every stage persists its artifact in the
+    //    content-addressed store under target/advhunter-cache, so a second
+    //    run is pure cache hits. (Small split sizes keep the first run
+    //    under a minute.)
     let sizes = SplitSizes {
         train: 60,
         val: 40,
         test: 20,
     };
-    let art = build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng);
+    let config = PipelineConfig::for_scenario(ScenarioId::CaseStudy).with_sizes(sizes);
+    let (art, report) = Pipeline::new(config, ArtifactStore::shared()?).run()?;
     println!(
         "victim: {} on {} — clean accuracy {:.1}%",
-        art.id.model_name(),
-        art.id.dataset_name(),
+        art.scenario.model_name(),
+        art.scenario.dataset_name(),
         art.clean_accuracy * 100.0
     );
-
-    // 2. Offline phase: measure HPCs for clean validation images and fit
-    //    one GMM per (category, event) with a three-sigma threshold. Both
-    //    stages fan out over the worker pool; seeds make them bit-for-bit
-    //    reproducible at any thread count.
-    let template = collect_template(
-        &art.engine,
-        &art.model,
-        &art.split.val,
-        None,
-        &opts.stage(0),
-    );
-    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1))?;
+    let (template, detector) = (&art.template, &art.detector);
     println!(
-        "offline phase done: {} categories, {} events, M ≥ {} images/category",
+        "offline phase done ({} of 4 stages from cache): {} categories, {} events, M ≥ {} images/category",
+        report.hits(),
         detector.num_classes(),
         detector.events().len(),
         template.min_samples_per_class()

@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(33);
-    let art = build_scenario(ScenarioId::S3, None, &mut rng);
+    let art = build_scenario(ScenarioId::S3, None);
     let names = art.id.class_names();
     println!(
         "guarding {} on {} — {} sign classes, clean accuracy {:.1}%",

@@ -24,8 +24,7 @@ fn tiny_scenario() -> ScenarioArtifacts {
         val: 10,
         test: 8,
     };
-    let mut rng = StdRng::seed_from_u64(0xE9);
-    build_scenario(ScenarioId::CaseStudy, Some(sizes), &mut rng)
+    build_scenario(ScenarioId::CaseStudy, Some(sizes))
 }
 
 fn synthetic_template() -> OfflineTemplate {

@@ -9,7 +9,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn artifacts() -> advhunter::scenario::ScenarioArtifacts {
-    let mut rng = StdRng::seed_from_u64(0xA77);
     build_scenario(
         ScenarioId::CaseStudy,
         Some(SplitSizes {
@@ -17,7 +16,6 @@ fn artifacts() -> advhunter::scenario::ScenarioArtifacts {
             val: 10,
             test: 12,
         }),
-        &mut rng,
     )
 }
 

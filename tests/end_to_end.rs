@@ -29,7 +29,7 @@ fn cache_misses_detect_what_branches_cannot() {
     // full-scale Table 2 harness (its within-class cache-footprint spread
     // at toy sizes swallows the AE shift).
     let mut rng = StdRng::seed_from_u64(0xE2E);
-    let art = build_scenario(ScenarioId::S1, Some(small_sizes()), &mut rng);
+    let art = build_scenario(ScenarioId::S1, Some(small_sizes()));
     assert!(
         art.clean_accuracy > 0.5,
         "victim must be usable, got {:.1}%",
@@ -94,8 +94,7 @@ fn cache_misses_detect_what_branches_cannot() {
 
 #[test]
 fn detector_keeps_false_positives_low_on_clean_traffic() {
-    let mut rng = StdRng::seed_from_u64(0xE2F);
-    let art = build_scenario(ScenarioId::CaseStudy, Some(small_sizes()), &mut rng);
+    let art = build_scenario(ScenarioId::CaseStudy, Some(small_sizes()));
     let opts = ExecOptions::seeded(0xE2F);
     let template = collect_template(
         &art.engine,
