@@ -34,6 +34,7 @@ mod eval;
 mod fgsm;
 mod gradient;
 mod mifgsm;
+mod nes;
 mod pgd;
 mod square;
 
@@ -42,6 +43,7 @@ pub use eval::{
     attack_dataset, transfer_attack_dataset, AdversarialExample, AttackOutcome, AttackReport,
 };
 pub use gradient::{logit_input_gradient, loss_input_gradient};
+pub use nes::{perturb_recorded as nes_perturb_recorded, NesParams, NesTrace};
 pub use square::SquareParams;
 
 use advhunter_nn::Graph;
@@ -83,6 +85,9 @@ pub enum Attack {
     DeepFool(DeepFoolParams),
     /// Decision-based (hard-label black-box) square attack.
     Square(SquareParams),
+    /// Score-based black-box NES attack (Ilyas et al., ICML 2018): the
+    /// iterative query-based adversary the fingerprint defense targets.
+    Nes(NesParams),
     /// Momentum Iterative FGSM (Dong et al., CVPR 2018).
     MiFgsm {
         /// L∞ budget ε.
@@ -128,6 +133,16 @@ impl Attack {
         })
     }
 
+    /// NES black-box attack with budget `epsilon` and default search
+    /// parameters. Use [`nes_perturb_recorded`] directly to also capture
+    /// the full query stream.
+    pub fn nes(epsilon: f32) -> Self {
+        Attack::Nes(NesParams {
+            epsilon,
+            ..NesParams::default()
+        })
+    }
+
     /// Momentum Iterative FGSM with budget `epsilon`, step `epsilon / 10`,
     /// 10 steps, and the original decay μ = 1.0.
     pub fn mi_fgsm(epsilon: f32) -> Self {
@@ -146,6 +161,7 @@ impl Attack {
             Attack::Pgd { .. } => "PGD",
             Attack::DeepFool(_) => "DeepFool",
             Attack::Square(_) => "Square",
+            Attack::Nes(_) => "NES",
             Attack::MiFgsm { .. } => "MI-FGSM",
         }
     }
@@ -158,6 +174,7 @@ impl Attack {
             Attack::Pgd { epsilon, .. } => *epsilon,
             Attack::DeepFool(p) => p.overshoot,
             Attack::Square(p) => p.epsilon,
+            Attack::Nes(p) => p.epsilon,
             Attack::MiFgsm { epsilon, .. } => *epsilon,
         }
     }
@@ -205,6 +222,7 @@ impl Attack {
             ),
             Attack::DeepFool(params) => deepfool::perturb(model, image, true_label, goal, params),
             Attack::Square(params) => square::perturb(model, image, true_label, goal, params, rng),
+            Attack::Nes(params) => nes::perturb(model, image, true_label, goal, params, rng),
             Attack::MiFgsm {
                 epsilon,
                 alpha,

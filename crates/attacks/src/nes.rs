@@ -1,0 +1,271 @@
+//! NES: a score-based iterative black-box attack (Ilyas et al., ICML
+//! 2018), the canonical *query-based* adversary for the fingerprint
+//! defense.
+//!
+//! The attacker sees only the victim's output scores. Each step estimates
+//! the loss gradient with natural evolution strategies — antithetic
+//! Gaussian directions `±σu` around the current iterate — and takes a
+//! signed step projected into the L∞ ε-ball. The signature the defense
+//! exploits: every gradient estimate issues `2 × samples` queries that
+//! differ from each other by perturbations of magnitude σ ≪ ε, so an
+//! attack run is a long stream of near-duplicate queries even though each
+//! individual query looks benign.
+//!
+//! [`perturb_recorded`] therefore returns not just the adversarial image
+//! but a [`NesTrace`] with *every query issued, in order* — exactly the
+//! stream a deployed service would see — for replay through the monitor's
+//! fingerprint stage.
+
+use advhunter_nn::Graph;
+use advhunter_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::AttackGoal;
+
+/// Parameters of the NES black-box attack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NesParams {
+    /// L∞ budget ε around the clean image.
+    pub epsilon: f32,
+    /// Standard deviation σ of the Gaussian search directions. Per-query
+    /// perturbations are O(σ), so σ below the defender's quantization
+    /// step makes consecutive queries fingerprint-identical.
+    pub sigma: f32,
+    /// Signed-step size per iteration.
+    pub learning_rate: f32,
+    /// Antithetic sample *pairs* per gradient estimate (`2 × samples`
+    /// queries per step).
+    pub samples: usize,
+    /// Maximum attack iterations.
+    pub steps: usize,
+}
+
+impl Default for NesParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.1,
+            sigma: 0.01,
+            learning_rate: 0.02,
+            samples: 10,
+            steps: 30,
+        }
+    }
+}
+
+/// The complete record of one NES attack run.
+#[derive(Debug, Clone)]
+pub struct NesTrace {
+    /// Every query issued against the victim, in issue order: the
+    /// antithetic probes of each gradient estimate followed by that
+    /// step's decision check.
+    pub queries: Vec<Tensor>,
+    /// The final iterate (clamped to the ε-ball and `[0, 1]`).
+    pub adversarial: Tensor,
+    /// Whether the final iterate satisfies the attack goal.
+    pub success: bool,
+}
+
+impl NesTrace {
+    /// Number of queries the attack issued.
+    #[must_use]
+    pub fn queries_issued(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+/// Runs the attack and returns only the adversarial image (the
+/// [`Attack::perturb`](crate::Attack::perturb) surface).
+pub(crate) fn perturb(
+    model: &Graph,
+    image: &Tensor,
+    true_label: usize,
+    goal: AttackGoal,
+    params: &NesParams,
+    rng: &mut impl Rng,
+) -> Tensor {
+    perturb_recorded(model, image, true_label, goal, params, rng).adversarial
+}
+
+/// Runs the attack, recording every query issued.
+pub fn perturb_recorded(
+    model: &Graph,
+    image: &Tensor,
+    true_label: usize,
+    goal: AttackGoal,
+    params: &NesParams,
+    rng: &mut impl Rng,
+) -> NesTrace {
+    let shape = image.shape().dims().to_vec();
+    let mut queries = Vec::new();
+    let mut x = image.clone();
+    let mut success = false;
+
+    for _ in 0..params.steps {
+        // Gradient estimate over antithetic Gaussian directions. All
+        // 2×samples probes go to the victim as ordinary queries.
+        let mut directions = Vec::with_capacity(params.samples);
+        let mut probes = Vec::with_capacity(2 * params.samples);
+        for _ in 0..params.samples {
+            let u = init::normal(rng, &shape, 0.0, 1.0);
+            for sign in [1.0f32, -1.0] {
+                let mut probe = x.clone();
+                for (p, d) in probe.data_mut().iter_mut().zip(u.data()) {
+                    *p += sign * params.sigma * d;
+                }
+                probe.clamp_inplace(0.0, 1.0);
+                probes.push(probe);
+            }
+            directions.push(u);
+        }
+        let logits = model.logits(&Tensor::stack(&probes));
+        queries.extend(probes);
+
+        let classes = logits.shape().dim(1);
+        let loss_at = |row: usize| {
+            let z = &logits.data()[row * classes..(row + 1) * classes];
+            margin_loss(z, true_label, goal)
+        };
+        let mut grad = vec![0.0f32; x.data().len()];
+        for (i, u) in directions.iter().enumerate() {
+            let delta = loss_at(2 * i) - loss_at(2 * i + 1);
+            for (g, d) in grad.iter_mut().zip(u.data()) {
+                *g += delta * d;
+            }
+        }
+        let scale = 1.0 / (2.0 * params.sigma * params.samples as f32);
+
+        // Signed ascent step, projected into the ε-ball ∩ [0, 1].
+        for ((v, g), clean) in x.data_mut().iter_mut().zip(&grad).zip(image.data()) {
+            *v += params.learning_rate * (g * scale).signum();
+            *v = v
+                .max(clean - params.epsilon)
+                .min(clean + params.epsilon)
+                .clamp(0.0, 1.0);
+        }
+
+        // Decision check: one more victim query per step.
+        queries.push(x.clone());
+        let pred = model.predict(&Tensor::stack(std::slice::from_ref(&x)))[0];
+        success = match goal {
+            AttackGoal::Untargeted => pred != true_label,
+            AttackGoal::Targeted(t) => pred == t,
+        };
+        if success {
+            break;
+        }
+    }
+
+    NesTrace {
+        queries,
+        adversarial: x,
+        success,
+    }
+}
+
+/// The attacker's objective, to be maximized: how far the victim's scores
+/// are from the clean decision (untargeted) or into the target class
+/// (targeted).
+fn margin_loss(logits: &[f32], true_label: usize, goal: AttackGoal) -> f32 {
+    let best_other = |excluded: usize| {
+        logits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != excluded)
+            .map(|(_, &z)| z)
+            .fold(f32::NEG_INFINITY, f32::max)
+    };
+    match goal {
+        AttackGoal::Untargeted => best_other(true_label) - logits[true_label],
+        AttackGoal::Targeted(t) => logits[t] - best_other(t),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::trained_toy_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params() -> NesParams {
+        NesParams {
+            epsilon: 0.3,
+            sigma: 0.02,
+            learning_rate: 0.05,
+            samples: 8,
+            steps: 25,
+        }
+    }
+
+    #[test]
+    fn trace_records_every_query_and_respects_budget() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = params();
+        let trace = perturb_recorded(&model, &probes[0], 0, AttackGoal::Untargeted, &p, &mut rng);
+        assert!(!trace.queries.is_empty());
+        // Each step issues 2×samples probes plus one decision check.
+        assert_eq!(trace.queries_issued() % (2 * p.samples + 1), 0);
+        assert!(trace.queries_issued() <= p.steps * (2 * p.samples + 1));
+        assert!((&trace.adversarial - &probes[0]).linf_norm() <= p.epsilon + 1e-6);
+        assert!(trace
+            .adversarial
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn attack_flips_at_least_one_prediction() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(11);
+        let flips = probes
+            .iter()
+            .enumerate()
+            .filter(|(label, x)| {
+                perturb_recorded(
+                    &model,
+                    x,
+                    *label,
+                    AttackGoal::Untargeted,
+                    &params(),
+                    &mut rng,
+                )
+                .success
+            })
+            .count();
+        assert!(flips >= 1, "NES should succeed on the toy model");
+    }
+
+    #[test]
+    fn consecutive_queries_are_near_duplicates() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = params();
+        let trace = perturb_recorded(&model, &probes[1], 1, AttackGoal::Untargeted, &p, &mut rng);
+        // Probes within one gradient estimate differ from each other by
+        // O(σ) per pixel — the self-similarity the fingerprint store
+        // detects. The antithetic pair differs by 2σ|u| per pixel, so its
+        // RMS distance concentrates around 2σ; allow 2× slack.
+        let a = &trace.queries[0];
+        let b = &trace.queries[1];
+        let n = a.data().len() as f32;
+        assert!((b - a).l2_norm() / n.sqrt() <= 4.0 * p.sigma);
+    }
+
+    #[test]
+    fn success_flag_matches_the_final_prediction() {
+        let (model, probes) = trained_toy_model();
+        let mut rng = StdRng::seed_from_u64(17);
+        let trace = perturb_recorded(
+            &model,
+            &probes[2],
+            2,
+            AttackGoal::Untargeted,
+            &params(),
+            &mut rng,
+        );
+        let pred = model.predict(&Tensor::stack(std::slice::from_ref(&trace.adversarial)))[0];
+        assert_eq!(trace.success, pred != 2);
+    }
+}

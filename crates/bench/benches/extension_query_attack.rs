@@ -1,0 +1,181 @@
+//! Extension: an iterative query-based adversary vs. the fused defense.
+//!
+//! The paper's HPC detector scores each inference in isolation; a
+//! query-based black-box attack (NES, Ilyas et al. 2018) additionally
+//! leaks a *temporal* signal — every gradient estimate is a burst of
+//! near-duplicate queries. This harness replays full NES attack traces
+//! plus a clean query stream through the online monitor with the
+//! fingerprint defense enabled, and reports the per-query flag rates of
+//! each signal alone and fused (the EXPERIMENTS.md table): HPC-only sees
+//! individual perturbed inferences, fingerprint-only sees query
+//! correlation, and OR-fusion dominates both by construction.
+
+use advhunter::scenario::ScenarioId;
+use advhunter::ExecOptions;
+use advhunter_attacks::{nes_perturb_recorded, AttackGoal, NesParams};
+use advhunter_bench::{prepare_detector, prepare_scenario_sized, scaled, section};
+use advhunter_data::SplitSizes;
+use advhunter_monitor::{FingerprintConfig, FusionPolicy, Monitor, MonitorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-query flag counts of one traffic class (clean or attack).
+#[derive(Default)]
+struct Tally {
+    seen: u64,
+    hpc: u64,
+    fp: u64,
+    or: u64,
+    and: u64,
+}
+
+impl Tally {
+    fn rate(num: u64, den: u64) -> f64 {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 * 100.0 / den as f64
+        }
+    }
+}
+
+fn main() {
+    let art = prepare_scenario_sized(
+        ScenarioId::CaseStudy,
+        Some(SplitSizes {
+            train: 30,
+            val: 40,
+            test: 10,
+        }),
+    );
+    let prep = prepare_detector(&art, None, None, 0xF1D0);
+    let mut rng = StdRng::seed_from_u64(0xF1D1);
+
+    // A low-σ NES attacker: search perturbations well under the defender's
+    // quantization step, i.e. an adversary already trying to fly below a
+    // pixel-similarity radar.
+    let params = NesParams {
+        epsilon: 0.05,
+        sigma: 0.002,
+        learning_rate: 0.01,
+        samples: 6,
+        steps: 12,
+    };
+    let n_traces = scaled(3, 2);
+    let mut traces = Vec::new();
+    for (i, image) in art.split.test.images().iter().take(n_traces).enumerate() {
+        let label = art.split.test.labels()[i];
+        traces.push(nes_perturb_recorded(
+            &art.model,
+            image,
+            label,
+            AttackGoal::Untargeted,
+            &params,
+            &mut rng,
+        ));
+    }
+    let attack_queries: usize = traces
+        .iter()
+        .map(advhunter_attacks::NesTrace::queries_issued)
+        .sum();
+    let n_clean = scaled(24, 12).min(art.split.test.images().len());
+
+    // The defense: quantization coarse enough to collapse σ-scale noise,
+    // a window long enough to hold a whole gradient burst, and a
+    // correlation threshold tuned to the min-hash Jaccard of antithetic
+    // probe pairs.
+    let mut fp = FingerprintConfig::default();
+    fp.quant_step = 0.1;
+    fp.probe_window = 8;
+    fp.stride = 2;
+    fp.window = 2048;
+    fp.match_threshold = 0.25;
+    let config = MonitorConfig::new(ExecOptions::seeded(0xF1D2))
+        .with_queue_capacity((n_clean + attack_queries).max(1))
+        .with_micro_batch(16)
+        .with_fingerprint(fp)
+        .with_fusion(FusionPolicy::Or);
+    let monitor = Monitor::spawn(art.engine.clone(), art.model.clone(), prep.detector, config)
+        .expect("spawn monitor");
+
+    // Tenant 0 is a benign high-volume user; each attack trace replays
+    // under its own tenant, exactly as the service would see it.
+    let mut is_attack = Vec::new();
+    for image in art.split.test.images().iter().take(n_clean) {
+        monitor.submit_from(0, image.clone()).expect("submit clean");
+        is_attack.push(false);
+    }
+    for (t, trace) in traces.iter().enumerate() {
+        for query in &trace.queries {
+            monitor
+                .submit_from(1 + t as u64, query.clone())
+                .expect("submit attack query");
+            is_attack.push(true);
+        }
+    }
+    monitor.close();
+
+    let mut clean = Tally::default();
+    let mut attack = Tally::default();
+    while let Some(v) = monitor.recv() {
+        let tally = if is_attack[usize::try_from(v.request_id).expect("id fits usize")] {
+            &mut attack
+        } else {
+            &mut clean
+        };
+        tally.seen += 1;
+        tally.hpc += u64::from(v.hpc_anomalous);
+        tally.fp += u64::from(v.query_correlated);
+        tally.or += u64::from(v.hpc_anomalous || v.query_correlated);
+        tally.and += u64::from(v.hpc_anomalous && v.query_correlated);
+    }
+    let stats = monitor.shutdown();
+
+    section("Extension: NES query attack vs fused HPC + fingerprint defense (CaseStudy)");
+    println!(
+        "{} clean queries (1 tenant) + {} NES queries ({} traces, {} successful, \
+         sigma {}, eps {})",
+        clean.seen,
+        attack.seen,
+        traces.len(),
+        traces.iter().filter(|t| t.success).count(),
+        params.sigma,
+        params.epsilon
+    );
+    println!(
+        "fingerprint: quant {}, probe_window {}, threshold {}, window {}; \
+         {} matched, {} shed",
+        fp.quant_step,
+        fp.probe_window,
+        fp.match_threshold,
+        fp.window,
+        stats.fingerprint_matched,
+        stats.fingerprint_shed
+    );
+    println!(
+        "\n{:<18} {:>14} {:>16}",
+        "signal", "clean flag %", "attack flag %"
+    );
+    for (name, c, a) in [
+        ("hpc-only", clean.hpc, attack.hpc),
+        ("fingerprint-only", clean.fp, attack.fp),
+        ("fused (OR)", clean.or, attack.or),
+        ("fused (AND)", clean.and, attack.and),
+    ] {
+        println!(
+            "{:<18} {:>14.1} {:>16.1}",
+            name,
+            Tally::rate(c, clean.seen),
+            Tally::rate(a, attack.seen)
+        );
+    }
+    println!(
+        "\nReading: the HPC signal fires on perturbed inferences one at a\n\
+         time and misses probes whose footprint stays inside the clean\n\
+         distribution; the fingerprint signal is blind to any single query\n\
+         but lights up the near-duplicate bursts every gradient estimate\n\
+         must issue. OR-fusion therefore dominates both components on the\n\
+         attack stream while its false-positive rate stays that of the HPC\n\
+         signal alone (distinct clean queries never correlate)."
+    );
+}

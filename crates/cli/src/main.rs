@@ -9,12 +9,14 @@
 //!                                       with per-stage cache status
 //! advhunter train  <S1|S2|S3|CASE>      train/cache a scenario model
 //! advhunter fit    <SCN> <out.ahd>      run the offline phase, save detector
-//! advhunter detect <SCN> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool]
+//! advhunter detect <SCN> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool|nes]
 //!                  [--eps F] [--targeted] [-n N]
 //!                                       screen clean + attacked inferences
 //! advhunter monitor <SCN> [--attack A] [--eps F] [-n N] [--capacity N]
 //!                  [--batch N] [--shed] [--tiny]
-//!                  [--metrics-json PATH]
+//!                  [--fingerprint] [--fp-window N] [--fp-threshold F]
+//!                  [--fp-quant F] [--fusion hpc|fingerprint|or|and]
+//!                  [--tenants N] [--metrics-json PATH]
 //!                                       replay a clean + attacked stream
 //!                                       through the online monitor service
 //! ```
@@ -30,6 +32,13 @@
 //! `--metrics-json PATH` writes the unified telemetry snapshot (monitor +
 //! engine + worker pool) as JSON on shutdown, and a `metrics:` summary
 //! line goes to stderr periodically during the stream.
+//!
+//! `--fingerprint` turns on the query-fingerprint defense layer
+//! (Blacklight-style near-duplicate query detection); `--fp-window`,
+//! `--fp-threshold`, `--fp-quant`, and `--tenants` tune its sliding
+//! window, match threshold, quantization step, and tenant cap, and
+//! `--fusion` picks how the HPC verdict and the query-correlation signal
+//! combine into the headline flag (default `or`).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -41,7 +50,7 @@ use advhunter::{
     load_detector, save_detector, ArtifactStore, ExecOptions, Pipeline, PipelineConfig,
 };
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
-use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
+use advhunter_monitor::{FingerprintConfig, FusionPolicy, Monitor, MonitorConfig, OverloadPolicy};
 use advhunter_uarch::HpcEvent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -220,6 +229,8 @@ struct AttackFlags {
     batch: usize,
     shed: bool,
     tiny: bool,
+    fingerprint: Option<FingerprintConfig>,
+    fusion: FusionPolicy,
     metrics_json: Option<String>,
 }
 
@@ -240,6 +251,9 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
     let mut batch = 8usize;
     let mut shed = false;
     let mut tiny = false;
+    let mut fingerprint = false;
+    let mut fp = FingerprintConfig::default();
+    let mut fusion = FusionPolicy::Or;
     let mut metrics_json = None;
     let mut i = 0;
     while i < args.len() {
@@ -288,6 +302,57 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
                 tiny = true;
                 i += 1;
             }
+            "--fingerprint" => {
+                fingerprint = true;
+                i += 1;
+            }
+            "--fp-window" => {
+                fp.window = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--fp-window needs a number")?;
+                fingerprint = true;
+                i += 2;
+            }
+            "--fp-threshold" => {
+                fp.match_threshold = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--fp-threshold needs a number")?;
+                fingerprint = true;
+                i += 2;
+            }
+            "--fp-quant" => {
+                fp.quant_step = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--fp-quant needs a number")?;
+                fingerprint = true;
+                i += 2;
+            }
+            "--tenants" => {
+                fp.max_tenants = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tenants needs a number")?;
+                fingerprint = true;
+                i += 2;
+            }
+            "--fusion" => {
+                fusion = match args.get(i + 1).map(String::as_str) {
+                    Some("hpc") => FusionPolicy::HpcOnly,
+                    Some("fingerprint") => FusionPolicy::FingerprintOnly,
+                    Some("or") => FusionPolicy::Or,
+                    Some("and") => FusionPolicy::And,
+                    other => {
+                        return Err(format!(
+                            "--fusion expects hpc|fingerprint|or|and, got {:?}",
+                            other.unwrap_or("nothing")
+                        ))
+                    }
+                };
+                i += 2;
+            }
             "--metrics-json" => {
                 metrics_json = Some(
                     args.get(i + 1)
@@ -304,6 +369,7 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
         "pgd" => Attack::pgd(eps),
         "mifgsm" => Attack::mi_fgsm(eps),
         "deepfool" => Attack::deepfool(),
+        "nes" => Attack::nes(eps),
         other => return Err(format!("unknown attack {other}")),
     };
     Ok(AttackFlags {
@@ -314,6 +380,8 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
         batch,
         shed,
         tiny,
+        fingerprint: fingerprint.then_some(fp),
+        fusion,
         metrics_json,
     })
 }
@@ -470,14 +538,18 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         stream.push((ex.image.clone(), true));
     }
 
-    let config = MonitorConfig::new(opts.stage(2))
+    let mut config = MonitorConfig::new(opts.stage(2))
         .with_queue_capacity(flags.capacity)
         .with_micro_batch(flags.batch)
         .with_overload(if flags.shed {
             OverloadPolicy::Shed
         } else {
             OverloadPolicy::Block
-        });
+        })
+        .with_fusion(flags.fusion);
+    if let Some(fp) = flags.fingerprint {
+        config = config.with_fingerprint(fp);
+    }
     let monitor =
         Monitor::spawn(art.engine, art.model, detector, config).map_err(|e| e.to_string())?;
 
@@ -488,6 +560,17 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         if flags.shed { "shed" } else { "block" },
         stream.len()
     );
+    if let Some(fp) = flags.fingerprint {
+        println!(
+            "fingerprint defense on: window {}, threshold {:.2}, quant {}, \
+             {} tenants max, fusion {}",
+            fp.window,
+            fp.match_threshold,
+            fp.quant_step,
+            fp.max_tenants,
+            flags.fusion.name()
+        );
+    }
     println!(
         "\n{:>8} {:>8} {:>8} {:>10} {:>10}",
         "done", "depth", "shed", "clean-flag", "adv-flag"
@@ -516,7 +599,9 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let mut adv_seen = 0u64;
     let mut adv_flagged = 0u64;
     let mut done = 0u64;
+    let mut correlated = 0u64;
     while let Some(v) = monitor.recv() {
+        correlated += u64::from(v.query_correlated);
         let is_adv = truth[usize::try_from(v.request_id).expect("id fits usize")];
         if is_adv {
             adv_seen += 1;
@@ -590,6 +675,12 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         "  adv flagged     {:>5.1}%  (recall, any-event fusion)",
         rate(adv_flagged, adv_seen) * 100.0
     );
+    if flags.fingerprint.is_some() {
+        println!(
+            "  query-correlated {} · fp matched {} · fp shed {} · fp stage {:?}",
+            correlated, stats.fingerprint_matched, stats.fingerprint_shed, stats.fingerprint
+        );
+    }
     println!("\n{:>8} {:>10} {:>10}", "class", "screened", "flag-rate");
     for (class, c) in stats.per_class.iter().enumerate() {
         if c.screened == 0 {

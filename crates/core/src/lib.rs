@@ -61,6 +61,7 @@ pub mod report;
 pub mod scenario;
 pub mod store;
 
+pub use advhunter_fingerprint::{FingerprintConfig, FingerprintConfigError};
 pub use advhunter_runtime::{
     derive_seed, ExecOptions, ExecOptionsBuilder, ExecOptionsError, Parallelism,
 };

@@ -32,6 +32,7 @@ use std::sync::{Arc, OnceLock};
 
 use advhunter_data::{SplitDataset, SplitSizes};
 use advhunter_exec::TraceEngine;
+use advhunter_fingerprint::FingerprintConfig;
 use advhunter_nn::train::{evaluate, fit, TrainConfig};
 use advhunter_nn::Graph;
 use advhunter_telemetry::{global, Histogram};
@@ -141,6 +142,13 @@ pub struct PipelineConfig {
     /// Detector hyperparameters. `sigma_factor` affects only the
     /// `Calibrate` stage.
     pub detector: DetectorConfig,
+    /// The online query-fingerprint defense stage, disabled by default.
+    ///
+    /// Deliberately **not** part of any offline stage's input closure:
+    /// the defense consumes no offline artifact, so toggling or retuning
+    /// it must never retrain, re-measure, refit, or recalibrate. It has
+    /// its own address, [`defense_fingerprint`](Self::defense_fingerprint).
+    pub defense: FingerprintConfig,
 }
 
 impl PipelineConfig {
@@ -158,6 +166,7 @@ impl PipelineConfig {
             repeats: Sampler::default().repeats,
             per_class_cap: None,
             detector: DetectorConfig::default(),
+            defense: FingerprintConfig::disabled(),
         }
     }
 
@@ -208,6 +217,37 @@ impl PipelineConfig {
     pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
         self.detector = detector;
         self
+    }
+
+    /// Replaces the online query-fingerprint defense configuration.
+    #[must_use]
+    pub fn with_defense(mut self, defense: FingerprintConfig) -> Self {
+        self.defense = defense;
+        self
+    }
+
+    /// The deterministic address of the online defense configuration.
+    ///
+    /// This is a *sibling* of the offline stage chain, not a member:
+    /// changing any [`defense`](Self::defense) knob changes only this
+    /// fingerprint, and changing offline knobs never changes it. Deployers
+    /// can therefore record which defense configuration served traffic
+    /// (e.g. in run manifests) while the four offline artifacts keep
+    /// hitting their cached addresses.
+    #[must_use]
+    pub fn defense_fingerprint(&self) -> Fingerprint {
+        let mut b = FingerprintBuilder::new("advhunter.pipeline.defense.v1");
+        let d = &self.defense;
+        b.push_u64(u64::from(d.is_enabled()))
+            .push_f32(d.quant_step)
+            .push_usize(d.probe_window)
+            .push_usize(d.stride)
+            .push_usize(d.probes)
+            .push_usize(d.window)
+            .push_f64(d.match_threshold)
+            .push_u64(d.salt)
+            .push_usize(d.max_tenants);
+        b.finish()
     }
 
     /// The deterministic fingerprint of `stage` under this configuration.
@@ -735,6 +775,35 @@ mod tests {
             assert_eq!(fp(&base, stage), fp(&sigma, stage), "{stage}");
         }
         assert_ne!(fp(&base, Stage::Calibrate), fp(&sigma, Stage::Calibrate));
+    }
+
+    #[test]
+    fn defense_knobs_never_re_address_offline_stages() {
+        let base = tiny_config();
+        let defended = base
+            .clone()
+            .with_defense(FingerprintConfig::default().with_window(64));
+        for stage in Stage::ALL {
+            assert_eq!(
+                base.fingerprint(stage),
+                defended.fingerprint(stage),
+                "{stage} must not depend on the online defense"
+            );
+        }
+        assert_ne!(
+            base.defense_fingerprint(),
+            defended.defense_fingerprint(),
+            "the defense has its own address"
+        );
+        // And each defense knob re-addresses the defense fingerprint.
+        let tuned = defended.clone().with_defense(defended.defense.with_salt(1));
+        assert_ne!(defended.defense_fingerprint(), tuned.defense_fingerprint());
+        // Offline knobs never touch the defense address.
+        let retrained = defended.clone().with_train_seed(99);
+        assert_eq!(
+            defended.defense_fingerprint(),
+            retrained.defense_fingerprint()
+        );
     }
 
     #[test]

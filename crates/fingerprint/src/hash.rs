@@ -1,0 +1,251 @@
+//! Quantization and salted probe hashing: raw pixels → a small, sorted set
+//! of `u64` probe hashes (a min-hash style sketch of the query).
+
+use crate::config::FingerprintConfig;
+
+/// Base of the rolling polynomial hash (an arbitrary odd 64-bit constant;
+/// quality comes from the final mix, not from the base).
+const BASE: u64 = 0x100_0000_01B3;
+
+/// `splitmix64` finalizer: turns the structurally weak rolling-hash value
+/// into a well-distributed probe hash. The salt is XORed in *before*
+/// mixing, so different salts produce unrelated probe spaces.
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One pixel's quantized level, as hash input. `as i64` saturates for
+/// non-finite values, so hostile inputs still hash deterministically.
+#[inline]
+fn quantize(value: f32, step: f32) -> u64 {
+    (value / step).round() as i64 as u64
+}
+
+/// A query's content fingerprint: the `k` smallest distinct salted window
+/// hashes, sorted ascending.
+///
+/// Two properties the property-test suite pins:
+///
+/// * **Self-similarity** — identical queries produce identical probe sets,
+///   so a repeated query always matches itself with score 1.0.
+/// * **Permutation invariance** — the probe set is canonical (sorted,
+///   deduplicated), so any permutation of the same probe hashes compares
+///   and matches identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryFingerprint {
+    probes: Vec<u64>,
+}
+
+impl QueryFingerprint {
+    /// Fingerprints `data` under `config`: quantize, hash every sliding
+    /// window of `probe_window` elements advancing by `stride`, keep the
+    /// `probes` smallest distinct hashes.
+    ///
+    /// Inputs shorter than one window are hashed as a single window; empty
+    /// input yields an empty fingerprint (which never matches anything).
+    #[must_use]
+    pub fn compute(data: &[f32], config: &FingerprintConfig) -> Self {
+        if data.is_empty() {
+            return Self { probes: Vec::new() };
+        }
+        let w = config.probe_window.min(data.len());
+        let step = config.quant_step;
+        let mut keeper = SmallestDistinct::new(config.probes);
+
+        // Rolling polynomial hash: one multiply-add per element, O(1) per
+        // advanced position — the whole scan is linear in the query size.
+        let top_power = BASE.wrapping_pow(u32::try_from(w - 1).unwrap_or(u32::MAX));
+        let mut h: u64 = 0;
+        for &v in &data[..w] {
+            h = h.wrapping_mul(BASE).wrapping_add(quantize(v, step));
+        }
+        keeper.offer(mix(h ^ config.salt));
+        let mut start = 0usize;
+        let last_start = data.len() - w;
+        let mut next_emit = config.stride;
+        while start < last_start {
+            let out = quantize(data[start], step);
+            let inc = quantize(data[start + w], step);
+            h = h
+                .wrapping_sub(out.wrapping_mul(top_power))
+                .wrapping_mul(BASE)
+                .wrapping_add(inc);
+            start += 1;
+            if start == next_emit || start == last_start {
+                keeper.offer(mix(h ^ config.salt));
+                next_emit += config.stride;
+            }
+        }
+        Self {
+            probes: keeper.into_sorted(),
+        }
+    }
+
+    /// Builds a fingerprint from raw probe hashes, canonicalizing them
+    /// (sorted, deduplicated). Any permutation of the same hashes builds
+    /// the same fingerprint.
+    #[must_use]
+    pub fn from_probes(mut probes: Vec<u64>) -> Self {
+        probes.sort_unstable();
+        probes.dedup();
+        Self { probes }
+    }
+
+    /// The canonical probe set: sorted ascending, distinct.
+    #[must_use]
+    pub fn probes(&self) -> &[u64] {
+        &self.probes
+    }
+
+    /// Number of probes (at most the configured `probes`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the fingerprint is empty (only possible for empty input).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+/// Bounded keeper of the `k` smallest distinct values, as a small sorted
+/// array. `offer` is one comparison for the common case (candidate larger
+/// than the current maximum) and O(k) on acceptance — with k ≈ 32 this is
+/// far cheaper than sorting every window hash.
+struct SmallestDistinct {
+    k: usize,
+    sorted: Vec<u64>,
+}
+
+impl SmallestDistinct {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            sorted: Vec::with_capacity(k),
+        }
+    }
+
+    fn offer(&mut self, value: u64) {
+        if self.k == 0 {
+            return;
+        }
+        if self.sorted.len() == self.k && value >= *self.sorted.last().expect("non-empty") {
+            return;
+        }
+        if let Err(pos) = self.sorted.binary_search(&value) {
+            if self.sorted.len() == self.k {
+                self.sorted.pop();
+            }
+            self.sorted.insert(pos, value);
+        }
+    }
+
+    fn into_sorted(self) -> Vec<u64> {
+        self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FingerprintConfig {
+        FingerprintConfig::default()
+    }
+
+    #[test]
+    fn identical_inputs_hash_identically() {
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 * 0.37).sin().abs()).collect();
+        let a = QueryFingerprint::compute(&data, &config());
+        let b = QueryFingerprint::compute(&data, &config());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.len() <= config().probes);
+    }
+
+    #[test]
+    fn probes_are_sorted_and_distinct() {
+        let data: Vec<f32> = (0..512).map(|i| ((i * 7) % 23) as f32 * 0.04).collect();
+        let fp = QueryFingerprint::compute(&data, &config());
+        for pair in fp.probes().windows(2) {
+            assert!(pair[0] < pair[1], "probes must be strictly ascending");
+        }
+    }
+
+    #[test]
+    fn sub_quantization_perturbations_collapse() {
+        // Values on quantization-cell centers (multiples of the step), so a
+        // small perturbation stays well inside the cell.
+        let data: Vec<f32> = (0..256).map(|i| (i % 17) as f32 * 0.05).collect();
+        // Perturb every pixel by much less than half a quantization step:
+        // the quantized levels are unchanged, so the probes are identical.
+        let perturbed: Vec<f32> = data.iter().map(|v| v + 0.004).collect();
+        let cfg = config();
+        assert_eq!(
+            QueryFingerprint::compute(&data, &cfg),
+            QueryFingerprint::compute(&perturbed, &cfg)
+        );
+    }
+
+    #[test]
+    fn unrelated_inputs_share_few_probes() {
+        let a: Vec<f32> = (0..1024)
+            .map(|i| ((i * 31 + 7) % 97) as f32 / 97.0)
+            .collect();
+        let b: Vec<f32> = (0..1024)
+            .map(|i| ((i * 17 + 3) % 89) as f32 / 89.0)
+            .collect();
+        let cfg = config();
+        let fa = QueryFingerprint::compute(&a, &cfg);
+        let fb = QueryFingerprint::compute(&b, &cfg);
+        let shared = fa
+            .probes()
+            .iter()
+            .filter(|p| fb.probes().contains(p))
+            .count();
+        assert!(
+            shared * 4 < fa.len(),
+            "unrelated queries shared {shared}/{} probes",
+            fa.len()
+        );
+    }
+
+    #[test]
+    fn salt_changes_the_probe_space() {
+        let data: Vec<f32> = (0..256).map(|i| (i % 13) as f32 * 0.07).collect();
+        let fa = QueryFingerprint::compute(&data, &config());
+        let fb = QueryFingerprint::compute(&data, &config().with_salt(99));
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn short_and_empty_inputs_are_handled() {
+        let cfg = config();
+        assert!(QueryFingerprint::compute(&[], &cfg).is_empty());
+        let short = QueryFingerprint::compute(&[0.5, 0.25], &cfg);
+        assert_eq!(short.len(), 1, "sub-window input hashes as one window");
+    }
+
+    #[test]
+    fn from_probes_is_permutation_invariant() {
+        let a = QueryFingerprint::from_probes(vec![3, 1, 2, 2, 9]);
+        let b = QueryFingerprint::from_probes(vec![9, 2, 3, 1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.probes(), &[1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn hostile_values_hash_deterministically() {
+        let data = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1e30, -1e30];
+        let cfg = config();
+        assert_eq!(
+            QueryFingerprint::compute(&data, &cfg),
+            QueryFingerprint::compute(&data, &cfg)
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! The per-tenant sliding-window fingerprint store with bounded memory and
+//! O(k) amortized insert/evict.
+//!
+//! Layout (DESIGN.md §14):
+//!
+//! ```text
+//! FingerprintStore
+//! ├── tenants: HashMap<TenantId, TenantWindow>     (≤ max_tenants)
+//! │     TenantWindow
+//! │     ├── entries: VecDeque<Entry>               (≤ window, FIFO)
+//! │     │     Entry { seq, probes: Vec<u64> }      (≤ probes hashes)
+//! │     └── index: HashMap<u64, Vec<u64>>          (probe → seq list)
+//! └── scratch: Vec<u64>                            (reused per match)
+//! ```
+//!
+//! A lookup walks the incoming query's ≤ k probes through the tenant's
+//! inverted index, collects the sequence numbers of stored fingerprints
+//! sharing each probe, and takes the *maximum per-sequence hit count* —
+//! the best overlap with any single stored query. Insert appends to the
+//! FIFO and adds ≤ k index entries; evict pops the oldest entry and
+//! removes its ≤ k index entries. Nothing is ever scanned linearly over
+//! the window, so cost is independent of `window` size.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Arc, OnceLock};
+
+use advhunter_telemetry::{global, Counter, Gauge};
+
+use crate::config::FingerprintConfig;
+use crate::hash::QueryFingerprint;
+
+/// A splitmix64 finalizer over `u64` keys: probe hashes and tenant ids are
+/// already well-mixed or attacker-opaque (probes carry the store's salt),
+/// so the default DoS-resistant SipHash only costs throughput here. This
+/// shaves ~40% off `observe` — the difference between meeting and missing
+/// the 100k queries/s floor.
+#[derive(Default, Clone, Copy)]
+struct ProbeHasher(u64);
+
+impl Hasher for ProbeHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type ProbeMap<V> = HashMap<u64, V, BuildHasherDefault<ProbeHasher>>;
+
+/// Tenant identifier. The monitor's single-tenant entry points use
+/// [`DEFAULT_TENANT`](FingerprintStore::DEFAULT_TENANT).
+pub type TenantId = u64;
+
+/// Outcome of matching one query against its tenant's window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchReport {
+    /// Best overlap fraction with any single stored fingerprint, in
+    /// `[0, 1]`: `best_overlap / probes`.
+    pub score: f64,
+    /// Raw probe overlap count behind `score`.
+    pub best_overlap: usize,
+    /// Probe count of the incoming query (the score's denominator).
+    pub probes: usize,
+    /// Stored fingerprints in the tenant's window at match time.
+    pub window_len: usize,
+    /// Whether `score` reached the configured match threshold — the
+    /// query-correlated bit fused into the monitor verdict.
+    pub matched: bool,
+    /// The store was at its tenant cap and this query's tenant was not
+    /// tracked: the query was not fingerprinted (HPC-only verdict).
+    pub shed: bool,
+}
+
+impl MatchReport {
+    fn shed() -> Self {
+        Self {
+            score: 0.0,
+            best_overlap: 0,
+            probes: 0,
+            window_len: 0,
+            matched: false,
+            shed: true,
+        }
+    }
+}
+
+/// Point-in-time counters of one store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Tenants currently tracked.
+    pub tenants: usize,
+    /// Fingerprints currently stored across all tenant windows.
+    pub entries: usize,
+    /// Probe-hash slots currently held in inverted indexes (≤
+    /// `entries × probes`).
+    pub probe_slots: usize,
+    /// Queries observed (matched-then-inserted).
+    pub observed: u64,
+    /// Queries whose match score reached the threshold.
+    pub matched: u64,
+    /// Fingerprints evicted from full tenant windows.
+    pub evictions: u64,
+    /// Queries shed because the tenant cap was reached.
+    pub shed: u64,
+}
+
+struct Entry {
+    seq: u64,
+    probes: Vec<u64>,
+}
+
+/// One inverted-index bucket. The common case by far is a single stored
+/// fingerprint per probe hash, so that case is inline — in steady state an
+/// observe cycle then allocates nothing for the index at all.
+enum Bucket {
+    /// Exactly one stored fingerprint carries this probe.
+    One(u64),
+    /// Two or more do (an all-duplicates window bounds this at `window`).
+    Many(Vec<u64>),
+}
+
+impl Bucket {
+    fn push(&mut self, seq: u64) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, seq]),
+            Bucket::Many(seqs) => seqs.push(seq),
+        }
+    }
+
+    /// Removes `seq`; true when the bucket is now empty and should be
+    /// dropped from the index.
+    fn remove(&mut self, seq: u64) -> bool {
+        match self {
+            Bucket::One(only) => *only == seq,
+            Bucket::Many(seqs) => {
+                seqs.retain(|&s| s != seq);
+                if let [only] = seqs.as_slice() {
+                    *self = Bucket::One(*only);
+                }
+                false
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct TenantWindow {
+    entries: VecDeque<Entry>,
+    index: ProbeMap<Bucket>,
+    next_seq: u64,
+}
+
+impl TenantWindow {
+    /// Sequence numbers of stored fingerprints sharing each incoming
+    /// probe, appended into `hits`.
+    fn collect_hits(&self, probes: &[u64], hits: &mut Vec<u64>) {
+        for probe in probes {
+            match self.index.get(probe) {
+                Some(Bucket::One(seq)) => hits.push(*seq),
+                Some(Bucket::Many(seqs)) => hits.extend_from_slice(seqs),
+                None => {}
+            }
+        }
+    }
+
+    fn insert(&mut self, fingerprint: &QueryFingerprint, window: usize) -> bool {
+        // Evict the oldest entry of a full window, recycling its probe
+        // buffer for the incoming entry (steady state allocates nothing).
+        let mut recycled = Vec::new();
+        let evicted = self.entries.len() == window;
+        if evicted {
+            let old = self.entries.pop_front().expect("window non-empty");
+            for probe in &old.probes {
+                if let Some(bucket) = self.index.get_mut(probe) {
+                    if bucket.remove(old.seq) {
+                        self.index.remove(probe);
+                    }
+                }
+            }
+            recycled = old.probes;
+            recycled.clear();
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for &probe in fingerprint.probes() {
+            match self.index.entry(probe) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(seq),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Bucket::One(seq));
+                }
+            }
+        }
+        recycled.extend_from_slice(fingerprint.probes());
+        self.entries.push_back(Entry {
+            seq,
+            probes: recycled,
+        });
+        evicted
+    }
+}
+
+/// Process-global telemetry for every fingerprint store (merged into the
+/// monitor's unified metrics snapshot like the exec and runtime families).
+struct StoreMetrics {
+    observed: Arc<Counter>,
+    matched: Arc<Counter>,
+    inserts: Arc<Counter>,
+    evictions: Arc<Counter>,
+    shed: Arc<Counter>,
+    tenants: Arc<Gauge>,
+}
+
+fn metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        StoreMetrics {
+            observed: r.counter(
+                "advhunter_fingerprint_observed_total",
+                "Queries matched against and inserted into a fingerprint store",
+            ),
+            matched: r.counter(
+                "advhunter_fingerprint_matched_total",
+                "Queries whose best-overlap score reached the match threshold",
+            ),
+            inserts: r.counter(
+                "advhunter_fingerprint_inserts_total",
+                "Fingerprints inserted into tenant windows",
+            ),
+            evictions: r.counter(
+                "advhunter_fingerprint_evictions_total",
+                "Fingerprints evicted from full tenant windows",
+            ),
+            shed: r.counter(
+                "advhunter_fingerprint_shed_total",
+                "Queries shed because the store was at its tenant cap",
+            ),
+            tenants: r.gauge(
+                "advhunter_fingerprint_tenants",
+                "Tenants currently tracked (level per store; _max is the high watermark)",
+            ),
+        }
+    })
+}
+
+/// The bounded, deterministic query-fingerprint store.
+///
+/// Determinism contract: [`observe`](Self::observe) outcomes are a pure
+/// function of the configuration and the *sequence* of `(tenant, query)`
+/// observations — hash-map iteration order never influences a score (the
+/// best-overlap maximum is order-free), so the monitor can replay the same
+/// admission order at any thread count and get bit-identical reports.
+pub struct FingerprintStore {
+    config: FingerprintConfig,
+    tenants: ProbeMap<TenantWindow>,
+    scratch: Vec<u64>,
+    stats: StoreStats,
+}
+
+impl FingerprintStore {
+    /// The tenant id used by single-tenant callers.
+    pub const DEFAULT_TENANT: TenantId = 0;
+
+    /// A store for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` does not [`validate`](FingerprintConfig::validate)
+    /// or is disabled — callers gate on
+    /// [`is_enabled`](FingerprintConfig::is_enabled) first.
+    #[must_use]
+    pub fn new(config: FingerprintConfig) -> Self {
+        config.validate().expect("invalid fingerprint config");
+        assert!(
+            config.is_enabled(),
+            "a disabled fingerprint config builds no store"
+        );
+        Self {
+            config,
+            tenants: ProbeMap::default(),
+            scratch: Vec::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The store's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FingerprintConfig {
+        &self.config
+    }
+
+    /// Fingerprints raw query data under this store's configuration.
+    #[must_use]
+    pub fn fingerprint(&self, data: &[f32]) -> QueryFingerprint {
+        QueryFingerprint::compute(data, &self.config)
+    }
+
+    /// The full observation step: match `fingerprint` against `tenant`'s
+    /// window, then insert it (evicting the oldest entry if the window is
+    /// full). Matching happens *before* insertion, so a query never
+    /// matches itself — only earlier queries.
+    ///
+    /// When the store is at `max_tenants` and `tenant` is not yet tracked,
+    /// the query is shed: nothing is stored and the report carries
+    /// `shed = true` (the monitor degrades that request to an HPC-only
+    /// verdict).
+    pub fn observe(&mut self, tenant: TenantId, fingerprint: &QueryFingerprint) -> MatchReport {
+        if !self.tenants.contains_key(&tenant) {
+            if self.tenants.len() >= self.config.max_tenants {
+                self.stats.shed += 1;
+                metrics().shed.inc();
+                return MatchReport::shed();
+            }
+            self.tenants.insert(tenant, TenantWindow::default());
+            metrics().tenants.set(self.tenants.len() as u64);
+        }
+        let window = self.tenants.get_mut(&tenant).expect("tenant admitted");
+
+        // Match: best overlap with any single stored fingerprint, via the
+        // inverted index. `scratch` holds one seq per (probe, entry) hit;
+        // sorting it groups hits by entry, and the longest run is the best
+        // overlap. Hit lists are tiny (≤ k per probe in the worst case of
+        // an all-duplicate window), so the sort is cheap and, crucially,
+        // the maximum is independent of any hash-map ordering.
+        self.scratch.clear();
+        window.collect_hits(fingerprint.probes(), &mut self.scratch);
+        self.scratch.sort_unstable();
+        let mut best_overlap = 0usize;
+        let mut run = 0usize;
+        let mut prev: Option<u64> = None;
+        for &seq in &self.scratch {
+            run = if prev == Some(seq) { run + 1 } else { 1 };
+            prev = Some(seq);
+            best_overlap = best_overlap.max(run);
+        }
+        let probes = fingerprint.len();
+        let score = if probes == 0 {
+            0.0
+        } else {
+            best_overlap as f64 / probes as f64
+        };
+        let matched = probes > 0 && score >= self.config.match_threshold;
+        let report = MatchReport {
+            score,
+            best_overlap,
+            probes,
+            window_len: window.entries.len(),
+            matched,
+            shed: false,
+        };
+
+        // Insert (and evict the oldest entry of a full window).
+        let evicted = window.insert(fingerprint, self.config.window);
+
+        self.stats.observed += 1;
+        let m = metrics();
+        m.observed.inc();
+        m.inserts.inc();
+        if matched {
+            self.stats.matched += 1;
+            m.matched.inc();
+        }
+        if evicted {
+            self.stats.evictions += 1;
+            m.evictions.inc();
+        }
+        report
+    }
+
+    /// Convenience: fingerprint raw data and [`observe`](Self::observe) it.
+    pub fn observe_query(&mut self, tenant: TenantId, data: &[f32]) -> MatchReport {
+        let fp = self.fingerprint(data);
+        self.observe(tenant, &fp)
+    }
+
+    /// Current counters. `entries` and `probe_slots` are recomputed from
+    /// the live structures, so they are exact bounds, not estimates.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = self.stats;
+        stats.tenants = self.tenants.len();
+        stats.entries = self.tenants.values().map(|t| t.entries.len()).sum();
+        stats.probe_slots = self
+            .tenants
+            .values()
+            .map(|t| t.entries.iter().map(|e| e.probes.len()).sum::<usize>())
+            .sum();
+        stats
+    }
+
+    /// Number of tenants currently tracked.
+    #[must_use]
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The per-tenant sequence numbers currently stored, oldest first
+    /// (`None` for an untracked tenant). Sequence numbers count that
+    /// tenant's insertions from zero, so tests can pin exactly which
+    /// observations survived the sliding window.
+    #[must_use]
+    pub fn window_seqs(&self, tenant: TenantId) -> Option<Vec<u64>> {
+        self.tenants
+            .get(&tenant)
+            .map(|t| t.entries.iter().map(|e| e.seq).collect())
+    }
+}
+
+impl std::fmt::Debug for FingerprintStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FingerprintStore")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> FingerprintConfig {
+        FingerprintConfig::default()
+            .with_window(4)
+            .with_max_tenants(2)
+    }
+
+    fn query(seed: u64) -> Vec<f32> {
+        (0..256)
+            .map(|i| (((i as u64).wrapping_mul(seed * 2 + 31) % 101) as f32) / 101.0)
+            .collect()
+    }
+
+    #[test]
+    fn repeated_query_matches_itself_with_full_score() {
+        let mut store = FingerprintStore::new(tiny_config());
+        let first = store.observe_query(0, &query(7));
+        assert!(!first.matched, "nothing stored yet");
+        assert_eq!(first.window_len, 0);
+        let second = store.observe_query(0, &query(7));
+        assert!(second.matched);
+        assert_eq!(second.score, 1.0);
+        assert_eq!(second.best_overlap, second.probes);
+        assert_eq!(second.window_len, 1);
+    }
+
+    #[test]
+    fn unrelated_queries_do_not_match() {
+        let mut store = FingerprintStore::new(tiny_config());
+        store.observe_query(0, &query(7));
+        let other = store.observe_query(0, &query(1234));
+        assert!(!other.matched, "score {}", other.score);
+        assert!(other.score < 0.5);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest_and_forgets_it() {
+        let mut store = FingerprintStore::new(tiny_config());
+        for seed in 0..5 {
+            store.observe_query(0, &query(seed));
+        }
+        // Window of 4: seq 0 evicted, 1..=4 retained in order.
+        assert_eq!(store.window_seqs(0), Some(vec![1, 2, 3, 4]));
+        assert_eq!(store.stats().evictions, 1);
+        // The evicted query no longer matches; a retained one still does.
+        assert!(!store.observe_query(0, &query(0)).matched);
+        assert!(store.observe_query(0, &query(3)).matched);
+    }
+
+    #[test]
+    fn tenant_cap_sheds_new_tenants_only() {
+        let mut store = FingerprintStore::new(tiny_config());
+        store.observe_query(0, &query(1));
+        store.observe_query(1, &query(2));
+        let shed = store.observe_query(2, &query(3));
+        assert!(shed.shed);
+        assert!(!shed.matched);
+        assert_eq!(store.tenant_count(), 2);
+        assert_eq!(store.stats().shed, 1);
+        // Existing tenants keep full service.
+        assert!(store.observe_query(1, &query(2)).matched);
+    }
+
+    #[test]
+    fn tenants_never_see_each_other() {
+        let mut store = FingerprintStore::new(tiny_config());
+        store.observe_query(0, &query(7));
+        let other_tenant = store.observe_query(1, &query(7));
+        assert!(
+            !other_tenant.matched,
+            "tenant 1 must not match tenant 0's history"
+        );
+        assert_eq!(other_tenant.window_len, 0);
+    }
+
+    #[test]
+    fn stats_track_exact_bounds() {
+        let config = tiny_config();
+        let mut store = FingerprintStore::new(config);
+        for seed in 0..9 {
+            store.observe_query(seed % 2, &query(seed));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.tenants, 2);
+        assert!(stats.entries <= config.window * config.max_tenants);
+        assert!(stats.probe_slots <= stats.entries * config.probes);
+        assert_eq!(stats.observed, 9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-test net over the fingerprint store (ISSUE 6, satellite 1):
+//! memory bounds, eviction order, self-matching, and permutation
+//! invariance, each over hundreds of generated configurations and query
+//! streams.
+
+use advhunter_fingerprint::{FingerprintConfig, FingerprintStore, QueryFingerprint};
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random query derived from a seed: values in
+/// `[0, 1]` with enough structure that distinct seeds rarely collide.
+fn query(seed: u64, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(seed.wrapping_mul(1_442_695_040_888_963_407));
+            (x >> 33) as f32 / (u32::MAX >> 1) as f32
+        })
+        .collect()
+}
+
+fn small_config(window: usize, max_tenants: usize, probes: usize) -> FingerprintConfig {
+    let mut config = FingerprintConfig::default()
+        .with_window(window)
+        .with_max_tenants(max_tenants);
+    config.probes = probes;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store never exceeds its closed-form memory bound, no matter
+    /// the configuration or traffic pattern.
+    #[test]
+    fn memory_bound_is_never_exceeded(
+        window in 1usize..6,
+        max_tenants in 1usize..4,
+        probes in 1usize..16,
+        traffic_seed in any::<u64>(),
+    ) {
+        let config = small_config(window, max_tenants, probes);
+        let mut store = FingerprintStore::new(config);
+        for i in 0..64u64 {
+            let tenant = (traffic_seed.rotate_left(i as u32) ^ i) % 7;
+            store.observe_query(tenant, &query(traffic_seed.wrapping_add(i), 96));
+            let stats = store.stats();
+            prop_assert!(stats.tenants <= max_tenants);
+            prop_assert!(stats.entries <= max_tenants * window);
+            prop_assert!(stats.probe_slots <= stats.entries * probes);
+            // Stored probes plus their inverted-index mirror stay under
+            // the documented byte ceiling.
+            prop_assert!(2 * stats.probe_slots * 8 <= config.max_bytes());
+        }
+    }
+
+    /// Eviction is strictly oldest-first: after n single-tenant
+    /// observations the window holds exactly the last min(n, window)
+    /// sequence numbers, in insertion order.
+    #[test]
+    fn eviction_preserves_sliding_window_order(
+        window in 1usize..8,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut store = FingerprintStore::new(small_config(window, 2, 8));
+        for i in 0..n {
+            store.observe_query(0, &query(seed.wrapping_add(i as u64), 64));
+        }
+        let kept = n.min(window);
+        let expected: Vec<u64> = ((n - kept) as u64..n as u64).collect();
+        prop_assert_eq!(store.window_seqs(0).unwrap(), expected);
+        prop_assert_eq!(store.stats().evictions, (n - kept) as u64);
+    }
+
+    /// A repeated query always matches its earlier self with full score,
+    /// regardless of what else the tenant sent in between (as long as the
+    /// original has not slid out of the window).
+    #[test]
+    fn identical_queries_always_match_themselves(
+        seed in any::<u64>(),
+        interleaved in 0usize..4,
+    ) {
+        let mut store = FingerprintStore::new(small_config(8, 2, 16));
+        let data = query(seed, 128);
+        let first = store.observe_query(0, &data);
+        prop_assert!(!first.matched, "an empty window matches nothing");
+        for i in 0..interleaved {
+            store.observe_query(0, &query(seed ^ (0xABCD + i as u64), 128));
+        }
+        let again = store.observe_query(0, &data);
+        prop_assert!(again.matched);
+        prop_assert_eq!(again.best_overlap, again.probes);
+        prop_assert!((again.score - 1.0).abs() < 1e-12);
+    }
+
+    /// Match scores are invariant under any permutation of the probe-hash
+    /// order: fingerprints are canonical sets, so two arbitrary orderings
+    /// of the same probes produce bit-identical reports.
+    #[test]
+    fn match_scores_are_permutation_invariant(
+        stored_seed in any::<u64>(),
+        probe_seed in any::<u64>(),
+        len in 1usize..24,
+    ) {
+        // An arbitrary probe list (duplicates allowed) and a pseudo-random
+        // permutation of it.
+        let probes: Vec<u64> = (0..len)
+            .map(|i| probe_seed.rotate_left((i * 7 % 64) as u32) ^ (i as u64) << 3)
+            .collect();
+        let mut permuted = probes.clone();
+        for i in (1..permuted.len()).rev() {
+            let j = (stored_seed.rotate_right(i as u32) as usize) % (i + 1);
+            permuted.swap(i, j);
+        }
+        let a = QueryFingerprint::from_probes(probes);
+        let b = QueryFingerprint::from_probes(permuted);
+        prop_assert_eq!(a.probes(), b.probes());
+
+        // And the full store agrees: identical histories, then the same
+        // query in both probe orders, yield bit-identical reports.
+        let mut store_a = FingerprintStore::new(small_config(4, 1, 32));
+        let mut store_b = FingerprintStore::new(small_config(4, 1, 32));
+        for i in 0..3u64 {
+            let history = store_a.fingerprint(&query(stored_seed.wrapping_add(i), 96));
+            store_a.observe(0, &history);
+            store_b.observe(0, &history);
+        }
+        prop_assert_eq!(store_a.observe(0, &a), store_b.observe(0, &b));
+    }
+}

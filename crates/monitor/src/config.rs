@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use advhunter_fingerprint::{FingerprintConfig, FingerprintConfigError};
 use advhunter_runtime::ExecOptions;
 
 /// What the monitor does with a submission that arrives while the bounded
@@ -19,6 +20,54 @@ pub enum OverloadPolicy {
     Block,
 }
 
+/// How the HPC anomaly verdict and the query-correlation verdict are
+/// combined into the final `flagged` bit of a
+/// [`MonitorVerdict`](crate::MonitorVerdict).
+///
+/// Both underlying bits are always reported on the verdict; the policy
+/// only decides the fused headline. With the fingerprint stage disabled
+/// the query-correlation bit is always `false`, so [`Or`](Self::Or) (the
+/// default) degrades exactly to the HPC-only behaviour of earlier
+/// releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusionPolicy {
+    /// Flag on the HPC anomaly verdict alone (ignore query correlation).
+    HpcOnly,
+    /// Flag on query correlation alone (ignore the HPC verdict).
+    FingerprintOnly,
+    /// Flag when *either* signal fires. Highest recall: per-query HPC
+    /// anomalies and cross-query attack campaigns are both caught.
+    Or,
+    /// Flag only when *both* signals fire. Lowest false-positive rate:
+    /// a benign near-duplicate (resubmitted image) or an isolated HPC
+    /// outlier alone does not flag.
+    And,
+}
+
+impl FusionPolicy {
+    /// Applies the policy to the two signal bits.
+    #[must_use]
+    pub fn fuse(self, hpc_anomalous: bool, query_correlated: bool) -> bool {
+        match self {
+            Self::HpcOnly => hpc_anomalous,
+            Self::FingerprintOnly => query_correlated,
+            Self::Or => hpc_anomalous || query_correlated,
+            Self::And => hpc_anomalous && query_correlated,
+        }
+    }
+
+    /// The policy's CLI/display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::HpcOnly => "hpc",
+            Self::FingerprintOnly => "fingerprint",
+            Self::Or => "or",
+            Self::And => "and",
+        }
+    }
+}
+
 /// Configuration of a [`Monitor`](crate::Monitor).
 ///
 /// The `exec` field carries the determinism contract: request `i` (ids are
@@ -26,7 +75,7 @@ pub enum OverloadPolicy {
 /// stream seeded by `derive_seed(exec.seed, i)`, so the verdict stream is
 /// bit-identical for every `exec.parallelism` and every way of batching
 /// the submissions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonitorConfig {
     /// Capacity of the bounded submission queue.
     pub queue_capacity: usize,
@@ -37,6 +86,12 @@ pub struct MonitorConfig {
     pub overload: OverloadPolicy,
     /// Seed and worker count for the measurement fan-out.
     pub exec: ExecOptions,
+    /// The query-fingerprint defense stage. Disabled by default
+    /// ([`FingerprintConfig::disabled`]); enabling it gives every verdict
+    /// a query-correlation bit fused per [`MonitorConfig::fusion`].
+    pub fingerprint: FingerprintConfig,
+    /// How HPC anomaly and query correlation combine into `flagged`.
+    pub fusion: FusionPolicy,
 }
 
 impl MonitorConfig {
@@ -49,6 +104,8 @@ impl MonitorConfig {
             micro_batch: 16,
             overload: OverloadPolicy::Block,
             exec,
+            fingerprint: FingerprintConfig::disabled(),
+            fusion: FusionPolicy::Or,
         }
     }
 
@@ -70,12 +127,25 @@ impl MonitorConfig {
         self
     }
 
+    /// The same configuration with a different fingerprint stage.
+    pub fn with_fingerprint(mut self, fingerprint: FingerprintConfig) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+
+    /// The same configuration with a different fusion policy.
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     /// Checks the configuration for nonsense values.
     ///
     /// # Errors
     ///
     /// Returns [`MonitorConfigError`] when the queue capacity or the
-    /// micro-batch ceiling is zero.
+    /// micro-batch ceiling is zero, or when an enabled fingerprint stage
+    /// is misconfigured.
     pub fn validate(&self) -> Result<(), MonitorConfigError> {
         if self.queue_capacity == 0 {
             return Err(MonitorConfigError::ZeroQueueCapacity);
@@ -83,6 +153,9 @@ impl MonitorConfig {
         if self.micro_batch == 0 {
             return Err(MonitorConfigError::ZeroMicroBatch);
         }
+        self.fingerprint
+            .validate()
+            .map_err(MonitorConfigError::Fingerprint)?;
         Ok(())
     }
 }
@@ -100,6 +173,8 @@ pub enum MonitorConfigError {
     ZeroQueueCapacity,
     /// `micro_batch` was zero: the worker could never drain the queue.
     ZeroMicroBatch,
+    /// The fingerprint stage was enabled with invalid knobs.
+    Fingerprint(FingerprintConfigError),
 }
 
 impl fmt::Display for MonitorConfigError {
@@ -107,6 +182,7 @@ impl fmt::Display for MonitorConfigError {
         match self {
             Self::ZeroQueueCapacity => write!(f, "monitor queue capacity must be positive"),
             Self::ZeroMicroBatch => write!(f, "monitor micro-batch size must be positive"),
+            Self::Fingerprint(e) => write!(f, "fingerprint stage: {e}"),
         }
     }
 }
@@ -136,5 +212,38 @@ mod tests {
             cfg.with_micro_batch(0).validate(),
             Err(MonitorConfigError::ZeroMicroBatch)
         );
+    }
+
+    #[test]
+    fn fingerprint_knobs_are_validated_when_enabled() {
+        let cfg = MonitorConfig::default();
+        assert!(!cfg.fingerprint.is_enabled(), "defense is opt-in");
+        assert_eq!(cfg.fusion, FusionPolicy::Or);
+        assert!(cfg.validate().is_ok());
+        let enabled = cfg.with_fingerprint(FingerprintConfig::default());
+        assert!(enabled.validate().is_ok());
+        let mut bad = FingerprintConfig::default();
+        bad.match_threshold = 2.0;
+        assert_eq!(
+            cfg.with_fingerprint(bad).validate(),
+            Err(MonitorConfigError::Fingerprint(
+                FingerprintConfigError::BadMatchThreshold
+            ))
+        );
+    }
+
+    #[test]
+    fn fusion_policies_combine_the_two_bits() {
+        for (policy, table) in [
+            (FusionPolicy::HpcOnly, [false, false, true, true]),
+            (FusionPolicy::FingerprintOnly, [false, true, false, true]),
+            (FusionPolicy::Or, [false, true, true, true]),
+            (FusionPolicy::And, [false, false, false, true]),
+        ] {
+            let inputs = [(false, false), (false, true), (true, false), (true, true)];
+            for ((hpc, qc), expected) in inputs.into_iter().zip(table) {
+                assert_eq!(policy.fuse(hpc, qc), expected, "{policy:?} {hpc} {qc}");
+            }
+        }
     }
 }

@@ -21,9 +21,16 @@
 //!   [`MonitorConfig::micro_batch`] requests at a time and measures them
 //!   as one batch over the `advhunter-runtime` pool, reusing the engine's
 //!   pooled per-worker scratch so the steady state allocates nothing.
+//! * **Fingerprinting** — when [`MonitorConfig::fingerprint`] is enabled,
+//!   the worker first runs every drained request through a per-tenant
+//!   [`FingerprintStore`] (sequentially, in admission order): queries that
+//!   near-duplicate the tenant's recent history are marked
+//!   *query-correlated*, the cross-query signal that per-query HPC
+//!   scoring cannot see (DESIGN.md §14).
 //! * **Verdicts** — every request yields a [`MonitorVerdict`]: the
 //!   detector's [`Verdict`](advhunter::Verdict) (predicted class plus
-//!   per-event NLL scores), the fused flagged bit, and queue/latency
+//!   per-event NLL scores), the HPC and query-correlation bits, the
+//!   headline `flagged` bit fused per [`FusionPolicy`], and queue/latency
 //!   telemetry. [`Monitor::stats`] exposes service-level counters (depth,
 //!   shed count, per-stage latency, per-class flag rate).
 //!
@@ -40,7 +47,15 @@ mod queue;
 mod service;
 mod stats;
 
-pub use config::{MonitorConfig, MonitorConfigError, OverloadPolicy};
+pub use config::{FusionPolicy, MonitorConfig, MonitorConfigError, OverloadPolicy};
 pub use queue::{BoundedQueue, PushError, Pushed};
 pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SpawnFromStoreError, SubmitError};
 pub use stats::{ClassFlagStats, StatsSnapshot};
+
+// Re-export the fingerprint vocabulary so service callers (the CLI, the
+// integration tests) can configure the defense without a direct
+// dependency on `advhunter-fingerprint`.
+pub use advhunter_fingerprint::{
+    FingerprintConfig, FingerprintConfigError, FingerprintStore, MatchReport, QueryFingerprint,
+    StoreStats, TenantId,
+};

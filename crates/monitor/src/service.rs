@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use advhunter::{ArtifactStore, Detector, Pipeline, PipelineConfig, PipelineError, Verdict};
 use advhunter_exec::TraceEngine;
+use advhunter_fingerprint::{FingerprintStore, MatchReport, TenantId};
 use advhunter_nn::Graph;
 use advhunter_runtime::parallel_map;
 use advhunter_tensor::Tensor;
@@ -88,16 +89,33 @@ pub struct RequestTelemetry {
     pub score: Duration,
 }
 
-/// One request's complete outcome: id, deterministic verdict, telemetry.
+/// One request's complete outcome: id, deterministic fused verdict,
+/// telemetry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonitorVerdict {
     /// The admission-order id returned by [`Monitor::submit`].
     pub request_id: u64,
+    /// The tenant the request was submitted under
+    /// ([`FingerprintStore::DEFAULT_TENANT`] for [`Monitor::submit`]).
+    pub tenant: TenantId,
     /// The hard-label prediction and per-event scores. Deterministic: a
     /// pure function of `(image, exec.seed, request_id)`.
     pub verdict: Verdict,
-    /// Whether the monitor's fusion rule ([`Verdict::flagged_any`])
-    /// flagged the inference as adversarial.
+    /// The per-query HPC signal: [`Verdict::flagged_any`].
+    pub hpc_anomalous: bool,
+    /// The cross-query signal: the query's fingerprint overlapped a
+    /// recent fingerprint of the same tenant beyond the match threshold.
+    /// Always `false` while the fingerprint stage is disabled, the store
+    /// shed the tenant, or this was the tenant's first sighting of the
+    /// content.
+    pub query_correlated: bool,
+    /// The full fingerprint match report, when the stage is enabled.
+    /// Deterministic: a pure function of the configuration and the
+    /// admission-ordered `(tenant, image)` stream.
+    pub fingerprint: Option<MatchReport>,
+    /// The fused headline per the configured
+    /// [`FusionPolicy`](crate::FusionPolicy):
+    /// `fusion.fuse(hpc_anomalous, query_correlated)`.
     pub flagged: bool,
     /// Observational timings (not deterministic).
     pub telemetry: RequestTelemetry,
@@ -105,6 +123,7 @@ pub struct MonitorVerdict {
 
 struct Request {
     id: u64,
+    tenant: TenantId,
     image: Tensor,
     admitted_at: Instant,
     depth_at_admission: usize,
@@ -133,9 +152,11 @@ struct Shared {
 ///
 /// Request `i` (ids count admissions) is measured via the engine's
 /// indexed noise stream `derive_seed(config.exec.seed, i)` and scored by
-/// pure functions, so the `(request_id, verdict)` stream is bit-identical
-/// for every `ADVHUNTER_THREADS` setting and every way the same images
-/// are batched into submissions. Only the telemetry varies.
+/// pure functions; the fingerprint stage runs sequentially in admission
+/// order inside the worker. The fused
+/// `(request_id, verdict, query_correlated, flagged)` stream is therefore
+/// bit-identical for every `ADVHUNTER_THREADS` setting and every way the
+/// same images are batched into submissions. Only the telemetry varies.
 ///
 /// # Overload
 ///
@@ -194,6 +215,12 @@ impl Monitor {
     /// the resulting engine, model, and calibrated detector. On a warm
     /// store this is a pure load — no training, measurement, or fitting.
     ///
+    /// When the pipeline configuration carries an enabled
+    /// [`defense`](PipelineConfig::defense) and `config` leaves its own
+    /// fingerprint stage disabled, the monitor adopts the pipeline's
+    /// defense — one configuration object drives the whole deployment. An
+    /// explicitly enabled `config.fingerprint` always wins.
+    ///
     /// # Errors
     ///
     /// Returns [`SpawnFromStoreError::Pipeline`] when the offline phase
@@ -202,23 +229,41 @@ impl Monitor {
     pub fn spawn_from_store(
         pipeline: PipelineConfig,
         store: ArtifactStore,
-        config: MonitorConfig,
+        mut config: MonitorConfig,
     ) -> Result<Self, SpawnFromStoreError> {
+        if !config.fingerprint.is_enabled() && pipeline.defense.is_enabled() {
+            config.fingerprint = pipeline.defense;
+        }
         let (art, _report) = Pipeline::new(pipeline, store).run()?;
         Self::spawn(art.engine, art.model, art.detector, config)
             .map_err(SpawnFromStoreError::Config)
     }
 
-    /// Submits one image for screening and returns its admission-order
-    /// request id.
+    /// Submits one image for screening under the default tenant and
+    /// returns its admission-order request id.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Overloaded`] when the queue is full under the shed
     /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
     pub fn submit(&self, image: Tensor) -> Result<u64, SubmitError> {
+        self.submit_from(FingerprintStore::DEFAULT_TENANT, image)
+    }
+
+    /// Submits one image for screening on behalf of `tenant` and returns
+    /// its admission-order request id. Tenants are fully isolated in the
+    /// fingerprint stage: a query only ever matches the *same* tenant's
+    /// recent history, so one client's attack campaign cannot flag (or
+    /// mask) another's traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full under the shed
+    /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
+    pub fn submit_from(&self, tenant: TenantId, image: Tensor) -> Result<u64, SubmitError> {
         let make = |id, depth_at_admission| Request {
             id,
+            tenant,
             image,
             admitted_at: Instant::now(),
             depth_at_admission,
@@ -337,9 +382,34 @@ impl Drop for Monitor {
 fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
     let micro_batch = shared.config.micro_batch;
     let exec = shared.config.exec;
+    let fusion = shared.config.fusion;
+    // The worker owns the fingerprint store outright: matching mutates
+    // per-tenant windows, so it runs here, sequentially in admission-id
+    // order, *before* the parallel measurement fan-out. That makes the
+    // cross-query verdict a pure function of the admission-ordered
+    // (tenant, image) stream — thread count and batching cannot touch it.
+    let mut store = shared
+        .config
+        .fingerprint
+        .is_enabled()
+        .then(|| FingerprintStore::new(shared.config.fingerprint));
     while let Some(batch) = shared.queue.pop_batch(micro_batch) {
         shared.stats.record_drain(batch.len(), shared.queue.len());
+        let fingerprint_start = Instant::now();
+        let reports: Vec<Option<MatchReport>> = batch
+            .iter()
+            .map(|req| {
+                store
+                    .as_mut()
+                    .map(|s| s.observe_query(req.tenant, req.image.data()))
+            })
+            .collect();
         let measure_start = Instant::now();
+        if store.is_some() {
+            shared
+                .stats
+                .record_fingerprint_stage(measure_start - fingerprint_start);
+        }
         // Fan-out over the worker pool. Each request's noise stream is
         // derived from (exec.seed, request id), and the engine's pooled
         // per-worker scratch (workspace + tiles + counter group) is
@@ -359,9 +429,14 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
         let measure = score_start - measure_start;
         let score = score_done - score_start;
         shared.stats.record_batch(measure, score);
-        for (req, verdict) in batch.iter().zip(verdicts) {
+        for ((req, verdict), report) in batch.iter().zip(verdicts).zip(reports) {
             let queued = measure_start.saturating_duration_since(req.admitted_at);
-            let flagged = verdict.flagged_any();
+            let hpc_anomalous = verdict.flagged_any();
+            let query_correlated = report.is_some_and(|r| r.matched);
+            let flagged = fusion.fuse(hpc_anomalous, query_correlated);
+            if let Some(r) = report {
+                shared.stats.record_fingerprint_report(&r);
+            }
             shared.stats.record_verdict(
                 verdict.predicted(),
                 flagged,
@@ -370,7 +445,11 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
             );
             let out = MonitorVerdict {
                 request_id: req.id,
+                tenant: req.tenant,
                 verdict,
+                hpc_anomalous,
+                query_correlated,
+                fingerprint: report,
                 flagged,
                 telemetry: RequestTelemetry {
                     depth_at_admission: req.depth_at_admission,

@@ -14,6 +14,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use advhunter_fingerprint::MatchReport;
 use advhunter_telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// Live counters shared between the submission side and the worker, all
@@ -31,6 +32,9 @@ pub(crate) struct MonitorStats {
     queued_ns: Arc<Histogram>,
     measure_ns: Arc<Histogram>,
     score_ns: Arc<Histogram>,
+    fingerprint_ns: Arc<Histogram>,
+    fingerprint_matched: Arc<Counter>,
+    fingerprint_shed: Arc<Counter>,
     verdict_latency_ns: Arc<Histogram>,
     /// Per-class `[screened, flagged]` counter pairs; the final pair
     /// collects predictions outside the detector's modelled range.
@@ -94,6 +98,18 @@ impl MonitorStats {
                 "advhunter_monitor_score_ns",
                 "Wall time of the scoring stage per micro-batch",
             ),
+            fingerprint_ns: registry.histogram(
+                "advhunter_monitor_fingerprint_ns",
+                "Wall time of the query-fingerprint stage per micro-batch",
+            ),
+            fingerprint_matched: registry.counter(
+                "advhunter_monitor_fingerprint_matched_total",
+                "Verdicts whose query correlated with the tenant's recent history",
+            ),
+            fingerprint_shed: registry.counter(
+                "advhunter_monitor_fingerprint_shed_total",
+                "Verdicts degraded to HPC-only because the store shed the tenant",
+            ),
             verdict_latency_ns: registry.histogram(
                 "advhunter_monitor_verdict_latency_ns",
                 "End-to-end time from admission to verdict delivery per request",
@@ -125,6 +141,19 @@ impl MonitorStats {
         self.batches.inc();
         self.measure_ns.record_duration(measure);
         self.score_ns.record_duration(score);
+    }
+
+    pub(crate) fn record_fingerprint_stage(&self, elapsed: Duration) {
+        self.fingerprint_ns.record_duration(elapsed);
+    }
+
+    pub(crate) fn record_fingerprint_report(&self, report: &MatchReport) {
+        if report.matched {
+            self.fingerprint_matched.inc();
+        }
+        if report.shed {
+            self.fingerprint_shed.inc();
+        }
     }
 
     pub(crate) fn record_verdict(
@@ -164,6 +193,9 @@ impl MonitorStats {
             queued: Duration::from_nanos(self.queued_ns.snapshot().sum),
             measure: Duration::from_nanos(self.measure_ns.snapshot().sum),
             score: Duration::from_nanos(self.score_ns.snapshot().sum),
+            fingerprint: Duration::from_nanos(self.fingerprint_ns.snapshot().sum),
+            fingerprint_matched: self.fingerprint_matched.get(),
+            fingerprint_shed: self.fingerprint_shed.get(),
             per_class: self
                 .per_class
                 .iter()
@@ -221,6 +253,13 @@ pub struct StatsSnapshot {
     pub measure: Duration,
     /// Total wall time of the scoring stage across batches.
     pub score: Duration,
+    /// Total wall time of the query-fingerprint stage across batches
+    /// (zero while the stage is disabled).
+    pub fingerprint: Duration,
+    /// Verdicts whose query correlated with the tenant's recent history.
+    pub fingerprint_matched: u64,
+    /// Verdicts degraded to HPC-only because the store shed the tenant.
+    pub fingerprint_shed: u64,
     /// Per-predicted-class screening counts; the final entry collects
     /// predictions outside the detector's modelled classes.
     pub per_class: Vec<ClassFlagStats>,
@@ -330,6 +369,43 @@ mod tests {
             r.histogram("advhunter_monitor_batch_size").unwrap().sum,
             2,
             "batch-size histogram sums coalesced requests"
+        );
+    }
+
+    #[test]
+    fn fingerprint_counters_accumulate() {
+        let stats = MonitorStats::new(1);
+        stats.record_fingerprint_stage(Duration::from_micros(7));
+        let matched = MatchReport {
+            score: 1.0,
+            best_overlap: 8,
+            probes: 8,
+            window_len: 3,
+            matched: true,
+            shed: false,
+        };
+        let shed = MatchReport {
+            score: 0.0,
+            best_overlap: 0,
+            probes: 0,
+            window_len: 0,
+            matched: false,
+            shed: true,
+        };
+        stats.record_fingerprint_report(&matched);
+        stats.record_fingerprint_report(&shed);
+        let s = stats.snapshot();
+        assert_eq!(s.fingerprint, Duration::from_micros(7));
+        assert_eq!(s.fingerprint_matched, 1);
+        assert_eq!(s.fingerprint_shed, 1);
+        let r = stats.registry_snapshot();
+        assert_eq!(
+            r.counter("advhunter_monitor_fingerprint_matched_total"),
+            Some(1)
+        );
+        assert_eq!(
+            r.counter("advhunter_monitor_fingerprint_shed_total"),
+            Some(1)
         );
     }
 

@@ -8,9 +8,10 @@
 use advhunter::experiment::{measure_dataset, measure_examples};
 use advhunter::offline::collect_template;
 use advhunter::scenario::{build_scenario, ScenarioArtifacts, ScenarioId};
-use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate};
+use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate, Verdict};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_data::SplitSizes;
+use advhunter_monitor::{FingerprintConfig, FusionPolicy, Monitor, MonitorConfig, OverloadPolicy};
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,6 +140,126 @@ fn measure_examples_matches_sequential_at_any_thread_count() {
             "measure_examples diverged at {threads} threads"
         );
     }
+}
+
+/// The deterministic slice of one fused verdict.
+type FusedOutcome = (u64, u64, Verdict, bool, bool, bool);
+
+/// A fingerprint stage tuned to the tiny scenario's images.
+fn fused_fp_config() -> FingerprintConfig {
+    let mut fp = FingerprintConfig::default().with_window(16);
+    fp.probe_window = 8;
+    fp.stride = 2;
+    fp
+}
+
+/// The deterministic multi-tenant query stream every fused run replays:
+/// each test image is submitted twice (so the fingerprint stage has real
+/// matches to make), alternating between two tenants.
+fn fused_stream(art: &ScenarioArtifacts) -> Vec<(u64, advhunter_tensor::Tensor)> {
+    let mut stream = Vec::new();
+    for (i, image) in art.split.test.images().iter().enumerate() {
+        let tenant = (i % 2) as u64;
+        stream.push((tenant, image.clone()));
+        stream.push((tenant, image.clone()));
+    }
+    stream
+}
+
+/// Runs the fused monitor over the canonical stream and returns every
+/// deterministic field of every verdict, in admission order.
+fn run_fused(threads: usize, overload: OverloadPolicy, trickle: bool) -> Vec<FusedOutcome> {
+    let art = tiny_scenario();
+    // Group validation measurements by *true* label (the tiny model may
+    // never predict some classes, which would leave prediction-grouped
+    // template categories empty).
+    let opts = ExecOptions::sequential(41);
+    let measurements = art.engine.measure_batch(
+        &art.model,
+        art.split.val.images(),
+        opts.seed,
+        &opts.parallelism,
+    );
+    let labels = art.split.val.labels();
+    let num_classes = labels.iter().max().copied().unwrap_or(0) + 1;
+    let mut per_class = vec![Vec::new(); num_classes];
+    for (m, &label) in measurements.iter().zip(labels) {
+        per_class[label].push(m.sample);
+    }
+    let template = OfflineTemplate::from_samples(per_class);
+    let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1)).unwrap();
+    let stream = fused_stream(&art);
+    let config = MonitorConfig::new(ExecOptions::seeded(46).with_threads(threads))
+        .with_queue_capacity(stream.len().max(1))
+        .with_micro_batch(3)
+        .with_overload(overload)
+        .with_fingerprint(fused_fp_config())
+        .with_fusion(FusionPolicy::Or);
+    let monitor = Monitor::spawn(art.engine, art.model, detector, config).unwrap();
+    let mut out = Vec::new();
+    for (tenant, image) in stream {
+        monitor.submit_from(tenant, image).unwrap();
+        if trickle {
+            // Consume each verdict before the next submission — the
+            // maximally different arrival pattern.
+            let v = monitor.recv().unwrap();
+            out.push((
+                v.request_id,
+                v.tenant,
+                v.verdict,
+                v.hpc_anomalous,
+                v.query_correlated,
+                v.flagged,
+            ));
+        }
+    }
+    monitor.close();
+    while let Some(v) = monitor.recv() {
+        out.push((
+            v.request_id,
+            v.tenant,
+            v.verdict,
+            v.hpc_anomalous,
+            v.query_correlated,
+            v.flagged,
+        ));
+    }
+    out
+}
+
+#[test]
+fn fused_verdicts_match_sequential_at_any_thread_count() {
+    let baseline = run_fused(1, OverloadPolicy::Block, false);
+    assert!(
+        baseline
+            .iter()
+            .any(|(_, _, _, _, correlated, _)| *correlated),
+        "the duplicated stream must trip query correlation somewhere"
+    );
+    for threads in THREAD_COUNTS {
+        let pooled = run_fused(threads, OverloadPolicy::Block, false);
+        assert_eq!(
+            baseline, pooled,
+            "fused verdicts diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fused_verdicts_are_invariant_to_overload_policy_and_arrival() {
+    let baseline = run_fused(2, OverloadPolicy::Block, false);
+    // Same admissions under the shed policy (the queue is sized to never
+    // actually shed) and under a one-by-one trickle: identical verdicts.
+    assert_eq!(
+        baseline,
+        run_fused(2, OverloadPolicy::Shed, false),
+        "overload policy changed fused verdicts"
+    );
+    assert_eq!(
+        baseline,
+        run_fused(2, OverloadPolicy::Shed, true),
+        "arrival batching changed fused verdicts"
+    );
 }
 
 #[test]

@@ -116,6 +116,46 @@ fn each_knob_re_addresses_exactly_its_downstream_stages() {
 }
 
 #[test]
+fn defense_knobs_never_invalidate_offline_artifacts() {
+    // The online defense (query fingerprinting) is configured on the same
+    // PipelineConfig but is deliberately outside every offline stage's
+    // input closure: flipping any defense knob must leave all four golden
+    // addresses — and therefore every cached artifact — untouched.
+    let base = tiny_config();
+    let base_fps = Stage::ALL.map(|s| base.fingerprint(s));
+
+    let tuned = advhunter::FingerprintConfig {
+        window: 512,
+        probes: 64,
+        salt: 0xDEAD_BEEF,
+        ..Default::default()
+    };
+    for variant in [
+        base.clone()
+            .with_defense(advhunter::FingerprintConfig::default()),
+        base.clone().with_defense(tuned),
+    ] {
+        assert_eq!(
+            base_fps,
+            Stage::ALL.map(|s| variant.fingerprint(s)),
+            "defense knobs must not re-address offline stages"
+        );
+    }
+
+    // The defense itself *is* addressed — under its own sibling
+    // fingerprint, so deployments can tell defense configurations apart
+    // without churning the offline cache.
+    let a = base.defense_fingerprint();
+    let b = base
+        .clone()
+        .with_defense(advhunter::FingerprintConfig::default())
+        .defense_fingerprint();
+    let c = base.with_defense(tuned).defense_fingerprint();
+    assert_ne!(a, b, "enabling the defense must change its address");
+    assert_ne!(b, c, "each defense knob must change the defense address");
+}
+
+#[test]
 fn cold_warm_forced_and_rebuilt_artifacts_are_bit_identical() {
     let (store, root) = scratch_store();
     let config = tiny_config();
