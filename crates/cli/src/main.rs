@@ -202,6 +202,11 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
         report.recomputed(),
         total_ms
     );
+    let tune = advhunter::tune_stats();
+    println!(
+        "tune: hits={} misses={} evals={}",
+        tune.hits, tune.misses, tune.evals
+    );
     println!(
         "clean accuracy {:.2}%, template M >= {}, detector {} categories x {} events",
         art.clean_accuracy * 100.0,

@@ -61,6 +61,7 @@ pub mod report;
 pub mod scenario;
 pub mod store;
 
+pub use advhunter_exec::{tune_stats, TuneStats};
 pub use advhunter_fingerprint::{FingerprintConfig, FingerprintConfigError};
 pub use advhunter_runtime::{
     derive_seed, ExecOptions, ExecOptionsBuilder, ExecOptionsError, Parallelism,
@@ -73,8 +74,8 @@ pub use metrics::{mean_std, BinaryConfusion};
 pub use offline::{collect_template, OfflineTemplate};
 pub use persist::{load_detector, save_detector, PersistError};
 pub use pipeline::{
-    Pipeline, PipelineArtifacts, PipelineConfig, PipelineError, PipelineReport, Stage,
-    StageOutcome, StageReport,
+    tune_fingerprint, Pipeline, PipelineArtifacts, PipelineConfig, PipelineError, PipelineReport,
+    Stage, StageOutcome, StageReport, StoreTunePersistence,
 };
 pub use store::{ArtifactKind, ArtifactStore, Fingerprint, FingerprintBuilder, StoreLoad};
 pub use verdict::{AnomalyDetector, Verdict};

@@ -31,11 +31,12 @@ use std::fmt;
 use std::sync::{Arc, OnceLock};
 
 use advhunter_data::{SplitDataset, SplitSizes};
-use advhunter_exec::TraceEngine;
+use advhunter_exec::{TraceEngine, TunePersistence};
 use advhunter_fingerprint::FingerprintConfig;
 use advhunter_nn::train::{evaluate, fit, TrainConfig};
 use advhunter_nn::Graph;
 use advhunter_telemetry::{global, Histogram};
+use advhunter_tensor::ops::{GemmGeometry, KernelVariant};
 use advhunter_uarch::{MachineConfig, Sampler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -492,6 +493,66 @@ fn timer(stage: Stage) -> &'static Histogram {
     }
 }
 
+/// The deterministic store address of one GEMM layer geometry's autotuner
+/// verdict.
+///
+/// Like [`PipelineConfig::defense_fingerprint`], this is deliberately
+/// *outside* the four offline stage closures: the tuner's choice changes
+/// wall time only (every kernel variant is bit-exact), so re-tuning —
+/// or tuning differently on another machine — must never re-address a
+/// model, template, or detector. The key is the layer geometry alone, so
+/// every model sharing a layer shape shares the verdict.
+#[must_use]
+pub fn tune_fingerprint(geometry: &GemmGeometry) -> Fingerprint {
+    let mut b = FingerprintBuilder::new("advhunter.tune.v1");
+    b.push_u64(u64::from(geometry.op.tag()))
+        .push_usize(geometry.m)
+        .push_usize(geometry.k)
+        .push_usize(geometry.n);
+    b.finish()
+}
+
+/// [`TunePersistence`] over an [`ArtifactStore`]: autotuner verdicts are
+/// [`ArtifactKind::TuneTable`] artifacts (a single kernel-variant tag
+/// byte) addressed by [`tune_fingerprint`], so warm pipeline runs skip
+/// tuner benchmarking entirely.
+#[derive(Debug, Clone)]
+pub struct StoreTunePersistence {
+    store: ArtifactStore,
+}
+
+impl StoreTunePersistence {
+    /// A persistence backend over `store`.
+    #[must_use]
+    pub fn new(store: ArtifactStore) -> Self {
+        Self { store }
+    }
+}
+
+impl TunePersistence for StoreTunePersistence {
+    fn load(&self, geometry: &GemmGeometry) -> Option<KernelVariant> {
+        let fp = tune_fingerprint(geometry);
+        match self.store.load(ArtifactKind::TuneTable, fp) {
+            Ok(StoreLoad::Hit(payload)) if payload.len() == 1 => {
+                // An unknown tag (future build) falls through to a fresh
+                // benchmark; the re-store overwrites it.
+                KernelVariant::from_tag(payload[0])
+            }
+            _ => None,
+        }
+    }
+
+    fn store(&self, geometry: &GemmGeometry, variant: KernelVariant) {
+        // Persistence is an optimization; a failed write just means the
+        // next cold process re-benchmarks.
+        let _ = self.store.save(
+            ArtifactKind::TuneTable,
+            tune_fingerprint(geometry),
+            &[variant.tag()],
+        );
+    }
+}
+
 /// The `TrainModel` stage's output plus the always-recomputed context
 /// around it (data split, accuracy).
 #[derive(Debug, Clone)]
@@ -664,13 +725,18 @@ impl Pipeline {
     pub fn run(&self) -> Result<(PipelineArtifacts, PipelineReport), PipelineError> {
         let config = &self.config;
         let model_run = self.run_model()?;
-        let engine = TraceEngine::with_config(
+        // Engine construction autotunes against this store's decision
+        // table: warm runs load persisted verdicts, cold runs persist what
+        // they benchmark.
+        let tuning = StoreTunePersistence::new(self.store.clone());
+        let engine = TraceEngine::with_config_tuned(
             &model_run.model,
             MachineConfig::default(),
             Sampler {
                 repeats: config.repeats,
                 ..Sampler::default()
             },
+            Some(&tuning),
         );
         let opts = self.opts();
 

@@ -1,8 +1,9 @@
 //! Content-addressed artifact store for the staged offline pipeline.
 //!
-//! The offline phase produces three artifact kinds — trained model
-//! weights, per-class [`OfflineTemplate`](crate::OfflineTemplate)s, and
-//! fitted [`Detector`](crate::Detector)s — each addressed by the
+//! The offline phase produces four artifact kinds — trained model
+//! weights, per-class [`OfflineTemplate`](crate::OfflineTemplate)s, fitted
+//! [`Detector`](crate::Detector)s, and per-geometry GEMM kernel-tuning
+//! verdicts — each addressed by the
 //! [`Fingerprint`] of everything that determined it (scenario, split
 //! sizes, train config, measurement config, seeds, and upstream
 //! fingerprints). Because every stage is thread-count-deterministic, the
@@ -16,6 +17,7 @@
 //!   models/<fingerprint>.ahs      AHW1 weight payload in an AHS1 envelope
 //!   templates/<fingerprint>.ahs   AHT1 template payload in an AHS1 envelope
 //!   detectors/<fingerprint>.ahs   AHD1 detector payload in an AHS1 envelope
+//!   tune/<fingerprint>.ahs        1-byte kernel-variant tag in an AHS1 envelope
 //! ```
 //!
 //! Each file is an `AHS1` envelope: 3-byte magic `AHS`, version byte `1`,
@@ -155,7 +157,7 @@ pub fn checksum(bytes: &[u8]) -> u64 {
     state
 }
 
-/// The three artifact kinds the offline pipeline produces.
+/// The artifact kinds the offline pipeline produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ArtifactKind {
     /// Trained model weights (`AHW1` payload).
@@ -164,11 +166,19 @@ pub enum ArtifactKind {
     Template,
     /// Fitted + calibrated detector (`AHD1` payload).
     Detector,
+    /// GEMM autotuner verdict for one layer geometry (1-byte
+    /// kernel-variant tag payload).
+    TuneTable,
 }
 
 impl ArtifactKind {
     /// All kinds, in pipeline order.
-    pub const ALL: [Self; 3] = [Self::ModelWeights, Self::Template, Self::Detector];
+    pub const ALL: [Self; 4] = [
+        Self::ModelWeights,
+        Self::Template,
+        Self::Detector,
+        Self::TuneTable,
+    ];
 
     /// The envelope tag byte identifying this kind.
     #[must_use]
@@ -177,6 +187,7 @@ impl ArtifactKind {
             Self::ModelWeights => 1,
             Self::Template => 2,
             Self::Detector => 3,
+            Self::TuneTable => 4,
         }
     }
 
@@ -187,6 +198,7 @@ impl ArtifactKind {
             Self::ModelWeights => "models",
             Self::Template => "templates",
             Self::Detector => "detectors",
+            Self::TuneTable => "tune",
         }
     }
 
@@ -197,6 +209,7 @@ impl ArtifactKind {
             Self::ModelWeights => "model-weights",
             Self::Template => "template",
             Self::Detector => "detector",
+            Self::TuneTable => "tune-table",
         }
     }
 }

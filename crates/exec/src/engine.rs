@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use advhunter_nn::{Graph, Mode, Workspace};
 use advhunter_runtime::{parallel_map_with, Parallelism};
 use advhunter_telemetry::{Counter, Histogram};
+use advhunter_tensor::ops::KernelVariant;
 use advhunter_tensor::Tensor;
 use advhunter_uarch::{CounterGroup, HpcCounts, HpcEvent, HpcSample, MachineConfig, Sampler};
 use rand::Rng;
@@ -22,6 +23,9 @@ struct EngineMetrics {
     /// Cumulative simulated-HPC event totals, indexed like
     /// [`HpcEvent::ALL`].
     event_totals: [Arc<Counter>; HpcEvent::ALL.len()],
+    /// Matrix-node dispatches through each packed-kernel variant, indexed
+    /// like [`KernelVariant::ALL`].
+    gemm_dispatch: [Arc<Counter>; KernelVariant::ALL.len()],
 }
 
 fn engine_metrics() -> &'static EngineMetrics {
@@ -58,6 +62,13 @@ fn engine_metrics() -> &'static EngineMetrics {
                 r.counter(
                     &name,
                     "Cumulative noise-free simulated counts for this HPC event",
+                )
+            }),
+            gemm_dispatch: KernelVariant::ALL.map(|variant| {
+                let name = format!("advhunter_gemm_dispatch_{}_total", variant.label());
+                r.counter(
+                    &name,
+                    "Matrix nodes dispatched through this packed-kernel variant",
                 )
             }),
         }
@@ -131,9 +142,26 @@ impl TraceEngine {
     }
 
     /// Engine with explicit machine and measurement configuration.
+    ///
+    /// Construction autotunes and pre-packs the graph's GEMM kernels (see
+    /// [`tuned_kernels`](crate::tuned_kernels)); the per-image path then
+    /// does zero repacking or tuning work.
     pub fn with_config(graph: &Graph, machine: MachineConfig, sampler: Sampler) -> Self {
+        Self::with_config_tuned(graph, machine, sampler, None)
+    }
+
+    /// [`with_config`](Self::with_config) with a persisted tuning decision
+    /// table: verdicts already in `backend` skip the plan-time benchmarks,
+    /// and fresh verdicts are stored back for the next process.
+    pub fn with_config_tuned(
+        graph: &Graph,
+        machine: MachineConfig,
+        sampler: Sampler,
+        backend: Option<&dyn crate::TunePersistence>,
+    ) -> Self {
         let layout = MemoryLayout::new(graph);
-        let plan = TracePlan::new(graph, &layout);
+        let kernels = Arc::new(crate::tune::tuned_kernels(graph, backend));
+        let plan = TracePlan::new(graph, &layout, kernels);
         Self {
             layout,
             machine,
@@ -188,6 +216,16 @@ impl TraceEngine {
             .lock()
             .expect("scratch pool poisoned")
             .push(scratch);
+    }
+
+    /// A pooled scratch that recycles itself when dropped — the per-worker
+    /// state of [`measure_batch`](Self::measure_batch), so repeated batch
+    /// calls reuse buffers instead of allocating per worker per call.
+    fn pooled_guard(&self, graph: &Graph) -> PooledScratch<'_> {
+        PooledScratch {
+            engine: self,
+            scratch: Some(self.pooled_scratch(graph)),
+        }
     }
 
     /// Noise-free HPC counts of one inference on a cold machine.
@@ -296,8 +334,14 @@ impl TraceEngine {
         parallel_map_with(
             parallelism,
             images,
-            || self.scratch(graph),
-            |scratch, i, image| self.measure_indexed_with(graph, image, seed, i as u64, scratch),
+            || self.pooled_guard(graph),
+            |guard, i, image| {
+                let scratch = guard
+                    .scratch
+                    .as_mut()
+                    .expect("guard holds scratch until drop");
+                self.measure_indexed_with(graph, image, seed, i as u64, scratch)
+            },
         )
     }
 
@@ -314,10 +358,13 @@ impl TraceEngine {
         );
         let metrics = engine_metrics();
         metrics.measurements.inc();
+        for (count, counter) in self.plan.variant_counts.iter().zip(&metrics.gemm_dispatch) {
+            counter.add(*count);
+        }
         let TraceScratch { ws, tiles, group } = scratch;
         // A CHW image is a batch of one — same flat data, no copy needed.
         let forward_span = metrics.forward_ns.span();
-        graph.forward_with(image, Mode::Eval, ws);
+        graph.forward_with_kernels(image, Mode::Eval, ws, &self.plan.kernels);
         let predicted = argmax_row(ws.output());
         forward_span.finish();
 
@@ -335,6 +382,21 @@ impl TraceEngine {
             counter.add(counts.get(*event));
         }
         (predicted, counts)
+    }
+}
+
+/// Per-worker scratch borrowed from the engine's pool; returns it on drop
+/// (one pool-mutex hit per worker per batch, not per image).
+struct PooledScratch<'a> {
+    engine: &'a TraceEngine,
+    scratch: Option<TraceScratch>,
+}
+
+impl Drop for PooledScratch<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.engine.recycle(scratch);
+        }
     }
 }
 
@@ -369,14 +431,28 @@ pub(crate) fn execute_node(
                 tiles.len(),
                 "tile plan out of sync with activation size"
             );
+            // The activation lines are consecutive (tile `i` inspects line
+            // `i`), so runs of tiles that stream no weight lines batch
+            // their activation loads into one range — semantically one
+            // `load` per line in the same order, minus per-call overhead.
+            let mut run_base = 0u64;
+            let mut run_len = 0u64;
             for (tile, &active) in tiles.iter().zip(tiles_buf.iter()) {
-                group.load(tile.x_addr);
-                if active > 0 {
+                if run_len == 0 {
+                    run_base = tile.x_addr;
+                }
+                run_len += 1;
+                if active > 0 && tile.slice > 0 {
+                    group.stream_read(run_base, run_len);
+                    run_len = 0;
                     // Fetch only the weight rows of the tile's active
                     // neurons.
                     let take = (tile.slice * active as u64).div_ceil(FLOATS_PER_LINE as u64);
                     group.stream_read(tile.w_addr, take.min(tile.slice));
                 }
+            }
+            if run_len > 0 {
+                group.stream_read(run_base, run_len);
             }
             group.stream_read(bias.base, bias.lines());
             group.stream_write(out.base, out.lines());
@@ -553,6 +629,26 @@ mod tests {
             let b = e.measure_indexed_with(&g, &img, 99, s, &mut fresh);
             assert_eq!(a, b, "scratch reuse changed measurement {s}");
             assert_eq!(a, e.measure_indexed(&g, &img, 99, s));
+        }
+    }
+
+    #[test]
+    fn packed_kernels_leave_the_trace_untouched() {
+        let g = model();
+        let packed = TraceEngine::new(&g);
+        // Same engine with the kernel table emptied: the forward pass runs
+        // the reference loops instead of the packed panels.
+        let mut reference = packed.clone();
+        reference.plan.kernels = Arc::new(advhunter_nn::MatKernels::default());
+        reference.plan.variant_counts = Default::default();
+        assert!(packed.plan.kernels.iter().count() > 0, "engine must pack");
+        for s in 0..4 {
+            let img = image(s);
+            assert_eq!(
+                packed.true_counts(&g, &img),
+                reference.true_counts(&g, &img),
+                "packed dispatch changed the simulated trace for image {s}"
+            );
         }
     }
 

@@ -52,11 +52,13 @@ mod engine;
 mod kernels;
 mod layout;
 mod plan;
+mod tune;
 
 pub use attribution::{NodeAttribution, TraceAttribution};
 pub use engine::{Measurement, TraceEngine, TraceScratch};
 pub use kernels::{tile_active_counts, tile_active_counts_into, tile_activity};
 pub use layout::{MemoryLayout, Region};
+pub use tune::{choose_variant, tune_stats, tuned_kernels, TunePersistence, TuneStats};
 
 /// A 16-float activation tile counts as active when any element's magnitude
 /// exceeds this threshold (ReLU produces exact zeros; SiLU's tail and

@@ -8,7 +8,10 @@
 //! each input-activation tile, which selects how many lines of each
 //! precomputed weight slice are streamed.
 
-use advhunter_nn::{Graph, Op, Src};
+use std::sync::Arc;
+
+use advhunter_nn::{Graph, MatKernels, Op, Src};
+use advhunter_tensor::ops::KernelVariant;
 use advhunter_uarch::LINE_BYTES;
 
 use crate::layout::{MemoryLayout, Region};
@@ -84,11 +87,20 @@ pub(crate) enum NodePlan {
 #[derive(Debug, Clone)]
 pub(crate) struct TracePlan {
     pub nodes: Vec<NodePlan>,
+    /// Pre-packed GEMM kernels for the forward pass, shared read-only
+    /// across every worker thread. Empty (reference loops) under
+    /// `ADVHUNTER_TUNE=reference`.
+    pub kernels: Arc<MatKernels>,
+    /// How many matrix nodes dispatch through each variant, indexed like
+    /// [`KernelVariant::ALL`] — precomputed so the hot path's dispatch
+    /// telemetry is three counter adds.
+    pub variant_counts: [u64; KernelVariant::ALL.len()],
 }
 
 impl TracePlan {
-    /// Precomputes the plan for `graph` under `layout`.
-    pub fn new(graph: &Graph, layout: &MemoryLayout) -> Self {
+    /// Precomputes the plan for `graph` under `layout`, storing the packed
+    /// kernel table the measurement forward pass dispatches through.
+    pub fn new(graph: &Graph, layout: &MemoryLayout, kernels: Arc<MatKernels>) -> Self {
         let shapes = graph.single_image_shapes();
         let len_of = |src: &Src| -> usize {
             match src {
@@ -179,7 +191,12 @@ impl TracePlan {
             };
             nodes.push(plan);
         }
-        Self { nodes }
+        let variant_counts = kernels.variant_counts();
+        Self {
+            nodes,
+            kernels,
+            variant_counts,
+        }
     }
 }
 

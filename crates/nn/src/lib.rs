@@ -36,6 +36,7 @@
 //! ```
 
 mod graph;
+mod kernels;
 mod workspace;
 
 pub mod augment;
@@ -48,4 +49,5 @@ pub use graph::{
     Aux, BatchNorm2d, Conv2dLayer, DwConv2dLayer, ForwardTrace, Gradients, Graph, GraphBuilder,
     LinearLayer, Mode, Node, Op, ParamGrad, Src,
 };
+pub use kernels::{gemm_geometries, MatKernels, NodeKernel};
 pub use workspace::Workspace;

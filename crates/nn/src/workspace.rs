@@ -12,14 +12,16 @@
 //! `forward` is literally `forward_with` over fresh buffers.
 
 use advhunter_tensor::ops::{
-    avgpool2d_into, conv2d_into, dwconv2d_into, global_avgpool_into, leaky_relu_into, linear_into,
-    maxpool2d_into, relu_into, sigmoid_into, silu_into, tanh_into, Conv2dScratch, MaxPoolIndices,
+    avgpool2d_into, conv2d_into, conv2d_packed_into, dwconv2d_into, global_avgpool_into,
+    leaky_relu_into, linear_into, linear_packed_into, maxpool2d_into, relu_into, sigmoid_into,
+    silu_into, tanh_into, Conv2dScratch, MaxPoolIndices,
 };
 use advhunter_tensor::Tensor;
 
 use crate::graph::{
     batchnorm_forward_into, concat_channels_into, scale_channels_into, Aux, Graph, Mode, Op, Src,
 };
+use crate::kernels::{MatKernels, NodeKernel};
 
 /// Preallocated per-node buffers for repeated forward passes over a fixed
 /// graph and input shape.
@@ -137,6 +139,35 @@ impl Graph {
     /// Panics if `x`'s shape does not match what `ws` was sized for, or if
     /// shapes are inconsistent with the model definition.
     pub fn forward_with(&self, x: &Tensor, mode: Mode, ws: &mut Workspace) {
+        self.forward_impl(x, mode, ws, None);
+    }
+
+    /// [`Graph::forward_with`] with the matrix nodes dispatched through
+    /// pre-packed panel kernels. Bit-for-bit the same activations as the
+    /// reference path for every variant choice; nodes without a kernel in
+    /// `kernels` fall back to the reference loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`Graph::forward_with`], or
+    /// if `kernels` was packed for a different graph.
+    pub fn forward_with_kernels(
+        &self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+        kernels: &MatKernels,
+    ) {
+        self.forward_impl(x, mode, ws, Some(kernels));
+    }
+
+    fn forward_impl(
+        &self,
+        x: &Tensor,
+        mode: Mode,
+        ws: &mut Workspace,
+        kernels: Option<&MatKernels>,
+    ) {
         let dims = x.shape().dims();
         let (batch, chw): (usize, &[usize]) = match dims.len() {
             3 => (1, dims),
@@ -166,6 +197,7 @@ impl Graph {
                 &mut ws.aux[i],
                 ws.conv_scratch[i].as_mut(),
                 mode,
+                kernels.and_then(|k| k.node(i)),
             );
         }
     }
@@ -178,11 +210,15 @@ fn forward_op_into(
     aux: &mut Aux,
     scratch: Option<&mut Conv2dScratch>,
     mode: Mode,
+    kernel: Option<&NodeKernel>,
 ) {
     match op {
         Op::Conv2d(l) => {
             let scratch = scratch.expect("conv node has an im2col scratch");
-            conv2d_into(ins[0], &l.weight, &l.bias, &l.spec, scratch, out);
+            match kernel {
+                Some(k) => conv2d_packed_into(ins[0], &k.packed, &l.bias, &l.spec, scratch, out),
+                None => conv2d_into(ins[0], &l.weight, &l.bias, &l.spec, scratch, out),
+            }
             *aux = Aux::None;
         }
         Op::DwConv2d(l) => {
@@ -190,7 +226,10 @@ fn forward_op_into(
             *aux = Aux::None;
         }
         Op::Linear(l) => {
-            linear_into(ins[0], &l.weight, &l.bias, out);
+            match kernel {
+                Some(k) => linear_packed_into(ins[0], &k.packed, &l.bias, out),
+                None => linear_into(ins[0], &l.weight, &l.bias, out),
+            }
             *aux = Aux::None;
         }
         Op::BatchNorm2d(bn) => {

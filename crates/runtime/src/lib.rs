@@ -353,7 +353,15 @@ where
     }
     let metrics = pool_metrics();
     metrics.tasks.add(n as u64);
-    let threads = parallelism.threads().min(n);
+    // Never oversubscribe: the workers are CPU-bound, so spawning more of
+    // them than there are cores only adds context switches and cache
+    // ping-pong between per-worker scratch states. Results are identical
+    // for any worker count (the determinism contract), so capping a
+    // too-large request is observationally safe.
+    let threads = parallelism
+        .threads()
+        .min(n)
+        .min(std::thread::available_parallelism().map_or(usize::MAX, NonZeroUsize::get));
     if threads <= 1 {
         metrics.sequential_runs.inc();
         let started = advhunter_telemetry::now();

@@ -2,6 +2,7 @@
 
 use crate::{Shape, Tensor};
 
+use super::gemm::{gemm_packed_bias_into, PackedWeights};
 use super::linear::{matmul_at, matmul_bt, matmul_into};
 
 /// Geometry of a 2-D convolution.
@@ -94,8 +95,9 @@ fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec) -> Tenso
 
 /// [`im2col`] into a caller-provided `[C*k*k, oh*ow]` tensor.
 ///
-/// The buffer is zeroed first so padding positions read 0 regardless of
-/// what a previous lowering left behind.
+/// Every position is written exactly once — in-bounds positions get the
+/// gathered pixel, padding positions get an explicit 0 — so no up-front
+/// clear of the (large) lowering buffer is needed.
 fn im2col_into(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out: &mut Tensor) {
     let k = spec.kernel;
     let s = spec.stride;
@@ -104,7 +106,6 @@ fn im2col_into(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out
     let rows = c * k * k;
     let cols = oh * ow;
     debug_assert_eq!(out.shape().dims(), &[rows, cols]);
-    out.fill_zero();
     let od = out.data_mut();
     for ch in 0..c {
         for ky in 0..k {
@@ -120,15 +121,19 @@ fn im2col_into(img: &[f32], c: usize, h: usize, w: usize, spec: &Conv2dSpec, out
                     0
                 };
                 if ox_lo >= ox_hi {
+                    orow.fill(0.0);
                     continue;
                 }
                 for oy in 0..oh {
                     let iy = (oy * s + ky) as isize - pad as isize;
                     if iy < 0 || iy >= h as isize {
+                        orow[oy * ow..(oy + 1) * ow].fill(0.0);
                         continue;
                     }
                     let ibase = (ch * h + iy as usize) * w;
                     let ix0 = ox_lo * s + kx - pad;
+                    orow[oy * ow..oy * ow + ox_lo].fill(0.0);
+                    orow[oy * ow + ox_hi..(oy + 1) * ow].fill(0.0);
                     let dst = &mut orow[oy * ow + ox_lo..oy * ow + ox_hi];
                     if s == 1 {
                         dst.copy_from_slice(&img[ibase + ix0..ibase + ix0 + (ox_hi - ox_lo)]);
@@ -200,8 +205,11 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec)
 pub struct Conv2dScratch {
     /// `[C*k*k, oh*ow]` im2col matrix.
     cols: Tensor,
-    /// `[out_c, oh*ow]` GEMM product before the bias is applied.
-    gemm: Tensor,
+    /// `[out_c, oh*ow]` GEMM product before the bias is applied. Allocated
+    /// lazily on the first reference-path convolution: the packed-panel
+    /// path ([`conv2d_packed_into`]) fuses the bias into its store and
+    /// never needs it, so packed workspaces stay that much smaller.
+    gemm: Option<Tensor>,
 }
 
 impl Conv2dScratch {
@@ -211,7 +219,7 @@ impl Conv2dScratch {
         let (oh, ow) = spec.out_hw(h, w);
         Self {
             cols: Tensor::zeros(&[c * k * k, oh * ow]),
-            gemm: Tensor::zeros(&[spec.out_channels, oh * ow]),
+            gemm: None,
         }
     }
 }
@@ -260,18 +268,85 @@ pub fn conv2d_into(
             spec,
             &mut scratch.cols,
         );
-        matmul_into(weight, &scratch.cols, &mut scratch.gemm); // [out_c, oh*ow]
+        let gemm = scratch
+            .gemm
+            .get_or_insert_with(|| Tensor::zeros(&[spec.out_channels, plane]));
+        matmul_into(weight, &scratch.cols, gemm); // [out_c, oh*ow]
         let od = out.data_mut();
         let dst = &mut od[img * out_stride..(img + 1) * out_stride];
         for oc in 0..spec.out_channels {
             let b = bias.data()[oc];
             for (d, &s) in dst[oc * plane..(oc + 1) * plane]
                 .iter_mut()
-                .zip(&scratch.gemm.data()[oc * plane..(oc + 1) * plane])
+                .zip(&gemm.data()[oc * plane..(oc + 1) * plane])
             {
                 *d = s + b;
             }
         }
+    }
+}
+
+/// [`conv2d_into`] over pre-packed weights: the im2col lowering feeds the
+/// packed-panel microkernel family, which fuses the bias into its store —
+/// the pre-bias GEMM buffer of `scratch` is never touched or allocated.
+/// Bit-for-bit identical to [`conv2d_into`] for any
+/// [`super::gemm::KernelVariant`].
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `spec`, `scratch` was built for a
+/// different input geometry, or `packed` does not match the spec's weight
+/// geometry.
+pub fn conv2d_packed_into(
+    input: &Tensor,
+    packed: &PackedWeights,
+    bias: &Tensor,
+    spec: &Conv2dSpec,
+    scratch: &mut Conv2dScratch,
+    out: &mut Tensor,
+) {
+    let (n, c, h, w) = input.shape().as_nchw();
+    assert_eq!(spec.in_channels, c, "input channels do not match spec");
+    assert_eq!(
+        (packed.rows(), packed.k()),
+        (
+            spec.out_channels,
+            spec.in_channels * spec.kernel * spec.kernel
+        ),
+        "packed weights built for a different conv geometry"
+    );
+    assert_eq!(
+        bias.len(),
+        spec.out_channels,
+        "conv bias length {} does not match {} output channels",
+        bias.len(),
+        spec.out_channels
+    );
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(
+        out.shape().dims(),
+        &[n, spec.out_channels, oh, ow],
+        "conv2d output shape mismatch"
+    );
+    assert_eq!(
+        scratch.cols.shape().dims(),
+        &[c * spec.kernel * spec.kernel, oh * ow],
+        "conv2d scratch built for a different geometry"
+    );
+    let in_stride = c * h * w;
+    let out_stride = spec.out_channels * oh * ow;
+    let plane = oh * ow;
+    for img in 0..n {
+        im2col_into(
+            &input.data()[img * in_stride..(img + 1) * in_stride],
+            c,
+            h,
+            w,
+            spec,
+            &mut scratch.cols,
+        );
+        let dst = &mut out.data_mut()[img * out_stride..(img + 1) * out_stride];
+        gemm_packed_bias_into(packed, scratch.cols.data(), plane, bias.data(), dst);
     }
 }
 

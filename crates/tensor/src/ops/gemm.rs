@@ -1,0 +1,589 @@
+//! Shape-specialized packed-panel GEMM microkernels.
+//!
+//! The inference hot path runs two matrix disciplines over and over with
+//! weights that never change between calls:
+//!
+//! * **conv**: `weight[m,k] · cols[k,n]` over an im2col buffer, followed by
+//!   a per-row bias add ([`super::conv::conv2d_into`]);
+//! * **linear**: `x[rows,k] · weightᵀ[m,k]ᵀ` followed by a bias add
+//!   ([`super::linear::linear_into`]).
+//!
+//! This module packs the weight operand once into an MR-row, k-major panel
+//! layout ([`PackedPanels`]) and dispatches register-blocked microkernels
+//! over it ([`KernelVariant`]): MR×NR output accumulators live in registers
+//! for the whole k loop, the panel is streamed contiguously, and the bias is
+//! fused into the store, so the per-call path does zero repacking and zero
+//! allocation.
+//!
+//! # Bit-exactness
+//!
+//! Every variant reproduces the reference kernels bit-for-bit, which is what
+//! lets the autotuner pick freely without perturbing the simulated HPC
+//! counts downstream:
+//!
+//! * the conv discipline accumulates each output element's products in
+//!   ascending-k order from `0.0`, exactly like
+//!   [`matmul_into`](super::linear::matmul_into) (whose zero-skip fast
+//!   paths are themselves bit-identical to the no-skip loop for finite
+//!   inputs: adding `±0.0` to a finite accumulator that started at `+0.0`
+//!   never changes it under round-to-nearest);
+//! * the linear discipline replicates the exact split-k4 reduction of
+//!   [`dot`]: four interleaved partial sums over `k / 4` chunks, summed
+//!   left-associatively, then the tail added in ascending order;
+//! * the fused bias store computes `acc + bias`, the same expression the
+//!   reference paths evaluate after their GEMM.
+//!
+//! Row blocking (MR) and column blocking (NR) only change *which* elements
+//! are computed together, never the order of any element's own reduction,
+//! so the variant choice is observationally irrelevant.
+
+use crate::Tensor;
+
+/// Which matrix discipline a GEMM call site uses (reduction-order contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GemmOpKind {
+    /// `weight · im2col` with ascending-k accumulation (convolution).
+    Conv,
+    /// `x · weightᵀ` with split-k4 accumulation (fully connected).
+    Linear,
+}
+
+impl GemmOpKind {
+    /// Stable one-byte tag for fingerprints and persisted decision tables.
+    pub fn tag(self) -> u8 {
+        match self {
+            GemmOpKind::Conv => 1,
+            GemmOpKind::Linear => 2,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn label(self) -> &'static str {
+        match self {
+            GemmOpKind::Conv => "conv",
+            GemmOpKind::Linear => "linear",
+        }
+    }
+}
+
+/// The dimensions of one GEMM call site: `m×k` weights against a `k×n`
+/// (conv) or `n×k` (linear, `n` = batch rows) data operand.
+///
+/// Two layers with the same geometry perform the identical computation, so
+/// the autotuner keys its decision table on this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GemmGeometry {
+    /// Discipline of the call site.
+    pub op: GemmOpKind,
+    /// Weight rows (conv output channels / linear output features).
+    pub m: usize,
+    /// Reduction length (conv `in_c·k·k` / linear input features).
+    pub k: usize,
+    /// Data columns (conv `oh·ow` / linear batch rows, 1 on the
+    /// single-image measure path).
+    pub n: usize,
+}
+
+impl std::fmt::Display for GemmGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}x{}x{}", self.op.label(), self.m, self.k, self.n)
+    }
+}
+
+/// One register-blocking strategy: MR weight rows per panel, NR data
+/// columns per accumulator block (conv discipline only; the linear
+/// discipline uses MR lanes with the split-k4 accumulators).
+///
+/// All variants are bit-exact (see the module docs), so the autotuner's
+/// choice is purely a performance decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelVariant {
+    /// 4 rows × 16 columns: widest column vectorization.
+    Mr4Nr16,
+    /// 8 rows × 8 columns: halves the data-operand traffic.
+    Mr8Nr8,
+    /// 6 rows × 8 columns: middle ground for row counts divisible by 6.
+    Mr6Nr8,
+}
+
+impl KernelVariant {
+    /// Every variant, in stable order.
+    pub const ALL: [Self; 3] = [Self::Mr4Nr16, Self::Mr8Nr8, Self::Mr6Nr8];
+
+    /// Rows per packed panel.
+    pub fn mr(self) -> usize {
+        match self {
+            Self::Mr4Nr16 => 4,
+            Self::Mr8Nr8 => 8,
+            Self::Mr6Nr8 => 6,
+        }
+    }
+
+    /// Columns per conv accumulator block.
+    pub fn nr(self) -> usize {
+        match self {
+            Self::Mr4Nr16 => 16,
+            Self::Mr8Nr8 | Self::Mr6Nr8 => 8,
+        }
+    }
+
+    /// Stable one-byte tag for persisted decision tables.
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::Mr4Nr16 => 1,
+            Self::Mr8Nr8 => 2,
+            Self::Mr6Nr8 => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|v| v.tag() == tag)
+    }
+
+    /// Stable metric/label suffix, e.g. `mr4nr16`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Mr4Nr16 => "mr4nr16",
+            Self::Mr8Nr8 => "mr8nr8",
+            Self::Mr6Nr8 => "mr6nr8",
+        }
+    }
+}
+
+impl Default for KernelVariant {
+    /// The fallback when tuning is disabled: widest column vectorization.
+    fn default() -> Self {
+        Self::Mr4Nr16
+    }
+}
+
+/// A weight matrix repacked into MR-row, k-major panels for one
+/// [`KernelVariant`].
+///
+/// Panel `p` holds rows `[p·MR, (p+1)·MR)`; within a panel the slot order is
+/// `[kk·MR + r]`, so the microkernel streams the panel exactly once per
+/// block of output columns with unit stride. The last panel's missing rows
+/// are zero-padded: their lanes are computed (cheaply, against zeros) but
+/// never stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedWeights {
+    data: Vec<f32>,
+    variant: KernelVariant,
+    rows: usize,
+    k: usize,
+}
+
+impl PackedWeights {
+    /// Packs a row-major `rows × k` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != rows * k`.
+    pub fn pack(a: &[f32], rows: usize, k: usize, variant: KernelVariant) -> Self {
+        assert_eq!(a.len(), rows * k, "packing a non-{rows}x{k} matrix");
+        let mr = variant.mr();
+        let panels = rows.div_ceil(mr);
+        let mut data = vec![0.0f32; panels * k * mr];
+        for p in 0..panels {
+            let base = p * k * mr;
+            let live = mr.min(rows - p * mr);
+            for r in 0..live {
+                let row = &a[(p * mr + r) * k..(p * mr + r + 1) * k];
+                for (kk, &v) in row.iter().enumerate() {
+                    data[base + kk * mr + r] = v;
+                }
+            }
+        }
+        Self {
+            data,
+            variant,
+            rows,
+            k,
+        }
+    }
+
+    /// Packs a rank-2 `[rows, k]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is not rank-2.
+    pub fn pack_tensor(w: &Tensor, variant: KernelVariant) -> Self {
+        assert_eq!(w.shape().rank(), 2, "packed weights must be rank-2");
+        Self::pack(w.data(), w.shape().dim(0), w.shape().dim(1), variant)
+    }
+
+    /// The blocking strategy the panels were packed for.
+    pub fn variant(&self) -> KernelVariant {
+        self.variant
+    }
+
+    /// Rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (reduction length) of the original matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total floats held, including tail-panel zero padding.
+    pub fn packed_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn panel(&self, p: usize) -> &[f32] {
+        let stride = self.k * self.variant.mr();
+        &self.data[p * stride..(p + 1) * stride]
+    }
+}
+
+/// Conv-discipline packed GEMM with fused bias:
+/// `out[r, j] = Σ_k panel[r, kk]·b[kk, j] + bias[r]`, accumulated in
+/// ascending-k order — bit-for-bit
+/// [`matmul_into`](super::linear::matmul_into) followed by the bias add of
+/// [`conv2d_into`](super::conv::conv2d_into).
+///
+/// `b` is row-major `k × n`, `out` row-major `rows × n`; every output
+/// element is assigned.
+///
+/// # Panics
+///
+/// Panics if `b`, `bias` or `out` do not match the packed geometry.
+pub fn gemm_packed_bias_into(
+    packed: &PackedWeights,
+    b: &[f32],
+    n: usize,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let (rows, k) = (packed.rows, packed.k);
+    assert_eq!(b.len(), k * n, "gemm data operand must be {k}x{n}");
+    assert_eq!(bias.len(), rows, "gemm bias must have {rows} entries");
+    assert_eq!(out.len(), rows * n, "gemm output must be {rows}x{n}");
+    match packed.variant {
+        KernelVariant::Mr4Nr16 => conv_panels::<4, 16>(packed, b, n, bias, out),
+        KernelVariant::Mr8Nr8 => conv_panels::<8, 8>(packed, b, n, bias, out),
+        KernelVariant::Mr6Nr8 => conv_panels::<6, 8>(packed, b, n, bias, out),
+    }
+}
+
+/// Linear-discipline packed GEMM with fused bias:
+/// `out[i, r] = dot(x[i, ..], panel row r) + bias[r]` with the exact
+/// split-k4 reduction of [`dot`] — bit-for-bit
+/// [`linear_into`](super::linear::linear_into).
+///
+/// `x` is row-major `xrows × k`, `out` row-major `xrows × rows`; every
+/// output element is assigned.
+///
+/// # Panics
+///
+/// Panics if `x`, `bias` or `out` do not match the packed geometry.
+pub fn linear_packed_bias_into(
+    packed: &PackedWeights,
+    x: &[f32],
+    xrows: usize,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let (rows, k) = (packed.rows, packed.k);
+    assert_eq!(x.len(), xrows * k, "linear input must be {xrows}x{k}");
+    assert_eq!(bias.len(), rows, "linear bias must have {rows} entries");
+    assert_eq!(
+        out.len(),
+        xrows * rows,
+        "linear output must be {xrows}x{rows}"
+    );
+    match packed.variant {
+        KernelVariant::Mr4Nr16 => linear_panels::<4>(packed, x, xrows, bias, out),
+        KernelVariant::Mr8Nr8 => linear_panels::<8>(packed, x, xrows, bias, out),
+        KernelVariant::Mr6Nr8 => linear_panels::<6>(packed, x, xrows, bias, out),
+    }
+}
+
+/// MR×NR register-blocked conv microkernel over one packed operand.
+///
+/// The accumulator block lives in registers for the whole k loop; each
+/// element's own reduction is ascending-k, so blocking is invisible in the
+/// bits.
+fn conv_panels<const MR: usize, const NR: usize>(
+    packed: &PackedWeights,
+    b: &[f32],
+    n: usize,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let (rows, k) = (packed.rows, packed.k);
+    for p in 0..rows.div_ceil(MR) {
+        let panel = packed.panel(p);
+        let r0 = p * MR;
+        let live = MR.min(rows - r0);
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for kk in 0..k {
+                let brow: &[f32; NR] = b[kk * n + j..kk * n + j + NR]
+                    .try_into()
+                    .expect("NR-sized block");
+                let a: &[f32; MR] = panel[kk * MR..(kk + 1) * MR]
+                    .try_into()
+                    .expect("MR-sized panel slice");
+                for r in 0..MR {
+                    let av = a[r];
+                    for (dst, &bv) in acc[r].iter_mut().zip(brow) {
+                        *dst += av * bv;
+                    }
+                }
+            }
+            for r in 0..live {
+                let bv = bias[r0 + r];
+                let orow = &mut out[(r0 + r) * n + j..(r0 + r) * n + j + NR];
+                for (o, &s) in orow.iter_mut().zip(acc[r].iter()) {
+                    *o = s + bv;
+                }
+            }
+            j += NR;
+        }
+        // Tail columns: one scalar ascending-k reduction per element.
+        while j < n {
+            let mut acc = [0.0f32; MR];
+            for kk in 0..k {
+                let bv = b[kk * n + j];
+                let a = &panel[kk * MR..(kk + 1) * MR];
+                for (dst, &av) in acc.iter_mut().zip(a) {
+                    *dst += av * bv;
+                }
+            }
+            for r in 0..live {
+                out[(r0 + r) * n + j] = acc[r] + bias[r0 + r];
+            }
+            j += 1;
+        }
+    }
+}
+
+/// MR-lane split-k4 linear microkernel over one packed operand.
+///
+/// Per lane this is exactly [`dot`]: four interleaved partial sums over the
+/// `k/4` chunks (ascending), summed left-associatively, tail ascending.
+fn linear_panels<const MR: usize>(
+    packed: &PackedWeights,
+    x: &[f32],
+    xrows: usize,
+    bias: &[f32],
+    out: &mut [f32],
+) {
+    let (rows, k) = (packed.rows, packed.k);
+    let chunks = k / 4;
+    for i in 0..xrows {
+        let xrow = &x[i * k..(i + 1) * k];
+        let orow = &mut out[i * rows..(i + 1) * rows];
+        for p in 0..rows.div_ceil(MR) {
+            let panel = packed.panel(p);
+            let r0 = p * MR;
+            let live = MR.min(rows - r0);
+            let mut acc = [[0.0f32; MR]; 4];
+            for c in 0..chunks {
+                let base = c * 4;
+                for (q, lane) in acc.iter_mut().enumerate() {
+                    let xv = xrow[base + q];
+                    let a: &[f32; MR] = panel[(base + q) * MR..(base + q + 1) * MR]
+                        .try_into()
+                        .expect("MR-sized panel slice");
+                    for (dst, &av) in lane.iter_mut().zip(a) {
+                        *dst += av * xv;
+                    }
+                }
+            }
+            let mut s = [0.0f32; MR];
+            for r in 0..MR {
+                s[r] = acc[0][r] + acc[1][r] + acc[2][r] + acc[3][r];
+            }
+            for t in chunks * 4..k {
+                let xv = xrow[t];
+                let a = &panel[t * MR..(t + 1) * MR];
+                for (dst, &av) in s.iter_mut().zip(a) {
+                    *dst += av * xv;
+                }
+            }
+            for r in 0..live {
+                orow[r0 + r] = s[r] + bias[r0 + r];
+            }
+        }
+    }
+}
+
+/// Split-k4 dot product — the linear discipline's reduction order.
+///
+/// Shared by [`matmul_bt_into`](super::linear::matmul_bt_into) (reference)
+/// and [`linear_panels`] (packed), so the two can only ever agree.
+#[inline]
+pub(super) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// One sparsity-aware k-step: `orow += aval * brow`, skipped entirely when
+/// `aval` is exactly zero (im2col padding rows, sparse gradients).
+///
+/// Shared by the reference [`matmul_into`](super::linear::matmul_into)
+/// tails and [`matmul_at`](super::linear::matmul_at)'s inner loop.
+#[inline]
+pub(super) fn axpy_skip_zero(aval: f32, brow: &[f32], orow: &mut [f32]) {
+    if aval == 0.0 {
+        return;
+    }
+    for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+        *o += aval * bval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::linear::{linear_into, matmul_into};
+    use super::*;
+    use crate::Tensor;
+
+    /// Deterministic pseudo-random fill with zeros sprinkled in (to cross
+    /// the reference kernels' zero-skip fast paths).
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if state % 7 == 0 {
+                    0.0
+                } else {
+                    ((state >> 16) as i32 % 1000) as f32 / 250.0
+                }
+            })
+            .collect()
+    }
+
+    fn tensor(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).expect("test tensor")
+    }
+
+    #[test]
+    fn conv_discipline_is_bit_exact_for_every_variant() {
+        for (m, k, n) in [
+            (16, 27, 1024),
+            (16, 144, 1024),
+            (10, 128, 1),
+            (1, 1, 1),
+            (5, 9, 17),
+            (7, 13, 3),
+            (6, 8, 8),
+            (9, 5, 33),
+        ] {
+            let a = fill(m * k, (m * 31 + k) as u64);
+            let b = fill(k * n, (k * 17 + n) as u64);
+            let bias = fill(m, m as u64);
+            let at = tensor(&a, &[m, k]);
+            let bt = tensor(&b, &[k, n]);
+            let mut reference = Tensor::zeros(&[m, n]);
+            matmul_into(&at, &bt, &mut reference);
+            let mut expect = reference.data().to_vec();
+            for r in 0..m {
+                for v in &mut expect[r * n..(r + 1) * n] {
+                    *v += bias[r];
+                }
+            }
+            for variant in KernelVariant::ALL {
+                let packed = PackedWeights::pack(&a, m, k, variant);
+                let mut got = vec![f32::NAN; m * n];
+                gemm_packed_bias_into(&packed, &b, n, &bias, &mut got);
+                for (i, (g, e)) in got.iter().zip(expect.iter()).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        e.to_bits(),
+                        "{variant:?} {m}x{k}x{n} diverged at {i}: {g} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_discipline_is_bit_exact_for_every_variant() {
+        for (xrows, out_f, in_f) in [
+            (1, 128, 2048),
+            (1, 10, 128),
+            (3, 8, 32),
+            (2, 5, 7),
+            (1, 1, 1),
+            (4, 6, 9),
+            (2, 13, 5),
+        ] {
+            let x = fill(xrows * in_f, (xrows * 7 + in_f) as u64);
+            let w = fill(out_f * in_f, (out_f * 3 + in_f) as u64);
+            let bias = fill(out_f, out_f as u64);
+            let xt = tensor(&x, &[xrows, in_f]);
+            let wt = tensor(&w, &[out_f, in_f]);
+            let biast = tensor(&bias, &[out_f]);
+            let mut reference = Tensor::zeros(&[xrows, out_f]);
+            linear_into(&xt, &wt, &biast, &mut reference);
+            for variant in KernelVariant::ALL {
+                let packed = PackedWeights::pack_tensor(&wt, variant);
+                let mut got = vec![f32::NAN; xrows * out_f];
+                linear_packed_bias_into(&packed, &x, xrows, &bias, &mut got);
+                for (i, (g, e)) in got.iter().zip(reference.data().iter()).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        e.to_bits(),
+                        "{variant:?} {xrows}x{out_f}x{in_f} diverged at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_panel_padding_never_leaks() {
+        // rows not divisible by any MR: the zero-padded lanes must not be
+        // stored.
+        let (m, k, n) = (5, 3, 4);
+        let a = fill(m * k, 9);
+        let b = fill(k * n, 10);
+        let bias = vec![1.0; m];
+        for variant in KernelVariant::ALL {
+            let packed = PackedWeights::pack(&a, m, k, variant);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_packed_bias_into(&packed, &b, n, &bias, &mut out);
+            assert!(out.iter().all(|v| v.is_finite()), "{variant:?} left NaNs");
+        }
+    }
+
+    #[test]
+    fn variant_tags_round_trip() {
+        for v in KernelVariant::ALL {
+            assert_eq!(KernelVariant::from_tag(v.tag()), Some(v));
+        }
+        assert_eq!(KernelVariant::from_tag(0), None);
+        assert_eq!(KernelVariant::from_tag(99), None);
+    }
+
+    #[test]
+    fn packed_len_accounts_for_tail_padding() {
+        let packed = PackedWeights::pack(&fill(5 * 3, 1), 5, 3, KernelVariant::Mr4Nr16);
+        assert_eq!(packed.packed_len(), 2 * 3 * 4); // two 4-row panels
+        assert_eq!(packed.rows(), 5);
+        assert_eq!(packed.k(), 3);
+    }
+}

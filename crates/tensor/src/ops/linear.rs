@@ -1,5 +1,12 @@
 //! Dense matrix products and the fully-connected layer kernel.
+//!
+//! These are the reference kernels: straightforward loops whose reduction
+//! orders define the bit-exact contract the packed-panel microkernels in
+//! [`super::gemm`] must reproduce. The shared scalar primitives
+//! ([`dot`](super::gemm::dot), [`axpy_skip_zero`](super::gemm::axpy_skip_zero))
+//! live in that module so reference and packed paths cannot drift apart.
 
+use super::gemm::{axpy_skip_zero, dot, linear_packed_bias_into, PackedWeights};
 use crate::Tensor;
 
 /// Matrix product `a[m,k] · b[k,n] -> [m,n]`.
@@ -88,10 +95,10 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
         }
         for t in kk..k {
             let brow = &bd[t * n..(t + 1) * n];
-            matmul_scalar_k(a0[t], brow, o0);
-            matmul_scalar_k(a1[t], brow, o1);
-            matmul_scalar_k(a2[t], brow, o2);
-            matmul_scalar_k(a3[t], brow, o3);
+            axpy_skip_zero(a0[t], brow, o0);
+            axpy_skip_zero(a1[t], brow, o1);
+            axpy_skip_zero(a2[t], brow, o2);
+            axpy_skip_zero(a3[t], brow, o3);
         }
         i += 4;
     }
@@ -113,7 +120,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
             kk += 4;
         }
         for t in kk..k {
-            matmul_scalar_k(arow[t], &bd[t * n..(t + 1) * n], orow);
+            axpy_skip_zero(arow[t], &bd[t * n..(t + 1) * n], orow);
         }
         i += 1;
     }
@@ -143,22 +150,10 @@ fn matmul_k4_row(q: &[f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32], o
             *o = fma4(*o, q, v0, v1, v2, v3);
         }
     } else {
-        matmul_scalar_k(q[0], b0, orow);
-        matmul_scalar_k(q[1], b1, orow);
-        matmul_scalar_k(q[2], b2, orow);
-        matmul_scalar_k(q[3], b3, orow);
-    }
-}
-
-/// One k-step of [`matmul_into`]: `orow += aval * brow`, skipped entirely
-/// when `aval` is exactly zero (im2col padding rows, sparse inputs).
-#[inline]
-fn matmul_scalar_k(aval: f32, brow: &[f32], orow: &mut [f32]) {
-    if aval == 0.0 {
-        return;
-    }
-    for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-        *o += aval * bval;
+        axpy_skip_zero(q[0], b0, orow);
+        axpy_skip_zero(q[1], b1, orow);
+        axpy_skip_zero(q[2], b2, orow);
+        axpy_skip_zero(q[3], b3, orow);
     }
 }
 
@@ -181,13 +176,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
         let arow = &ad[kk * m..(kk + 1) * m];
         let brow = &bd[kk * n..(kk + 1) * n];
         for (i, &aval) in arow.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
-                *o += aval * bval;
-            }
+            axpy_skip_zero(aval, brow, &mut od[i * n..(i + 1) * n]);
         }
     }
     out
@@ -276,6 +265,26 @@ pub fn linear_into(x: &Tensor, weight: &Tensor, bias: &Tensor, out: &mut Tensor)
     }
 }
 
+/// [`linear_into`] over pre-packed weights: dispatches the packed-panel
+/// microkernel family instead of the reference loops. Bit-for-bit identical
+/// to [`linear_into`] for any [`super::gemm::KernelVariant`].
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches, or if `packed` was built for a
+/// different weight geometry.
+pub fn linear_packed_into(x: &Tensor, packed: &PackedWeights, bias: &Tensor, out: &mut Tensor) {
+    let (out_f, in_f) = (packed.rows(), packed.k());
+    let (n, xin) = mat_dims(x, "linear input");
+    assert_eq!(xin, in_f, "linear input features {xin} vs packed {in_f}");
+    assert_eq!(
+        out.shape().dims(),
+        &[n, out_f],
+        "linear output must be [{n}, {out_f}]"
+    );
+    linear_packed_bias_into(packed, x.data(), n, bias.data(), out.data_mut());
+}
+
 /// Backward pass of [`linear`].
 ///
 /// Returns `(grad_input, grad_weight, grad_bias)` given the stored input and
@@ -300,24 +309,6 @@ pub fn linear_backward(x: &Tensor, weight: &Tensor, grad_out: &Tensor) -> (Tenso
         }
     }
     (grad_input, grad_weight, grad_bias)
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
-    }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
-    }
-    s
 }
 
 fn mat_dims(t: &Tensor, what: &str) -> (usize, usize) {

@@ -9,6 +9,7 @@
 
 mod activation;
 mod conv;
+mod gemm;
 mod linear;
 mod pool;
 
@@ -18,11 +19,16 @@ pub use activation::{
     silu_into, softmax_rows, tanh, tanh_backward, tanh_into,
 };
 pub use conv::{
-    conv2d, conv2d_backward, conv2d_into, dwconv2d, dwconv2d_backward, dwconv2d_into,
-    Conv2dScratch, Conv2dSpec,
+    conv2d, conv2d_backward, conv2d_into, conv2d_packed_into, dwconv2d, dwconv2d_backward,
+    dwconv2d_into, Conv2dScratch, Conv2dSpec,
+};
+pub use gemm::{
+    gemm_packed_bias_into, linear_packed_bias_into, GemmGeometry, GemmOpKind, KernelVariant,
+    PackedWeights,
 };
 pub use linear::{
-    linear, linear_backward, linear_into, matmul, matmul_at, matmul_bt, matmul_bt_into, matmul_into,
+    linear, linear_backward, linear_into, linear_packed_into, matmul, matmul_at, matmul_bt,
+    matmul_bt_into, matmul_into,
 };
 pub use pool::{
     avgpool2d, avgpool2d_backward, avgpool2d_into, global_avgpool, global_avgpool_backward,

@@ -180,6 +180,9 @@ impl MemoryHierarchy {
     /// default, where its effect is part of the calibrated noise model —
     /// `observe` is a stateless no-op, so skipping it is exact.
     pub fn load_range(&mut self, base_addr: u64, lines: u64) {
+        if lines == 0 {
+            return;
+        }
         if self.prefetcher.config().enabled {
             for i in 0..lines {
                 self.load(base_addr + i * crate::LINE_BYTES);
@@ -201,6 +204,9 @@ impl MemoryHierarchy {
     /// `base_addr`, equivalent to one [`store`](Self::store) per line in
     /// ascending order. Stores never consult the prefetcher.
     pub fn store_range(&mut self, base_addr: u64, lines: u64) {
+        if lines == 0 {
+            return;
+        }
         self.stats.l1d_stores += lines;
         let mut pending = std::mem::take(&mut self.pending);
         pending.clear();
@@ -216,6 +222,9 @@ impl MemoryHierarchy {
     /// `base_addr`, equivalent to one [`fetch`](Self::fetch) per line in
     /// ascending order. Fetches never consult the prefetcher.
     pub fn fetch_range(&mut self, base_addr: u64, lines: u64) {
+        if lines == 0 {
+            return;
+        }
         self.stats.l1i_fetches += lines;
         let mut pending = std::mem::take(&mut self.pending);
         pending.clear();
@@ -236,6 +245,9 @@ impl MemoryHierarchy {
     /// path; the per-kind event counts are recovered from its statistics
     /// deltas.
     fn drain_pending(&mut self, pending: &[(u64, AccessKind)]) {
+        if pending.is_empty() {
+            return;
+        }
         let before = *self.llc.stats();
         self.llc.access_list(pending);
         let after = self.llc.stats();

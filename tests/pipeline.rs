@@ -267,6 +267,74 @@ fn artifacts_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// Filename → file bytes of every autotune verdict in the store, sorted.
+fn tune_artifacts(store: &ArtifactStore) -> Vec<(String, Vec<u8>)> {
+    let dir = store.root().join("tune");
+    let mut entries: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+        .expect("tune dir exists")
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    entries.sort();
+    entries
+}
+
+#[test]
+fn tune_verdicts_are_cached_and_byte_stable() {
+    // The autotuner's decision table is content-addressed like every other
+    // artifact: a cold run populates it, and warm + forced runs (at any
+    // thread count) leave every byte untouched. Verdict files are
+    // per-geometry and keyed outside the offline stage closures, so the
+    // four stage fingerprints never move when tuning state changes.
+    let config = tiny_config();
+    let mut baseline: Option<Vec<(String, Vec<u8>)>> = None;
+    for threads in [1usize, 2, 4] {
+        let (store, root) = scratch_store();
+        let run = |force: bool| {
+            Pipeline::new(config.clone(), store.clone())
+                .with_parallelism(Parallelism::new(threads))
+                .force(force)
+                .run()
+                .expect("pipeline run")
+        };
+
+        run(false);
+        let cold = tune_artifacts(&store);
+        assert!(
+            !cold.is_empty(),
+            "a cold run must persist autotune verdicts"
+        );
+        for (name, bytes) in &cold {
+            // AHS1 envelope (29 bytes) + 1-byte kernel-variant tag.
+            assert_eq!(bytes.len(), 30, "{name}: tune payload is one tag byte");
+        }
+
+        run(false);
+        assert_eq!(cold, tune_artifacts(&store), "warm run changed verdicts");
+        run(true);
+        assert_eq!(cold, tune_artifacts(&store), "forced run changed verdicts");
+
+        // Tuning state must never re-address the offline stages.
+        for path in stage_files(&store, &config) {
+            assert!(path.exists(), "offline artifact missing: {path:?}");
+        }
+
+        match &baseline {
+            None => baseline = Some(cold),
+            Some(expected) => assert_eq!(
+                expected, &cold,
+                "tune artifacts must be byte-identical at {threads} threads"
+            ),
+        }
+        std::fs::remove_dir_all(root).ok();
+    }
+}
+
 #[test]
 fn warm_run_is_an_order_of_magnitude_faster_than_cold() {
     let (store, root) = scratch_store();
