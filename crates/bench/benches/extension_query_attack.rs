@@ -15,7 +15,7 @@ use advhunter::ExecOptions;
 use advhunter_attacks::{nes_perturb_recorded, AttackGoal, NesParams};
 use advhunter_bench::{prepare_detector, prepare_scenario_sized, scaled, section};
 use advhunter_data::SplitSizes;
-use advhunter_monitor::{FingerprintConfig, FusionPolicy, Monitor, MonitorConfig};
+use advhunter_monitor::{FingerprintConfig, FusionPolicy, MonitorBuilder, MonitorRequest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -90,25 +90,27 @@ fn main() {
     fp.stride = 2;
     fp.window = 2048;
     fp.match_threshold = 0.25;
-    let config = MonitorConfig::new(ExecOptions::seeded(0xF1D2))
-        .with_queue_capacity((n_clean + attack_queries).max(1))
-        .with_micro_batch(16)
-        .with_fingerprint(fp)
-        .with_fusion(FusionPolicy::Or);
-    let monitor = Monitor::spawn(art.engine.clone(), art.model.clone(), prep.detector, config)
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(0xF1D2))
+        .queue_capacity((n_clean + attack_queries).max(1))
+        .micro_batch(16)
+        .fingerprint(fp)
+        .fusion(FusionPolicy::Or)
+        .spawn(art.engine.clone(), art.model.clone(), prep.detector)
         .expect("spawn monitor");
 
     // Tenant 0 is a benign high-volume user; each attack trace replays
     // under its own tenant, exactly as the service would see it.
     let mut is_attack = Vec::new();
     for image in art.split.test.images().iter().take(n_clean) {
-        monitor.submit_from(0, image.clone()).expect("submit clean");
+        monitor
+            .submit(MonitorRequest::new(image.clone()).tenant(0))
+            .expect("submit clean");
         is_attack.push(false);
     }
     for (t, trace) in traces.iter().enumerate() {
         for query in &trace.queries {
             monitor
-                .submit_from(1 + t as u64, query.clone())
+                .submit(MonitorRequest::new(query.clone()).tenant(1 + t as u64))
                 .expect("submit attack query");
             is_attack.push(true);
         }

@@ -19,6 +19,18 @@
 //!                  [--tenants N] [--metrics-json PATH]
 //!                                       replay a clean + attacked stream
 //!                                       through the online monitor service
+//! advhunter serve  <SCN> [--addr A] [--store DIR] [--tiny] [--seed N]
+//!                  [--capacity N] [--batch N] [--shed] [--watch-ms N]
+//!                  [--drift] [--drift-window N] [--drift-slack F]
+//!                  [--drift-threshold F]
+//!                                       serve the monitor over TCP (AHP1
+//!                                       wire protocol) until a client
+//!                                       sends the shutdown control
+//! advhunter deploy <SCN> [--store DIR] [--tiny] [--sigma F]
+//!                                       recalibrate the detector and
+//!                                       rewrite the store's Calibrate
+//!                                       artifact (running servers
+//!                                       watching the store hot-swap it)
 //! ```
 //!
 //! `pipeline` runs the four offline stages (`train-model`,
@@ -39,6 +51,17 @@
 //! window, match threshold, quantization step, and tenant cap, and
 //! `--fusion` picks how the HPC verdict and the query-correlation signal
 //! combine into the headline flag (default `or`).
+//!
+//! `serve` binds a TCP listener (port 0 gives an ephemeral port; the
+//! bound address is printed as `listening on ADDR`), boots the monitor
+//! from the staged pipeline, and serves the `AHP1` wire protocol until
+//! some client sends the shutdown control. It watches the store for
+//! redeployed detectors every `--watch-ms` (50 by default, 0 disables)
+//! and hot-swaps without dropping a request; `--drift*` arms the
+//! clean-NLL drift test that triggers automatic recalibration. `deploy`
+//! is the other half: it recomputes the calibrated detector (optionally
+//! under a new `--sigma`) and rewrites the artifact a running server is
+//! watching.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -50,7 +73,9 @@ use advhunter::{
     load_detector, save_detector, ArtifactStore, ExecOptions, Pipeline, PipelineConfig,
 };
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
-use advhunter_monitor::{FingerprintConfig, FusionPolicy, Monitor, MonitorConfig, OverloadPolicy};
+use advhunter_monitor::{
+    DriftConfig, FingerprintConfig, FusionPolicy, MonitorBuilder, OverloadPolicy, WireServer,
+};
 use advhunter_uarch::HpcEvent;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,8 +111,12 @@ fn main() -> ExitCode {
         Some("fit") => cmd_fit(&args[1..]),
         Some("detect") => cmd_detect(&args[1..]),
         Some("monitor") => cmd_monitor(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("deploy") => cmd_deploy(&args[1..]),
         _ => {
-            eprintln!("usage: advhunter <events|scenarios|pipeline|train|fit|detect|monitor> ...");
+            eprintln!(
+                "usage: advhunter <events|scenarios|pipeline|train|fit|detect|monitor|serve|deploy> ..."
+            );
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(2);
         }
@@ -543,20 +572,21 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         stream.push((ex.image.clone(), true));
     }
 
-    let mut config = MonitorConfig::new(opts.stage(2))
-        .with_queue_capacity(flags.capacity)
-        .with_micro_batch(flags.batch)
-        .with_overload(if flags.shed {
+    let mut builder = MonitorBuilder::new(opts.stage(2))
+        .queue_capacity(flags.capacity)
+        .micro_batch(flags.batch)
+        .overload(if flags.shed {
             OverloadPolicy::Shed
         } else {
             OverloadPolicy::Block
         })
-        .with_fusion(flags.fusion);
+        .fusion(flags.fusion);
     if let Some(fp) = flags.fingerprint {
-        config = config.with_fingerprint(fp);
+        builder = builder.fingerprint(fp);
     }
-    let monitor =
-        Monitor::spawn(art.engine, art.model, detector, config).map_err(|e| e.to_string())?;
+    let monitor = builder
+        .spawn(art.engine, art.model, detector)
+        .map_err(|e| e.to_string())?;
 
     println!(
         "monitor up: queue capacity {}, micro-batch {}, policy {}, {} requests",
@@ -703,6 +733,229 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             c.flag_rate() * 100.0
         );
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut store_dir: Option<String> = None;
+    let mut tiny = false;
+    let mut seed: Option<u64> = None;
+    let mut capacity = 64usize;
+    let mut batch = 8usize;
+    let mut shed = false;
+    let mut watch_ms = 50u64;
+    let mut drift = false;
+    let mut drift_config = DriftConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr needs host:port")?.clone();
+                i += 2;
+            }
+            "--store" => {
+                store_dir = Some(args.get(i + 1).ok_or("--store needs a directory")?.clone());
+                i += 2;
+            }
+            "--tiny" => {
+                tiny = true;
+                i += 1;
+            }
+            "--seed" => {
+                seed = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed needs a number")?,
+                );
+                i += 2;
+            }
+            "--capacity" => {
+                capacity = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--capacity needs a number")?;
+                i += 2;
+            }
+            "--batch" => {
+                batch = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--batch needs a number")?;
+                i += 2;
+            }
+            "--shed" => {
+                shed = true;
+                i += 1;
+            }
+            "--watch-ms" => {
+                watch_ms = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--watch-ms needs a number (0 disables watching)")?;
+                i += 2;
+            }
+            "--drift" => {
+                drift = true;
+                i += 1;
+            }
+            "--drift-window" => {
+                drift_config.window = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--drift-window needs a number")?;
+                drift = true;
+                i += 2;
+            }
+            "--drift-slack" => {
+                drift_config.slack = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--drift-slack needs a number")?;
+                drift = true;
+                i += 2;
+            }
+            "--drift-threshold" => {
+                drift_config.threshold = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--drift-threshold needs a number")?;
+                drift = true;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let mut config = PipelineConfig::for_scenario(id);
+    if tiny {
+        config = config.with_sizes(tiny_sizes());
+    }
+    if let Some(seed) = seed {
+        config = config.with_seed(seed);
+    }
+    let store = match store_dir {
+        Some(dir) => ArtifactStore::open(dir),
+        None => ArtifactStore::shared(),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let opts = ExecOptions::seeded(0xC15);
+    let mut builder = MonitorBuilder::new(opts.stage(2))
+        .queue_capacity(capacity)
+        .micro_batch(batch)
+        .overload(if shed {
+            OverloadPolicy::Shed
+        } else {
+            OverloadPolicy::Block
+        });
+    if watch_ms > 0 {
+        builder = builder.watch_store(std::time::Duration::from_millis(watch_ms));
+    }
+    if drift {
+        builder = builder.drift(drift_config);
+    }
+    println!("offline phase: running the staged pipeline (cached stages load) ...");
+    let monitor = builder
+        .spawn_from_store(config, store)
+        .map_err(|e| e.to_string())?;
+    let server = WireServer::bind(monitor, &*addr).map_err(|e| e.to_string())?;
+    // The port-0 contract: this exact line is how scripts learn the port.
+    println!("listening on {}", server.local_addr());
+    println!(
+        "serve: {} capacity {}, micro-batch {}, policy {}, watch {}, drift {}",
+        id.label(),
+        capacity,
+        batch,
+        if shed { "shed" } else { "block" },
+        if watch_ms > 0 {
+            format!("{watch_ms}ms")
+        } else {
+            "off".to_string()
+        },
+        if drift { "on" } else { "off" },
+    );
+    server.wait_for_shutdown();
+    println!("shutdown requested; draining ...");
+    let stats = server.stop();
+    println!(
+        "serve: submitted={} completed={} shed={} drained={} swaps={} drift={} epoch={}",
+        stats.submitted,
+        stats.completed,
+        stats.shed,
+        stats.drained,
+        stats.detector_swaps,
+        stats.drift_events,
+        stats.config_epoch,
+    );
+    Ok(())
+}
+
+fn cmd_deploy(args: &[String]) -> Result<(), String> {
+    let id = parse_scenario(args.first())?;
+    let mut store_dir: Option<String> = None;
+    let mut tiny = false;
+    let mut sigma: Option<f64> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--store" => {
+                store_dir = Some(args.get(i + 1).ok_or("--store needs a directory")?.clone());
+                i += 2;
+            }
+            "--tiny" => {
+                tiny = true;
+                i += 1;
+            }
+            "--sigma" => {
+                sigma = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--sigma needs a number")?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let mut base = PipelineConfig::for_scenario(id);
+    if tiny {
+        base = base.with_sizes(tiny_sizes());
+    }
+    let store = match store_dir {
+        Some(dir) => ArtifactStore::open(dir),
+        None => ArtifactStore::shared(),
+    }
+    .map_err(|e| e.to_string())?;
+
+    // Recalibrate under the requested sigma, but *publish* at the base
+    // configuration's Calibrate fingerprint — that is the key a running
+    // `serve --watch-ms` is polling, so the swap is picked up live.
+    let detector = match sigma {
+        Some(sigma) => {
+            let mut det = base.detector.clone();
+            det.sigma_factor = sigma;
+            let tuned = Pipeline::new(base.clone().with_detector(det), store.clone());
+            let (detector, _) = tuned.run_calibrate_only().map_err(|e| e.to_string())?;
+            detector
+        }
+        None => {
+            let (detector, _) = Pipeline::new(base.clone(), store.clone())
+                .run_calibrate_only()
+                .map_err(|e| e.to_string())?;
+            detector
+        }
+    };
+    let fp = Pipeline::new(base, store)
+        .deploy_detector(&detector)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "deploy: detector recalibrated (sigma {}) and written at {fp} — \
+         watching servers hot-swap it at their next poll",
+        sigma.map_or_else(|| "unchanged".to_string(), |s| format!("{s}")),
+    );
     Ok(())
 }
 

@@ -376,6 +376,28 @@ impl Detector {
         }
     }
 
+    /// The same detector with every anomaly threshold translated by
+    /// `delta` — the drift-compensation primitive: when the clean-NLL
+    /// distribution has moved by `delta` (observed − baseline mean), a
+    /// recalibrated detector shifted by the same amount keeps the
+    /// original false-positive operating point without refitting.
+    ///
+    /// Mixtures are untouched, so NLL scores are bit-identical to the
+    /// receiver's; only the flag decision boundary moves.
+    #[must_use]
+    pub fn shifted(&self, delta: f64) -> Self {
+        let mut models = self.models.clone();
+        for row in &mut models {
+            for model in row.iter_mut().flatten() {
+                model.threshold += delta;
+            }
+        }
+        Self {
+            models,
+            events: self.events.clone(),
+        }
+    }
+
     /// Number of categories modelled.
     pub fn num_classes(&self) -> usize {
         self.models.len()

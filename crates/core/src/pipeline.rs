@@ -419,6 +419,12 @@ pub enum PipelineError {
     Store(PersistError),
     /// Detector fitting failed.
     Fit(FitDetectorError),
+    /// A partial rerun needed a stored upstream artifact that was absent
+    /// or corrupt (run the full pipeline first to materialize it).
+    MissingArtifact {
+        /// The stage whose stored artifact could not be loaded.
+        stage: Stage,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -426,6 +432,11 @@ impl fmt::Display for PipelineError {
         match self {
             Self::Store(e) => write!(f, "artifact store failure: {e}"),
             Self::Fit(e) => write!(f, "detector fit failure: {e}"),
+            Self::MissingArtifact { stage } => write!(
+                f,
+                "required {} artifact missing from the store (run the full pipeline first)",
+                stage.name()
+            ),
         }
     }
 }
@@ -435,6 +446,7 @@ impl std::error::Error for PipelineError {
         match self {
             Self::Store(e) => Some(e),
             Self::Fit(e) => Some(e),
+            Self::MissingArtifact { .. } => None,
         }
     }
 }
@@ -793,6 +805,78 @@ impl Pipeline {
             },
             report,
         ))
+    }
+
+    /// Loads a stored stage artifact, failing with
+    /// [`PipelineError::MissingArtifact`] unless it is present and
+    /// decodes.
+    fn load_artifact<T>(
+        &self,
+        stage: Stage,
+        decode: impl FnOnce(&[u8]) -> Option<T>,
+    ) -> Result<T, PipelineError> {
+        let fp = self.config.fingerprint(stage);
+        match self.store.load(stage.artifact_kind(), fp)? {
+            StoreLoad::Hit(payload) => {
+                decode(&payload).ok_or(PipelineError::MissingArtifact { stage })
+            }
+            StoreLoad::Miss | StoreLoad::Evicted => Err(PipelineError::MissingArtifact { stage }),
+        }
+    }
+
+    /// Re-runs *only* the `Calibrate` stage against the store: loads the
+    /// stored template and fitted detector, re-derives thresholds with the
+    /// configured sigma factor, and overwrites the stored calibrated
+    /// detector. This is the drift-recalibration fast path — no training,
+    /// template collection, or EM refit.
+    ///
+    /// Always recomputes (a recalibration request means the cached
+    /// artifact is suspect), so the returned report's outcome is
+    /// [`StageOutcome::Forced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::MissingArtifact`] if the upstream
+    /// `CollectTemplate` or `FitDetector` artifacts are not in the store,
+    /// and [`PipelineError::Store`] on store I/O failures.
+    pub fn run_calibrate_only(&self) -> Result<(Detector, StageReport), PipelineError> {
+        let _span = timer(Stage::Calibrate).span();
+        let template =
+            self.load_artifact(Stage::CollectTemplate, |b| template_from_bytes(b).ok())?;
+        let fitted = self.load_artifact(Stage::FitDetector, |b| detector_from_bytes(b).ok())?;
+        let detector = fitted.recalibrated(&template, self.config.detector.sigma_factor);
+        let fp = self.config.fingerprint(Stage::Calibrate);
+        self.store.save(
+            Stage::Calibrate.artifact_kind(),
+            fp,
+            &detector_to_bytes(&detector),
+        )?;
+        Ok((
+            detector,
+            StageReport {
+                stage: Stage::Calibrate,
+                fingerprint: fp,
+                outcome: StageOutcome::Forced,
+            },
+        ))
+    }
+
+    /// Publishes `detector` at this configuration's `Calibrate` address,
+    /// replacing whatever is stored there. Deployment primitive for
+    /// zero-downtime hot-swap: a monitor watching the store picks the new
+    /// bytes up on its next poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Store`] on store I/O failures.
+    pub fn deploy_detector(&self, detector: &Detector) -> Result<Fingerprint, PipelineError> {
+        let fp = self.config.fingerprint(Stage::Calibrate);
+        self.store.save(
+            Stage::Calibrate.artifact_kind(),
+            fp,
+            &detector_to_bytes(detector),
+        )?;
+        Ok(fp)
     }
 }
 

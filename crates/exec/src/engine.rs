@@ -221,7 +221,13 @@ impl TraceEngine {
     /// A pooled scratch that recycles itself when dropped — the per-worker
     /// state of [`measure_batch`](Self::measure_batch), so repeated batch
     /// calls reuse buffers instead of allocating per worker per call.
-    fn pooled_guard(&self, graph: &Graph) -> PooledScratch<'_> {
+    ///
+    /// External measurement loops (the monitor's micro-batch workers) use
+    /// this to pay the pool mutex once per worker per batch instead of
+    /// twice per image: take one guard per worker, deref it into
+    /// [`measure_indexed_with`](Self::measure_indexed_with), and let the
+    /// drop return the buffers.
+    pub fn worker_scratch(&self, graph: &Graph) -> PooledScratch<'_> {
         PooledScratch {
             engine: self,
             scratch: Some(self.pooled_scratch(graph)),
@@ -334,14 +340,8 @@ impl TraceEngine {
         parallel_map_with(
             parallelism,
             images,
-            || self.pooled_guard(graph),
-            |guard, i, image| {
-                let scratch = guard
-                    .scratch
-                    .as_mut()
-                    .expect("guard holds scratch until drop");
-                self.measure_indexed_with(graph, image, seed, i as u64, scratch)
-            },
+            || self.worker_scratch(graph),
+            |guard, i, image| self.measure_indexed_with(graph, image, seed, i as u64, guard),
         )
     }
 
@@ -386,10 +386,30 @@ impl TraceEngine {
 }
 
 /// Per-worker scratch borrowed from the engine's pool; returns it on drop
-/// (one pool-mutex hit per worker per batch, not per image).
-struct PooledScratch<'a> {
+/// (one pool-mutex hit per worker per batch, not per image). Derefs to
+/// [`TraceScratch`] so it plugs straight into
+/// [`TraceEngine::measure_indexed_with`].
+pub struct PooledScratch<'a> {
     engine: &'a TraceEngine,
     scratch: Option<TraceScratch>,
+}
+
+impl std::ops::Deref for PooledScratch<'_> {
+    type Target = TraceScratch;
+
+    fn deref(&self) -> &TraceScratch {
+        self.scratch
+            .as_ref()
+            .expect("guard holds scratch until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledScratch<'_> {
+    fn deref_mut(&mut self) -> &mut TraceScratch {
+        self.scratch
+            .as_mut()
+            .expect("guard holds scratch until drop")
+    }
 }
 
 impl Drop for PooledScratch<'_> {

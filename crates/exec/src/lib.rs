@@ -55,7 +55,7 @@ mod plan;
 mod tune;
 
 pub use attribution::{NodeAttribution, TraceAttribution};
-pub use engine::{Measurement, TraceEngine, TraceScratch};
+pub use engine::{Measurement, PooledScratch, TraceEngine, TraceScratch};
 pub use kernels::{tile_active_counts, tile_active_counts_into, tile_activity};
 pub use layout::{MemoryLayout, Region};
 pub use tune::{choose_variant, tune_stats, tuned_kernels, TunePersistence, TuneStats};

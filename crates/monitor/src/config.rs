@@ -5,6 +5,8 @@ use std::fmt;
 use advhunter_fingerprint::{FingerprintConfig, FingerprintConfigError};
 use advhunter_runtime::ExecOptions;
 
+use crate::drift::{DriftConfig, DriftConfigError};
+
 /// What the monitor does with a submission that arrives while the bounded
 /// queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +94,9 @@ pub struct MonitorConfig {
     pub fingerprint: FingerprintConfig,
     /// How HPC anomaly and query correlation combine into `flagged`.
     pub fusion: FusionPolicy,
+    /// The clean-NLL drift test driving automatic recalibration. `None`
+    /// (the default) disables drift tracking entirely.
+    pub drift: Option<DriftConfig>,
 }
 
 impl MonitorConfig {
@@ -106,34 +111,55 @@ impl MonitorConfig {
             exec,
             fingerprint: FingerprintConfig::disabled(),
             fusion: FusionPolicy::Or,
+            drift: None,
         }
     }
 
     /// The same configuration with a different queue capacity.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::queue_capacity (the builder validates at spawn)"
+    )]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
     }
 
     /// The same configuration with a different micro-batch ceiling.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::micro_batch (the builder validates at spawn)"
+    )]
     pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
         self.micro_batch = micro_batch;
         self
     }
 
     /// The same configuration with a different overload policy.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::overload (the builder validates at spawn)"
+    )]
     pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
         self.overload = overload;
         self
     }
 
     /// The same configuration with a different fingerprint stage.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::fingerprint (the builder validates at spawn)"
+    )]
     pub fn with_fingerprint(mut self, fingerprint: FingerprintConfig) -> Self {
         self.fingerprint = fingerprint;
         self
     }
 
     /// The same configuration with a different fusion policy.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::fusion (the builder validates at spawn)"
+    )]
     pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
         self.fusion = fusion;
         self
@@ -156,6 +182,9 @@ impl MonitorConfig {
         self.fingerprint
             .validate()
             .map_err(MonitorConfigError::Fingerprint)?;
+        if let Some(drift) = &self.drift {
+            drift.validate().map_err(MonitorConfigError::Drift)?;
+        }
         Ok(())
     }
 }
@@ -175,6 +204,8 @@ pub enum MonitorConfigError {
     ZeroMicroBatch,
     /// The fingerprint stage was enabled with invalid knobs.
     Fingerprint(FingerprintConfigError),
+    /// The drift test was enabled with invalid knobs.
+    Drift(DriftConfigError),
 }
 
 impl fmt::Display for MonitorConfigError {
@@ -183,6 +214,7 @@ impl fmt::Display for MonitorConfigError {
             Self::ZeroQueueCapacity => write!(f, "monitor queue capacity must be positive"),
             Self::ZeroMicroBatch => write!(f, "monitor micro-batch size must be positive"),
             Self::Fingerprint(e) => write!(f, "fingerprint stage: {e}"),
+            Self::Drift(e) => write!(f, "drift test: {e}"),
         }
     }
 }
@@ -194,24 +226,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builders_compose_and_validate() {
-        let cfg = MonitorConfig::new(ExecOptions::sequential(7))
-            .with_queue_capacity(4)
-            .with_micro_batch(2)
-            .with_overload(OverloadPolicy::Shed);
-        assert_eq!(cfg.queue_capacity, 4);
-        assert_eq!(cfg.micro_batch, 2);
-        assert_eq!(cfg.overload, OverloadPolicy::Shed);
+    fn fields_compose_and_validate() {
+        let mut cfg = MonitorConfig::new(ExecOptions::sequential(7));
+        cfg.queue_capacity = 4;
+        cfg.micro_batch = 2;
+        cfg.overload = OverloadPolicy::Shed;
         assert_eq!(cfg.exec.seed, 7);
         assert!(cfg.validate().is_ok());
-        assert_eq!(
-            cfg.with_queue_capacity(0).validate(),
-            Err(MonitorConfigError::ZeroQueueCapacity)
-        );
-        assert_eq!(
-            cfg.with_micro_batch(0).validate(),
-            Err(MonitorConfigError::ZeroMicroBatch)
-        );
+        let mut bad = cfg;
+        bad.queue_capacity = 0;
+        assert_eq!(bad.validate(), Err(MonitorConfigError::ZeroQueueCapacity));
+        let mut bad = cfg;
+        bad.micro_batch = 0;
+        assert_eq!(bad.validate(), Err(MonitorConfigError::ZeroMicroBatch));
     }
 
     #[test]
@@ -220,15 +247,33 @@ mod tests {
         assert!(!cfg.fingerprint.is_enabled(), "defense is opt-in");
         assert_eq!(cfg.fusion, FusionPolicy::Or);
         assert!(cfg.validate().is_ok());
-        let enabled = cfg.with_fingerprint(FingerprintConfig::default());
+        let mut enabled = cfg;
+        enabled.fingerprint = FingerprintConfig::default();
         assert!(enabled.validate().is_ok());
-        let mut bad = FingerprintConfig::default();
-        bad.match_threshold = 2.0;
+        let mut bad = cfg;
+        bad.fingerprint = FingerprintConfig::default();
+        bad.fingerprint.match_threshold = 2.0;
         assert_eq!(
-            cfg.with_fingerprint(bad).validate(),
+            bad.validate(),
             Err(MonitorConfigError::Fingerprint(
                 FingerprintConfigError::BadMatchThreshold
             ))
+        );
+    }
+
+    #[test]
+    fn drift_knobs_are_validated_when_enabled() {
+        let mut cfg = MonitorConfig::default();
+        assert!(cfg.drift.is_none(), "drift tracking is opt-in");
+        cfg.drift = Some(DriftConfig::default());
+        assert!(cfg.validate().is_ok());
+        cfg.drift = Some(DriftConfig {
+            window: 0,
+            ..DriftConfig::default()
+        });
+        assert_eq!(
+            cfg.validate(),
+            Err(MonitorConfigError::Drift(DriftConfigError::ZeroWindow))
         );
     }
 

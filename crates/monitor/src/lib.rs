@@ -42,15 +42,29 @@
 //! `ADVHUNTER_THREADS` value and for every way the same ordered inputs
 //! are split into submissions. Telemetry is observational only.
 
+mod builder;
 mod config;
+mod drift;
 mod queue;
+mod server;
 mod service;
 mod stats;
 
+pub use builder::{MonitorBuildError, MonitorBuilder};
 pub use config::{FusionPolicy, MonitorConfig, MonitorConfigError, OverloadPolicy};
+pub use drift::{
+    DetectorSource, DriftConfig, DriftConfigError, DriftObservation, DriftTracker,
+    StoreDetectorSource,
+};
 pub use queue::{BoundedQueue, PushError, Pushed};
+pub use server::WireServer;
 pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SpawnFromStoreError, SubmitError};
 pub use stats::{ClassFlagStats, StatsSnapshot};
+
+// Re-export the wire-protocol request type: `Monitor::submit` takes it,
+// and the TCP front-end serializes exactly this struct, so library and
+// remote callers share one vocabulary.
+pub use advhunter_wire::MonitorRequest;
 
 // Re-export the fingerprint vocabulary so service callers (the CLI, the
 // integration tests) can configure the defense without a direct

@@ -178,12 +178,19 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: further pushes fail with [`PushError::Closed`],
     /// blocked pushers wake with that error, and the consumer drains what
     /// is left before [`pop_batch`](Self::pop_batch) returns `None`.
-    pub fn close(&self) {
+    ///
+    /// Returns the number of items still queued at the moment of closing
+    /// — the drain backlog the consumer is now committed to delivering.
+    /// A second close is a no-op reporting zero, so the first caller owns
+    /// the true count.
+    pub fn close(&self) -> usize {
         let mut s = self.state.lock().expect("queue lock poisoned");
+        let backlog = if s.closed { 0 } else { s.items.len() };
         s.closed = true;
         drop(s);
         self.not_empty.notify_all();
         self.not_full.notify_all();
+        backlog
     }
 }
 
@@ -260,7 +267,8 @@ mod tests {
         let q = BoundedQueue::new(4);
         q.try_push_with(|id, _| id).unwrap();
         q.try_push_with(|id, _| id).unwrap();
-        q.close();
+        assert_eq!(q.close(), 2, "close reports the drain backlog");
+        assert_eq!(q.close(), 0, "second close owns nothing");
         assert_eq!(q.try_push_with(|id, _| id), Err(PushError::Closed));
         assert_eq!(q.pop_batch(10).unwrap(), vec![0, 1]);
         assert_eq!(q.pop_batch(10), None);

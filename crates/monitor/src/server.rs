@@ -1,0 +1,404 @@
+//! The TCP front-end: many wire-protocol clients multiplexed onto one
+//! monitor's bounded queue.
+//!
+//! # Threading (DESIGN.md §16)
+//!
+//! ```text
+//! acceptor ──► per-connection reader ──► Monitor::submit ──► queue
+//!                      │ (rejects)                             │
+//!                      ▼                                    worker
+//!              per-connection writer ◄── dispatcher ◄── Monitor::recv
+//! ```
+//!
+//! * One **acceptor** thread takes connections and spawns a
+//!   reader/writer pair per client.
+//! * Each **reader** decodes frames and calls [`Monitor::submit`]
+//!   directly, so the monitor's [`OverloadPolicy`](crate::OverloadPolicy)
+//!   becomes per-connection backpressure: `Block` parks the reader (the
+//!   client's TCP window fills — natural flow control), `Shed` turns
+//!   [`SubmitError::Overloaded`](crate::SubmitError) into an immediate
+//!   reject frame echoing the caller's correlation id.
+//! * One **dispatcher** thread drains [`Monitor::recv`] and routes each
+//!   verdict to the connection that submitted it (admission ids are
+//!   unique across connections because the queue assigns them under its
+//!   lock). Verdicts that arrive before the submitting reader has
+//!   registered its route are parked in an orphan buffer and handed over
+//!   on registration.
+//! * Each **writer** serializes outbound frames for one client, so slow
+//!   clients never block the dispatcher.
+
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use advhunter_wire::{
+    read_frame, write_frame, ControlOp, Frame, MonitorRequest, Reject, RejectCode, WireError,
+    WireStats, WireVerdict,
+};
+
+use crate::service::{Monitor, MonitorVerdict, SubmitError};
+use crate::stats::StatsSnapshot;
+
+/// Maps admission ids to the submitting connection's outbound channel.
+/// `orphans` parks verdicts that outran their route registration.
+#[derive(Default)]
+struct RouteTable {
+    routes: HashMap<u64, Sender<Frame>>,
+    orphans: HashMap<u64, Frame>,
+}
+
+struct ServerState {
+    stopping: AtomicBool,
+    table: Mutex<RouteTable>,
+    conns: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+fn wire_verdict(v: MonitorVerdict) -> WireVerdict {
+    WireVerdict {
+        request_id: v.request_id,
+        correlation_id: v.correlation_id,
+        tenant: v.tenant,
+        config_epoch: v.config_epoch,
+        verdict: v.verdict,
+        hpc_anomalous: v.hpc_anomalous,
+        query_correlated: v.query_correlated,
+        fingerprint: v.fingerprint,
+        flagged: v.flagged,
+    }
+}
+
+fn wire_stats(s: &StatsSnapshot) -> WireStats {
+    WireStats {
+        submitted: s.submitted,
+        completed: s.completed,
+        shed: s.shed,
+        blocked: s.blocked,
+        drained: s.drained,
+        batches: s.batches,
+        config_epoch: s.config_epoch,
+        detector_swaps: s.detector_swaps,
+        drift_events: s.drift_events,
+    }
+}
+
+/// A TCP server speaking the `AHP1` wire protocol on behalf of one
+/// [`Monitor`].
+///
+/// Bind with [`WireServer::bind`], read the bound address via
+/// [`local_addr`](Self::local_addr) (bind to port 0 for an ephemeral
+/// port), and tear everything down with [`stop`](Self::stop) — which
+/// drains the monitor gracefully and returns its final counters. The
+/// wire path reuses [`Monitor::submit`] verbatim, so remote verdicts are
+/// bit-identical to in-process ones.
+pub struct WireServer {
+    monitor: Option<Arc<Monitor>>,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Binds `addr` and starts serving `monitor` over it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the address cannot be bound.
+    pub fn bind(monitor: Monitor, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let monitor = Arc::new(monitor);
+        let state = Arc::new(ServerState {
+            stopping: AtomicBool::new(false),
+            table: Mutex::new(RouteTable::default()),
+            conns: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+        let acceptor = {
+            let monitor = Arc::clone(&monitor);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("advhunter-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &monitor, &state))
+                .expect("failed to spawn acceptor thread")
+        };
+        let dispatcher = {
+            let monitor = Arc::clone(&monitor);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("advhunter-dispatcher".into())
+                .spawn(move || dispatcher_loop(&monitor, &state))
+                .expect("failed to spawn dispatcher thread")
+        };
+        Ok(Self {
+            monitor: Some(monitor),
+            addr,
+            state,
+            acceptor: Some(acceptor),
+            dispatcher: Some(dispatcher),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The monitor being served — for operational access (hot-swap,
+    /// stats, metrics) from the owning process.
+    pub fn monitor(&self) -> &Monitor {
+        self.monitor
+            .as_deref()
+            .expect("monitor present until stop()")
+    }
+
+    /// Blocks until some client sends
+    /// [`ControlOp::Shutdown`](advhunter_wire::ControlOp) (or the server
+    /// stops). The serve CLI parks here, then calls
+    /// [`stop`](Self::stop).
+    pub fn wait_for_shutdown(&self) {
+        let mut flag = self
+            .state
+            .shutdown_flag
+            .lock()
+            .expect("shutdown flag poisoned");
+        while !*flag {
+            flag = self
+                .state
+                .shutdown_cv
+                .wait(flag)
+                .expect("shutdown flag poisoned");
+        }
+    }
+
+    /// Stops accepting, disconnects every client, drains the monitor
+    /// gracefully (every admitted request is still scored and delivered
+    /// to its submitter where the connection is still up), and returns
+    /// the final counters.
+    pub fn stop(mut self) -> StatsSnapshot {
+        self.halt()
+            .expect("stop() is the only consumer of the monitor")
+    }
+
+    fn halt(&mut self) -> Option<StatsSnapshot> {
+        let monitor = self.monitor.take()?;
+        self.state.stopping.store(true, Ordering::SeqCst);
+        // Wake anyone parked in wait_for_shutdown.
+        *self
+            .state
+            .shutdown_flag
+            .lock()
+            .expect("shutdown flag poisoned") = true;
+        self.state.shutdown_cv.notify_all();
+        // Unblock the acceptor with a throwaway connection; it re-checks
+        // the stopping flag after every accept.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Close admissions and let the worker drain; the dispatcher
+        // delivers every remaining verdict, then sees the end of the
+        // stream and exits.
+        monitor.close();
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        // Disconnect the clients: readers unblock out of read_frame and
+        // exit; dropping the route table drops the last outbound senders
+        // so writers exit too.
+        for conn in self.state.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        {
+            let mut table = self.state.table.lock().expect("route table poisoned");
+            table.routes.clear();
+            table.orphans.clear();
+        }
+        let threads: Vec<_> = self
+            .state
+            .threads
+            .lock()
+            .expect("thread list poisoned")
+            .drain(..)
+            .collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        let monitor = Arc::into_inner(monitor)
+            .expect("all per-connection threads joined, so this is the last monitor handle");
+        Some(monitor.shutdown())
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        let _ = self.halt();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, monitor: &Arc<Monitor>, state: &Arc<ServerState>) {
+    for stream in listener.incoming() {
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let (out_tx, out_rx) = std::sync::mpsc::channel::<Frame>();
+        let reader = {
+            let monitor = Arc::clone(monitor);
+            let state = Arc::clone(state);
+            std::thread::Builder::new()
+                .name("advhunter-conn-reader".into())
+                .spawn(move || reader_loop(read_half, &monitor, &state, &out_tx))
+        };
+        let writer = std::thread::Builder::new()
+            .name("advhunter-conn-writer".into())
+            .spawn(move || writer_loop(write_half, &out_rx));
+        let mut threads = state.threads.lock().expect("thread list poisoned");
+        if let Ok(t) = reader {
+            threads.push(t);
+        }
+        if let Ok(t) = writer {
+            threads.push(t);
+        }
+        drop(threads);
+        state.conns.lock().expect("conns poisoned").push(stream);
+    }
+}
+
+/// Routes every verdict the monitor produces to its submitter.
+fn dispatcher_loop(monitor: &Arc<Monitor>, state: &Arc<ServerState>) {
+    while let Some(verdict) = monitor.recv() {
+        let id = verdict.request_id;
+        let frame = Frame::Verdict(wire_verdict(verdict));
+        let mut table = state.table.lock().expect("route table poisoned");
+        match table.routes.remove(&id) {
+            // A dead connection just means nobody hears this verdict.
+            Some(tx) => {
+                let _ = tx.send(frame);
+            }
+            None => {
+                table.orphans.insert(id, frame);
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    monitor: &Arc<Monitor>,
+    state: &Arc<ServerState>,
+    out_tx: &Sender<Frame>,
+) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean disconnect between frames.
+            Ok(None) => break,
+            Err(WireError::Io(_)) => break,
+            Err(e) => {
+                // Protocol violation: tell the client (best effort) and
+                // hang up rather than guess at resynchronization.
+                let _ = out_tx.send(Frame::Reject(Reject {
+                    code: RejectCode::Protocol,
+                    correlation_id: None,
+                    message: e.to_string(),
+                }));
+                break;
+            }
+        };
+        match frame {
+            Frame::Request(request) => handle_request(request, monitor, state, out_tx),
+            Frame::StatsRequest => {
+                let stats = wire_stats(&monitor.stats());
+                if out_tx.send(Frame::Stats(stats)).is_err() {
+                    break;
+                }
+            }
+            Frame::Control(op) => {
+                match op {
+                    ControlOp::Pause => monitor.pause(),
+                    ControlOp::Resume => monitor.resume(),
+                    ControlOp::Shutdown => {
+                        *state.shutdown_flag.lock().expect("shutdown flag poisoned") = true;
+                        state.shutdown_cv.notify_all();
+                    }
+                }
+                let ack = Frame::ControlAck {
+                    op,
+                    config_epoch: monitor.config_epoch(),
+                };
+                if out_tx.send(ack).is_err() {
+                    break;
+                }
+            }
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            Frame::Verdict(_) | Frame::Stats(_) | Frame::ControlAck { .. } | Frame::Reject(_) => {
+                let _ = out_tx.send(Frame::Reject(Reject {
+                    code: RejectCode::Protocol,
+                    correlation_id: None,
+                    message: "client sent a server-to-client frame".into(),
+                }));
+                break;
+            }
+        }
+    }
+}
+
+fn handle_request(
+    request: MonitorRequest,
+    monitor: &Arc<Monitor>,
+    state: &Arc<ServerState>,
+    out_tx: &Sender<Frame>,
+) {
+    let correlation = request.request_id;
+    match monitor.submit(request) {
+        Ok(id) => {
+            let mut table = state.table.lock().expect("route table poisoned");
+            // The dispatcher may already have parked this verdict.
+            if let Some(frame) = table.orphans.remove(&id) {
+                let _ = out_tx.send(frame);
+            } else {
+                table.routes.insert(id, out_tx.clone());
+            }
+        }
+        Err(err) => {
+            let code = match err {
+                SubmitError::Overloaded => RejectCode::Overloaded,
+                SubmitError::Closed => RejectCode::Closed,
+            };
+            let _ = out_tx.send(Frame::Reject(Reject {
+                code,
+                correlation_id: correlation,
+                message: err.to_string(),
+            }));
+        }
+    }
+}
+
+fn writer_loop(stream: TcpStream, out_rx: &Receiver<Frame>) {
+    let mut writer = BufWriter::new(stream);
+    while let Ok(frame) = out_rx.recv() {
+        if write_frame(&mut writer, &frame).is_err() || writer.flush().is_err() {
+            break;
+        }
+    }
+}

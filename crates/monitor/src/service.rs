@@ -1,7 +1,8 @@
-//! The monitor service itself: queue → micro-batch → scored verdicts.
+//! The monitor service itself: queue → micro-batch → scored verdicts,
+//! with zero-downtime detector hot-swap and drift-driven recalibration.
 
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -9,10 +10,12 @@ use advhunter::{ArtifactStore, Detector, Pipeline, PipelineConfig, PipelineError
 use advhunter_exec::TraceEngine;
 use advhunter_fingerprint::{FingerprintStore, MatchReport, TenantId};
 use advhunter_nn::Graph;
-use advhunter_runtime::parallel_map;
+use advhunter_runtime::parallel_map_with;
 use advhunter_tensor::Tensor;
+use advhunter_wire::MonitorRequest;
 
 use crate::config::{MonitorConfig, MonitorConfigError, OverloadPolicy};
+use crate::drift::{DetectorSource, DriftTracker};
 use crate::queue::{BoundedQueue, PushError};
 use crate::stats::{MonitorStats, StatsSnapshot};
 
@@ -95,11 +98,20 @@ pub struct RequestTelemetry {
 pub struct MonitorVerdict {
     /// The admission-order id returned by [`Monitor::submit`].
     pub request_id: u64,
+    /// The caller's correlation id, echoed verbatim from
+    /// [`MonitorRequest::request_id`]. `None` when the caller did not set
+    /// one.
+    pub correlation_id: Option<u64>,
     /// The tenant the request was submitted under
-    /// ([`FingerprintStore::DEFAULT_TENANT`] for [`Monitor::submit`]).
+    /// ([`FingerprintStore::DEFAULT_TENANT`] unless the request set one).
     pub tenant: TenantId,
+    /// The detector configuration epoch this request was scored under.
+    /// Starts at 0 and bumps by one per hot-swap, so a reader can tell
+    /// exactly which verdicts the old and the new detector produced.
+    pub config_epoch: u64,
     /// The hard-label prediction and per-event scores. Deterministic: a
-    /// pure function of `(image, exec.seed, request_id)`.
+    /// pure function of `(image, exec.seed, request_id)` and the detector
+    /// of `config_epoch`.
     pub verdict: Verdict,
     /// The per-query HPC signal: [`Verdict::flagged_any`].
     pub hpc_anomalous: bool,
@@ -123,19 +135,72 @@ pub struct MonitorVerdict {
 
 struct Request {
     id: u64,
+    correlation: Option<u64>,
     tenant: TenantId,
     image: Tensor,
     admitted_at: Instant,
     depth_at_admission: usize,
 }
 
+/// The currently-installed detector and its epoch, swapped atomically
+/// under one lock.
+struct DetectorState {
+    detector: Arc<Detector>,
+    epoch: u64,
+}
+
+/// Close/stop signal shared with the store-watcher thread.
+struct StopSignal {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl StopSignal {
+    fn new() -> Self {
+        Self {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn signal(&self) {
+        *self.stopped.lock().expect("stop signal poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps up to `timeout`; returns `true` once stopped.
+    fn wait(&self, timeout: Duration) -> bool {
+        let guard = self.stopped.lock().expect("stop signal poisoned");
+        if *guard {
+            return true;
+        }
+        let (guard, _) = self
+            .cv
+            .wait_timeout(guard, timeout)
+            .expect("stop signal poisoned");
+        *guard
+    }
+}
+
 struct Shared {
     engine: TraceEngine,
     model: Graph,
-    detector: Detector,
+    detector: Mutex<DetectorState>,
+    source: Option<Arc<dyn DetectorSource>>,
     config: MonitorConfig,
     queue: BoundedQueue<Request>,
     stats: MonitorStats,
+    stop: StopSignal,
+}
+
+/// Installs `detector` as the live one, bumping the epoch. Returns the
+/// new `(detector, epoch)` pair for callers that score with it directly.
+fn install_detector(shared: &Shared, detector: Detector) -> (Arc<Detector>, u64) {
+    let mut state = shared.detector.lock().expect("detector state poisoned");
+    state.epoch += 1;
+    state.detector = Arc::new(detector);
+    shared.stats.record_swap(state.epoch);
+    (Arc::clone(&state.detector), state.epoch)
 }
 
 /// A long-lived online detection service.
@@ -148,6 +213,8 @@ struct Shared {
 /// predicted category's models, and delivers one [`MonitorVerdict`] per
 /// request through [`recv`](Self::recv) in admission order.
 ///
+/// Build one with [`MonitorBuilder`](crate::MonitorBuilder).
+///
 /// # Determinism
 ///
 /// Request `i` (ids count admissions) is measured via the engine's
@@ -157,6 +224,17 @@ struct Shared {
 /// `(request_id, verdict, query_correlated, flagged)` stream is therefore
 /// bit-identical for every `ADVHUNTER_THREADS` setting and every way the
 /// same images are batched into submissions. Only the telemetry varies.
+///
+/// # Hot-swap
+///
+/// The live detector sits behind one lock the worker touches twice per
+/// micro-batch. [`swap_detector`](Self::swap_detector) (or the store
+/// watcher, see [`MonitorBuilder::watch_store`](crate::MonitorBuilder))
+/// replaces it between micro-batches without dropping a single queued
+/// request; every verdict carries the `config_epoch` it was scored under.
+/// Drift-driven swaps (see [`DriftConfig`](crate::DriftConfig)) take
+/// effect at the exact next request in admission order, so they are
+/// reproducible across thread counts and batch shapes.
 ///
 /// # Overload
 ///
@@ -169,6 +247,7 @@ pub struct Monitor {
     shared: Arc<Shared>,
     verdicts: Mutex<Receiver<MonitorVerdict>>,
     worker: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl Monitor {
@@ -180,52 +259,33 @@ impl Monitor {
     ///
     /// Returns [`MonitorConfigError`] when `config` is invalid; no thread
     /// is spawned in that case.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::new(exec)...spawn(engine, model, detector)"
+    )]
     pub fn spawn(
         engine: TraceEngine,
         model: Graph,
         detector: Detector,
         config: MonitorConfig,
     ) -> Result<Self, MonitorConfigError> {
-        config.validate()?;
-        let num_classes = detector.num_classes();
-        let shared = Arc::new(Shared {
-            engine,
-            model,
-            detector,
-            config,
-            queue: BoundedQueue::new(config.queue_capacity),
-            stats: MonitorStats::new(num_classes),
-        });
-        let (tx, rx) = std::sync::mpsc::channel();
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
-            .name("advhunter-monitor".into())
-            .spawn(move || worker_loop(&worker_shared, &tx))
-            .expect("failed to spawn monitor worker thread");
-        Ok(Self {
-            shared,
-            verdicts: Mutex::new(rx),
-            worker: Some(worker),
-        })
+        Self::spawn_inner(engine, model, detector, config, None, None)
     }
 
     /// Boots the service from the staged offline pipeline: runs (or
     /// loads, when the store already holds the artifacts) every offline
     /// stage for `pipeline` against `store`, then spawns the monitor over
-    /// the resulting engine, model, and calibrated detector. On a warm
-    /// store this is a pure load — no training, measurement, or fitting.
-    ///
-    /// When the pipeline configuration carries an enabled
-    /// [`defense`](PipelineConfig::defense) and `config` leaves its own
-    /// fingerprint stage disabled, the monitor adopts the pipeline's
-    /// defense — one configuration object drives the whole deployment. An
-    /// explicitly enabled `config.fingerprint` always wins.
+    /// the resulting engine, model, and calibrated detector.
     ///
     /// # Errors
     ///
     /// Returns [`SpawnFromStoreError::Pipeline`] when the offline phase
     /// fails and [`SpawnFromStoreError::Config`] when `config` is
     /// invalid; no thread is spawned in either case.
+    #[deprecated(
+        since = "0.7.0",
+        note = "use MonitorBuilder::new(exec)...spawn_from_store(pipeline, store)"
+    )]
     pub fn spawn_from_store(
         pipeline: PipelineConfig,
         store: ArtifactStore,
@@ -235,34 +295,87 @@ impl Monitor {
             config.fingerprint = pipeline.defense;
         }
         let (art, _report) = Pipeline::new(pipeline, store).run()?;
-        Self::spawn(art.engine, art.model, art.detector, config)
+        Self::spawn_inner(art.engine, art.model, art.detector, config, None, None)
             .map_err(SpawnFromStoreError::Config)
     }
 
-    /// Submits one image for screening under the default tenant and
-    /// returns its admission-order request id.
-    ///
-    /// # Errors
-    ///
-    /// [`SubmitError::Overloaded`] when the queue is full under the shed
-    /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
-    pub fn submit(&self, image: Tensor) -> Result<u64, SubmitError> {
-        self.submit_from(FingerprintStore::DEFAULT_TENANT, image)
+    pub(crate) fn spawn_inner(
+        engine: TraceEngine,
+        model: Graph,
+        detector: Detector,
+        config: MonitorConfig,
+        source: Option<Arc<dyn DetectorSource>>,
+        watch_poll: Option<Duration>,
+    ) -> Result<Self, MonitorConfigError> {
+        config.validate()?;
+        let num_classes = detector.num_classes();
+        let shared = Arc::new(Shared {
+            engine,
+            model,
+            detector: Mutex::new(DetectorState {
+                detector: Arc::new(detector),
+                epoch: 0,
+            }),
+            source,
+            config,
+            queue: BoundedQueue::new(config.queue_capacity),
+            stats: MonitorStats::new(num_classes),
+            stop: StopSignal::new(),
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("advhunter-monitor".into())
+            .spawn(move || worker_loop(&worker_shared, &tx))
+            .expect("failed to spawn monitor worker thread");
+        let watcher = match (watch_poll, shared.source.is_some()) {
+            (Some(poll), true) => {
+                let watcher_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("advhunter-watcher".into())
+                        .spawn(move || watcher_loop(&watcher_shared, poll))
+                        .expect("failed to spawn monitor watcher thread"),
+                )
+            }
+            _ => None,
+        };
+        Ok(Self {
+            shared,
+            verdicts: Mutex::new(rx),
+            worker: Some(worker),
+            watcher,
+        })
     }
 
-    /// Submits one image for screening on behalf of `tenant` and returns
-    /// its admission-order request id. Tenants are fully isolated in the
-    /// fingerprint stage: a query only ever matches the *same* tenant's
-    /// recent history, so one client's attack campaign cannot flag (or
-    /// mask) another's traffic.
+    /// Submits one request for screening and returns its admission-order
+    /// id. Accepts anything convertible into a [`MonitorRequest`] — a
+    /// bare [`Tensor`] submits under the default tenant with no
+    /// correlation id:
+    ///
+    /// ```ignore
+    /// monitor.submit(image.clone())?;                           // simplest
+    /// monitor.submit(MonitorRequest::new(image).tenant(7))?;    // full form
+    /// ```
+    ///
+    /// Tenants are fully isolated in the fingerprint stage: a query only
+    /// ever matches the *same* tenant's recent history, so one client's
+    /// attack campaign cannot flag (or mask) another's traffic.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Overloaded`] when the queue is full under the shed
     /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
-    pub fn submit_from(&self, tenant: TenantId, image: Tensor) -> Result<u64, SubmitError> {
+    pub fn submit(&self, request: impl Into<MonitorRequest>) -> Result<u64, SubmitError> {
+        let request = request.into();
+        let MonitorRequest {
+            image,
+            tenant,
+            request_id,
+        } = request;
         let make = |id, depth_at_admission| Request {
             id,
+            correlation: request_id,
             tenant,
             image,
             admitted_at: Instant::now(),
@@ -286,6 +399,20 @@ impl Monitor {
             }
             Err(PushError::Closed) => Err(SubmitError::Closed),
         }
+    }
+
+    /// Submits one image on behalf of `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full under the shed
+    /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
+    #[deprecated(
+        since = "0.7.0",
+        note = "use submit(MonitorRequest::new(image).tenant(tenant))"
+    )]
+    pub fn submit_from(&self, tenant: TenantId, image: Tensor) -> Result<u64, SubmitError> {
+        self.submit(MonitorRequest::new(image).tenant(tenant))
     }
 
     /// Blocks until the next verdict is available. Returns `None` once
@@ -312,6 +439,24 @@ impl Monitor {
     /// Current queue depth (requests admitted but not yet measured).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// The current detector configuration epoch (0 until the first
+    /// hot-swap).
+    pub fn config_epoch(&self) -> u64 {
+        self.shared
+            .detector
+            .lock()
+            .expect("detector state poisoned")
+            .epoch
+    }
+
+    /// Hot-swaps the live detector without dropping a single queued or
+    /// in-flight request, returning the new configuration epoch. The
+    /// worker picks the replacement up at its next micro-batch boundary;
+    /// every verdict reports the epoch it was actually scored under.
+    pub fn swap_detector(&self, detector: Detector) -> u64 {
+        install_detector(&self.shared, detector).1
     }
 
     /// A point-in-time copy of the operational counters.
@@ -349,18 +494,27 @@ impl Monitor {
         self.shared.queue.resume();
     }
 
-    /// Stops admissions. Already-admitted requests are still measured and
-    /// delivered; once they are, [`recv`](Self::recv) returns `None`.
+    /// Stops admissions and begins the graceful drain: every
+    /// already-admitted request is still measured, scored, and delivered
+    /// before [`recv`](Self::recv) returns `None`. The number of requests
+    /// in the queue at this moment is recorded in
+    /// [`StatsSnapshot::drained`] — the drain debt the shutdown proof
+    /// checks against `completed`.
     pub fn close(&self) {
-        self.shared.queue.close();
+        let backlog = self.shared.queue.close();
+        self.shared.stats.record_drained(backlog);
+        self.shared.stop.signal();
     }
 
-    /// Closes the monitor, waits for the worker to drain the queue, and
-    /// returns the final counters.
+    /// Closes the monitor, waits for the worker to drain the queue and
+    /// flush every pending verdict, and returns the final counters.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.close();
         if let Some(worker) = self.worker.take() {
             worker.join().expect("monitor worker panicked");
+        }
+        if let Some(watcher) = self.watcher.take() {
+            watcher.join().expect("monitor watcher panicked");
         }
         self.stats()
     }
@@ -369,12 +523,28 @@ impl Monitor {
 impl Drop for Monitor {
     fn drop(&mut self) {
         self.close();
+        if let Some(watcher) = self.watcher.take() {
+            let _ = watcher.join();
+        }
         if let Some(worker) = self.worker.take() {
             // Surfacing the worker's panic beats swallowing it, except
             // while already unwinding (a double panic would abort).
             if worker.join().is_err() && !std::thread::panicking() {
                 panic!("monitor worker panicked");
             }
+        }
+    }
+}
+
+/// Polls the detector source for externally-deployed replacements until
+/// the monitor closes.
+fn watcher_loop(shared: &Shared, poll: Duration) {
+    let Some(source) = shared.source.as_deref() else {
+        return;
+    };
+    while !shared.stop.wait(poll) {
+        if let Some(detector) = source.poll_swap() {
+            install_detector(shared, detector);
         }
     }
 }
@@ -393,8 +563,19 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
         .fingerprint
         .is_enabled()
         .then(|| FingerprintStore::new(shared.config.fingerprint));
+    // The drift tracker is equally sequential: it consumes mean clean
+    // NLLs in admission order, so its firings (and the exact request at
+    // which a drift-swapped detector takes over) are reproducible.
+    let mut drift = shared.config.drift.map(DriftTracker::new);
     while let Some(batch) = shared.queue.pop_batch(micro_batch) {
         shared.stats.record_drain(batch.len(), shared.queue.len());
+        // Refresh the live detector once per micro-batch: external
+        // hot-swaps take effect at batch boundaries, and the scoring
+        // below shares no &mut state with other epochs' batches.
+        let (mut detector, mut epoch) = {
+            let state = shared.detector.lock().expect("detector state poisoned");
+            (Arc::clone(&state.detector), state.epoch)
+        };
         let fingerprint_start = Instant::now();
         let reports: Vec<Option<MatchReport>> = batch
             .iter()
@@ -411,25 +592,60 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
                 .record_fingerprint_stage(measure_start - fingerprint_start);
         }
         // Fan-out over the worker pool. Each request's noise stream is
-        // derived from (exec.seed, request id), and the engine's pooled
-        // per-worker scratch (workspace + tiles + counter group) is
-        // reused across micro-batches, so the hot path stays
-        // allocation-free after warm-up.
-        let measurements = parallel_map(&exec.parallelism, &batch, |_, req| {
-            shared
-                .engine
-                .measure_indexed(&shared.model, &req.image, exec.seed, req.id)
-        });
+        // derived from (exec.seed, request id), and each pool worker
+        // checks out its own pooled scratch (workspace + tiles + counter
+        // group) exactly once per micro-batch — measurement shares no
+        // &mut engine state across workers, which is what lets the
+        // simulated-multicore bench scale it linearly.
+        let measurements = parallel_map_with(
+            &exec.parallelism,
+            &batch,
+            || shared.engine.worker_scratch(&shared.model),
+            |scratch, _, req| {
+                shared.engine.measure_indexed_with(
+                    &shared.model,
+                    &req.image,
+                    exec.seed,
+                    req.id,
+                    scratch,
+                )
+            },
+        );
+        // Scoring runs sequentially in admission order so a drift-driven
+        // swap takes effect at the exact next request — deterministic
+        // under every thread count and batch shape.
         let score_start = Instant::now();
-        let verdicts: Vec<Verdict> = measurements
-            .iter()
-            .map(|m| shared.detector.evaluate(m.predicted, &m.sample))
-            .collect();
+        let mut scored: Vec<(Verdict, u64)> = Vec::with_capacity(batch.len());
+        for m in &measurements {
+            let verdict = detector.evaluate(m.predicted, &m.sample);
+            // A firing below swaps the detector for the *next* request;
+            // this one was already scored under the current epoch.
+            let scored_epoch = epoch;
+            let scores = verdict.scores();
+            if let (Some(tracker), false, false) =
+                (drift.as_mut(), verdict.flagged_any(), scores.is_empty())
+            {
+                let mean_nll = scores.iter().map(|s| s.nll).sum::<f64>() / scores.len() as f64;
+                if let Some(observation) = tracker.observe(mean_nll) {
+                    shared.stats.record_drift();
+                    if let Some(replacement) = shared
+                        .source
+                        .as_deref()
+                        .and_then(|s| s.recalibrate(&observation))
+                    {
+                        let (d, e) = install_detector(shared, replacement);
+                        detector = d;
+                        epoch = e;
+                    }
+                }
+            }
+            scored.push((verdict, scored_epoch));
+        }
         let score_done = Instant::now();
         let measure = score_start - measure_start;
         let score = score_done - score_start;
         shared.stats.record_batch(measure, score);
-        for ((req, verdict), report) in batch.iter().zip(verdicts).zip(reports) {
+        for ((req, (verdict, scored_epoch)), report) in batch.iter().zip(scored).zip(reports) {
             let queued = measure_start.saturating_duration_since(req.admitted_at);
             let hpc_anomalous = verdict.flagged_any();
             let query_correlated = report.is_some_and(|r| r.matched);
@@ -445,7 +661,9 @@ fn worker_loop(shared: &Shared, tx: &Sender<MonitorVerdict>) {
             );
             let out = MonitorVerdict {
                 request_id: req.id,
+                correlation_id: req.correlation,
                 tenant: req.tenant,
+                config_epoch: scored_epoch,
                 verdict,
                 hpc_anomalous,
                 query_correlated,

@@ -26,7 +26,11 @@ pub(crate) struct MonitorStats {
     completed: Arc<Counter>,
     shed: Arc<Counter>,
     blocked: Arc<Counter>,
+    drained: Arc<Counter>,
     batches: Arc<Counter>,
+    detector_swaps: Arc<Counter>,
+    drift_events: Arc<Counter>,
+    config_epoch: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
     batch_size: Arc<Histogram>,
     queued_ns: Arc<Histogram>,
@@ -77,7 +81,23 @@ impl MonitorStats {
                 "advhunter_monitor_blocked_total",
                 "Submissions that parked on a full queue under the block policy",
             ),
+            drained: registry.counter(
+                "advhunter_monitor_drained_total",
+                "Requests still queued at close time, measured and delivered during shutdown",
+            ),
             batches: registry.counter("advhunter_monitor_batches_total", "Micro-batches processed"),
+            detector_swaps: registry.counter(
+                "advhunter_monitor_detector_swaps_total",
+                "Zero-downtime detector hot-swaps performed",
+            ),
+            drift_events: registry.counter(
+                "advhunter_monitor_drift_events_total",
+                "Clean-NLL drift-test firings",
+            ),
+            config_epoch: registry.gauge(
+                "advhunter_monitor_config_epoch",
+                "Monotonic detector epoch (bumps on every hot-swap)",
+            ),
             queue_depth: registry.gauge(
                 "advhunter_monitor_queue_depth",
                 "Queue occupancy (level at last admission/drain; _max is the high watermark)",
@@ -130,6 +150,19 @@ impl MonitorStats {
 
     pub(crate) fn record_blocked(&self) {
         self.blocked.inc();
+    }
+
+    pub(crate) fn record_drained(&self, backlog: usize) {
+        self.drained.add(backlog as u64);
+    }
+
+    pub(crate) fn record_swap(&self, epoch: u64) {
+        self.detector_swaps.inc();
+        self.config_epoch.set(epoch);
+    }
+
+    pub(crate) fn record_drift(&self) {
+        self.drift_events.inc();
     }
 
     pub(crate) fn record_drain(&self, batch_size: usize, depth_after: usize) {
@@ -188,7 +221,11 @@ impl MonitorStats {
             completed: self.completed.get(),
             shed: self.shed.get(),
             blocked: self.blocked.get(),
+            drained: self.drained.get(),
             batches: self.batches.get(),
+            detector_swaps: self.detector_swaps.get(),
+            drift_events: self.drift_events.get(),
+            config_epoch: self.config_epoch.get(),
             max_queue_depth: self.queue_depth.max(),
             queued: Duration::from_nanos(self.queued_ns.snapshot().sum),
             measure: Duration::from_nanos(self.measure_ns.snapshot().sum),
@@ -243,8 +280,21 @@ pub struct StatsSnapshot {
     /// (they were eventually admitted and are also counted in
     /// `submitted`).
     pub blocked: u64,
+    /// Requests that were still queued when the monitor closed and were
+    /// measured and delivered during the shutdown drain (also counted in
+    /// `completed`) — graceful shutdown never silently drops an admitted
+    /// request.
+    pub drained: u64,
     /// Micro-batches processed.
     pub batches: u64,
+    /// Detector hot-swaps performed (store watcher, explicit
+    /// [`swap_detector`](crate::Monitor::swap_detector), or drift
+    /// recalibration).
+    pub detector_swaps: u64,
+    /// Clean-NLL drift-test firings.
+    pub drift_events: u64,
+    /// Current detector epoch (0 until the first hot-swap).
+    pub config_epoch: u64,
     /// Highest queue depth observed at any admission.
     pub max_queue_depth: u64,
     /// Total time completed requests spent queued before measurement.
@@ -407,6 +457,25 @@ mod tests {
             r.counter("advhunter_monitor_fingerprint_shed_total"),
             Some(1)
         );
+    }
+
+    #[test]
+    fn serving_counters_accumulate() {
+        let stats = MonitorStats::new(1);
+        stats.record_drained(3);
+        stats.record_swap(1);
+        stats.record_swap(2);
+        stats.record_drift();
+        let s = stats.snapshot();
+        assert_eq!(s.drained, 3);
+        assert_eq!(s.detector_swaps, 2);
+        assert_eq!(s.drift_events, 1);
+        assert_eq!(s.config_epoch, 2);
+        let r = stats.registry_snapshot();
+        assert_eq!(r.counter("advhunter_monitor_drained_total"), Some(3));
+        assert_eq!(r.counter("advhunter_monitor_detector_swaps_total"), Some(2));
+        assert_eq!(r.counter("advhunter_monitor_drift_events_total"), Some(1));
+        assert_eq!(r.gauge("advhunter_monitor_config_epoch"), Some((2, 2)));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate};
 use advhunter_exec::TraceEngine;
 use advhunter_monitor::{
-    FingerprintConfig, FingerprintConfigError, FusionPolicy, Monitor, MonitorConfig,
-    MonitorConfigError, MonitorVerdict,
+    FingerprintConfig, FingerprintConfigError, FusionPolicy, Monitor, MonitorBuildError,
+    MonitorBuilder, MonitorConfigError, MonitorRequest, MonitorVerdict,
 };
 use advhunter_nn::{Graph, GraphBuilder};
 use advhunter_tensor::{init, Tensor};
@@ -54,9 +54,9 @@ fn fp_config() -> FingerprintConfig {
     config
 }
 
-fn spawn(config: MonitorConfig) -> Monitor {
+fn spawn(builder: MonitorBuilder) -> Monitor {
     let (model, engine, detector, _) = fixture();
-    Monitor::spawn(engine, model, detector, config).unwrap()
+    builder.spawn(engine, model, detector).unwrap()
 }
 
 fn drain(monitor: &Monitor) -> Vec<MonitorVerdict> {
@@ -71,8 +71,7 @@ fn drain(monitor: &Monitor) -> Vec<MonitorVerdict> {
 #[test]
 fn repeated_queries_become_query_correlated() {
     let (_, _, _, stream) = fixture();
-    let monitor =
-        spawn(MonitorConfig::new(ExecOptions::sequential(42)).with_fingerprint(fp_config()));
+    let monitor = spawn(MonitorBuilder::new(ExecOptions::sequential(42)).fingerprint(fp_config()));
     for _ in 0..3 {
         monitor.submit(stream[0].clone()).unwrap();
     }
@@ -100,11 +99,16 @@ fn repeated_queries_become_query_correlated() {
 #[test]
 fn tenants_never_see_each_others_history() {
     let (_, _, _, stream) = fixture();
-    let monitor =
-        spawn(MonitorConfig::new(ExecOptions::sequential(42)).with_fingerprint(fp_config()));
-    monitor.submit_from(1, stream[0].clone()).unwrap();
-    monitor.submit_from(2, stream[0].clone()).unwrap();
-    monitor.submit_from(1, stream[0].clone()).unwrap();
+    let monitor = spawn(MonitorBuilder::new(ExecOptions::sequential(42)).fingerprint(fp_config()));
+    monitor
+        .submit(MonitorRequest::new(stream[0].clone()).tenant(1))
+        .unwrap();
+    monitor
+        .submit(MonitorRequest::new(stream[0].clone()).tenant(2))
+        .unwrap();
+    monitor
+        .submit(MonitorRequest::new(stream[0].clone()).tenant(1))
+        .unwrap();
     let verdicts = drain(&monitor);
     assert_eq!(verdicts[0].tenant, 1);
     assert!(!verdicts[0].query_correlated);
@@ -123,15 +127,21 @@ fn tenants_never_see_each_others_history() {
 #[test]
 fn tenant_cap_sheds_to_hpc_only_without_failing_requests() {
     let (_, _, _, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::sequential(42))
-        .with_fingerprint(fp_config().with_max_tenants(1));
-    let monitor = spawn(config);
-    monitor.submit_from(1, stream[0].clone()).unwrap();
+    let builder = MonitorBuilder::new(ExecOptions::sequential(42))
+        .fingerprint(fp_config().with_max_tenants(1));
+    let monitor = spawn(builder);
+    monitor
+        .submit(MonitorRequest::new(stream[0].clone()).tenant(1))
+        .unwrap();
     // Tenant 2 arrives at a full store: requests still measure and score,
     // but the fingerprint stage sheds them — repeatedly identical queries
     // never correlate.
-    monitor.submit_from(2, stream[1].clone()).unwrap();
-    monitor.submit_from(2, stream[1].clone()).unwrap();
+    monitor
+        .submit(MonitorRequest::new(stream[1].clone()).tenant(2))
+        .unwrap();
+    monitor
+        .submit(MonitorRequest::new(stream[1].clone()).tenant(2))
+        .unwrap();
     let verdicts = drain(&monitor);
     assert_eq!(verdicts.len(), 3, "shed tenants still get verdicts");
     for v in &verdicts[1..] {
@@ -155,8 +165,7 @@ fn zero_window_config_degrades_gracefully_to_hpc_only() {
     let (_, _, _, stream) = fixture();
     // The default config carries a disabled fingerprint stage.
     let monitor = spawn(
-        MonitorConfig::new(ExecOptions::sequential(42))
-            .with_fingerprint(FingerprintConfig::disabled()),
+        MonitorBuilder::new(ExecOptions::sequential(42)).fingerprint(FingerprintConfig::disabled()),
     );
     for _ in 0..3 {
         monitor.submit(stream[0].clone()).unwrap();
@@ -182,10 +191,10 @@ fn fusion_policies_shape_the_headline_flag() {
         FusionPolicy::Or,
         FusionPolicy::And,
     ] {
-        let config = MonitorConfig::new(ExecOptions::sequential(42))
-            .with_fingerprint(fp_config())
-            .with_fusion(policy);
-        let monitor = spawn(config);
+        let builder = MonitorBuilder::new(ExecOptions::sequential(42))
+            .fingerprint(fp_config())
+            .fusion(policy);
+        let monitor = spawn(builder);
         monitor.submit(stream[0].clone()).unwrap();
         monitor.submit(stream[0].clone()).unwrap();
         monitor.submit(stream[1].clone()).unwrap();
@@ -205,11 +214,15 @@ fn spawn_rejects_invalid_fingerprint_configs() {
     let (model, engine, detector, _) = fixture();
     let mut bad = FingerprintConfig::default();
     bad.probes = 0;
-    let config = MonitorConfig::default().with_fingerprint(bad);
-    assert_eq!(
-        Monitor::spawn(engine, model, detector, config).err(),
-        Some(MonitorConfigError::Fingerprint(
+    let err = MonitorBuilder::new(ExecOptions::default())
+        .fingerprint(bad)
+        .spawn(engine, model, detector)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        MonitorBuildError::Config(MonitorConfigError::Fingerprint(
             FingerprintConfigError::ZeroProbes
         ))
-    );
+    ));
 }

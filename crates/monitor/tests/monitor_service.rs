@@ -3,7 +3,10 @@
 
 use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate, Verdict};
 use advhunter_exec::TraceEngine;
-use advhunter_monitor::{Monitor, MonitorConfig, MonitorConfigError, OverloadPolicy, SubmitError};
+use advhunter_monitor::{
+    MonitorBuildError, MonitorBuilder, MonitorConfigError, MonitorRequest, OverloadPolicy,
+    SubmitError,
+};
 use advhunter_nn::{Graph, GraphBuilder};
 use advhunter_tensor::{init, Tensor};
 use rand::rngs::StdRng;
@@ -51,10 +54,11 @@ fn fixture() -> (Graph, TraceEngine, Detector, Vec<Tensor>) {
 /// deterministic part of each outcome.
 fn run_stream(stream: &[Tensor], threads: usize, micro_batch: usize) -> Vec<(u64, Verdict, bool)> {
     let (model, engine, detector, _) = fixture();
-    let config = MonitorConfig::new(ExecOptions::seeded(42).with_threads(threads))
-        .with_queue_capacity(stream.len().max(1))
-        .with_micro_batch(micro_batch);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(42).with_threads(threads))
+        .queue_capacity(stream.len().max(1))
+        .micro_batch(micro_batch)
+        .spawn(engine, model, detector)
+        .unwrap();
     for image in stream {
         monitor.submit(image.clone()).unwrap();
     }
@@ -97,10 +101,11 @@ fn verdict_stream_is_invariant_to_submission_batching() {
 
     // Same images trickled in one by one, with every verdict consumed
     // before the next submission — maximally different arrival pattern.
-    let config = MonitorConfig::new(ExecOptions::seeded(42).with_threads(2))
-        .with_queue_capacity(1)
-        .with_micro_batch(4);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(42).with_threads(2))
+        .queue_capacity(1)
+        .micro_batch(4)
+        .spawn(engine, model, detector)
+        .unwrap();
     let mut trickled = Vec::new();
     for image in &stream {
         monitor.submit(image.clone()).unwrap();
@@ -119,10 +124,11 @@ fn env_thread_override_does_not_change_verdicts() {
     std::env::set_var("ADVHUNTER_THREADS", "3");
     // ExecOptions::seeded picks up the env-driven parallelism.
     let (model, engine, detector, _) = fixture();
-    let config = MonitorConfig::new(ExecOptions::seeded(42))
-        .with_queue_capacity(stream.len())
-        .with_micro_batch(4);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(42))
+        .queue_capacity(stream.len())
+        .micro_batch(4)
+        .spawn(engine, model, detector)
+        .unwrap();
     std::env::remove_var("ADVHUNTER_THREADS");
     for image in &stream {
         monitor.submit(image.clone()).unwrap();
@@ -136,11 +142,12 @@ fn env_thread_override_does_not_change_verdicts() {
 #[test]
 fn shed_policy_rejects_when_full_and_recovers() {
     let (model, engine, detector, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::sequential(1))
-        .with_queue_capacity(4)
-        .with_micro_batch(2)
-        .with_overload(OverloadPolicy::Shed);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(1))
+        .queue_capacity(4)
+        .micro_batch(2)
+        .overload(OverloadPolicy::Shed)
+        .spawn(engine, model, detector)
+        .unwrap();
 
     // Hold the worker so the queue fills deterministically.
     monitor.pause();
@@ -175,11 +182,12 @@ fn shed_policy_rejects_when_full_and_recovers() {
 #[test]
 fn block_policy_admits_everything_without_shedding() {
     let (model, engine, detector, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::sequential(1))
-        .with_queue_capacity(2)
-        .with_micro_batch(2)
-        .with_overload(OverloadPolicy::Block);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(1))
+        .queue_capacity(2)
+        .micro_batch(2)
+        .overload(OverloadPolicy::Block)
+        .spawn(engine, model, detector)
+        .unwrap();
     // Submissions outnumber the queue capacity several times over; the
     // blocking policy parks the submitter instead of shedding.
     for image in &stream {
@@ -198,11 +206,14 @@ fn block_policy_counts_parked_submissions() {
     use std::sync::Arc;
 
     let (model, engine, detector, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::sequential(1))
-        .with_queue_capacity(2)
-        .with_micro_batch(2)
-        .with_overload(OverloadPolicy::Block);
-    let monitor = Arc::new(Monitor::spawn(engine, model, detector, config).unwrap());
+    let monitor = Arc::new(
+        MonitorBuilder::new(ExecOptions::sequential(1))
+            .queue_capacity(2)
+            .micro_batch(2)
+            .overload(OverloadPolicy::Block)
+            .spawn(engine, model, detector)
+            .unwrap(),
+    );
 
     // Hold the worker and fill the queue, so the next submission must park.
     monitor.pause();
@@ -241,8 +252,10 @@ fn block_policy_counts_parked_submissions() {
 #[test]
 fn metrics_snapshot_unifies_monitor_engine_and_pool_families() {
     let (model, engine, detector, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::seeded(3).with_threads(2)).with_micro_batch(4);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(3).with_threads(2))
+        .micro_batch(4)
+        .spawn(engine, model, detector)
+        .unwrap();
     for image in &stream {
         monitor.submit(image.clone()).unwrap();
     }
@@ -294,8 +307,10 @@ fn metrics_snapshot_unifies_monitor_engine_and_pool_families() {
 #[test]
 fn close_ends_the_stream_and_rejects_new_work() {
     let (model, engine, detector, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::sequential(5)).with_micro_batch(3);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(5))
+        .micro_batch(3)
+        .spawn(engine, model, detector)
+        .unwrap();
     for image in stream.iter().take(5) {
         monitor.submit(image.clone()).unwrap();
     }
@@ -313,8 +328,10 @@ fn close_ends_the_stream_and_rejects_new_work() {
 #[test]
 fn telemetry_and_stats_describe_the_run() {
     let (model, engine, detector, stream) = fixture();
-    let config = MonitorConfig::new(ExecOptions::seeded(9).with_threads(2)).with_micro_batch(4);
-    let monitor = Monitor::spawn(engine, model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(9).with_threads(2))
+        .micro_batch(4)
+        .spawn(engine, model, detector)
+        .unwrap();
     for image in &stream {
         monitor.submit(image.clone()).unwrap();
     }
@@ -338,9 +355,40 @@ fn telemetry_and_stats_describe_the_run() {
 #[test]
 fn spawn_rejects_invalid_configs() {
     let (model, engine, detector, _) = fixture();
-    let bad = MonitorConfig::default().with_queue_capacity(0);
-    assert_eq!(
-        Monitor::spawn(engine, model, detector, bad).err(),
-        Some(MonitorConfigError::ZeroQueueCapacity)
-    );
+    let err = MonitorBuilder::new(ExecOptions::default())
+        .queue_capacity(0)
+        .spawn(engine, model, detector)
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        MonitorBuildError::Config(MonitorConfigError::ZeroQueueCapacity)
+    ));
+}
+
+#[test]
+fn monitor_request_carries_tenant_and_correlation() {
+    let (model, engine, detector, stream) = fixture();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(11))
+        .micro_batch(4)
+        .spawn(engine, model, detector)
+        .unwrap();
+    monitor.submit(stream[0].clone()).unwrap();
+    monitor
+        .submit(
+            MonitorRequest::new(stream[1].clone())
+                .tenant(7)
+                .request_id(0xBEEF),
+        )
+        .unwrap();
+    monitor.close();
+    let first = monitor.recv().unwrap();
+    assert_eq!(first.request_id, 0);
+    assert_eq!(first.correlation_id, None);
+    assert_eq!(first.config_epoch, 0, "no swap happened");
+    let second = monitor.recv().unwrap();
+    assert_eq!(second.request_id, 1);
+    assert_eq!(second.tenant, 7);
+    assert_eq!(second.correlation_id, Some(0xBEEF));
+    assert!(monitor.recv().is_none());
 }

@@ -1,0 +1,129 @@
+//! A small blocking TCP client for the monitor's wire protocol.
+
+use std::collections::VecDeque;
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::frame::{read_frame, write_frame, Frame, WireError};
+use crate::request::MonitorRequest;
+use crate::types::{ControlOp, Reject, WireStats, WireVerdict};
+
+/// One reply to a submitted request: either its verdict or a typed
+/// rejection (overload shed / service closed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerReply {
+    /// The request was scored.
+    Verdict(WireVerdict),
+    /// The request was refused without scoring.
+    Rejected(Reject),
+}
+
+/// Blocking wire-protocol client.
+///
+/// Submissions and replies are decoupled: [`submit`](Self::submit) only
+/// writes, [`recv_reply`](Self::recv_reply) reads the next verdict or
+/// rejection. Out-of-band frames that arrive while waiting for a
+/// specific kind (e.g. verdicts landing during a [`stats`](Self::stats)
+/// round-trip) are buffered and handed out by later `recv_reply` calls,
+/// so pipelined submission works naturally.
+#[derive(Debug)]
+pub struct MonitorClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    pending: VecDeque<ServerReply>,
+}
+
+impl MonitorClient {
+    /// Connects to a serving monitor.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Self {
+            reader: stream,
+            writer,
+            pending: VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        use std::io::Write;
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn next_frame(&mut self) -> Result<Frame, WireError> {
+        read_frame(&mut self.reader)?.ok_or(WireError::UnexpectedEof)
+    }
+
+    /// Submits one request. The reply arrives via
+    /// [`recv_reply`](Self::recv_reply) in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on transport failure.
+    pub fn submit(&mut self, request: &MonitorRequest) -> Result<(), WireError> {
+        self.send(&Frame::Request(request.clone()))
+    }
+
+    /// Receives the next verdict or rejection (buffered frames first).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnexpectedEof`] if the server hung up;
+    /// [`WireError::Malformed`] if it sent a non-reply frame out of turn.
+    pub fn recv_reply(&mut self) -> Result<ServerReply, WireError> {
+        if let Some(reply) = self.pending.pop_front() {
+            return Ok(reply);
+        }
+        match self.next_frame()? {
+            Frame::Verdict(v) => Ok(ServerReply::Verdict(v)),
+            Frame::Reject(r) => Ok(ServerReply::Rejected(r)),
+            _ => Err(WireError::Malformed("expected a verdict or reject frame")),
+        }
+    }
+
+    /// Round-trips a stats request. Verdicts and rejections that arrive
+    /// first are buffered for [`recv_reply`](Self::recv_reply).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or protocol violation.
+    pub fn stats(&mut self) -> Result<WireStats, WireError> {
+        self.send(&Frame::StatsRequest)?;
+        loop {
+            match self.next_frame()? {
+                Frame::Stats(s) => return Ok(s),
+                Frame::Verdict(v) => self.pending.push_back(ServerReply::Verdict(v)),
+                Frame::Reject(r) => self.pending.push_back(ServerReply::Rejected(r)),
+                _ => return Err(WireError::Malformed("expected a stats frame")),
+            }
+        }
+    }
+
+    /// Round-trips a control operation, returning the detector epoch at
+    /// acknowledgement. In-flight verdicts/rejections are buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on transport failure or protocol violation.
+    pub fn control(&mut self, op: ControlOp) -> Result<u64, WireError> {
+        self.send(&Frame::Control(op))?;
+        loop {
+            match self.next_frame()? {
+                Frame::ControlAck {
+                    op: acked,
+                    config_epoch,
+                } if acked == op => return Ok(config_epoch),
+                Frame::Verdict(v) => self.pending.push_back(ServerReply::Verdict(v)),
+                Frame::Reject(r) => self.pending.push_back(ServerReply::Rejected(r)),
+                _ => return Err(WireError::Malformed("expected a control ack frame")),
+            }
+        }
+    }
+}

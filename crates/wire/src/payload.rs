@@ -1,0 +1,299 @@
+//! Payload codecs for each frame kind. All multi-byte values are
+//! little-endian; floats travel as IEEE-754 bit patterns so decode ∘
+//! encode is the identity down to the bit.
+
+use advhunter::{EventScore, Verdict};
+use advhunter_fingerprint::MatchReport;
+use advhunter_tensor::Tensor;
+use advhunter_uarch::HpcEvent;
+
+use crate::frame::{WireError, MAX_PAYLOAD};
+use crate::request::MonitorRequest;
+use crate::types::{Reject, RejectCode, WireStats, WireVerdict};
+
+/// Most dimensions a request image may declare.
+const MAX_DIMS: usize = 8;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(WireError::Malformed("payload shorter than declared"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("boolean byte must be 0 or 1")),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+pub(crate) fn encode_request(req: &MonitorRequest) -> Vec<u8> {
+    let dims = req.image.shape().dims();
+    let data = req.image.data();
+    let mut out = Vec::with_capacity(8 + 9 + 1 + dims.len() * 4 + data.len() * 4);
+    out.extend_from_slice(&req.tenant.to_le_bytes());
+    put_opt_u64(&mut out, req.request_id);
+    debug_assert!(dims.len() <= MAX_DIMS, "image rank exceeds the wire cap");
+    out.push(dims.len() as u8);
+    for &d in dims {
+        debug_assert!(d <= u32::MAX as usize);
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+pub(crate) fn decode_request(payload: &[u8]) -> Result<MonitorRequest, WireError> {
+    let mut c = Cursor::new(payload);
+    let tenant = c.u64()?;
+    let request_id = c.opt_u64()?;
+    let ndim = c.u8()? as usize;
+    if ndim == 0 || ndim > MAX_DIMS {
+        return Err(WireError::Malformed("image rank out of range"));
+    }
+    let mut dims = Vec::with_capacity(ndim);
+    let mut count: usize = 1;
+    for _ in 0..ndim {
+        let d = c.u32()? as usize;
+        count = count
+            .checked_mul(d)
+            .filter(|&n| n <= MAX_PAYLOAD as usize / 4)
+            .ok_or(WireError::Malformed(
+                "image element count overflows the frame cap",
+            ))?;
+        dims.push(d);
+    }
+    let mut data = Vec::with_capacity(count);
+    for _ in 0..count {
+        data.push(f32::from_bits(c.u32()?));
+    }
+    c.finish()?;
+    let image = Tensor::from_vec(data, &dims)
+        .map_err(|_| WireError::Malformed("image data does not match declared shape"))?;
+    Ok(MonitorRequest {
+        image,
+        tenant,
+        request_id,
+    })
+}
+
+pub(crate) fn encode_verdict(v: &WireVerdict) -> Vec<u8> {
+    let scores = v.verdict.scores();
+    let mut out = Vec::with_capacity(64 + scores.len() * 17);
+    out.extend_from_slice(&v.request_id.to_le_bytes());
+    put_opt_u64(&mut out, v.correlation_id);
+    out.extend_from_slice(&v.tenant.to_le_bytes());
+    out.extend_from_slice(&v.config_epoch.to_le_bytes());
+    out.extend_from_slice(&(v.verdict.predicted() as u64).to_le_bytes());
+    debug_assert!(scores.len() <= usize::from(u16::MAX));
+    out.extend_from_slice(&(scores.len() as u16).to_le_bytes());
+    for s in scores {
+        out.push(s.event.index() as u8);
+        out.extend_from_slice(&s.nll.to_bits().to_le_bytes());
+        out.extend_from_slice(&s.threshold.to_bits().to_le_bytes());
+    }
+    put_bool(&mut out, v.hpc_anomalous);
+    put_bool(&mut out, v.query_correlated);
+    put_bool(&mut out, v.flagged);
+    match &v.fingerprint {
+        Some(fp) => {
+            out.push(1);
+            out.extend_from_slice(&fp.score.to_bits().to_le_bytes());
+            out.extend_from_slice(&(fp.best_overlap as u64).to_le_bytes());
+            out.extend_from_slice(&(fp.probes as u64).to_le_bytes());
+            out.extend_from_slice(&(fp.window_len as u64).to_le_bytes());
+            put_bool(&mut out, fp.matched);
+            put_bool(&mut out, fp.shed);
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+pub(crate) fn decode_verdict(payload: &[u8]) -> Result<WireVerdict, WireError> {
+    let mut c = Cursor::new(payload);
+    let request_id = c.u64()?;
+    let correlation_id = c.opt_u64()?;
+    let tenant = c.u64()?;
+    let config_epoch = c.u64()?;
+    let predicted = usize::try_from(c.u64()?)
+        .map_err(|_| WireError::Malformed("predicted class exceeds usize"))?;
+    let n_scores = c.u16()? as usize;
+    let mut scores = Vec::with_capacity(n_scores);
+    for _ in 0..n_scores {
+        let event = *HpcEvent::ALL
+            .get(c.u8()? as usize)
+            .ok_or(WireError::Malformed("unknown HPC event index"))?;
+        let nll = c.f64_bits()?;
+        let threshold = c.f64_bits()?;
+        scores.push(EventScore {
+            event,
+            nll,
+            threshold,
+        });
+    }
+    let hpc_anomalous = c.bool()?;
+    let query_correlated = c.bool()?;
+    let flagged = c.bool()?;
+    let fingerprint = if c.bool()? {
+        let score = c.f64_bits()?;
+        let best_overlap = c.u64()? as usize;
+        let probes = c.u64()? as usize;
+        let window_len = c.u64()? as usize;
+        let matched = c.bool()?;
+        let shed = c.bool()?;
+        Some(MatchReport {
+            score,
+            best_overlap,
+            probes,
+            window_len,
+            matched,
+            shed,
+        })
+    } else {
+        None
+    };
+    c.finish()?;
+    Ok(WireVerdict {
+        request_id,
+        correlation_id,
+        tenant,
+        config_epoch,
+        verdict: Verdict::new(predicted, scores),
+        hpc_anomalous,
+        query_correlated,
+        fingerprint,
+        flagged,
+    })
+}
+
+pub(crate) fn encode_stats(s: &WireStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(72);
+    for v in [
+        s.submitted,
+        s.completed,
+        s.shed,
+        s.blocked,
+        s.drained,
+        s.batches,
+        s.config_epoch,
+        s.detector_swaps,
+        s.drift_events,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+pub(crate) fn decode_stats(payload: &[u8]) -> Result<WireStats, WireError> {
+    let mut c = Cursor::new(payload);
+    let stats = WireStats {
+        submitted: c.u64()?,
+        completed: c.u64()?,
+        shed: c.u64()?,
+        blocked: c.u64()?,
+        drained: c.u64()?,
+        batches: c.u64()?,
+        config_epoch: c.u64()?,
+        detector_swaps: c.u64()?,
+        drift_events: c.u64()?,
+    };
+    c.finish()?;
+    Ok(stats)
+}
+
+pub(crate) fn encode_reject(r: &Reject) -> Vec<u8> {
+    let msg = r.message.as_bytes();
+    let mut out = Vec::with_capacity(12 + msg.len());
+    out.push(r.code.tag());
+    put_opt_u64(&mut out, r.correlation_id);
+    let len = msg.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&msg[..len]);
+    out
+}
+
+pub(crate) fn decode_reject(payload: &[u8]) -> Result<Reject, WireError> {
+    let mut c = Cursor::new(payload);
+    let code = RejectCode::from_tag(c.u8()?).ok_or(WireError::Malformed("unknown reject code"))?;
+    let correlation_id = c.opt_u64()?;
+    let len = c.u16()? as usize;
+    let message = std::str::from_utf8(c.take(len)?)
+        .map_err(|_| WireError::Malformed("reject message is not UTF-8"))?
+        .to_owned();
+    c.finish()?;
+    Ok(Reject {
+        code,
+        correlation_id,
+        message,
+    })
+}

@@ -1,0 +1,67 @@
+//! The unified submission type shared by the in-process and wire paths.
+
+use advhunter_fingerprint::{FingerprintStore, TenantId};
+use advhunter_tensor::Tensor;
+
+/// One query submitted to the monitor: the image plus optional
+/// routing/attribution metadata.
+///
+/// This is the single submission schema: `Monitor::submit` takes it
+/// in-process and frame kind `Request` serializes exactly this struct,
+/// so a remote client cannot express anything the library path cannot
+/// (and vice versa).
+///
+/// ```
+/// use advhunter_tensor::Tensor;
+/// use advhunter_wire::MonitorRequest;
+///
+/// let image = Tensor::zeros(&[3, 4, 4]);
+/// let req = MonitorRequest::new(image).tenant(7).request_id(42);
+/// assert_eq!(req.tenant, 7);
+/// assert_eq!(req.request_id, Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorRequest {
+    /// The query image, in the model's input shape.
+    pub image: Tensor,
+    /// Tenant this query bills to in the query-fingerprint defense
+    /// (defaults to [`FingerprintStore::DEFAULT_TENANT`]).
+    pub tenant: TenantId,
+    /// Caller-chosen correlation id, echoed verbatim in the verdict (and
+    /// in reject frames on the wire path). Independent of the monitor's
+    /// own admission-ordered request id.
+    pub request_id: Option<u64>,
+}
+
+impl MonitorRequest {
+    /// A request for `image` under the default tenant, with no
+    /// correlation id.
+    #[must_use]
+    pub fn new(image: Tensor) -> Self {
+        Self {
+            image,
+            tenant: FingerprintStore::DEFAULT_TENANT,
+            request_id: None,
+        }
+    }
+
+    /// Bills the query to `tenant` in the fingerprint defense.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Attaches a caller correlation id, echoed in the verdict.
+    #[must_use]
+    pub fn request_id(mut self, id: u64) -> Self {
+        self.request_id = Some(id);
+        self
+    }
+}
+
+impl From<Tensor> for MonitorRequest {
+    fn from(image: Tensor) -> Self {
+        Self::new(image)
+    }
+}

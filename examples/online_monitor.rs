@@ -14,7 +14,7 @@ use advhunter::scenario::ScenarioId;
 use advhunter::{ArtifactStore, ExecOptions, Pipeline, PipelineConfig};
 use advhunter_attacks::{Attack, AttackGoal};
 use advhunter_data::SplitSizes;
-use advhunter_monitor::{Monitor, MonitorConfig, OverloadPolicy};
+use advhunter_monitor::{MonitorBuilder, OverloadPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,11 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    every request's noise stream (request i is measured with
     //    derive_seed(seed, i), so the verdict stream is bit-identical at
     //    any thread count or batching).
-    let config = MonitorConfig::new(opts.stage(2))
-        .with_queue_capacity(32)
-        .with_micro_batch(8)
-        .with_overload(OverloadPolicy::Block);
-    let monitor = Monitor::spawn_from_store(pipeline, store, config)?;
+    let monitor = MonitorBuilder::new(opts.stage(2))
+        .queue_capacity(32)
+        .micro_batch(8)
+        .overload(OverloadPolicy::Block)
+        .spawn_from_store(pipeline, store)?;
 
     // 3. The request stream: alternate clean test images with untargeted
     //    FGSM perturbations of the same images.

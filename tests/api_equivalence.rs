@@ -11,7 +11,9 @@ use advhunter::scenario::{build_scenario, ScenarioArtifacts, ScenarioId};
 use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate, Verdict};
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_data::SplitSizes;
-use advhunter_monitor::{FingerprintConfig, FusionPolicy, Monitor, MonitorConfig, OverloadPolicy};
+use advhunter_monitor::{
+    FingerprintConfig, FusionPolicy, MonitorBuilder, MonitorRequest, OverloadPolicy,
+};
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -189,16 +191,19 @@ fn run_fused(threads: usize, overload: OverloadPolicy, trickle: bool) -> Vec<Fus
     let template = OfflineTemplate::from_samples(per_class);
     let detector = Detector::fit(&template, &DetectorConfig::default(), &opts.stage(1)).unwrap();
     let stream = fused_stream(&art);
-    let config = MonitorConfig::new(ExecOptions::seeded(46).with_threads(threads))
-        .with_queue_capacity(stream.len().max(1))
-        .with_micro_batch(3)
-        .with_overload(overload)
-        .with_fingerprint(fused_fp_config())
-        .with_fusion(FusionPolicy::Or);
-    let monitor = Monitor::spawn(art.engine, art.model, detector, config).unwrap();
+    let monitor = MonitorBuilder::new(ExecOptions::seeded(46).with_threads(threads))
+        .queue_capacity(stream.len().max(1))
+        .micro_batch(3)
+        .overload(overload)
+        .fingerprint(fused_fp_config())
+        .fusion(FusionPolicy::Or)
+        .spawn(art.engine, art.model, detector)
+        .unwrap();
     let mut out = Vec::new();
     for (tenant, image) in stream {
-        monitor.submit_from(tenant, image).unwrap();
+        monitor
+            .submit(MonitorRequest::new(image).tenant(tenant))
+            .unwrap();
         if trickle {
             // Consume each verdict before the next submission — the
             // maximally different arrival pattern.
