@@ -22,7 +22,7 @@
 //! advhunter serve  <SCN> [--addr A] [--store DIR] [--tiny] [--seed N]
 //!                  [--capacity N] [--batch N] [--shed] [--watch-ms N]
 //!                  [--drift] [--drift-window N] [--drift-slack F]
-//!                  [--drift-threshold F]
+//!                  [--drift-threshold F] [--allow-remote-control]
 //!                                       serve the monitor over TCP (AHP1
 //!                                       wire protocol) until a client
 //!                                       sends the shutdown control
@@ -55,7 +55,10 @@
 //! `serve` binds a TCP listener (port 0 gives an ephemeral port; the
 //! bound address is printed as `listening on ADDR`), boots the monitor
 //! from the staged pipeline, and serves the `AHP1` wire protocol until
-//! some client sends the shutdown control. It watches the store for
+//! some client sends the shutdown control. Control frames
+//! (pause/resume/shutdown) are honored only from loopback peers unless
+//! `--allow-remote-control` is passed; denied ops get a typed reject and
+//! the connection keeps scoring. It watches the store for
 //! redeployed detectors every `--watch-ms` (50 by default, 0 disables)
 //! and hot-swaps without dropping a request; `--drift*` arms the
 //! clean-NLL drift test that triggers automatic recalibration. `deploy`
@@ -74,7 +77,8 @@ use advhunter::{
 };
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_monitor::{
-    DriftConfig, FingerprintConfig, FusionPolicy, MonitorBuilder, OverloadPolicy, WireServer,
+    ControlAccess, DriftConfig, FingerprintConfig, FusionPolicy, MonitorBuilder, OverloadPolicy,
+    WireServer,
 };
 use advhunter_uarch::HpcEvent;
 use rand::rngs::StdRng;
@@ -748,6 +752,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut watch_ms = 50u64;
     let mut drift = false;
     let mut drift_config = DriftConfig::default();
+    let mut control = ControlAccess::Loopback;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -798,6 +803,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
             "--drift" => {
                 drift = true;
+                i += 1;
+            }
+            "--allow-remote-control" => {
+                control = ControlAccess::Any;
                 i += 1;
             }
             "--drift-window" => {
@@ -860,7 +869,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let monitor = builder
         .spawn_from_store(config, store)
         .map_err(|e| e.to_string())?;
-    let server = WireServer::bind(monitor, &*addr).map_err(|e| e.to_string())?;
+    let server = WireServer::bind_with(monitor, &*addr, control).map_err(|e| e.to_string())?;
     // The port-0 contract: this exact line is how scripts learn the port.
     println!("listening on {}", server.local_addr());
     println!(

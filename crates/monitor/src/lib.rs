@@ -57,7 +57,7 @@ pub use drift::{
     StoreDetectorSource,
 };
 pub use queue::{BoundedQueue, PushError, Pushed};
-pub use server::WireServer;
+pub use server::{ControlAccess, WireServer};
 pub use service::{Monitor, MonitorVerdict, RequestTelemetry, SpawnFromStoreError, SubmitError};
 pub use stats::{ClassFlagStats, StatsSnapshot};
 

@@ -26,6 +26,13 @@
 //!   on registration.
 //! * Each **writer** serializes outbound frames for one client, so slow
 //!   clients never block the dispatcher.
+//!
+//! Requests are shape-checked against the served model before admission
+//! (a mismatch is a typed `BadRequest` reject, never a worker panic),
+//! control frames are gated by [`ControlAccess`] (loopback-only by
+//! default), and a disconnected client's socket and writer are released
+//! the moment its reader exits — a long-running server holds resources
+//! proportional to its live clients, not its connection history.
 
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
@@ -43,19 +50,49 @@ use advhunter_wire::{
 use crate::service::{Monitor, MonitorVerdict, SubmitError};
 use crate::stats::StatsSnapshot;
 
+/// Who may issue [`ControlOp`] frames (pause/resume/shutdown) over the
+/// wire. Request and stats frames are always allowed — this only gates
+/// the operations that affect *every* client of the shared monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlAccess {
+    /// Control frames are honored only for loopback peers (the default):
+    /// a co-located operator keeps pause/shutdown, remote tenants cannot
+    /// stall or stop the service.
+    #[default]
+    Loopback,
+    /// Any connected client may issue control frames. Only safe when
+    /// every peer is trusted.
+    Any,
+    /// All control frames are refused, even from loopback.
+    Deny,
+}
+
 /// Maps admission ids to the submitting connection's outbound channel.
-/// `orphans` parks verdicts that outran their route registration.
+/// `orphans` parks verdicts that outran their route registration;
+/// `closed` refuses late registrations once shutdown has cleared the
+/// table (a re-inserted Sender would keep its writer alive forever).
 #[derive(Default)]
 struct RouteTable {
     routes: HashMap<u64, Sender<Frame>>,
     orphans: HashMap<u64, Frame>,
+    closed: bool,
+}
+
+/// One tracked client connection. The reader releases the stream and
+/// writer itself on disconnect (see [`release_conn`]); its own join
+/// handle stays until the acceptor's next sweep or [`WireServer::stop`]
+/// reaps it.
+struct Conn {
+    stream: Option<TcpStream>,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
 }
 
 struct ServerState {
     stopping: AtomicBool,
+    control: ControlAccess,
     table: Mutex<RouteTable>,
-    conns: Mutex<Vec<TcpStream>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    conns: Mutex<HashMap<u64, Conn>>,
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -106,20 +143,36 @@ pub struct WireServer {
 }
 
 impl WireServer {
-    /// Binds `addr` and starts serving `monitor` over it.
+    /// Binds `addr` and starts serving `monitor` over it, honoring
+    /// control frames only from loopback peers
+    /// ([`ControlAccess::Loopback`]).
     ///
     /// # Errors
     ///
     /// [`io::Error`] when the address cannot be bound.
     pub fn bind(monitor: Monitor, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(monitor, addr, ControlAccess::default())
+    }
+
+    /// Binds `addr` with an explicit [`ControlAccess`] policy for
+    /// pause/resume/shutdown frames.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] when the address cannot be bound.
+    pub fn bind_with(
+        monitor: Monitor,
+        addr: impl ToSocketAddrs,
+        control: ControlAccess,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let monitor = Arc::new(monitor);
         let state = Arc::new(ServerState {
             stopping: AtomicBool::new(false),
+            control,
             table: Mutex::new(RouteTable::default()),
-            conns: Mutex::new(Vec::new()),
-            threads: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
@@ -159,6 +212,14 @@ impl WireServer {
         self.monitor
             .as_deref()
             .expect("monitor present until stop()")
+    }
+
+    /// Number of tracked client connections: the live ones, plus any
+    /// that disconnected since the acceptor's last sweep (each sweep
+    /// happens on accept; disconnected clients release their socket
+    /// immediately either way).
+    pub fn connections(&self) -> usize {
+        self.state.conns.lock().expect("conns poisoned").len()
     }
 
     /// Blocks until some client sends
@@ -212,26 +273,35 @@ impl WireServer {
         if let Some(dispatcher) = self.dispatcher.take() {
             let _ = dispatcher.join();
         }
-        // Disconnect the clients: readers unblock out of read_frame and
-        // exit; dropping the route table drops the last outbound senders
-        // so writers exit too.
-        for conn in self.state.conns.lock().expect("conns poisoned").drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
+        // Close the route table before joining anything: dropping the
+        // registered senders lets the writers exit, and the `closed` flag
+        // stops a racing reader (whose submit returned Ok just before
+        // close) from re-inserting a sender that would keep its writer —
+        // and therefore this join below — alive forever.
         {
             let mut table = self.state.table.lock().expect("route table poisoned");
+            table.closed = true;
             table.routes.clear();
             table.orphans.clear();
         }
-        let threads: Vec<_> = self
-            .state
-            .threads
-            .lock()
-            .expect("thread list poisoned")
-            .drain(..)
-            .collect();
-        for t in threads {
-            let _ = t.join();
+        // Disconnect the clients: readers unblock out of read_frame and
+        // exit, then join their own writers.
+        let conns: Vec<Conn> = {
+            let mut conns = self.state.conns.lock().expect("conns poisoned");
+            conns.drain().map(|(_, conn)| conn).collect()
+        };
+        for conn in &conns {
+            if let Some(stream) = &conn.stream {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        for mut conn in conns {
+            if let Some(reader) = conn.reader.take() {
+                let _ = reader.join();
+            }
+            if let Some(writer) = conn.writer.take() {
+                let _ = writer.join();
+            }
         }
         let monitor = Arc::into_inner(monitor)
             .expect("all per-connection threads joined, so this is the last monitor handle");
@@ -246,40 +316,104 @@ impl Drop for WireServer {
 }
 
 fn acceptor_loop(listener: &TcpListener, monitor: &Arc<Monitor>, state: &Arc<ServerState>) {
+    let mut next_conn_id: u64 = 0;
     for stream in listener.incoming() {
         if state.stopping.load(Ordering::SeqCst) {
             break;
         }
+        reap_finished(state);
         let Ok(stream) = stream else { continue };
         if stream.set_nodelay(true).is_err() {
             continue;
         }
+        let allow_control = match state.control {
+            ControlAccess::Any => true,
+            ControlAccess::Deny => false,
+            ControlAccess::Loopback => stream.peer_addr().is_ok_and(|peer| peer.ip().is_loopback()),
+        };
         let Ok(read_half) = stream.try_clone() else {
             continue;
         };
         let Ok(write_half) = stream.try_clone() else {
             continue;
         };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
         let (out_tx, out_rx) = std::sync::mpsc::channel::<Frame>();
         let reader = {
             let monitor = Arc::clone(monitor);
             let state = Arc::clone(state);
             std::thread::Builder::new()
                 .name("advhunter-conn-reader".into())
-                .spawn(move || reader_loop(read_half, &monitor, &state, &out_tx))
+                .spawn(move || {
+                    reader_loop(read_half, &monitor, &state, &out_tx, allow_control);
+                    // The route table may still hold this connection's
+                    // senders for in-flight verdicts; our own must go
+                    // before release_conn waits on the writer.
+                    drop(out_tx);
+                    release_conn(&state, conn_id);
+                })
         };
         let writer = std::thread::Builder::new()
             .name("advhunter-conn-writer".into())
             .spawn(move || writer_loop(write_half, &out_rx));
-        let mut threads = state.threads.lock().expect("thread list poisoned");
-        if let Ok(t) = reader {
-            threads.push(t);
+        state.conns.lock().expect("conns poisoned").insert(
+            conn_id,
+            Conn {
+                stream: Some(stream),
+                reader: reader.ok(),
+                writer: writer.ok(),
+            },
+        );
+    }
+}
+
+/// Called by a connection's reader as it exits: close the socket and
+/// wait out the writer so the file descriptors are released the moment
+/// the client disconnects, not at server stop. The writer drains once
+/// the dispatcher has delivered this connection's in-flight verdicts
+/// (each delivery drops a route-table sender) — then its receiver
+/// disconnects and it exits.
+fn release_conn(state: &ServerState, conn_id: u64) {
+    let (stream, writer) = {
+        let mut conns = state.conns.lock().expect("conns poisoned");
+        match conns.get_mut(&conn_id) {
+            Some(conn) => (conn.stream.take(), conn.writer.take()),
+            None => (None, None),
         }
-        if let Ok(t) = writer {
-            threads.push(t);
+    };
+    if let Some(stream) = stream {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    if let Some(writer) = writer {
+        let _ = writer.join();
+    }
+}
+
+/// Drops the bookkeeping of connections whose reader has exited (their
+/// sockets and writers were already released by [`release_conn`]).
+/// Swept on every accept, so a long-running server's tracking stays
+/// proportional to its *live* clients.
+fn reap_finished(state: &ServerState) {
+    let finished: Vec<Conn> = {
+        let mut conns = state.conns.lock().expect("conns poisoned");
+        let done: Vec<u64> = conns
+            .iter()
+            .filter(|(_, conn)| conn.reader.as_ref().is_none_or(JoinHandle::is_finished))
+            .map(|(&id, _)| id)
+            .collect();
+        done.iter().filter_map(|id| conns.remove(id)).collect()
+    };
+    for mut conn in finished {
+        if let Some(stream) = conn.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
         }
-        drop(threads);
-        state.conns.lock().expect("conns poisoned").push(stream);
+        if let Some(reader) = conn.reader.take() {
+            let _ = reader.join();
+        }
+        if let Some(writer) = conn.writer.take() {
+            let _ = writer.join();
+        }
     }
 }
 
@@ -306,6 +440,7 @@ fn reader_loop(
     monitor: &Arc<Monitor>,
     state: &Arc<ServerState>,
     out_tx: &Sender<Frame>,
+    allow_control: bool,
 ) {
     loop {
         let frame = match read_frame(&mut stream) {
@@ -333,6 +468,24 @@ fn reader_loop(
                 }
             }
             Frame::Control(op) => {
+                if !allow_control {
+                    // Denied, not a protocol violation: the client may
+                    // keep submitting, it just cannot steer the shared
+                    // service (see ControlAccess).
+                    if out_tx
+                        .send(Frame::Reject(Reject {
+                            code: RejectCode::Denied,
+                            correlation_id: None,
+                            message: format!(
+                                "control op {op:?} denied by the server's access policy"
+                            ),
+                        }))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
                 match op {
                     ControlOp::Pause => monitor.pause(),
                     ControlOp::Resume => monitor.resume(),
@@ -370,13 +523,34 @@ fn handle_request(
     out_tx: &Sender<Frame>,
 ) {
     let correlation = request.request_id;
+    // Validate the shape before admission: the wire codec accepts any
+    // rank-1..8 tensor, but the engine asserts the model's input shape —
+    // one mismatched frame must become a typed reject, never a panic in
+    // the shared worker. (`Monitor::submit` re-checks; this pre-check
+    // only exists to word the reject with the expected dims.)
+    if request.image.shape().dims() != monitor.input_dims() {
+        let _ = out_tx.send(Frame::Reject(Reject {
+            code: RejectCode::BadRequest,
+            correlation_id: correlation,
+            message: format!(
+                "image shape {:?} does not match the model input {:?}",
+                request.image.shape().dims(),
+                monitor.input_dims()
+            ),
+        }));
+        return;
+    }
     match monitor.submit(request) {
         Ok(id) => {
             let mut table = state.table.lock().expect("route table poisoned");
             // The dispatcher may already have parked this verdict.
             if let Some(frame) = table.orphans.remove(&id) {
                 let _ = out_tx.send(frame);
-            } else {
+            } else if !table.closed {
+                // After close() the table stays closed: registering here
+                // would strand a Sender nothing ever removes. The verdict
+                // (if any) was already delivered or dropped with the
+                // orphan buffer — this connection is being torn down.
                 table.routes.insert(id, out_tx.clone());
             }
         }
@@ -384,6 +558,7 @@ fn handle_request(
             let code = match err {
                 SubmitError::Overloaded => RejectCode::Overloaded,
                 SubmitError::Closed => RejectCode::Closed,
+                SubmitError::ShapeMismatch => RejectCode::BadRequest,
             };
             let _ = out_tx.send(Frame::Reject(Reject {
                 code,

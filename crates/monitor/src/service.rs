@@ -27,6 +27,11 @@ pub enum SubmitError {
     Overloaded,
     /// The monitor has been closed.
     Closed,
+    /// The request image's shape does not match the served model's input
+    /// shape ([`Monitor::input_dims`]). Checked before admission, so a
+    /// bad request never reaches the worker — the wire path depends on
+    /// this to keep one hostile frame from stalling every client.
+    ShapeMismatch,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -34,6 +39,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             Self::Overloaded => write!(f, "monitor queue is full (request shed)"),
             Self::Closed => write!(f, "monitor is closed"),
+            Self::ShapeMismatch => write!(f, "image shape does not match the model input"),
         }
     }
 }
@@ -364,10 +370,15 @@ impl Monitor {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Overloaded`] when the queue is full under the shed
-    /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
+    /// [`SubmitError::ShapeMismatch`] when the image's shape is not the
+    /// model's input shape; [`SubmitError::Overloaded`] when the queue is
+    /// full under the shed policy; [`SubmitError::Closed`] after
+    /// [`close`](Self::close).
     pub fn submit(&self, request: impl Into<MonitorRequest>) -> Result<u64, SubmitError> {
         let request = request.into();
+        if request.image.shape().dims() != self.shared.model.input_dims() {
+            return Err(SubmitError::ShapeMismatch);
+        }
         let MonitorRequest {
             image,
             tenant,
@@ -439,6 +450,12 @@ impl Monitor {
     /// Current queue depth (requests admitted but not yet measured).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// The served model's input shape — the shape every submitted image
+    /// must have (see [`SubmitError::ShapeMismatch`]).
+    pub fn input_dims(&self) -> &[usize] {
+        self.shared.model.input_dims()
     }
 
     /// The current detector configuration epoch (0 until the first

@@ -140,6 +140,34 @@ fn env_thread_override_does_not_change_verdicts() {
 }
 
 #[test]
+fn mismatched_shape_is_refused_before_admission() {
+    let (model, engine, detector, stream) = fixture();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(3))
+        .micro_batch(2)
+        .spawn(engine, model, detector)
+        .unwrap();
+    assert_eq!(monitor.input_dims(), &[1, 6, 6]);
+    // Wrong dims, wrong rank, and a zero-sized tensor: none may reach
+    // the worker (whose engine asserts the model input shape).
+    for dims in [&[2usize, 6, 6][..], &[36], &[1, 6, 0]] {
+        assert_eq!(
+            monitor.submit(Tensor::zeros(dims)),
+            Err(SubmitError::ShapeMismatch)
+        );
+        assert_eq!(
+            monitor.submit(MonitorRequest::new(Tensor::zeros(dims)).tenant(3)),
+            Err(SubmitError::ShapeMismatch)
+        );
+    }
+    // Nothing was admitted, and the worker is still alive for valid work.
+    monitor.submit(stream[0].clone()).unwrap();
+    assert!(monitor.recv().is_some());
+    let stats = monitor.shutdown();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
 fn shed_policy_rejects_when_full_and_recovers() {
     let (model, engine, detector, stream) = fixture();
     let monitor = MonitorBuilder::new(ExecOptions::sequential(1))

@@ -6,10 +6,12 @@
 
 use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate, Verdict};
 use advhunter_exec::TraceEngine;
-use advhunter_monitor::{MonitorBuilder, OverloadPolicy, WireServer};
+use advhunter_monitor::{ControlAccess, MonitorBuilder, OverloadPolicy, WireServer};
 use advhunter_nn::{Graph, GraphBuilder};
 use advhunter_tensor::{init, Tensor};
-use advhunter_wire::{ControlOp, MonitorClient, MonitorRequest, RejectCode, ServerReply};
+use advhunter_wire::{
+    ControlOp, MonitorClient, MonitorRequest, RejectCode, ServerReply, WireError,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -206,6 +208,134 @@ fn shed_overload_maps_to_reject_frames() {
     let stats = server.stop();
     assert_eq!(stats.shed, 3);
     assert_eq!(stats.completed, 2);
+}
+
+/// A wire-valid request whose image shape does not match the served
+/// model is answered with a typed `BadRequest` reject — the shared
+/// worker never sees it, so the service keeps scoring for everyone
+/// (one hostile frame must not be a remote denial of service).
+#[test]
+fn mismatched_shape_is_a_typed_reject_not_a_crash() {
+    let (model, engine, detector, stream) = fixture();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(3))
+        .micro_batch(2)
+        .spawn(engine, model, detector)
+        .unwrap();
+    let server = WireServer::bind(monitor, "127.0.0.1:0").unwrap();
+    let mut client = MonitorClient::connect(server.local_addr()).unwrap();
+
+    // Wrong channel count, wrong rank, and a zero-sized dim — all
+    // decode fine on the wire, none may reach the worker.
+    for (i, dims) in [&[2usize, 6, 6][..], &[6, 6], &[1, 6, 0]]
+        .iter()
+        .enumerate()
+    {
+        let bad = Tensor::zeros(dims);
+        client
+            .submit(&MonitorRequest::new(bad).request_id(100 + i as u64))
+            .unwrap();
+        match client.recv_reply().unwrap() {
+            ServerReply::Rejected(r) => {
+                assert_eq!(r.code, RejectCode::BadRequest);
+                assert_eq!(r.correlation_id, Some(100 + i as u64));
+                assert!(r.message.contains("[1, 6, 6]"), "names the expected shape");
+            }
+            ServerReply::Verdict(v) => panic!("bad shape was scored: {v:?}"),
+        }
+    }
+    // The worker survived: a well-formed request still gets its verdict.
+    client
+        .submit(&MonitorRequest::new(stream[0].clone()).request_id(7))
+        .unwrap();
+    match client.recv_reply().unwrap() {
+        ServerReply::Verdict(v) => assert_eq!(v.correlation_id, Some(7)),
+        ServerReply::Rejected(r) => panic!("valid request rejected: {r:?}"),
+    }
+    let stats = server.stop();
+    assert_eq!(stats.submitted, 1, "rejected shapes were never admitted");
+    assert_eq!(stats.completed, 1);
+}
+
+/// Under `ControlAccess::Deny` a control frame comes back as a typed
+/// `Denied` reject (surfaced as `WireError::Refused` by the client) and
+/// the connection stays fully usable for scoring.
+#[test]
+fn denied_control_ops_do_not_steer_or_kill_the_connection() {
+    let (model, engine, detector, stream) = fixture();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(3))
+        .micro_batch(2)
+        .spawn(engine, model, detector)
+        .unwrap();
+    let server = WireServer::bind_with(monitor, "127.0.0.1:0", ControlAccess::Deny).unwrap();
+    let mut client = MonitorClient::connect(server.local_addr()).unwrap();
+
+    for op in [ControlOp::Pause, ControlOp::Shutdown] {
+        match client.control(op) {
+            Err(WireError::Refused(r)) => assert_eq!(r.code, RejectCode::Denied),
+            other => panic!("denied control op returned {other:?}"),
+        }
+    }
+    // The denied Pause did not pause and the denied Shutdown did not set
+    // the shutdown flag: requests still score.
+    client
+        .submit(&MonitorRequest::new(stream[0].clone()).request_id(1))
+        .unwrap();
+    match client.recv_reply().unwrap() {
+        ServerReply::Verdict(v) => assert_eq!(v.correlation_id, Some(1)),
+        ServerReply::Rejected(r) => panic!("submission rejected after denial: {r:?}"),
+    }
+    let stats = server.stop();
+    assert_eq!(stats.completed, 1);
+}
+
+/// Disconnected clients release their socket immediately and their
+/// bookkeeping at the acceptor's next sweep — a long-running server does
+/// not accumulate one fd plus dead thread handles per past client.
+#[test]
+fn disconnected_clients_are_reaped() {
+    use std::time::{Duration, Instant};
+
+    let (model, engine, detector, stream) = fixture();
+    let monitor = MonitorBuilder::new(ExecOptions::sequential(3))
+        .micro_batch(2)
+        .spawn(engine, model, detector)
+        .unwrap();
+    let server = WireServer::bind(monitor, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // A burst of short-lived clients, each scoring one request.
+    for i in 0..8u64 {
+        let mut client = MonitorClient::connect(addr).unwrap();
+        client
+            .submit(&MonitorRequest::new(stream[0].clone()).request_id(i))
+            .unwrap();
+        assert!(matches!(
+            client.recv_reply().unwrap(),
+            ServerReply::Verdict(_)
+        ));
+    }
+    // Each new accept sweeps finished connections; poll with fresh
+    // probes until the burst is gone (readers exit asynchronously after
+    // the client side hangs up).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        {
+            let mut probe = MonitorClient::connect(addr).unwrap();
+            probe.stats().unwrap();
+        }
+        // At most the probe itself plus one just-dropped predecessor.
+        if server.connections() <= 2 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dead connections were never reaped ({} tracked)",
+            server.connections()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stop();
+    assert_eq!(stats.completed, 8);
 }
 
 /// Stats and control frames round-trip, and a client-sent shutdown wakes

@@ -6,7 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::frame::{read_frame, write_frame, Frame, WireError};
 use crate::request::MonitorRequest;
-use crate::types::{ControlOp, Reject, WireStats, WireVerdict};
+use crate::types::{ControlOp, Reject, RejectCode, WireStats, WireVerdict};
 
 /// One reply to a submitted request: either its verdict or a typed
 /// rejection (overload shed / service closed).
@@ -111,7 +111,10 @@ impl MonitorClient {
     ///
     /// # Errors
     ///
-    /// [`WireError`] on transport failure or protocol violation.
+    /// [`WireError::Refused`] when the server's control-access policy
+    /// denies this client control ops (the connection stays usable for
+    /// submissions); any other [`WireError`] on transport failure or
+    /// protocol violation.
     pub fn control(&mut self, op: ControlOp) -> Result<u64, WireError> {
         self.send(&Frame::Control(op))?;
         loop {
@@ -121,6 +124,11 @@ impl MonitorClient {
                     config_epoch,
                 } if acked == op => return Ok(config_epoch),
                 Frame::Verdict(v) => self.pending.push_back(ServerReply::Verdict(v)),
+                // A denial is the reply to *this* control frame; request
+                // rejects keep flowing to recv_reply.
+                Frame::Reject(r) if r.code == RejectCode::Denied => {
+                    return Err(WireError::Refused(r))
+                }
                 Frame::Reject(r) => self.pending.push_back(ServerReply::Rejected(r)),
                 _ => return Err(WireError::Malformed("expected a control ack frame")),
             }

@@ -98,6 +98,9 @@ pub enum WireError {
     UnexpectedEof,
     /// Structurally invalid payload contents.
     Malformed(&'static str),
+    /// The server refused the operation with a typed [`Reject`] — e.g. a
+    /// control op denied by the server's control-access policy.
+    Refused(Reject),
     /// Underlying transport failure.
     Io(io::Error),
 }
@@ -124,6 +127,7 @@ impl fmt::Display for WireError {
             }
             Self::UnexpectedEof => write!(f, "stream ended mid-frame"),
             Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+            Self::Refused(r) => write!(f, "server refused the operation: {}", r.message),
             Self::Io(e) => write!(f, "transport failure: {e}"),
         }
     }
@@ -235,10 +239,22 @@ impl Frame {
     }
 
     /// Serializes the frame: header (with payload checksum) + payload.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversize`] when the payload exceeds [`MAX_PAYLOAD`] —
+    /// the same cap the decode side enforces, so a frame this refuses
+    /// would only have been rejected by the peer (and a length beyond
+    /// `u32` would silently corrupt the header). Nothing is written on
+    /// error.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let payload = self.encode_payload();
-        debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+        if payload.len() > MAX_PAYLOAD as usize {
+            return Err(WireError::Oversize {
+                declared: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+                max: MAX_PAYLOAD,
+            });
+        }
         let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
         out.extend_from_slice(&WIRE_MAGIC);
         out.push(self.kind() as u8);
@@ -246,7 +262,7 @@ impl Frame {
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&checksum(&payload).to_le_bytes());
         out.extend_from_slice(&payload);
-        out
+        Ok(out)
     }
 
     /// Decodes one frame from the front of `buf`, returning it and the
@@ -364,8 +380,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
 ///
 /// # Errors
 ///
-/// [`WireError::Io`] on transport failure.
+/// [`WireError::Oversize`] when the frame's payload exceeds
+/// [`MAX_PAYLOAD`] (nothing is written); [`WireError::Io`] on transport
+/// failure.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
-    w.write_all(&frame.encode())?;
+    w.write_all(&frame.encode()?)?;
     Ok(())
 }

@@ -95,6 +95,14 @@ pub enum RejectCode {
     /// The client's frame violated the protocol; the server closes the
     /// connection after sending this.
     Protocol,
+    /// The request was structurally valid on the wire but semantically
+    /// inadmissible — e.g. its image shape does not match the served
+    /// model's input. The connection stays open.
+    BadRequest,
+    /// The operation is not permitted for this client under the server's
+    /// access policy (e.g. a control op from a non-loopback peer). The
+    /// connection stays open.
+    Denied,
 }
 
 impl RejectCode {
@@ -103,6 +111,8 @@ impl RejectCode {
             Self::Overloaded => 1,
             Self::Closed => 2,
             Self::Protocol => 3,
+            Self::BadRequest => 4,
+            Self::Denied => 5,
         }
     }
 
@@ -111,6 +121,8 @@ impl RejectCode {
             1 => Some(Self::Overloaded),
             2 => Some(Self::Closed),
             3 => Some(Self::Protocol),
+            4 => Some(Self::BadRequest),
+            5 => Some(Self::Denied),
             _ => None,
         }
     }

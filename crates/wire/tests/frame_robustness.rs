@@ -81,10 +81,12 @@ fn sample_frames(seed: u64) -> Vec<Frame> {
             config_epoch: seed,
         },
         Frame::Reject(Reject {
-            code: match seed % 3 {
+            code: match seed % 5 {
                 0 => RejectCode::Overloaded,
                 1 => RejectCode::Closed,
-                _ => RejectCode::Protocol,
+                2 => RejectCode::Protocol,
+                3 => RejectCode::BadRequest,
+                _ => RejectCode::Denied,
             },
             correlation_id: (seed % 2 == 0).then_some(seed),
             message: format!("reject #{seed}"),
@@ -100,7 +102,7 @@ proptest! {
     #[test]
     fn round_trip_is_the_identity(seed in any::<u64>()) {
         for frame in sample_frames(seed) {
-            let bytes = frame.encode();
+            let bytes = frame.encode().expect("frame fits the payload cap");
             let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame decodes");
             prop_assert_eq!(consumed, bytes.len());
             prop_assert_eq!(&decoded, &frame);
@@ -126,7 +128,7 @@ proptest! {
     #[test]
     fn mutated_frames_never_panic(seed in any::<u64>(), xor in 1u8..=255, pos_seed in any::<u64>()) {
         for frame in sample_frames(seed) {
-            let mut bytes = frame.encode();
+            let mut bytes = frame.encode().expect("frame fits the payload cap");
             let pos = (pos_seed % bytes.len() as u64) as usize;
             bytes[pos] ^= xor;
             let _ = Frame::decode(&bytes);
@@ -140,7 +142,7 @@ proptest! {
     #[test]
     fn truncation_is_typed(seed in any::<u64>(), cut_seed in any::<u64>()) {
         for frame in sample_frames(seed) {
-            let bytes = frame.encode();
+            let bytes = frame.encode().expect("frame fits the payload cap");
             let cut = 1 + (cut_seed % (bytes.len() as u64 - 1)) as usize;
             match Frame::decode(&bytes[..cut]) {
                 Err(WireError::Truncated { needed, have }) => {
@@ -162,7 +164,7 @@ proptest! {
     #[test]
     fn header_corruption_is_typed(seed in any::<u64>(), byte in any::<u8>()) {
         let frame = sample_request(seed);
-        let template = frame.encode();
+        let template = frame.encode().expect("frame fits the payload cap");
 
         // Magic: any first byte other than b'A' breaks the prefix.
         if byte != b'A' {
@@ -202,7 +204,7 @@ proptest! {
     #[test]
     fn oversize_declarations_are_refused(seed in any::<u64>(), extra in any::<u32>()) {
         let declared = MAX_PAYLOAD + 1 + extra % 4096;
-        let mut bytes = sample_request(seed).encode();
+        let mut bytes = sample_request(seed).encode().expect("frame fits the payload cap");
         bytes.truncate(HEADER_LEN);
         bytes[6..10].copy_from_slice(&declared.to_le_bytes());
         prop_assert!(matches!(
@@ -223,7 +225,7 @@ proptest! {
     #[test]
     fn payload_corruption_fails_the_checksum(seed in any::<u64>(), xor in 1u8..=255, pos_seed in any::<u64>()) {
         for frame in sample_frames(seed) {
-            let mut bytes = frame.encode();
+            let mut bytes = frame.encode().expect("frame fits the payload cap");
             let payload_len = bytes.len() - HEADER_LEN;
             if payload_len == 0 {
                 continue;
@@ -244,7 +246,7 @@ fn concatenated_frames_decode_in_sequence() {
     let frames = sample_frames(42);
     let mut bytes = Vec::new();
     for frame in &frames {
-        bytes.extend_from_slice(&frame.encode());
+        bytes.extend_from_slice(&frame.encode().expect("frame fits the payload cap"));
     }
     let mut stream = Cursor::new(&bytes);
     for frame in &frames {
@@ -264,10 +266,37 @@ fn non_finite_floats_round_trip_bit_identical() {
     let data = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 1.5e-42];
     let image = Tensor::from_vec(data, &[5]).expect("tensor");
     let frame = Frame::Request(MonitorRequest::new(image).tenant(3).request_id(9));
-    let bytes = frame.encode();
+    let bytes = frame.encode().expect("frame fits the payload cap");
     let (decoded, consumed) = Frame::decode(&bytes).expect("decode");
     assert_eq!(consumed, bytes.len());
-    assert_eq!(decoded.encode(), bytes);
+    assert_eq!(decoded.encode().expect("re-encode"), bytes);
+}
+
+/// The encode side enforces the same payload cap as decode: a frame
+/// whose payload would exceed `MAX_PAYLOAD` is a typed `Oversize` error
+/// at encode time — not a silently truncated length field that would
+/// desync the stream, and not a frame the peer rejects only after the
+/// fact. `write_frame` refuses it before emitting a single byte.
+#[test]
+fn oversize_payload_is_refused_at_encode() {
+    // MAX_PAYLOAD / 4 f32 elements put the payload just over the cap
+    // once the tenant/id/dims preamble is added.
+    let count = (MAX_PAYLOAD / 4) as usize;
+    let image = Tensor::from_vec(vec![0.0f32; count], &[count]).expect("tensor");
+    let frame = Frame::Request(MonitorRequest::new(image));
+    assert!(matches!(
+        frame.encode(),
+        Err(WireError::Oversize {
+            declared: _,
+            max: MAX_PAYLOAD
+        })
+    ));
+    let mut sink = Vec::new();
+    assert!(matches!(
+        advhunter_wire::write_frame(&mut sink, &frame),
+        Err(WireError::Oversize { .. })
+    ));
+    assert!(sink.is_empty(), "nothing may be written on encode failure");
 }
 
 /// The request payload guards its element count before allocating: a
