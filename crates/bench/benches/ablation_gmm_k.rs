@@ -19,7 +19,7 @@ fn main() {
     let art = prepare_scenario(ScenarioId::S2);
     let prep = prepare_detector(&art, None, Some(scaled(40, 15)), 0xAB10);
     let mut rng = StdRng::seed_from_u64(0xAB11);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let report = attack_dataset(
         &art.model,
         &art.split.test,

@@ -18,7 +18,7 @@ use rand::SeedableRng;
 fn main() {
     let art = prepare_scenario(ScenarioId::S2);
     let mut rng = StdRng::seed_from_u64(0xAB30);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let report = attack_dataset(
         &art.model,
         &art.split.test,

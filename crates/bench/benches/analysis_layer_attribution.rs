@@ -34,7 +34,7 @@ fn mean_per_node(art: &advhunter::scenario::ScenarioArtifacts, images: &[Tensor]
 fn main() {
     let art = prepare_scenario(ScenarioId::S2);
     let mut rng = StdRng::seed_from_u64(0xA77B);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let budget = scaled(40, 10);
 
     let clean: Vec<Tensor> = (0..art.split.test.len())

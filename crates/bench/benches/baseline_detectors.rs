@@ -39,7 +39,7 @@ fn main() {
     let art = prepare_scenario(ScenarioId::S2);
     let prep = prepare_detector(&art, None, Some(scaled(40, 15)), 0xBA5E);
     let mut rng = StdRng::seed_from_u64(0xBA5F);
-    let target = art.id.target_class();
+    let target = art.target_class();
 
     let knn = KnnDetector::fit(&prep.template, 5, 3.0);
     let zscore = ZScoreDetector::fit(&prep.template, 3.0);

@@ -33,7 +33,6 @@ use std::time::Instant;
 use advhunter::{Detector, DetectorConfig, ExecOptions, OfflineTemplate};
 use advhunter_exec::TraceEngine;
 use advhunter_monitor::{MonitorBuilder, OverloadPolicy};
-use advhunter_nn::models;
 use advhunter_tensor::{init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,7 +114,10 @@ fn simulate_workers(
 fn main() {
     let n = stream_len();
     let mut rng = StdRng::seed_from_u64(1);
-    let model = models::case_study_cnn(&[3, 32, 32], CLASSES, &mut rng);
+    let model = advhunter::scenario::ScenarioId::CaseStudy
+        .spec()
+        .build_graph(&mut rng)
+        .expect("checked-in spec compiles");
     let images: Vec<Tensor> = (0..n)
         .map(|_| init::uniform(&mut rng, &[3, 32, 32], 0.0, 1.0))
         .collect();

@@ -13,7 +13,6 @@
 use std::time::{Duration, Instant};
 
 use advhunter_exec::TraceEngine;
-use advhunter_nn::models;
 use advhunter_tensor::init;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,7 +46,10 @@ fn time_per_iter<F: FnMut()>(budget: Duration, mut f: F) -> (f64, u64) {
 fn main() {
     let budget = measure_budget();
     let mut rng = StdRng::seed_from_u64(1);
-    let model = models::case_study_cnn(&[3, 32, 32], 10, &mut rng);
+    let model = advhunter::scenario::ScenarioId::CaseStudy
+        .spec()
+        .build_graph(&mut rng)
+        .expect("checked-in spec compiles");
     let engine = TraceEngine::new(&model);
     let image = init::uniform(&mut StdRng::seed_from_u64(5), &[3, 32, 32], 0.0, 1.0);
 

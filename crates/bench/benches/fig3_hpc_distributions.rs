@@ -22,7 +22,7 @@ fn main() {
     let art = prepare_scenario(ScenarioId::S2);
     let prep = prepare_detector(&art, None, Some(scaled(60, 20)), 0xF163);
     let mut rng = StdRng::seed_from_u64(0xF164);
-    let target = art.id.target_class();
+    let target = art.target_class();
 
     let report = attack_dataset(
         &art.model,

@@ -39,7 +39,7 @@ fn main() {
             &art.model,
             &art.split.test,
             &Attack::fgsm(0.5),
-            AttackGoal::Targeted(art.id.target_class()),
+            AttackGoal::Targeted(art.target_class()),
             Some(scaled(200, 40)),
             &mut rng,
         );

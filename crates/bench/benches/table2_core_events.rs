@@ -21,8 +21,8 @@ fn main() {
     let art = prepare_scenario(ScenarioId::S2);
     let prep = prepare_detector(&art, None, None, 0x7AB2);
     let mut rng = StdRng::seed_from_u64(0x7AB3);
-    let target = art.id.target_class();
-    let names = art.id.class_names();
+    let target = art.target_class();
+    let names = art.class_names();
 
     // Targeted FGSM over the whole test split: sources are all categories
     // except the target.
@@ -64,7 +64,7 @@ fn main() {
     println!();
 
     let mut overall: Vec<BinaryConfusion> = vec![BinaryConfusion::default(); events.len()];
-    for category in 0..art.id.num_classes() {
+    for category in 0..art.num_classes() {
         if category == target {
             continue;
         }

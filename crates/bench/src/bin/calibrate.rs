@@ -29,7 +29,7 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(0xCAFE);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let t2 = std::time::Instant::now();
     let report = attack_dataset(
         &art.model,

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 
 fn main() {
     let art = prepare_scenario(ScenarioId::S2);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let mut rng = StdRng::seed_from_u64(1);
     for (name, attack) in [
         ("fgsm", Attack::fgsm(0.05)),

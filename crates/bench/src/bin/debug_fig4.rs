@@ -15,7 +15,7 @@ fn main() {
         let art = prepare_scenario(id);
         let prep = prepare_detector(&art, None, Some(30), 0xDB64);
         let mut rng = StdRng::seed_from_u64(0xDB65);
-        let target = art.id.target_class();
+        let target = art.target_class();
         for (attack, goal, n) in [
             (Attack::fgsm(0.5), AttackGoal::Targeted(target), 100),
             (Attack::mi_fgsm(0.5), AttackGoal::Targeted(target), 60),

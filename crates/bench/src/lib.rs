@@ -41,8 +41,8 @@ pub fn prepare_scenario_sized(id: ScenarioId, sizes: Option<SplitSizes>) -> Scen
     eprintln!(
         "[{}] {} on {}: clean accuracy {:.2}% ({}, {:.1}s)",
         id.label(),
-        art.id.model_name(),
-        art.id.dataset_name(),
+        art.model_name(),
+        art.dataset_name(),
         art.clean_accuracy * 100.0,
         if art.from_cache { "cached" } else { "trained" },
         t0.elapsed().as_secs_f64(),
@@ -70,7 +70,7 @@ pub fn prepare_detector(
     test_per_class: Option<usize>,
     seed: u64,
 ) -> PreparedDetector {
-    let config = PipelineConfig::for_scenario(art.id)
+    let config = PipelineConfig::for_spec(std::sync::Arc::clone(&art.spec))
         .with_sizes(art.split.sizes_per_class())
         .with_seed(seed)
         .with_per_class_cap(val_per_class);

@@ -3,35 +3,42 @@
 //! ```text
 //! advhunter events                      list monitorable HPC events
 //! advhunter scenarios                   list evaluation scenarios
-//! advhunter pipeline <S1|S2|S3|CASE> [--store DIR] [--force] [--tiny]
+//! advhunter validate <spec.ahg>...      parse + validate graph-spec files
+//! advhunter pipeline <MODEL> [--store DIR] [--force] [--tiny]
 //!                  [--seed N] [--metrics-json PATH]
 //!                                       run the staged offline pipeline
 //!                                       with per-stage cache status
-//! advhunter train  <S1|S2|S3|CASE>      train/cache a scenario model
-//! advhunter fit    <SCN> <out.ahd>      run the offline phase, save detector
-//! advhunter detect <SCN> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool|nes]
+//! advhunter train  <MODEL>              train/cache a scenario model
+//! advhunter fit    <MODEL> <out.ahd>    run the offline phase, save detector
+//! advhunter detect <MODEL> <det.ahd> [--attack fgsm|pgd|mifgsm|deepfool|nes]
 //!                  [--eps F] [--targeted] [-n N]
 //!                                       screen clean + attacked inferences
-//! advhunter monitor <SCN> [--attack A] [--eps F] [-n N] [--capacity N]
+//! advhunter monitor <MODEL> [--attack A] [--eps F] [-n N] [--capacity N]
 //!                  [--batch N] [--shed] [--tiny]
 //!                  [--fingerprint] [--fp-window N] [--fp-threshold F]
 //!                  [--fp-quant F] [--fusion hpc|fingerprint|or|and]
 //!                  [--tenants N] [--metrics-json PATH]
 //!                                       replay a clean + attacked stream
 //!                                       through the online monitor service
-//! advhunter serve  <SCN> [--addr A] [--store DIR] [--tiny] [--seed N]
+//! advhunter serve  <MODEL> [--addr A] [--store DIR] [--tiny] [--seed N]
 //!                  [--capacity N] [--batch N] [--shed] [--watch-ms N]
 //!                  [--drift] [--drift-window N] [--drift-slack F]
 //!                  [--drift-threshold F] [--allow-remote-control]
 //!                                       serve the monitor over TCP (AHP1
 //!                                       wire protocol) until a client
 //!                                       sends the shutdown control
-//! advhunter deploy <SCN> [--store DIR] [--tiny] [--sigma F]
+//! advhunter deploy <MODEL> [--store DIR] [--tiny] [--sigma F]
 //!                                       recalibrate the detector and
 //!                                       rewrite the store's Calibrate
 //!                                       artifact (running servers
 //!                                       watching the store hot-swap it)
 //! ```
+//!
+//! `<MODEL>` is either a canonical scenario label (`S1|S2|S3|CASE`) or
+//! `--graph FILE.ahg`, which loads any graph-spec file — the checked-in
+//! `specs/*.ahg` variants or one you wrote yourself — and runs the same
+//! staged pipeline against it, cached in the store under the spec's
+//! content digest.
 //!
 //! `pipeline` runs the four offline stages (`train-model`,
 //! `collect-template`, `fit-detector`, `calibrate`) against a
@@ -68,12 +75,14 @@
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use advhunter::experiment::{detection_confusion, measure_dataset, measure_examples};
-use advhunter::scenario::{build_scenario, ScenarioId, SplitSizes};
+use advhunter::scenario::{build_from_spec, ScenarioId, SplitSizes};
 use advhunter::{
-    load_detector, save_detector, ArtifactStore, ExecOptions, Pipeline, PipelineConfig,
+    load_detector, load_spec, save_detector, ArtifactStore, ExecOptions, GraphSpec, Pipeline,
+    PipelineConfig,
 };
 use advhunter_attacks::{attack_dataset, Attack, AttackGoal};
 use advhunter_monitor::{
@@ -94,22 +103,21 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("scenarios") => {
-            for id in [
-                ScenarioId::S1,
-                ScenarioId::S2,
-                ScenarioId::S3,
-                ScenarioId::CaseStudy,
-            ] {
+            for id in ScenarioId::ALL {
                 println!(
-                    "{:<10} {:<18} {:<20} {} classes",
+                    "{:<10} {:<18} {:<20} {:>2} classes  specs/{}.ahg  digest {:016x}",
                     id.label(),
                     id.dataset_name(),
                     id.model_name(),
-                    id.num_classes()
+                    id.num_classes(),
+                    id.spec().name.replace('-', "_"),
+                    id.spec().digest()
                 );
             }
+            println!("(any other architecture: pass --graph FILE.ahg in place of the label)");
             Ok(())
         }
+        Some("validate") => cmd_validate(&args[1..]),
         Some("pipeline") => cmd_pipeline(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
@@ -119,7 +127,7 @@ fn main() -> ExitCode {
         Some("deploy") => cmd_deploy(&args[1..]),
         _ => {
             eprintln!(
-                "usage: advhunter <events|scenarios|pipeline|train|fit|detect|monitor|serve|deploy> ..."
+                "usage: advhunter <events|scenarios|validate|pipeline|train|fit|detect|monitor|serve|deploy> ..."
             );
             eprintln!("see the crate docs or README for details");
             return ExitCode::from(2);
@@ -147,6 +155,57 @@ fn parse_scenario(arg: Option<&String>) -> Result<ScenarioId, String> {
     }
 }
 
+/// The model a subcommand operates on: either a canonical scenario label
+/// (`S1|S2|S3|CASE`) or `--graph FILE.ahg` anywhere among the arguments,
+/// which loads any graph-spec file and runs the same staged machinery
+/// against it.
+struct ModelArg {
+    spec: Arc<GraphSpec>,
+    /// `S1`-style label for scenarios, the spec's name for graph files.
+    label: String,
+}
+
+/// Extracts the model reference from `args`, returning it plus the
+/// remaining (non-model) arguments in their original order.
+fn parse_model(args: &[String]) -> Result<(ModelArg, Vec<String>), String> {
+    if let Some(j) = args.iter().position(|a| a == "--graph") {
+        let path = args.get(j + 1).ok_or("--graph needs a .ahg file path")?;
+        let spec = load_spec(Path::new(path))?;
+        let label = spec.name.clone();
+        let mut rest: Vec<String> = args[..j].to_vec();
+        rest.extend_from_slice(&args[j + 2..]);
+        Ok((ModelArg { spec, label }, rest))
+    } else {
+        let id = parse_scenario(args.first())
+            .map_err(|e| format!("{e} (or --graph FILE.ahg to run an arbitrary graph spec)"))?;
+        Ok((
+            ModelArg {
+                spec: Arc::clone(id.spec()),
+                label: id.label().to_string(),
+            },
+            args[1..].to_vec(),
+        ))
+    }
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err("usage: advhunter validate <spec.ahg>...".into());
+    }
+    for path in args {
+        let spec = load_spec(Path::new(path))?;
+        println!(
+            "{path}: ok — {} on {} ({} nodes, {} parameters, digest {:016x})",
+            spec.model,
+            spec.dataset,
+            spec.nodes.len(),
+            spec.num_parameters(),
+            spec.digest()
+        );
+    }
+    Ok(())
+}
+
 /// The smoke-test split used by `--tiny` across subcommands.
 fn tiny_sizes() -> SplitSizes {
     SplitSizes {
@@ -157,13 +216,13 @@ fn tiny_sizes() -> SplitSizes {
 }
 
 fn cmd_pipeline(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
+    let (model, args) = parse_model(args)?;
     let mut store_dir: Option<String> = None;
     let mut force = false;
     let mut tiny = false;
     let mut seed: Option<u64> = None;
     let mut metrics_json: Option<String> = None;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--store" => {
@@ -197,7 +256,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    let mut config = PipelineConfig::for_scenario(id);
+    let mut config = PipelineConfig::for_spec(Arc::clone(&model.spec));
     if tiny {
         config = config.with_sizes(tiny_sizes());
     }
@@ -211,7 +270,7 @@ fn cmd_pipeline(args: &[String]) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     println!(
         "{} offline pipeline, store {}",
-        id.label(),
+        model.label,
         store.root().display()
     );
     let start = Instant::now();
@@ -425,13 +484,13 @@ fn parse_attack_flags(args: &[String]) -> Result<AttackFlags, String> {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
-    let art = build_scenario(id, None);
+    let (model, _) = parse_model(args)?;
+    let art = build_from_spec(Arc::clone(&model.spec), None);
     println!(
         "{}: {} on {} — clean accuracy {:.2}% ({})",
-        id.label(),
-        id.model_name(),
-        id.dataset_name(),
+        model.label,
+        art.model_name(),
+        art.dataset_name(),
         art.clean_accuracy * 100.0,
         if art.from_cache {
             "loaded from store"
@@ -443,11 +502,11 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fit(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
-    let out = args.get(1).ok_or("missing output path for the detector")?;
+    let (model, args) = parse_model(args)?;
+    let out = args.first().ok_or("missing output path for the detector")?;
     let store = ArtifactStore::shared().map_err(|e| e.to_string())?;
     println!("running offline pipeline (cached stages load from the store) ...");
-    let (art, report) = Pipeline::new(PipelineConfig::for_scenario(id), store)
+    let (art, report) = Pipeline::new(PipelineConfig::for_spec(Arc::clone(&model.spec)), store)
         .run()
         .map_err(|e| e.to_string())?;
     save_detector(&art.detector, Path::new(out)).map_err(|e| e.to_string())?;
@@ -462,17 +521,17 @@ fn cmd_fit(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_detect(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
+    let (model, args) = parse_model(args)?;
     let det_path = args
-        .get(1)
+        .first()
         .ok_or("missing detector path (run `fit` first)")?;
-    let flags = parse_attack_flags(&args[2..])?;
+    let flags = parse_attack_flags(&args[1..])?;
 
     let detector = load_detector(Path::new(det_path)).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(0xC13);
-    let art = build_scenario(id, None);
+    let art = build_from_spec(Arc::clone(&model.spec), None);
     let goal = if flags.targeted {
-        AttackGoal::Targeted(id.target_class())
+        AttackGoal::Targeted(art.target_class())
     } else {
         AttackGoal::Untargeted
     };
@@ -511,8 +570,8 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_monitor(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
-    let flags = parse_attack_flags(&args[1..])?;
+    let (model, args) = parse_model(args)?;
+    let flags = parse_attack_flags(&args)?;
     let mut rng = StdRng::seed_from_u64(0xC14);
     let opts = ExecOptions::seeded(0xC14);
 
@@ -520,7 +579,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     // stage is a load, so the monitor boots without training, measuring,
     // or fitting anything.
     println!("offline phase: running the staged pipeline (cached stages load) ...");
-    let mut config = PipelineConfig::for_scenario(id);
+    let mut config = PipelineConfig::for_spec(Arc::clone(&model.spec));
     if let Some(sizes) = flags.sizes() {
         config = config.with_sizes(sizes);
     }
@@ -537,8 +596,9 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
 
     // Build the replay stream: clean test images interleaved with
     // adversarial examples generated from the same split.
+    let num_classes = art.num_classes();
     let goal = if flags.targeted {
-        AttackGoal::Targeted(id.target_class())
+        AttackGoal::Targeted(art.target_class())
     } else {
         AttackGoal::Untargeted
     };
@@ -725,7 +785,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         if c.screened == 0 {
             continue;
         }
-        let label = if class < id.num_classes() {
+        let label = if class < num_classes {
             format!("{class}")
         } else {
             "other".to_string()
@@ -741,7 +801,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
+    let (model, args) = parse_model(args)?;
     let mut addr = "127.0.0.1:0".to_string();
     let mut store_dir: Option<String> = None;
     let mut tiny = false;
@@ -753,7 +813,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut drift = false;
     let mut drift_config = DriftConfig::default();
     let mut control = ControlAccess::Loopback;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => {
@@ -837,7 +897,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut config = PipelineConfig::for_scenario(id);
+    let mut config = PipelineConfig::for_spec(Arc::clone(&model.spec));
     if tiny {
         config = config.with_sizes(tiny_sizes());
     }
@@ -874,7 +934,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     println!("listening on {}", server.local_addr());
     println!(
         "serve: {} capacity {}, micro-batch {}, policy {}, watch {}, drift {}",
-        id.label(),
+        model.label,
         capacity,
         batch,
         if shed { "shed" } else { "block" },
@@ -902,11 +962,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_deploy(args: &[String]) -> Result<(), String> {
-    let id = parse_scenario(args.first())?;
+    let (model, args) = parse_model(args)?;
     let mut store_dir: Option<String> = None;
     let mut tiny = false;
     let mut sigma: Option<f64> = None;
-    let mut i = 1;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--store" => {
@@ -929,7 +989,7 @@ fn cmd_deploy(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut base = PipelineConfig::for_scenario(id);
+    let mut base = PipelineConfig::for_spec(Arc::clone(&model.spec));
     if tiny {
         base = base.with_sizes(tiny_sizes());
     }

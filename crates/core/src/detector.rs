@@ -695,6 +695,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // the empty range is the point
     fn builder_rejects_nonsense_configs() {
         assert_eq!(
             DetectorConfig::builder().sigma_factor(0.0).build(),

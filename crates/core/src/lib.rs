@@ -63,6 +63,7 @@ pub mod store;
 
 pub use advhunter_exec::{tune_stats, TuneStats};
 pub use advhunter_fingerprint::{FingerprintConfig, FingerprintConfigError};
+pub use advhunter_nn::spec::{GraphSpec, GraphSpecError};
 pub use advhunter_runtime::{
     derive_seed, ExecOptions, ExecOptionsBuilder, ExecOptionsError, Parallelism,
 };
@@ -77,5 +78,6 @@ pub use pipeline::{
     tune_fingerprint, Pipeline, PipelineArtifacts, PipelineConfig, PipelineError, PipelineReport,
     Stage, StageOutcome, StageReport, StoreTunePersistence,
 };
+pub use scenario::{build_from_spec, build_scenario, load_spec, ScenarioArtifacts, ScenarioId};
 pub use store::{ArtifactKind, ArtifactStore, Fingerprint, FingerprintBuilder, StoreLoad};
 pub use verdict::{AnomalyDetector, Verdict};

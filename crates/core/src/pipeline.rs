@@ -4,12 +4,13 @@
 //!
 //! The paper's offline phase "runs once per deployment"; this module makes
 //! that literal. Every stage is a typed unit with a deterministic
-//! [`Fingerprint`] over its complete input closure — scenario, split
-//! sizes, train config, measurement config, seeds, and the upstream
-//! stage's fingerprint — and persists its artifact under that fingerprint:
+//! [`Fingerprint`] over its complete input closure — the graph spec's
+//! content digest, split sizes, train config, measurement config, seeds,
+//! and the upstream stage's fingerprint — and persists its artifact under
+//! that fingerprint:
 //!
 //! ```text
-//! TrainModel       (scenario, sizes, train cfg, seeds)        → AHW1 weights
+//! TrainModel       (spec digest, sizes, train cfg, seeds)     → AHW1 weights
 //!   └─ CollectTemplate (fp↑, measure seed, R, cap)            → AHT1 template
 //!        └─ FitDetector (fp↑, events, k-range, EM cfg)        → AHD1 detector
 //!             └─ Calibrate (fp↑, sigma factor)                → AHD1 detector
@@ -33,6 +34,7 @@ use std::sync::{Arc, OnceLock};
 use advhunter_data::{SplitDataset, SplitSizes};
 use advhunter_exec::{TraceEngine, TunePersistence};
 use advhunter_fingerprint::FingerprintConfig;
+use advhunter_nn::spec::{GraphSpec, GraphSpecError};
 use advhunter_nn::train::{evaluate, fit, TrainConfig};
 use advhunter_nn::Graph;
 use advhunter_telemetry::{global, Histogram};
@@ -47,7 +49,7 @@ use crate::persist::{
     self, detector_from_bytes, detector_to_bytes, template_from_bytes, template_to_bytes,
     PersistError,
 };
-use crate::scenario::ScenarioId;
+use crate::scenario::{self, ScenarioId};
 use crate::store::{ArtifactKind, ArtifactStore, Fingerprint, FingerprintBuilder, StoreLoad};
 use advhunter_runtime::{ExecOptions, Parallelism};
 
@@ -121,12 +123,15 @@ impl fmt::Display for Stage {
 ///
 /// Everything that can change any artifact lives here; the per-stage
 /// [`fingerprint`](Self::fingerprint) is a stable hash over exactly these
-/// fields (plus the scenario's derived seeds), so equal configs address
-/// equal artifacts and any changed knob re-addresses the affected stages.
+/// fields (plus the spec's seeds, which travel inside its content digest),
+/// so equal configs address equal artifacts and any changed knob
+/// re-addresses the affected stages.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
-    /// Which evaluation scenario to build.
-    pub scenario: ScenarioId,
+    /// The graph spec to build: architecture, dataset family, seeds, and
+    /// metadata. Models are addressed by the spec's canonicalized content
+    /// digest, so editing a spec invalidates exactly its own artifacts.
+    pub spec: Arc<GraphSpec>,
     /// Per-class split sizes.
     pub sizes: SplitSizes,
     /// Training hyperparameters.
@@ -153,15 +158,26 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
-    /// The canonical configuration for `scenario`: default split sizes,
-    /// the scenario's training recipe, and the paper's measurement and
-    /// detector defaults.
+    /// The canonical configuration for `scenario`: a [`for_spec`]
+    /// configuration over its checked-in spec.
+    ///
+    /// [`for_spec`]: Self::for_spec
     #[must_use]
     pub fn for_scenario(scenario: ScenarioId) -> Self {
+        Self::for_spec(Arc::clone(scenario.spec()))
+    }
+
+    /// The canonical configuration for an arbitrary graph spec: the spec's
+    /// split sizes and training recipe, and the paper's measurement and
+    /// detector defaults. This is the bring-your-own-architecture entry
+    /// point; `spec` typically comes from `scenario::load_spec` or the
+    /// generated variant library.
+    #[must_use]
+    pub fn for_spec(spec: Arc<GraphSpec>) -> Self {
         Self {
-            scenario,
-            sizes: scenario.default_sizes(),
-            train: scenario.train_config(),
+            sizes: scenario::split_sizes(&spec),
+            train: spec.train,
+            spec,
             train_seed: DEFAULT_TRAIN_SEED,
             seed: DEFAULT_PIPELINE_SEED,
             repeats: Sampler::default().repeats,
@@ -257,18 +273,41 @@ impl PipelineConfig {
     /// upstream stage's fingerprint, so an upstream change re-addresses
     /// every downstream artifact while untouched prefixes keep hitting.
     /// Thread count is not an input — results are thread-count-invariant.
+    ///
+    /// `TrainModel` has two recipes. A spec whose content digest matches
+    /// one of the four canonical scenarios keeps the pre-0.8 `v1` recipe
+    /// (hashing the scenario label and seeds), so stores warmed before the
+    /// spec redesign — and the golden fingerprints pinned in tests — stay
+    /// byte-valid. Any other spec (a variant, a user file, or an *edited*
+    /// canonical spec, whose digest no longer matches) is addressed by the
+    /// `v2` recipe over its content digest, which covers the architecture
+    /// and both seeds in one value.
     #[must_use]
     pub fn fingerprint(&self, stage: Stage) -> Fingerprint {
         match stage {
             Stage::TrainModel => {
-                let mut b = FingerprintBuilder::new("advhunter.pipeline.train-model.v1");
-                b.push_str(self.scenario.label())
-                    .push_usize(self.sizes.train)
-                    .push_usize(self.sizes.val)
-                    .push_usize(self.sizes.test)
-                    .push_u64(self.scenario.dataset_seed())
-                    .push_u64(self.scenario.model_seed())
-                    .push_u64(self.train_seed)
+                let digest = self.spec.digest();
+                let mut b = match ScenarioId::for_digest(digest) {
+                    Some(id) => {
+                        let mut b = FingerprintBuilder::new("advhunter.pipeline.train-model.v1");
+                        b.push_str(id.label())
+                            .push_usize(self.sizes.train)
+                            .push_usize(self.sizes.val)
+                            .push_usize(self.sizes.test)
+                            .push_u64(self.spec.dataset_seed)
+                            .push_u64(self.spec.model_seed);
+                        b
+                    }
+                    None => {
+                        let mut b = FingerprintBuilder::new("advhunter.pipeline.train-model.v2");
+                        b.push_u64(digest)
+                            .push_usize(self.sizes.train)
+                            .push_usize(self.sizes.val)
+                            .push_usize(self.sizes.test);
+                        b
+                    }
+                };
+                b.push_u64(self.train_seed)
                     .push_usize(self.train.epochs)
                     .push_usize(self.train.batch_size)
                     .push_f32(self.train.learning_rate)
@@ -394,8 +433,8 @@ impl PipelineReport {
 /// Everything a full pipeline run produces.
 #[derive(Debug, Clone)]
 pub struct PipelineArtifacts {
-    /// Which scenario this is.
-    pub scenario: ScenarioId,
+    /// The graph spec this run built.
+    pub spec: Arc<GraphSpec>,
     /// Train/val/test data (regenerated deterministically, not stored).
     pub split: SplitDataset,
     /// The trained victim model.
@@ -411,6 +450,32 @@ pub struct PipelineArtifacts {
     pub detector: Detector,
 }
 
+impl PipelineArtifacts {
+    /// Architecture display name from the spec.
+    #[must_use]
+    pub fn model_name(&self) -> &str {
+        &self.spec.model
+    }
+
+    /// Dataset family display name from the spec.
+    #[must_use]
+    pub fn dataset_name(&self) -> &'static str {
+        scenario::dataset_family(&self.spec).display_name()
+    }
+
+    /// The class targeted attacks aim for.
+    #[must_use]
+    pub fn target_class(&self) -> usize {
+        self.spec.target_class
+    }
+
+    /// Number of output categories.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.spec.classes
+    }
+}
+
 /// Error running the pipeline.
 #[derive(Debug)]
 #[non_exhaustive]
@@ -419,6 +484,9 @@ pub enum PipelineError {
     Store(PersistError),
     /// Detector fitting failed.
     Fit(FitDetectorError),
+    /// The configured graph spec failed validation (a hand-built
+    /// `GraphSpec` that bypassed `GraphSpec::parse`).
+    Spec(GraphSpecError),
     /// A partial rerun needed a stored upstream artifact that was absent
     /// or corrupt (run the full pipeline first to materialize it).
     MissingArtifact {
@@ -432,6 +500,7 @@ impl fmt::Display for PipelineError {
         match self {
             Self::Store(e) => write!(f, "artifact store failure: {e}"),
             Self::Fit(e) => write!(f, "detector fit failure: {e}"),
+            Self::Spec(e) => write!(f, "invalid graph spec: {e}"),
             Self::MissingArtifact { stage } => write!(
                 f,
                 "required {} artifact missing from the store (run the full pipeline first)",
@@ -446,6 +515,7 @@ impl std::error::Error for PipelineError {
         match self {
             Self::Store(e) => Some(e),
             Self::Fit(e) => Some(e),
+            Self::Spec(e) => Some(e),
             Self::MissingArtifact { .. } => None,
         }
     }
@@ -460,6 +530,12 @@ impl From<PersistError> for PipelineError {
 impl From<FitDetectorError> for PipelineError {
     fn from(e: FitDetectorError) -> Self {
         Self::Fit(e)
+    }
+}
+
+impl From<GraphSpecError> for PipelineError {
+    fn from(e: GraphSpecError) -> Self {
+        Self::Spec(e)
     }
 }
 
@@ -687,17 +763,19 @@ impl Pipeline {
     }
 
     /// Runs (or loads) the `TrainModel` stage: generates the data split,
-    /// obtains trained weights, and records clean test accuracy.
+    /// compiles the spec into an initialized model, obtains trained
+    /// weights, and records clean test accuracy.
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::Store`] on store I/O failures.
+    /// Returns [`PipelineError::Store`] on store I/O failures and
+    /// [`PipelineError::Spec`] if the configured spec fails validation.
     pub fn run_model(&self) -> Result<ModelRun, PipelineError> {
         let config = &self.config;
-        let split = config.scenario.generate_data(&config.sizes);
+        let split = scenario::generate_data(&config.spec, &config.sizes);
         let base = config
-            .scenario
-            .build_model(&mut StdRng::seed_from_u64(config.scenario.model_seed()));
+            .spec
+            .build_graph(&mut StdRng::seed_from_u64(config.spec.model_seed))?;
         let (model, report) = self.run_stage(
             Stage::TrainModel,
             |bytes| {
@@ -795,7 +873,7 @@ impl Pipeline {
         };
         Ok((
             PipelineArtifacts {
-                scenario: config.scenario,
+                spec: Arc::clone(&config.spec),
                 split: model_run.split,
                 model: model_run.model,
                 engine,
@@ -954,6 +1032,37 @@ mod tests {
             defended.defense_fingerprint(),
             retrained.defense_fingerprint()
         );
+    }
+
+    #[test]
+    fn variant_and_edited_specs_get_their_own_addresses() {
+        let sizes = SplitSizes {
+            train: 6,
+            val: 8,
+            test: 4,
+        };
+        let canonical = tiny_config();
+
+        // A generated variant must not collide with any canonical address.
+        let variant = PipelineConfig::for_spec(Arc::new(advhunter_nn::variants::all().remove(0)))
+            .with_sizes(sizes);
+        assert_ne!(
+            canonical.fingerprint(Stage::TrainModel),
+            variant.fingerprint(Stage::TrainModel)
+        );
+
+        // Editing a canonical spec changes its digest, dropping it to the
+        // v2 recipe — the stale v1 address must not be hit.
+        let mut edited = (**ScenarioId::CaseStudy.spec()).clone();
+        edited.model_seed += 1;
+        let edited = PipelineConfig::for_spec(Arc::new(edited)).with_sizes(sizes);
+        for stage in Stage::ALL {
+            assert_ne!(
+                canonical.fingerprint(stage),
+                edited.fingerprint(stage),
+                "{stage}"
+            );
+        }
     }
 
     #[test]

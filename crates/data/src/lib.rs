@@ -36,4 +36,5 @@ pub mod scenarios;
 pub mod stats;
 
 pub use dataset::{Dataset, SplitDataset, SplitSizes};
+pub use scenarios::DatasetFamily;
 pub use synth::{ClassPrototype, SynthConfig};

@@ -115,56 +115,6 @@ impl MonitorConfig {
         }
     }
 
-    /// The same configuration with a different queue capacity.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::queue_capacity (the builder validates at spawn)"
-    )]
-    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
-        self.queue_capacity = capacity;
-        self
-    }
-
-    /// The same configuration with a different micro-batch ceiling.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::micro_batch (the builder validates at spawn)"
-    )]
-    pub fn with_micro_batch(mut self, micro_batch: usize) -> Self {
-        self.micro_batch = micro_batch;
-        self
-    }
-
-    /// The same configuration with a different overload policy.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::overload (the builder validates at spawn)"
-    )]
-    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
-        self.overload = overload;
-        self
-    }
-
-    /// The same configuration with a different fingerprint stage.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::fingerprint (the builder validates at spawn)"
-    )]
-    pub fn with_fingerprint(mut self, fingerprint: FingerprintConfig) -> Self {
-        self.fingerprint = fingerprint;
-        self
-    }
-
-    /// The same configuration with a different fusion policy.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::fusion (the builder validates at spawn)"
-    )]
-    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
-        self.fusion = fusion;
-        self
-    }
-
     /// Checks the configuration for nonsense values.
     ///
     /// # Errors

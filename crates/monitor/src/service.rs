@@ -6,7 +6,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use advhunter::{ArtifactStore, Detector, Pipeline, PipelineConfig, PipelineError, Verdict};
+use advhunter::{Detector, PipelineError, Verdict};
 use advhunter_exec::TraceEngine;
 use advhunter_fingerprint::{FingerprintStore, MatchReport, TenantId};
 use advhunter_nn::Graph;
@@ -46,7 +46,8 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// Why [`Monitor::spawn_from_store`] could not boot the service.
+/// Why [`MonitorBuilder::spawn_from_store`](crate::MonitorBuilder::spawn_from_store)
+/// could not boot the service.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum SpawnFromStoreError {
@@ -257,54 +258,6 @@ pub struct Monitor {
 }
 
 impl Monitor {
-    /// Starts the service: validates `config`, spawns the worker thread,
-    /// and returns the handle used to submit requests and receive
-    /// verdicts.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MonitorConfigError`] when `config` is invalid; no thread
-    /// is spawned in that case.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::new(exec)...spawn(engine, model, detector)"
-    )]
-    pub fn spawn(
-        engine: TraceEngine,
-        model: Graph,
-        detector: Detector,
-        config: MonitorConfig,
-    ) -> Result<Self, MonitorConfigError> {
-        Self::spawn_inner(engine, model, detector, config, None, None)
-    }
-
-    /// Boots the service from the staged offline pipeline: runs (or
-    /// loads, when the store already holds the artifacts) every offline
-    /// stage for `pipeline` against `store`, then spawns the monitor over
-    /// the resulting engine, model, and calibrated detector.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpawnFromStoreError::Pipeline`] when the offline phase
-    /// fails and [`SpawnFromStoreError::Config`] when `config` is
-    /// invalid; no thread is spawned in either case.
-    #[deprecated(
-        since = "0.7.0",
-        note = "use MonitorBuilder::new(exec)...spawn_from_store(pipeline, store)"
-    )]
-    pub fn spawn_from_store(
-        pipeline: PipelineConfig,
-        store: ArtifactStore,
-        mut config: MonitorConfig,
-    ) -> Result<Self, SpawnFromStoreError> {
-        if !config.fingerprint.is_enabled() && pipeline.defense.is_enabled() {
-            config.fingerprint = pipeline.defense;
-        }
-        let (art, _report) = Pipeline::new(pipeline, store).run()?;
-        Self::spawn_inner(art.engine, art.model, art.detector, config, None, None)
-            .map_err(SpawnFromStoreError::Config)
-    }
-
     pub(crate) fn spawn_inner(
         engine: TraceEngine,
         model: Graph,
@@ -410,20 +363,6 @@ impl Monitor {
             }
             Err(PushError::Closed) => Err(SubmitError::Closed),
         }
-    }
-
-    /// Submits one image on behalf of `tenant`.
-    ///
-    /// # Errors
-    ///
-    /// [`SubmitError::Overloaded`] when the queue is full under the shed
-    /// policy; [`SubmitError::Closed`] after [`close`](Self::close).
-    #[deprecated(
-        since = "0.7.0",
-        note = "use submit(MonitorRequest::new(image).tenant(tenant))"
-    )]
-    pub fn submit_from(&self, tenant: TenantId, image: Tensor) -> Result<u64, SubmitError> {
-        self.submit(MonitorRequest::new(image).tenant(tenant))
     }
 
     /// Blocks until the next verdict is available. Returns `None` once

@@ -1,0 +1,36 @@
+//! Regenerates the checked-in spec library under `specs/`.
+//!
+//! Usage: `cargo run -p advhunter-nn --example gen_specs [-- <out-dir>]`
+//!
+//! Writes the four canonical scenario specs plus the generated variant
+//! library in canonical form. Re-running is idempotent; CI validates that
+//! every checked-in file parses and that the canonical four still match
+//! the scenario table.
+
+use advhunter_nn::variants;
+
+fn main() -> std::io::Result<()> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "specs".to_string());
+    let out = std::path::Path::new(&out);
+    std::fs::create_dir_all(out)?;
+    let mut count = 0;
+    for spec in variants::canonical_scenarios()
+        .into_iter()
+        .chain(variants::all())
+    {
+        let file = out.join(format!("{}.ahg", spec.name.replace('-', "_")));
+        std::fs::write(&file, spec.to_canonical_string())?;
+        println!(
+            "{:>24}  digest={:016x}  nodes={:>3}  params={}",
+            file.display(),
+            spec.digest(),
+            spec.nodes.len(),
+            spec.num_parameters()
+        );
+        count += 1;
+    }
+    println!("wrote {count} specs to {}", out.display());
+    Ok(())
+}

@@ -9,8 +9,15 @@
 //!   ([`Graph::forward`]) and backward ([`Graph::backward`]) passes. The
 //!   backward pass yields gradients with respect to *both* parameters (for
 //!   training) and the input image (for gradient-based adversarial attacks).
-//! * [`models`] — builders for the four architectures, scaled to train on a
-//!   single CPU core in about a minute each.
+//! * [`spec`] — the `.ahg` textual graph format: a typed [`spec::GraphSpec`]
+//!   IR with a parser, canonical serializer, content digest, load-time shape
+//!   inference, and a compiler into [`Graph`]. This is the open model API;
+//!   any architecture expressible with the ops above can be brought in as a
+//!   text file.
+//! * [`variants`] — a generated library of width/depth sweeps of the four
+//!   paper families plus an encoder–decoder topology, as specs.
+//! * [`models`] — deprecated hardcoded builders for the four paper
+//!   architectures, kept as shims over the checked-in specs.
 //! * [`train`] — Adam/SGD optimizers and a batched training loop.
 //! * [`record`] — per-activation-layer neuron statistics (paper Figure 1).
 //! * [`io`] — a small binary weight format plus a disk cache so models train
@@ -43,7 +50,9 @@ pub mod augment;
 pub mod io;
 pub mod models;
 pub mod record;
+pub mod spec;
 pub mod train;
+pub mod variants;
 
 pub use graph::{
     Aux, BatchNorm2d, Conv2dLayer, DwConv2dLayer, ForwardTrace, Gradients, Graph, GraphBuilder,

@@ -1,5 +1,11 @@
 //! The model zoo: micro-scale versions of the paper's four CNNs.
 //!
+//! Deprecated since 0.8: the four builders are now shims kept only so the
+//! spec compiler can be pinned against them bit for bit. New code should
+//! load a `.ahg` file (or one of [`crate::variants`]) and compile it with
+//! [`crate::spec::GraphSpec::build_graph`]; the checked-in `specs/*.ahg`
+//! reproduce these architectures exactly.
+//!
 //! | Paper model | Here | Distinctive data flow preserved |
 //! |---|---|---|
 //! | 4-conv/2-fc case-study CNN (Fig. 1) | [`case_study_cnn`] | plain conv/pool/fc pipeline |
@@ -17,6 +23,10 @@ use crate::{Graph, GraphBuilder, Src};
 
 /// The four-conv / two-fc CNN of the paper's Figure 1 case study
 /// (each conv/fc followed by ReLU except the output layer).
+#[deprecated(
+    since = "0.8.0",
+    note = "load the checked-in `specs/case_study.ahg` (or any GraphSpec) and call `GraphSpec::build_graph`"
+)]
 pub fn case_study_cnn(input_dims: &[usize], num_classes: usize, rng: &mut impl Rng) -> Graph {
     let mut b = GraphBuilder::new(input_dims);
     let input = b.input();
@@ -39,6 +49,10 @@ pub fn case_study_cnn(input_dims: &[usize], num_classes: usize, rng: &mut impl R
 
 /// A micro ResNet: stem + two residual stages (one basic block each), used
 /// for scenario S2 (CIFAR-10-like data).
+#[deprecated(
+    since = "0.8.0",
+    note = "load the checked-in `specs/s2.ahg` (or any GraphSpec) and call `GraphSpec::build_graph`"
+)]
 pub fn resnet_micro(input_dims: &[usize], num_classes: usize, rng: &mut impl Rng) -> Graph {
     let mut b = GraphBuilder::new(input_dims);
     let input = b.input();
@@ -95,6 +109,10 @@ fn basic_block(
 /// A micro EfficientNet: stem + two MBConv blocks (expansion, depthwise
 /// convolution, squeeze-and-excitation, projection), used for scenario S1
 /// (FashionMNIST-like data).
+#[deprecated(
+    since = "0.8.0",
+    note = "load the checked-in `specs/s1.ahg` (or any GraphSpec) and call `GraphSpec::build_graph`"
+)]
 pub fn efficientnet_micro(input_dims: &[usize], num_classes: usize, rng: &mut impl Rng) -> Graph {
     let mut b = GraphBuilder::new(input_dims);
     let input = b.input();
@@ -164,6 +182,10 @@ fn mbconv(
 
 /// A micro DenseNet: stem + two dense blocks with transitions, used for
 /// scenario S3 (GTSRB-like data, 43 classes).
+#[deprecated(
+    since = "0.8.0",
+    note = "load the checked-in `specs/s3.ahg` (or any GraphSpec) and call `GraphSpec::build_graph`"
+)]
 pub fn densenet_micro(input_dims: &[usize], num_classes: usize, rng: &mut impl Rng) -> Graph {
     let growth = 8;
     let mut b = GraphBuilder::new(input_dims);
@@ -233,6 +255,7 @@ fn channels_after(b: &GraphBuilder, src: Src) -> usize {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay pinned by their original tests until removal
 mod tests {
     use super::*;
     use crate::Mode;

@@ -18,12 +18,12 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(7);
     let art = build_scenario(ScenarioId::S2, None);
-    let names = art.id.class_names();
-    let target = art.id.target_class();
+    let names = art.class_names();
+    let target = art.target_class();
     println!(
         "victim: {} on {} (clean accuracy {:.1}%), target class '{}'",
-        art.id.model_name(),
-        art.id.dataset_name(),
+        art.model_name(),
+        art.dataset_name(),
         art.clean_accuracy * 100.0,
         names[target]
     );

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut rng = StdRng::seed_from_u64(5);
     let art = build_scenario(ScenarioId::S2, None);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let report = attack_dataset(
         &art.model,
         &art.split.test,

@@ -1,6 +1,7 @@
-//! Model and dataset inspector: print every scenario model's per-layer
-//! summary, the address-space footprint the trace engine assigns it, and
-//! the synthetic dataset's class-separability statistics.
+//! Model and dataset inspector: compile every checked-in scenario spec,
+//! print its per-layer summary, the address-space footprint the trace
+//! engine assigns it, and the synthetic dataset's class-separability
+//! statistics.
 //!
 //! ```text
 //! cargo run --release --example model_inspector
@@ -10,34 +11,25 @@ use advhunter::scenario::ScenarioId;
 use advhunter_data::stats::DatasetStats;
 use advhunter_data::SplitSizes;
 use advhunter_exec::MemoryLayout;
-use advhunter_nn::models;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(0);
-    let zoo: Vec<(&str, advhunter_nn::Graph)> = vec![
-        (
-            "CaseStudyCNN (3x32x32)",
-            models::case_study_cnn(&[3, 32, 32], 10, &mut rng),
-        ),
-        (
-            "ResNet18-micro (3x32x32)",
-            models::resnet_micro(&[3, 32, 32], 10, &mut rng),
-        ),
-        (
-            "EfficientNet-micro (1x28x28)",
-            models::efficientnet_micro(&[1, 28, 28], 10, &mut rng),
-        ),
-        (
-            "DenseNet-micro (3x32x32, 43 cls)",
-            models::densenet_micro(&[3, 32, 32], 43, &mut rng),
-        ),
-    ];
-    for (name, model) in &zoo {
-        println!("=== {name} ===");
+    for id in ScenarioId::ALL {
+        let spec = id.spec();
+        let [c, h, w] = spec.input;
+        println!(
+            "=== {} ({c}x{h}x{w}, {} cls) — digest {:016x} ===",
+            spec.model,
+            spec.classes,
+            spec.digest()
+        );
+        let mut rng = StdRng::seed_from_u64(spec.model_seed);
+        let model = spec
+            .build_graph(&mut rng)
+            .expect("checked-in spec compiles");
         print!("{}", model.summary());
-        let layout = MemoryLayout::new(model);
+        let layout = MemoryLayout::new(&model);
         println!(
             "address space: {:.1} KiB weights, {:.1} KiB activations (arena)\n",
             layout.total_weight_bytes() as f64 / 1024.0,
@@ -52,11 +44,10 @@ fn main() {
         test: 1,
     };
     for id in ScenarioId::TABLE1 {
-        let split = match id {
-            ScenarioId::S1 => advhunter_data::scenarios::fashion_mnist_like(101, &sizes),
-            ScenarioId::S3 => advhunter_data::scenarios::gtsrb_like(103, &sizes),
-            _ => advhunter_data::scenarios::cifar10_like(102, &sizes),
-        };
+        let spec = id.spec();
+        let split =
+            id.dataset_family()
+                .generate(spec.input, spec.classes, spec.dataset_seed, &sizes);
         let stats = DatasetStats::compute(&split.train);
         let (a, b, s) = stats.most_confusable_pair();
         println!(

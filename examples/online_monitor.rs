@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (art, _) = Pipeline::new(pipeline.clone(), store.clone()).run()?;
     println!(
         "victim: {} on {} (clean accuracy {:.1}%), detector over {} events",
-        art.scenario.model_name(),
-        art.scenario.dataset_name(),
+        art.model_name(),
+        art.dataset_name(),
         art.clean_accuracy * 100.0,
         art.detector.events().len(),
     );

@@ -44,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (art, report) = Pipeline::new(config, ArtifactStore::shared()?).run()?;
     println!(
         "victim: {} on {} — clean accuracy {:.1}%",
-        art.scenario.model_name(),
-        art.scenario.dataset_name(),
+        art.model_name(),
+        art.dataset_name(),
         art.clean_accuracy * 100.0
     );
     let (template, detector) = (&art.template, &art.detector);

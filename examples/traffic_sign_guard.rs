@@ -18,12 +18,12 @@ use rand::{Rng, SeedableRng};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(33);
     let art = build_scenario(ScenarioId::S3, None);
-    let names = art.id.class_names();
+    let names = art.class_names();
     println!(
         "guarding {} on {} — {} sign classes, clean accuracy {:.1}%",
-        art.id.model_name(),
-        art.id.dataset_name(),
-        art.id.num_classes(),
+        art.model_name(),
+        art.dataset_name(),
+        art.num_classes(),
         art.clean_accuracy * 100.0
     );
 

@@ -70,7 +70,7 @@ fn stronger_attacks_fool_more() {
 fn successful_examples_really_fool_the_model() {
     let art = artifacts();
     let mut rng = StdRng::seed_from_u64(3);
-    let target = art.id.target_class();
+    let target = art.target_class();
     let report = attack_dataset(
         &art.model,
         &art.split.test,

@@ -2,10 +2,11 @@
 //! from seeds — datasets, models, traces, measurements, and detectors.
 
 use advhunter::offline::collect_template;
+use advhunter::scenario::ScenarioId;
 use advhunter::{Detector, DetectorConfig, ExecOptions, Parallelism};
 use advhunter_data::{scenarios, SplitSizes};
 use advhunter_exec::TraceEngine;
-use advhunter_nn::{models, Graph};
+use advhunter_nn::Graph;
 use advhunter_uarch::{HpcEvent, HpcSample};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +24,10 @@ fn tiny_sizes() -> SplitSizes {
 
 fn tiny_model(seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
-    models::case_study_cnn(&[3, 32, 32], 10, &mut rng)
+    ScenarioId::CaseStudy
+        .spec()
+        .build_graph(&mut rng)
+        .expect("checked-in spec compiles")
 }
 
 #[test]

@@ -49,7 +49,7 @@ fn cache_misses_detect_what_branches_cannot() {
         .expect("detector fits on the validation template");
 
     // A strong targeted attack (the paper's Table 2 setting).
-    let target = art.id.target_class();
+    let target = art.target_class();
     let report = attack_dataset(
         &art.model,
         &art.split.test,

@@ -1,8 +1,9 @@
 //! Cross-crate integration: properties of the instrumented-inference traces
-//! on real model architectures.
+//! on real model architectures (compiled from the checked-in graph specs).
 
+use advhunter::scenario::ScenarioId;
 use advhunter_exec::{TraceEngine, ACTIVE_TILE_THRESHOLD};
-use advhunter_nn::models;
+use advhunter_nn::Graph;
 use advhunter_tensor::{init, Tensor};
 use advhunter_uarch::HpcEvent;
 use rand::rngs::StdRng;
@@ -13,27 +14,19 @@ fn image(seed: u64, dims: &[usize]) -> Tensor {
     init::uniform(&mut rng, dims, 0.0, 1.0)
 }
 
+fn compile(id: ScenarioId, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    id.spec()
+        .build_graph(&mut rng)
+        .expect("checked-in spec compiles")
+}
+
 #[test]
 fn every_architecture_traces_consistently() {
-    let mut rng = StdRng::seed_from_u64(0);
-    let zoo: Vec<(advhunter_nn::Graph, Vec<usize>)> = vec![
-        (
-            models::case_study_cnn(&[3, 32, 32], 10, &mut rng),
-            vec![3, 32, 32],
-        ),
-        (
-            models::resnet_micro(&[3, 32, 32], 10, &mut rng),
-            vec![3, 32, 32],
-        ),
-        (
-            models::efficientnet_micro(&[1, 28, 28], 10, &mut rng),
-            vec![1, 28, 28],
-        ),
-        (
-            models::densenet_micro(&[3, 32, 32], 43, &mut rng),
-            vec![3, 32, 32],
-        ),
-    ];
+    let zoo: Vec<(Graph, Vec<usize>)> = ScenarioId::ALL
+        .iter()
+        .map(|&id| (compile(id, 0), id.input_dims().to_vec()))
+        .collect();
     for (model, dims) in &zoo {
         let engine = TraceEngine::new(model);
         let a = engine.true_counts(model, &image(1, dims));
@@ -70,8 +63,7 @@ fn every_architecture_traces_consistently() {
 
 #[test]
 fn sparser_activations_touch_fewer_lines() {
-    let mut rng = StdRng::seed_from_u64(3);
-    let model = models::case_study_cnn(&[3, 32, 32], 10, &mut rng);
+    let model = compile(ScenarioId::CaseStudy, 3);
     let engine = TraceEngine::new(&model);
     // A black image keeps most activations below the tile threshold.
     let dark = Tensor::full(&[3, 32, 32], ACTIVE_TILE_THRESHOLD / 10.0);
@@ -88,8 +80,7 @@ fn sparser_activations_touch_fewer_lines() {
 
 #[test]
 fn trace_prediction_agrees_with_forward_pass() {
-    let mut rng = StdRng::seed_from_u64(5);
-    let model = models::resnet_micro(&[3, 32, 32], 10, &mut rng);
+    let model = compile(ScenarioId::S2, 5);
     let engine = TraceEngine::new(&model);
     let mut noise_rng = StdRng::seed_from_u64(6);
     for s in 0..8 {
@@ -102,9 +93,8 @@ fn trace_prediction_agrees_with_forward_pass() {
 
 #[test]
 fn arena_reuse_keeps_activation_footprint_bounded() {
-    let mut rng = StdRng::seed_from_u64(7);
     // DenseNet has the longest chain of live buffers (concatenations).
-    let model = models::densenet_micro(&[3, 32, 32], 43, &mut rng);
+    let model = compile(ScenarioId::S3, 7);
     let engine = TraceEngine::new(&model);
     let act_bytes = engine.layout().total_activation_bytes();
     // Sum of all per-node buffers without reuse would be far larger.
